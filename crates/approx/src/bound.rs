@@ -1,0 +1,237 @@
+//! The `maxSeason` lower bound (Theorem 1) and the μ threshold derivation
+//! (Corollary 1.1) that connect mutual information to seasonality.
+//!
+//! Theorem 1: if `Ĩ(X_S; Y_S) ≥ μ`, then for an event pair `(X_1, Y_1)`
+//!
+//! ```text
+//! maxSeason(X_1, Y_1) ≥ (λ_2 · |D_SEQ| / minDensity) · e^{W(log2(λ_1^{1-μ}) · ln 2 / λ_2)}
+//! ```
+//!
+//! where `λ_1 = min_i p(X_i)`, `λ_2 = p(Y_1)` and `W` is the Lambert W
+//! function. Corollary 1.1 inverts the bound to obtain the smallest μ that
+//! guarantees `maxSeason ≥ minSeason`, which is what A-STPM compares the NMI
+//! of each series pair against.
+
+use crate::lambert::lambert_w0;
+use stpm_timeseries::SymbolicSeries;
+
+/// Evaluates the Theorem 1 lower bound on `maxSeason(X_1, Y_1)`.
+///
+/// * `lambda1` — minimum symbol probability of the first series (`> 0`).
+/// * `lambda2` — probability of the event `Y_1` in the second series (`> 0`).
+/// * `mu` — the mutual-information threshold.
+/// * `dseq_len` — number of granules of `D_SEQ`.
+/// * `min_density` — the `minDensity` threshold (granules).
+///
+/// Returns `None` when the parameters are outside the bound's domain.
+#[must_use]
+pub fn max_season_lower_bound(
+    lambda1: f64,
+    lambda2: f64,
+    mu: f64,
+    dseq_len: u64,
+    min_density: u64,
+) -> Option<f64> {
+    if !(0.0..=1.0).contains(&lambda1)
+        || !(0.0..=1.0).contains(&lambda2)
+        || lambda1 <= 0.0
+        || lambda2 <= 0.0
+        || min_density == 0
+    {
+        return None;
+    }
+    // b = log2(λ1^{1-μ}) = (1-μ)·log2(λ1); the W argument is b·ln2 / λ2.
+    let b = (1.0 - mu) * lambda1.log2();
+    let w_arg = b * std::f64::consts::LN_2 / lambda2;
+    // Below the branch point of W the derivation's inequality y·e^y ≥ w_arg
+    // holds for every y, so the bound degenerates to the trivial 0.
+    if w_arg < -(-1.0f64).exp() - 1e-12 {
+        return Some(0.0);
+    }
+    let w = lambert_w0(w_arg)?;
+    Some(lambda2 * dseq_len as f64 / min_density as f64 * w.exp())
+}
+
+/// Corollary 1.1: the smallest μ guaranteeing that the event pair with
+/// probabilities (`lambda1`, `lambda2`) can reach `minSeason` seasons.
+///
+/// The returned value is clamped to `[0, 1]` so that perfectly correlated
+/// series (NMI = 1) are never pruned even when the bound is unattainable.
+#[must_use]
+pub fn mu_threshold(
+    lambda1: f64,
+    lambda2: f64,
+    min_season: u64,
+    min_density: u64,
+    dseq_len: u64,
+) -> f64 {
+    if lambda1 <= 0.0 || lambda1 >= 1.0 || lambda2 <= 0.0 || dseq_len == 0 {
+        // Degenerate distributions carry no usable information: require
+        // perfect correlation.
+        return 1.0;
+    }
+    let rho = min_season as f64 * min_density as f64 / (lambda2 * dseq_len as f64);
+    let ln2 = std::f64::consts::LN_2;
+    let mu = if rho <= std::f64::consts::E.recip() {
+        // µ ≥ 1 − λ2 / (e · ln 2 · log2(1/λ1))
+        1.0 - lambda2 / (std::f64::consts::E * ln2 * (1.0 / lambda1).log2())
+    } else {
+        // µ ≥ 1 − ρ·λ2·log2(ρ) / (ln 2 · log2(λ1))
+        1.0 - rho * lambda2 * rho.log2() / (ln2 * lambda1.log2())
+    };
+    mu.clamp(0.0, 1.0)
+}
+
+/// The μ threshold of a *pair of series*: the minimum of [`mu_threshold`]
+/// over every event pair of the two series, evaluated in both directions
+/// (the paper prescribes taking the minimum μ among all event pairs).
+#[must_use]
+pub fn pair_mu_threshold(
+    x: &SymbolicSeries,
+    y: &SymbolicSeries,
+    min_season: u64,
+    min_density: u64,
+    dseq_len: u64,
+) -> f64 {
+    // Symbols that are effectively absent (below 5% empirical probability)
+    // are excluded: a vanishing λ1 drives log2(1/λ1) → ∞ and the Corollary
+    // would demand near-perfect correlation for *every* pair, pruning the
+    // whole database regardless of the seasonality thresholds.
+    const PROBABILITY_FLOOR: f64 = 0.05;
+    let px = x.symbol_probabilities();
+    let py = y.symbol_probabilities();
+    let direction = |from: &[f64], to: &[f64]| -> f64 {
+        let lambda1 = from
+            .iter()
+            .copied()
+            .filter(|p| *p >= PROBABILITY_FLOOR)
+            .fold(f64::INFINITY, f64::min);
+        if !lambda1.is_finite() {
+            return 1.0;
+        }
+        to.iter()
+            .copied()
+            .filter(|p| *p >= PROBABILITY_FLOOR)
+            .map(|lambda2| mu_threshold(lambda1, lambda2, min_season, min_density, dseq_len))
+            .fold(1.0, f64::min)
+    };
+    direction(&px, &py).min(direction(&py, &px))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_timeseries::{Alphabet, SymbolicSeries};
+
+    #[test]
+    fn bound_domain_checks() {
+        assert!(max_season_lower_bound(0.0, 0.5, 0.5, 100, 3).is_none());
+        assert!(max_season_lower_bound(0.5, 0.0, 0.5, 100, 3).is_none());
+        assert!(max_season_lower_bound(0.5, 0.5, 0.5, 100, 0).is_none());
+        assert!(max_season_lower_bound(0.3, 0.4, 0.8, 1000, 7).is_some());
+    }
+
+    #[test]
+    fn bound_grows_with_mu() {
+        // A larger MI threshold tightens the bound upward: more correlation
+        // implies more guaranteed co-occurrences.
+        let low = max_season_lower_bound(0.3, 0.4, 0.2, 1000, 7).unwrap();
+        let high = max_season_lower_bound(0.3, 0.4, 0.9, 1000, 7).unwrap();
+        assert!(high >= low);
+    }
+
+    #[test]
+    fn bound_at_mu_one_equals_max_possible() {
+        // µ = 1 ⇒ W(0) = 0 ⇒ bound = λ2·|D_SEQ| / minDensity, i.e. the
+        // maxSeason the event pair would have if it occurred whenever Y_1 did.
+        let b = max_season_lower_bound(0.3, 0.4, 1.0, 1000, 8).unwrap();
+        assert!((b - 0.4 * 1000.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corollary_guarantees_min_season() {
+        // For several parameter settings, plugging the derived µ back into the
+        // Theorem 1 bound must yield at least minSeason (up to numerical
+        // tolerance), unless µ was clamped at 1.
+        for &(lambda1, lambda2, min_season, min_density, dseq_len) in &[
+            (0.3, 0.4, 4u64, 7u64, 1000u64),
+            (0.2, 0.5, 8, 10, 1460),
+            (0.45, 0.3, 12, 7, 1249),
+            (0.1, 0.6, 4, 4, 608),
+        ] {
+            let mu = mu_threshold(lambda1, lambda2, min_season, min_density, dseq_len);
+            if mu < 1.0 {
+                let bound =
+                    max_season_lower_bound(lambda1, lambda2, mu, dseq_len, min_density).unwrap();
+                assert!(
+                    bound + 1e-6 >= min_season as f64,
+                    "bound {bound} < minSeason {min_season} for µ={mu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mu_is_higher_for_rarer_events() {
+        // Smaller λ2 (rarer event) needs a higher µ to guarantee the same
+        // number of seasons.
+        let common = mu_threshold(0.3, 0.5, 4, 7, 1000);
+        let rare = mu_threshold(0.3, 0.05, 4, 7, 1000);
+        assert!(rare >= common);
+    }
+
+    #[test]
+    fn mu_decreases_or_stays_when_requirements_grow_within_case_two() {
+        // In the ρ > 1/e regime the paper observes an inverse relationship:
+        // larger minSeason·minDensity lowers µ.
+        let small = mu_threshold(0.3, 0.4, 12, 7, 600);
+        let large = mu_threshold(0.3, 0.4, 20, 7, 600);
+        assert!(large <= small + 1e-12);
+    }
+
+    #[test]
+    fn mu_degenerate_inputs_force_perfect_correlation() {
+        assert_eq!(mu_threshold(0.0, 0.5, 4, 7, 100), 1.0);
+        assert_eq!(mu_threshold(1.0, 0.5, 4, 7, 100), 1.0);
+        assert_eq!(mu_threshold(0.5, 0.0, 4, 7, 100), 1.0);
+        assert_eq!(mu_threshold(0.5, 0.5, 4, 7, 0), 1.0);
+    }
+
+    #[test]
+    fn mu_is_always_in_unit_interval() {
+        for &l1 in &[0.01, 0.1, 0.3, 0.5, 0.9] {
+            for &l2 in &[0.01, 0.1, 0.5, 0.9] {
+                for &ms in &[1u64, 4, 20] {
+                    for &md in &[1u64, 7, 15] {
+                        let mu = mu_threshold(l1, l2, ms, md, 1460);
+                        assert!((0.0..=1.0).contains(&mu), "µ={mu} out of range");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_mu_uses_the_minimum_over_event_pairs() {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let x = SymbolicSeries::from_labels(
+            "X",
+            &["0", "1", "0", "1", "1", "0", "1", "0"],
+            alphabet.clone(),
+        )
+        .unwrap();
+        let y = SymbolicSeries::from_labels(
+            "Y",
+            &["1", "1", "0", "0", "1", "1", "0", "0"],
+            alphabet,
+        )
+        .unwrap();
+        let mu = pair_mu_threshold(&x, &y, 2, 2, 8);
+        assert!((0.0..=1.0).contains(&mu));
+        // The pair threshold can never exceed any single-direction threshold.
+        let px = x.symbol_probabilities();
+        let lambda1 = px.iter().copied().filter(|p| *p > 0.0).fold(1.0, f64::min);
+        let any_single = mu_threshold(lambda1, 0.5, 2, 2, 8);
+        assert!(mu <= any_single + 1e-12);
+    }
+}

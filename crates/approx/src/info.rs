@@ -1,0 +1,222 @@
+//! Entropy, conditional entropy, mutual information and normalised mutual
+//! information over symbolic time series (Definitions 5.1–5.3).
+
+use serde::{Deserialize, Serialize};
+use stpm_timeseries::stats::{entropy, JointDistribution};
+use stpm_timeseries::{SeriesId, SymbolicDatabase, SymbolicSeries};
+
+/// Shannon entropy `H(X_S)` (base 2) of a symbolic series (Definition 5.1).
+#[must_use]
+pub fn entropy_of(series: &SymbolicSeries) -> f64 {
+    entropy(&series.symbol_probabilities())
+}
+
+/// Conditional entropy `H(X_S | Y_S)` (Definition 5.1, Equation 3).
+#[must_use]
+pub fn conditional_entropy(x: &SymbolicSeries, y: &SymbolicSeries) -> f64 {
+    let dist = JointDistribution::estimate(x, y);
+    let mut h = 0.0;
+    for (_, yj, p_xy) in dist.iter() {
+        if p_xy > 0.0 {
+            let p_y = dist.marginal_y()[yj];
+            if p_y > 0.0 {
+                h -= p_xy * (p_xy / p_y).log2();
+            }
+        }
+    }
+    h
+}
+
+/// Mutual information `I(X_S; Y_S)` (Definition 5.2, Equation 4).
+#[must_use]
+pub fn mutual_information(x: &SymbolicSeries, y: &SymbolicSeries) -> f64 {
+    let dist = JointDistribution::estimate(x, y);
+    let mut mi = 0.0;
+    for (xi, yj, p_xy) in dist.iter() {
+        if p_xy > 0.0 {
+            let p_x = dist.marginal_x()[xi];
+            let p_y = dist.marginal_y()[yj];
+            if p_x > 0.0 && p_y > 0.0 {
+                mi += p_xy * (p_xy / (p_x * p_y)).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Normalised mutual information `Ĩ(X_S; Y_S) = I(X_S;Y_S) / H(X_S)`
+/// (Definition 5.3, Equation 5). Not symmetric. A deterministic (zero
+/// entropy) first series yields 0 — it cannot gain information.
+#[must_use]
+pub fn normalized_mi(x: &SymbolicSeries, y: &SymbolicSeries) -> f64 {
+    let h = entropy_of(x);
+    if h <= f64::EPSILON {
+        return 0.0;
+    }
+    (mutual_information(x, y) / h).clamp(0.0, 1.0)
+}
+
+/// The pairwise NMI values of every ordered pair of series in a symbolic
+/// database. Computed once per database and reused across threshold
+/// configurations (the paper notes MI is computed once per dataset).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NmiMatrix {
+    n: usize,
+    /// `values[i * n + j]` = `Ĩ(X_i; X_j)`.
+    values: Vec<f64>,
+}
+
+impl NmiMatrix {
+    /// Computes the NMI of every ordered pair of series in `dsyb`.
+    #[must_use]
+    pub fn compute(dsyb: &SymbolicDatabase) -> Self {
+        let n = dsyb.num_series();
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    values[i * n + j] = 1.0;
+                } else {
+                    values[i * n + j] =
+                        normalized_mi(&dsyb.series()[i], &dsyb.series()[j]);
+                }
+            }
+        }
+        Self { n, values }
+    }
+
+    /// Number of series.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `Ĩ(X_i; X_j)` for series ids `i`, `j`.
+    #[must_use]
+    pub fn get(&self, i: SeriesId, j: SeriesId) -> f64 {
+        let (i, j) = (i.0 as usize, j.0 as usize);
+        if i < self.n && j < self.n {
+            self.values[i * self.n + j]
+        } else {
+            0.0
+        }
+    }
+
+    /// `min(Ĩ(X_i; X_j), Ĩ(X_j; X_i))` — the quantity compared against μ in
+    /// Definition 5.4.
+    #[must_use]
+    pub fn min_nmi(&self, i: SeriesId, j: SeriesId) -> f64 {
+        self.get(i, j).min(self.get(j, i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_timeseries::{Alphabet, SymbolicSeries};
+
+    fn series(name: &str, bits: &str) -> SymbolicSeries {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let labels: Vec<&str> = bits
+            .chars()
+            .map(|c| if c == '1' { "1" } else { "0" })
+            .collect();
+        SymbolicSeries::from_labels(name, &labels, alphabet).unwrap()
+    }
+
+    #[test]
+    fn entropy_of_balanced_and_constant_series() {
+        assert!((entropy_of(&series("B", "01010101")) - 1.0).abs() < 1e-12);
+        assert!(entropy_of(&series("K", "11111111")).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_of_identical_series_is_zero() {
+        let x = series("X", "0110100110");
+        assert!(conditional_entropy(&x, &x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_entropy_of_independent_series_equals_marginal_entropy() {
+        let x = series("X", "01010101");
+        let y = series("Y", "00110011");
+        assert!((conditional_entropy(&x, &y) - entropy_of(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mutual_information_identities() {
+        let x = series("X", "0110100110");
+        let y = series("Y", "0011001100");
+        // I(X;X) = H(X).
+        assert!((mutual_information(&x, &x) - entropy_of(&x)).abs() < 1e-12);
+        // I(X;Y) = H(X) - H(X|Y).
+        assert!(
+            (mutual_information(&x, &y) - (entropy_of(&x) - conditional_entropy(&x, &y))).abs()
+                < 1e-12
+        );
+        // Symmetry of MI.
+        assert!((mutual_information(&x, &y) - mutual_information(&y, &x)).abs() < 1e-12);
+        // Non-negativity.
+        assert!(mutual_information(&x, &y) >= 0.0);
+    }
+
+    #[test]
+    fn nmi_of_identical_series_is_one_and_of_independent_is_zero() {
+        let x = series("X", "01010101");
+        let y = series("Y", "00110011");
+        assert!((normalized_mi(&x, &x) - 1.0).abs() < 1e-12);
+        assert!(normalized_mi(&x, &y).abs() < 1e-12);
+        // Negation carries full information too.
+        let not_x = series("NX", "10101010");
+        assert!((normalized_mi(&x, &not_x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nmi_of_constant_series_is_zero() {
+        let x = series("X", "01010101");
+        let k = series("K", "11111111");
+        assert_eq!(normalized_mi(&k, &x), 0.0);
+        assert_eq!(normalized_mi(&x, &k), 0.0);
+    }
+
+    #[test]
+    fn nmi_is_not_symmetric_in_general() {
+        // X has 4 symbols worth of structure folded into 2, Y is coarser; use
+        // different alphabets to expose asymmetry.
+        let ax = Alphabet::from_strs(&["a", "b", "c", "d"]).unwrap();
+        let x = SymbolicSeries::from_labels(
+            "X",
+            &["a", "b", "c", "d", "a", "b", "c", "d"],
+            ax,
+        )
+        .unwrap();
+        let y = series("Y", "00110011");
+        let xy = normalized_mi(&x, &y);
+        let yx = normalized_mi(&y, &x);
+        assert!(xy < yx, "Ĩ(X;Y)={xy} should be smaller than Ĩ(Y;X)={yx}");
+    }
+
+    #[test]
+    fn nmi_matrix_lookup() {
+        let db = SymbolicDatabase::new(vec![
+            series("A", "01010101"),
+            series("B", "01010101"),
+            series("C", "00110011"),
+        ])
+        .unwrap();
+        let matrix = NmiMatrix::compute(&db);
+        assert_eq!(matrix.len(), 3);
+        assert!(!matrix.is_empty());
+        assert!((matrix.get(SeriesId(0), SeriesId(1)) - 1.0).abs() < 1e-12);
+        assert!(matrix.get(SeriesId(0), SeriesId(2)).abs() < 1e-12);
+        assert!((matrix.min_nmi(SeriesId(0), SeriesId(1)) - 1.0).abs() < 1e-12);
+        assert_eq!(matrix.get(SeriesId(0), SeriesId(9)), 0.0);
+        assert!((matrix.get(SeriesId(2), SeriesId(2)) - 1.0).abs() < 1e-12);
+    }
+}

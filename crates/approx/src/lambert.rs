@@ -1,0 +1,125 @@
+//! The Lambert W function (principal branch `W_0`), needed by the
+//! `maxSeason` lower bound of Theorem 1.
+//!
+//! `W(x)` is the inverse of `w ↦ w·e^w`; it is real-valued for
+//! `x ≥ -1/e`. The implementation uses a cheap initial guess followed by
+//! Halley iterations, which converges to machine precision in a handful of
+//! steps over the range the bound exercises (`x ∈ [-1/e, 0)` mostly).
+
+/// Evaluates the principal branch `W_0(x)` of the Lambert W function.
+///
+/// Returns `None` when `x < -1/e` (outside the real domain) or `x` is not
+/// finite.
+#[must_use]
+pub fn lambert_w0(x: f64) -> Option<f64> {
+    if !x.is_finite() {
+        return None;
+    }
+    let min_x = -(-1.0f64).exp(); // -1/e
+    if x < min_x - 1e-12 {
+        return None;
+    }
+    if x.abs() < 1e-300 {
+        return Some(0.0);
+    }
+    // Clamp tiny negative excursions below -1/e caused by rounding.
+    let x = x.max(min_x);
+
+    // Initial guess.
+    let mut w = if x > 1.0 {
+        // For large x, W(x) ≈ ln x - ln ln x.
+        let lx = x.ln();
+        lx - lx.ln().max(0.0)
+    } else if x > -0.25 {
+        // Series-inspired guess around zero.
+        x * (1.0 - x)
+    } else {
+        // Near the branch point -1/e: W ≈ -1 + sqrt(2(e·x + 1)).
+        let p = (2.0 * (std::f64::consts::E * x + 1.0)).max(0.0).sqrt();
+        -1.0 + p
+    };
+
+    // Halley iteration (falls back to Newton near the branch point where the
+    // Halley correction degenerates).
+    for _ in 0..64 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        if f.abs() <= 1e-16 * x.abs().max(1.0) {
+            break;
+        }
+        let newton_denom = ew * (w + 1.0);
+        let halley_correction = if (2.0 * w + 2.0).abs() > 1e-12 {
+            (w + 2.0) * f / (2.0 * w + 2.0)
+        } else {
+            0.0
+        };
+        let denom = newton_denom - halley_correction;
+        let denom = if denom.abs() > 1e-300 {
+            denom
+        } else if newton_denom.abs() > 1e-300 {
+            newton_denom
+        } else {
+            break;
+        };
+        let next = w - f / denom;
+        if (next - w).abs() <= 1e-14 * next.abs().max(1.0) {
+            w = next;
+            break;
+        }
+        w = next;
+    }
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(x: f64) {
+        let w = lambert_w0(x).unwrap();
+        let back = w * w.exp();
+        assert!(
+            (back - x).abs() < 1e-9 * x.abs().max(1.0),
+            "W({x}) = {w}, but W·e^W = {back}"
+        );
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((lambert_w0(0.0).unwrap()).abs() < 1e-12);
+        assert!((lambert_w0(std::f64::consts::E).unwrap() - 1.0).abs() < 1e-9);
+        // W(-1/e) = -1.
+        let branch = lambert_w0(-(-1.0f64).exp()).unwrap();
+        assert!((branch + 1.0).abs() < 1e-5);
+        // W(1) = Ω ≈ 0.5671432904.
+        assert!((lambert_w0(1.0).unwrap() - 0.567_143_290_4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_over_the_domain() {
+        for &x in &[
+            -0.367, -0.3, -0.2, -0.1, -0.01, 0.001, 0.1, 0.5, 1.0, 2.0, 10.0, 100.0, 1e6,
+        ] {
+            check(x);
+        }
+    }
+
+    #[test]
+    fn out_of_domain_inputs_are_rejected() {
+        assert!(lambert_w0(-1.0).is_none());
+        assert!(lambert_w0(-0.5).is_none());
+        assert!(lambert_w0(f64::NAN).is_none());
+        assert!(lambert_w0(f64::INFINITY).is_none());
+    }
+
+    #[test]
+    fn monotonicity_on_the_principal_branch() {
+        let mut prev = lambert_w0(-0.36).unwrap();
+        for i in 1..100 {
+            let x = -0.36 + f64::from(i) * 0.01;
+            let w = lambert_w0(x).unwrap();
+            assert!(w >= prev - 1e-12, "W must be non-decreasing");
+            prev = w;
+        }
+    }
+}

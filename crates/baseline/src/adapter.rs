@@ -1,0 +1,353 @@
+//! APS-growth: the 2-phase adaptation of PS-growth to seasonal temporal
+//! pattern mining, used as the experimental baseline.
+//!
+//! * **Phase 1** mines periodic-frequent itemsets over the transactional view
+//!   of `D_SEQ` with `minSup = minSeason · minDensity` (a seasonal pattern
+//!   must occur at least that often) and
+//!   `maxPer = max(maxPeriod, distmax)` (occurrences may be separated by at
+//!   most one inter-season gap).
+//! * **Phase 2** turns each periodic itemset into temporal patterns by
+//!   re-scanning its supporting granules, classifying the pairwise relations
+//!   of every instance combination, and applying the same season checks as
+//!   STPM.
+//!
+//! The output is reported with the same [`MiningReport`] type as the exact
+//! miner so that the benchmark harness can compare the three algorithms
+//! uniformly.
+
+use crate::psgrowth::{PeriodicItemset, PsGrowth};
+use crate::transactions::TransactionDb;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+use stpm_core::season::find_seasons;
+use stpm_core::{
+    classify_relation, MinedEvent, MinedPattern, MiningReport, MiningStats, RelationTriple,
+    ResolvedConfig, StpmConfig, TemporalPattern,
+};
+use stpm_timeseries::{EventInstance, GranulePos, SequenceDatabase};
+
+/// Output of an APS-growth run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApsGrowthReport {
+    /// Frequent seasonal events and patterns, in the exact miner's format.
+    pub report: MiningReport,
+    /// Number of periodic-frequent itemsets produced by phase 1.
+    pub phase1_itemsets: usize,
+    /// Wall-clock time of phase 1 (PS-growth).
+    pub phase1_time: Duration,
+    /// Wall-clock time of phase 2 (temporal pattern extraction).
+    pub phase2_time: Duration,
+    /// Approximate heap footprint of the itemset occurrence lists and pattern
+    /// tables, in bytes.
+    pub footprint_bytes: usize,
+}
+
+impl ApsGrowthReport {
+    /// Total wall-clock time of both phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time
+    }
+}
+
+/// The APS-growth baseline miner.
+#[derive(Debug, Clone)]
+pub struct ApsGrowth<'a> {
+    dseq: &'a SequenceDatabase,
+    config: ResolvedConfig,
+}
+
+impl<'a> ApsGrowth<'a> {
+    /// Creates a baseline miner with the same thresholds as the exact miner.
+    ///
+    /// # Errors
+    /// Propagates configuration-validation errors.
+    pub fn new(dseq: &'a SequenceDatabase, config: &StpmConfig) -> stpm_core::Result<Self> {
+        Ok(Self {
+            dseq,
+            config: config.resolve(dseq.num_granules())?,
+        })
+    }
+
+    /// Runs both phases and assembles the report.
+    #[must_use]
+    pub fn mine(&self) -> ApsGrowthReport {
+        // ---- Phase 1: periodic-frequent itemset mining ----
+        let phase1_start = Instant::now();
+        let transactions = TransactionDb::from_sequences(self.dseq);
+        let min_sup = (self.config.min_season * self.config.min_density).max(1);
+        let max_per = self.config.dist_max.max(self.config.max_period);
+        let psgrowth = PsGrowth::new(
+            min_sup,
+            max_per,
+            self.config.max_pattern_len,
+            self.dseq.num_granules(),
+        );
+        let (itemsets, tree_footprint) = psgrowth.mine_with_footprint(&transactions);
+        let phase1_time = phase1_start.elapsed();
+
+        // ---- Phase 2: temporal pattern extraction + season checks ----
+        let phase2_start = Instant::now();
+        let mut events_out = Vec::new();
+        let mut footprint: usize = tree_footprint
+            + itemsets
+                .iter()
+                .map(|i| i.tids.len() * std::mem::size_of::<GranulePos>() + i.items.len() * 8)
+                .sum::<usize>();
+
+        let mut pattern_supports: BTreeMap<TemporalPattern, Vec<GranulePos>> = BTreeMap::new();
+        for itemset in &itemsets {
+            if itemset.items.len() == 1 {
+                let seasons = find_seasons(&itemset.tids, &self.config);
+                if seasons.is_frequent(self.config.min_season) {
+                    events_out.push(MinedEvent {
+                        label: itemset.items[0],
+                        support: itemset.tids.clone(),
+                        seasons,
+                    });
+                }
+            } else {
+                self.extract_patterns(itemset, &mut pattern_supports);
+            }
+        }
+
+        let mut patterns_out = Vec::new();
+        for (pattern, support) in &pattern_supports {
+            footprint += support.len() * std::mem::size_of::<GranulePos>()
+                + pattern.events().len() * 8
+                + pattern.triples().len() * 4;
+            let seasons = find_seasons(support, &self.config);
+            if seasons.is_frequent(self.config.min_season) {
+                patterns_out.push(MinedPattern::new(pattern.clone(), support.clone(), seasons));
+            }
+        }
+        let phase2_time = phase2_start.elapsed();
+
+        let stats = MiningStats {
+            num_granules: self.dseq.num_granules(),
+            num_events: self.dseq.distinct_events().len(),
+            candidate_events: itemsets.iter().filter(|i| i.items.len() == 1).count(),
+            frequent_events: events_out.len(),
+            levels: Vec::new(),
+            total_time: phase1_time + phase2_time,
+            single_event_time: phase1_time,
+            pattern_time: phase2_time,
+            peak_footprint_bytes: footprint,
+        };
+        ApsGrowthReport {
+            report: MiningReport::new(events_out, patterns_out, stats),
+            phase1_itemsets: itemsets.len(),
+            phase1_time,
+            phase2_time,
+            footprint_bytes: footprint,
+        }
+    }
+
+    /// Extracts the temporal patterns realised by one periodic itemset: for
+    /// every supporting granule, every combination of instances (one per
+    /// item) whose pairwise relations all exist contributes one pattern
+    /// occurrence.
+    fn extract_patterns(
+        &self,
+        itemset: &PeriodicItemset,
+        out: &mut BTreeMap<TemporalPattern, Vec<GranulePos>>,
+    ) {
+        for &granule in &itemset.tids {
+            let Some(sequence) = self.dseq.sequence_at(granule) else {
+                continue;
+            };
+            let per_item: Vec<Vec<EventInstance>> = itemset
+                .items
+                .iter()
+                .map(|item| sequence.instances_of(*item).copied().collect())
+                .collect();
+            if per_item.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let mut binding: Vec<EventInstance> = Vec::with_capacity(per_item.len());
+            self.enumerate_bindings(itemset, &per_item, granule, &mut binding, out);
+        }
+    }
+
+    /// Recursively enumerates instance combinations and records the patterns
+    /// they realise.
+    fn enumerate_bindings(
+        &self,
+        itemset: &PeriodicItemset,
+        per_item: &[Vec<EventInstance>],
+        granule: GranulePos,
+        binding: &mut Vec<EventInstance>,
+        out: &mut BTreeMap<TemporalPattern, Vec<GranulePos>>,
+    ) {
+        let depth = binding.len();
+        if depth == per_item.len() {
+            if let Some(pattern) = self.pattern_of_binding(&itemset.items, binding) {
+                let support = out.entry(pattern).or_default();
+                if support.last() != Some(&granule) {
+                    support.push(granule);
+                }
+            }
+            return;
+        }
+        for instance in &per_item[depth] {
+            binding.push(*instance);
+            self.enumerate_bindings(itemset, per_item, granule, binding, out);
+            binding.pop();
+        }
+    }
+
+    /// Classifies every pairwise relation of a binding; returns the resulting
+    /// pattern when all pairs relate.
+    fn pattern_of_binding(
+        &self,
+        items: &[stpm_timeseries::EventLabel],
+        binding: &[EventInstance],
+    ) -> Option<TemporalPattern> {
+        let mut triples = Vec::with_capacity(items.len() * (items.len() - 1) / 2);
+        for i in 0..binding.len() {
+            for j in (i + 1)..binding.len() {
+                let (a, b) = (&binding[i], &binding[j]);
+                let i_u8 = u8::try_from(i).expect("itemset fits u8");
+                let j_u8 = u8::try_from(j).expect("itemset fits u8");
+                let in_order = stpm_core::relation::chronological_order(
+                    &a.interval,
+                    &b.interval,
+                    i_u8,
+                    j_u8,
+                );
+                let triple = if in_order {
+                    classify_relation(
+                        &a.interval,
+                        &b.interval,
+                        self.config.epsilon,
+                        self.config.min_overlap,
+                    )
+                    .map(|r| RelationTriple::new(r, i_u8, j_u8))
+                } else {
+                    classify_relation(
+                        &b.interval,
+                        &a.interval,
+                        self.config.epsilon,
+                        self.config.min_overlap,
+                    )
+                    .map(|r| RelationTriple::new(r, j_u8, i_u8))
+                };
+                triples.push(triple?);
+            }
+        }
+        Some(TemporalPattern::from_parts(items.to_vec(), triples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_core::{RelationKind, StpmMiner, Threshold};
+    use stpm_timeseries::{Alphabet, SymbolicDatabase, SymbolicSeries};
+
+    fn paper_dseq() -> (SymbolicDatabase, SequenceDatabase) {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let rows: &[(&str, &str)] = &[
+            ("C", "110100110000000000111111000000100110000110"),
+            ("D", "100100110110000000111111000000100100110110"),
+            ("F", "001011001001111000000000111111001001001001"),
+            ("M", "111100111110111111000111111111111000111000"),
+            ("N", "110111111110111111000000111111111111111000"),
+        ];
+        let series: Vec<SymbolicSeries> = rows
+            .iter()
+            .map(|(name, bits)| {
+                let labels: Vec<&str> = bits
+                    .chars()
+                    .map(|c| if c == '1' { "1" } else { "0" })
+                    .collect();
+                SymbolicSeries::from_labels(name, &labels, alphabet.clone()).unwrap()
+            })
+            .collect();
+        let dsyb = SymbolicDatabase::new(series).unwrap();
+        let dseq = dsyb.to_sequence_database(3).unwrap();
+        (dsyb, dseq)
+    }
+
+    fn config() -> StpmConfig {
+        StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (3, 10),
+            min_season: 2,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        }
+    }
+
+    #[test]
+    fn baseline_finds_the_headline_pattern() {
+        let (dsyb, dseq) = paper_dseq();
+        let report = ApsGrowth::new(&dseq, &config()).unwrap().mine();
+        let c1 = dsyb.registry().label("C", "1").unwrap();
+        let d1 = dsyb.registry().label("D", "1").unwrap();
+        let target = TemporalPattern::pair([c1, d1], RelationKind::Contains, false);
+        assert!(
+            report.report.contains_pattern(&target),
+            "APS-growth must also find C:1 ≽ D:1"
+        );
+        assert!(report.phase1_itemsets > 0);
+        assert!(report.footprint_bytes > 0);
+        assert_eq!(report.total_time(), report.phase1_time + report.phase2_time);
+    }
+
+    #[test]
+    fn baseline_output_is_a_subset_of_estpm_output() {
+        // APS-growth can only miss patterns (because of the minSup constraint
+        // of phase 1), never invent ones the exact miner would reject.
+        let (_, dseq) = paper_dseq();
+        let cfg = config();
+        let exact = StpmMiner::new(&dseq, &cfg).unwrap().mine();
+        let baseline = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
+        for p in baseline.report.patterns() {
+            assert!(
+                exact.contains_pattern(p.pattern()),
+                "baseline produced a pattern E-STPM did not: {:?}",
+                p.pattern()
+            );
+        }
+        for e in baseline.report.events() {
+            assert!(
+                exact.events().iter().any(|x| x.label == e.label),
+                "baseline produced an event E-STPM did not"
+            );
+        }
+    }
+
+    #[test]
+    fn baseline_respects_the_pattern_length_cap() {
+        let (_, dseq) = paper_dseq();
+        let cfg = StpmConfig {
+            max_pattern_len: 3,
+            ..config()
+        };
+        let report = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
+        assert!(report
+            .report
+            .patterns()
+            .iter()
+            .all(|p| p.pattern().len() <= 3));
+        assert!(report
+            .report
+            .patterns()
+            .iter()
+            .any(|p| p.pattern().len() == 3));
+    }
+
+    #[test]
+    fn strict_thresholds_give_empty_output() {
+        let (_, dseq) = paper_dseq();
+        let cfg = StpmConfig {
+            min_season: 10,
+            min_density: Threshold::Absolute(10),
+            ..config()
+        };
+        let report = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
+        assert_eq!(report.report.total_patterns(), 0);
+    }
+}

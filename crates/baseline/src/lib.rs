@@ -1,0 +1,35 @@
+//! # stpm-baseline
+//!
+//! The experimental baseline of the paper: **APS-growth**, an adaptation of
+//! the state-of-the-art periodic-frequent itemset miner PS-growth (Kiran et
+//! al., "Finding periodic-frequent patterns in temporal databases using
+//! periodic summaries") to seasonal *temporal* pattern mining.
+//!
+//! The adaptation follows the 2-phase process described in Section VI-A of
+//! the FreqSTPfTS paper:
+//!
+//! 1. **Phase 1** — PS-growth mines *periodic-frequent itemsets* over the
+//!    transactional view of `D_SEQ` (each granule is a transaction whose
+//!    items are the events occurring in it), constrained by `minSup` and
+//!    `maxPer` ([`pstree`], [`psgrowth`]).
+//! 2. **Phase 2** — temporal patterns are extracted from the periodic
+//!    itemsets by re-scanning the supporting granules, classifying the
+//!    pairwise relations between the event instances, and applying the same
+//!    season checks as STPM ([`adapter`]).
+//!
+//! Because PS-growth relies on a support threshold and keeps full occurrence
+//! information for every frequent itemset, it is slower and more
+//! memory-hungry than E-STPM/A-STPM — which is exactly the behaviour the
+//! paper's evaluation quantifies.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod psgrowth;
+pub mod pstree;
+pub mod transactions;
+
+pub use adapter::{ApsGrowth, ApsGrowthReport};
+pub use psgrowth::{PeriodicItemset, PsGrowth};
+pub use pstree::PsTree;
+pub use transactions::TransactionDb;

@@ -1,0 +1,233 @@
+//! PS-growth: recursive pattern growth over the PS-tree, producing
+//! *periodic-frequent itemsets* constrained by `minSup` and `maxPer`.
+
+use crate::pstree::{PsTree, WeightedTransaction};
+use crate::transactions::TransactionDb;
+use stpm_timeseries::{EventLabel, GranulePos};
+
+/// A periodic-frequent itemset: the items, the granules containing them all,
+/// and the derived support / maximum period.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeriodicItemset {
+    /// The items, sorted canonically.
+    pub items: Vec<EventLabel>,
+    /// Sorted granules containing every item of the set.
+    pub tids: Vec<GranulePos>,
+    /// Number of supporting granules.
+    pub support: u64,
+    /// Maximum period between consecutive occurrences (boundaries included).
+    pub max_period: u64,
+}
+
+/// The PS-growth miner.
+#[derive(Debug, Clone)]
+pub struct PsGrowth {
+    min_sup: u64,
+    max_per: u64,
+    max_len: usize,
+    db_len: u64,
+}
+
+impl PsGrowth {
+    /// Creates a miner with the `minSup` / `maxPer` thresholds and an upper
+    /// bound on the itemset size.
+    #[must_use]
+    pub fn new(min_sup: u64, max_per: u64, max_len: usize, db_len: u64) -> Self {
+        Self {
+            min_sup: min_sup.max(1),
+            max_per: max_per.max(1),
+            max_len: max_len.max(1),
+            db_len,
+        }
+    }
+
+    /// Maximum period of a sorted granule list, counting the leading gap from
+    /// the start of the database and the trailing gap to its end (the
+    /// periodic-frequent pattern convention).
+    #[must_use]
+    pub fn max_period(tids: &[GranulePos], db_len: u64) -> u64 {
+        if tids.is_empty() {
+            return db_len;
+        }
+        let mut max = tids[0].saturating_sub(0);
+        for w in tids.windows(2) {
+            max = max.max(w[1] - w[0]);
+        }
+        max.max(db_len.saturating_sub(*tids.last().expect("non-empty")))
+    }
+
+    /// Mines every periodic-frequent itemset of the transactional database.
+    #[must_use]
+    pub fn mine(&self, db: &TransactionDb) -> Vec<PeriodicItemset> {
+        self.mine_with_footprint(db).0
+    }
+
+    /// Like [`PsGrowth::mine`], but also reports the total heap footprint of
+    /// every PS-tree materialised during pattern growth (the initial tree
+    /// plus all conditional trees) — the quantity the memory-usage
+    /// experiments charge to the baseline.
+    #[must_use]
+    pub fn mine_with_footprint(&self, db: &TransactionDb) -> (Vec<PeriodicItemset>, usize) {
+        let transactions: Vec<WeightedTransaction> = db
+            .transactions()
+            .iter()
+            .map(|(granule, items)| (items.clone(), vec![*granule]))
+            .collect();
+        let tree = PsTree::build(&transactions, self.min_sup, db.len() as u64);
+        let mut out = Vec::new();
+        let mut footprint = tree.footprint_bytes();
+        self.grow(&tree, &[], &mut out, &mut footprint);
+        out.sort_by(|a, b| a.items.cmp(&b.items));
+        (out, footprint)
+    }
+
+    /// Recursive pattern-growth step: extend `suffix` with every item of the
+    /// tree's header table, emit the periodic extensions, and recurse into
+    /// the conditional tree of each extension that can still grow.
+    fn grow(
+        &self,
+        tree: &PsTree,
+        suffix: &[EventLabel],
+        out: &mut Vec<PeriodicItemset>,
+        footprint: &mut usize,
+    ) {
+        for item in tree.header_items() {
+            let tids = tree.item_tids(item);
+            let support = tids.len() as u64;
+            if support < self.min_sup {
+                continue;
+            }
+            let max_period = Self::max_period(&tids, self.db_len);
+            // The occurrences of any superset are a subset of these, so its
+            // max period can only grow: prune the branch when already
+            // aperiodic (the PS-growth pruning rule).
+            if max_period > self.max_per {
+                continue;
+            }
+            let mut items: Vec<EventLabel> = suffix.to_vec();
+            items.push(item);
+            items.sort_unstable();
+            out.push(PeriodicItemset {
+                items: items.clone(),
+                tids: tids.clone(),
+                support,
+                max_period,
+            });
+            if items.len() >= self.max_len {
+                continue;
+            }
+            let base = tree.conditional_pattern_base(item);
+            if base.is_empty() {
+                continue;
+            }
+            let conditional = PsTree::build(&base, self.min_sup, self.db_len);
+            *footprint += conditional.footprint_bytes();
+            self.grow(&conditional, &items, out, footprint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_timeseries::{SeriesId, SymbolId};
+
+    fn label(series: u32) -> EventLabel {
+        EventLabel::new(SeriesId(series), SymbolId(1))
+    }
+
+    /// a and b co-occur in every other transaction; c is rare; d is frequent
+    /// but bursty (aperiodic).
+    fn sample_db() -> TransactionDb {
+        let a = label(0);
+        let b = label(1);
+        let c = label(2);
+        let d = label(3);
+        TransactionDb::from_items(vec![
+            vec![a, b, d],
+            vec![a],
+            vec![a, b, d],
+            vec![a],
+            vec![a, b, c, d],
+            vec![a],
+            vec![a, b, d],
+            vec![a],
+        ])
+    }
+
+    #[test]
+    fn max_period_includes_boundaries() {
+        assert_eq!(PsGrowth::max_period(&[1, 2, 3], 10), 7);
+        assert_eq!(PsGrowth::max_period(&[5, 6, 10], 10), 5);
+        assert_eq!(PsGrowth::max_period(&[1, 5, 9], 10), 4);
+        assert_eq!(PsGrowth::max_period(&[], 10), 10);
+    }
+
+    #[test]
+    fn mines_periodic_frequent_itemsets() {
+        let miner = PsGrowth::new(3, 2, 3, 8);
+        let result = miner.mine(&sample_db());
+        let items_of = |r: &Vec<PeriodicItemset>| -> Vec<Vec<EventLabel>> {
+            r.iter().map(|p| p.items.clone()).collect()
+        };
+        let found = items_of(&result);
+        // a occurs everywhere (period 1), {a,b}, {a,b,d}, {b,d}, … occur every
+        // 2 granules.
+        assert!(found.contains(&vec![label(0)]));
+        assert!(found.contains(&vec![label(0), label(1)]));
+        assert!(found.contains(&vec![label(0), label(1), label(3)]));
+        // c has support 1 < minSup.
+        assert!(!found.iter().any(|i| i.contains(&label(2))));
+        // Every reported itemset respects both thresholds.
+        for p in &result {
+            assert!(p.support >= 3);
+            assert!(p.max_period <= 2);
+            assert_eq!(p.support as usize, p.tids.len());
+        }
+    }
+
+    #[test]
+    fn aperiodic_items_are_pruned() {
+        let a = label(0);
+        let e = label(4);
+        // e is frequent but all its occurrences are at the start → large
+        // trailing period.
+        let db = TransactionDb::from_items(vec![
+            vec![a, e],
+            vec![a, e],
+            vec![a, e],
+            vec![a],
+            vec![a],
+            vec![a],
+            vec![a],
+            vec![a],
+        ]);
+        let result = PsGrowth::new(3, 2, 2, 8).mine(&db);
+        assert!(result.iter().any(|p| p.items == vec![a]));
+        assert!(!result.iter().any(|p| p.items.contains(&e)));
+    }
+
+    #[test]
+    fn max_len_caps_itemset_size() {
+        let result = PsGrowth::new(3, 2, 1, 8).mine(&sample_db());
+        assert!(result.iter().all(|p| p.items.len() == 1));
+        let result3 = PsGrowth::new(3, 2, 3, 8).mine(&sample_db());
+        assert!(result3.iter().any(|p| p.items.len() == 3));
+    }
+
+    #[test]
+    fn tight_min_sup_yields_empty_output() {
+        let result = PsGrowth::new(100, 2, 3, 8).mine(&sample_db());
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn itemsets_are_unique() {
+        let result = PsGrowth::new(2, 4, 3, 8).mine(&sample_db());
+        let mut keys: Vec<Vec<EventLabel>> = result.iter().map(|p| p.items.clone()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len(), "duplicate itemsets in the output");
+    }
+}

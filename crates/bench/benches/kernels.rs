@@ -1,0 +1,125 @@
+//! Criterion micro-benchmarks of the mining kernels: relation
+//! classification, support-set intersection, season extraction, NMI
+//! computation, PS-tree construction, and small end-to-end runs of the three
+//! miners.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use stpm_approx::{normalized_mi, AStpmConfig, AStpmMiner};
+use stpm_baseline::{ApsGrowth, PsGrowth, TransactionDb};
+use stpm_bench::experiments::config_for;
+use stpm_bench::params::scaled_real_spec;
+use stpm_core::season::find_seasons;
+use stpm_core::{classify_relation, support, StpmConfig, StpmMiner, Threshold};
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+use stpm_timeseries::Interval;
+
+fn bench_dataset() -> stpm_datagen::GeneratedDataset {
+    let spec = DatasetSpec::real(DatasetProfile::Influenza)
+        .scaled_to(8, 300)
+        .with_seed(11);
+    generate(&spec)
+}
+
+fn bench_config() -> StpmConfig {
+    StpmConfig {
+        max_period: Threshold::Absolute(4),
+        min_density: Threshold::Absolute(3),
+        dist_interval: (5, 60),
+        min_season: 2,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    }
+}
+
+fn relation_kernel(c: &mut Criterion) {
+    let pairs: Vec<(Interval, Interval)> = (0..256u64)
+        .map(|i| {
+            (
+                Interval::new(i, i + (i % 7)),
+                Interval::new(i + (i % 3), i + 5 + (i % 11)),
+            )
+        })
+        .collect();
+    c.bench_function("relation/classify_256_pairs", |b| {
+        b.iter(|| {
+            let mut count = 0usize;
+            for (a, bnd) in &pairs {
+                if classify_relation(black_box(a), black_box(bnd), 0, 1).is_some() {
+                    count += 1;
+                }
+            }
+            black_box(count)
+        });
+    });
+}
+
+fn support_kernel(c: &mut Criterion) {
+    let a: Vec<u64> = (0..4096).filter(|x| x % 2 == 0).collect();
+    let b: Vec<u64> = (0..4096).filter(|x| x % 3 == 0).collect();
+    c.bench_function("support/intersect_4k", |b_| {
+        b_.iter(|| black_box(support::intersect(black_box(&a), black_box(&b))));
+    });
+}
+
+fn season_kernel(c: &mut Criterion) {
+    let support: Vec<u64> = (1..2000u64).filter(|x| x % 17 < 6).collect();
+    let config = bench_config().resolve(2000).unwrap();
+    c.bench_function("season/find_seasons_2k", |b| {
+        b.iter(|| black_box(find_seasons(black_box(&support), &config)));
+    });
+}
+
+fn nmi_kernel(c: &mut Criterion) {
+    let data = bench_dataset();
+    let x = &data.dsyb.series()[0];
+    let y = &data.dsyb.series()[1];
+    c.bench_function("approx/nmi_1200_instants", |b| {
+        b.iter(|| black_box(normalized_mi(black_box(x), black_box(y))));
+    });
+}
+
+fn pstree_kernel(c: &mut Criterion) {
+    let data = bench_dataset();
+    let dseq = data.dseq().unwrap();
+    let transactions = TransactionDb::from_sequences(&dseq);
+    c.bench_function("baseline/psgrowth_small", |b| {
+        b.iter_batched(
+            || transactions.clone(),
+            |db| black_box(PsGrowth::new(6, 40, 2, db.len() as u64).mine(&db)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let data = bench_dataset();
+    let dseq = data.dseq().unwrap();
+    let config = config_for(DatasetProfile::Influenza, 0.006, 0.0075, 2);
+
+    c.bench_function("mine/estpm_small", |b| {
+        b.iter(|| black_box(StpmMiner::new(&dseq, &config).unwrap().mine()));
+    });
+    c.bench_function("mine/astpm_small", |b| {
+        b.iter(|| {
+            black_box(
+                AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config.clone()))
+                    .unwrap()
+                    .mine()
+                    .unwrap(),
+            )
+        });
+    });
+    c.bench_function("mine/apsgrowth_small", |b| {
+        b.iter(|| black_box(ApsGrowth::new(&dseq, &config).unwrap().mine()));
+    });
+    // Guard that the scaled specs used by the experiment binaries stay valid.
+    let _ = scaled_real_spec(DatasetProfile::RenewableEnergy);
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = relation_kernel, support_kernel, season_kernel, nmi_kernel, pstree_kernel, end_to_end
+);
+criterion_main!(kernels);

@@ -1,0 +1,18 @@
+//! Figures 9 and 10: memory comparison on RE and INF (real).
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::runtime_memory::{run, Metric};
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in run(&[RenewableEnergy, Influenza], &scale(), Metric::Memory) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figures 11 and 12: scalability varying the number of sequences (RE, INF synthetic).
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::scalability::{run, ScaleAxis};
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in run(&[RenewableEnergy, Influenza], &scale(), ScaleAxis::Sequences) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figures 13 and 14: scalability varying the number of time series (RE, INF synthetic).
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::scalability::{run, ScaleAxis};
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in run(&[RenewableEnergy, Influenza], &scale(), ScaleAxis::Series) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figures 15 and 16: pruning-technique ablation of E-STPM on RE and INF.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::ablation;
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in ablation::run(&[RenewableEnergy, Influenza], &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,21 @@
+//! Figures 17-20: runtime and memory comparison on SC and HFM (real).
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::runtime_memory::{run, Metric};
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in run(&[SmartCity, HandFootMouth], &scale(), Metric::Runtime) {
+        table.print();
+    }
+    for table in run(&[SmartCity, HandFootMouth], &scale(), Metric::Memory) {
+        table.print();
+    }
+}

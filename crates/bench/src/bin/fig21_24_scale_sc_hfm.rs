@@ -1,0 +1,21 @@
+//! Figures 21-24: scalability on SC and HFM synthetic.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::scalability::{run, ScaleAxis};
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in run(&[SmartCity, HandFootMouth], &scale(), ScaleAxis::Sequences) {
+        table.print();
+    }
+    for table in run(&[SmartCity, HandFootMouth], &scale(), ScaleAxis::Series) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Figures 25 and 26: pruning-technique ablation of E-STPM on SC and HFM.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::ablation;
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in ablation::run(&[SmartCity, HandFootMouth], &scale()) {
+        table.print();
+    }
+}

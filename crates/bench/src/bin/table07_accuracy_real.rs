@@ -1,0 +1,18 @@
+//! Table VII: A-STPM accuracy on the RE and INF (surrogate) real datasets.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::accuracy;
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in accuracy::run_real(&[RenewableEnergy, Influenza], &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Table VIII: representative seasonal temporal patterns per dataset.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::qualitative;
+    use stpm_datagen::DatasetProfile;
+    for table in qualitative::run(&DatasetProfile::all(), &scale(), 11) {
+        table.print();
+    }
+}

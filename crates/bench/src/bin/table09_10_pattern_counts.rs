@@ -1,0 +1,18 @@
+//! Tables IX and X: number of seasonal patterns on RE and INF.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::pattern_counts;
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in pattern_counts::run(&[RenewableEnergy, Influenza], &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Table XI: time series and events pruned by A-STPM on RE and INF synthetic.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::pruning_ratio;
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in pruning_ratio::run(&[RenewableEnergy, Influenza], &scale()) {
+        table.print();
+    }
+}

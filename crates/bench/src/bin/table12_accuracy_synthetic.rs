@@ -1,0 +1,18 @@
+//! Table XII: A-STPM accuracy on the RE and INF synthetic datasets.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::accuracy;
+    use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
+    for table in accuracy::run_synthetic(&[RenewableEnergy, Influenza], &scale()) {
+        table.print();
+    }
+}

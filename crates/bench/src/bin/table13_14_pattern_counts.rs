@@ -1,0 +1,18 @@
+//! Tables XIII and XIV: number of seasonal patterns on SC and HFM.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::pattern_counts;
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in pattern_counts::run(&[SmartCity, HandFootMouth], &scale()) {
+        table.print();
+    }
+}

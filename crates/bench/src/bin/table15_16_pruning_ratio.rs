@@ -1,0 +1,18 @@
+//! Tables XV and XVI: time series and events pruned by A-STPM on SC and HFM synthetic.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::pruning_ratio;
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in pruning_ratio::run(&[SmartCity, HandFootMouth], &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Table XVIII: A-STPM accuracy on the SC and HFM synthetic datasets.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::accuracy;
+    use stpm_datagen::DatasetProfile::{HandFootMouth, SmartCity};
+    for table in accuracy::run_synthetic(&[SmartCity, HandFootMouth], &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,18 @@
+//! Tables XIX and XX: pattern loss under the tolerance buffer epsilon.
+use stpm_bench::experiments::BenchScale;
+
+fn scale() -> BenchScale {
+    if std::env::args().any(|a| a == "--quick") {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    }
+}
+
+fn main() {
+    use stpm_bench::experiments::epsilon;
+    use stpm_datagen::DatasetProfile;
+    for table in epsilon::run(&DatasetProfile::all(), &scale()) {
+        table.print();
+    }
+}

@@ -1,0 +1,116 @@
+//! Figures 15, 16, 25, 26 — effectiveness of the two pruning techniques:
+//! E-STPM run with NoPrune / Apriori / Trans / All while varying minSeason,
+//! minDensity and maxPeriod.
+
+use super::{config_for, BenchScale};
+use crate::params::{scaled_real_spec, ParamGrid};
+use crate::table::TextTable;
+use std::time::Instant;
+use stpm_core::{PruningMode, StpmMiner};
+use stpm_datagen::{generate, DatasetProfile};
+use stpm_timeseries::SequenceDatabase;
+
+/// Runtime (seconds) of E-STPM under one pruning mode and one configuration.
+#[must_use]
+pub fn runtime_for(
+    dseq: &SequenceDatabase,
+    profile: DatasetProfile,
+    mode: PruningMode,
+    max_period: f64,
+    min_density: f64,
+    min_season: u64,
+) -> (f64, usize) {
+    let config = config_for(profile, max_period, min_density, min_season).with_pruning(mode);
+    let start = Instant::now();
+    let report = StpmMiner::new(dseq, &config)
+        .expect("valid configuration")
+        .mine();
+    (start.elapsed().as_secs_f64(), report.total_patterns())
+}
+
+/// Runs the pruning ablation for every profile: one table per (profile,
+/// varied parameter), with one column per pruning mode.
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let grid = ParamGrid::default();
+    let defaults = (0.006_f64, 0.0075_f64, 4_u64);
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        let spec = scale.apply(scaled_real_spec(profile));
+        let data = generate(&spec);
+        let dseq = data.dseq().expect("generated data maps to sequences");
+
+        for vary in ["minSeason", "minDensity", "maxPeriod"] {
+            let points: Vec<(String, f64, f64, u64)> = match vary {
+                "minSeason" => scale
+                    .thin(&grid.min_season)
+                    .iter()
+                    .map(|&s| (s.to_string(), defaults.0, defaults.1, s))
+                    .collect(),
+                "minDensity" => scale
+                    .thin(&grid.min_density)
+                    .iter()
+                    .map(|&d| (format!("{:.2}%", d * 100.0), defaults.0, d, defaults.2))
+                    .collect(),
+                _ => scale
+                    .thin(&grid.max_period)
+                    .iter()
+                    .map(|&p| (format!("{:.1}%", p * 100.0), p, defaults.1, defaults.2))
+                    .collect(),
+            };
+            let mut table = TextTable::new(
+                &format!(
+                    "E-STPM pruning ablation on {} while varying {vary} (Figs 15/16/25/26 shape) — runtime (s)",
+                    profile.short_name()
+                ),
+                &[vary, "NoPrune", "Apriori", "Trans", "All"],
+            );
+            for (label, max_period, min_density, min_season) in points {
+                let mut row = vec![label];
+                let mut pattern_counts = Vec::new();
+                for mode in PruningMode::all_modes() {
+                    let (runtime, patterns) =
+                        runtime_for(&dseq, profile, mode, max_period, min_density, min_season);
+                    pattern_counts.push(patterns);
+                    row.push(format!("{runtime:.4}"));
+                }
+                debug_assert!(
+                    pattern_counts.windows(2).all(|w| w[0] == w[1]),
+                    "pruning must not change the mined output"
+                );
+                table.add_row(row);
+            }
+            tables.push(table);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_all_four_modes() {
+        let tables = run(&[DatasetProfile::Influenza], &BenchScale::quick());
+        assert_eq!(tables.len(), 3);
+        let rendered = tables[0].render();
+        assert!(rendered.contains("NoPrune"));
+        assert!(rendered.contains("All"));
+    }
+
+    #[test]
+    fn pruning_modes_produce_identical_outputs() {
+        let scale = BenchScale::quick();
+        let spec = scale.apply(scaled_real_spec(DatasetProfile::HandFootMouth));
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        let counts: Vec<usize> = PruningMode::all_modes()
+            .iter()
+            .map(|&mode| {
+                runtime_for(&dseq, DatasetProfile::HandFootMouth, mode, 0.006, 0.0075, 2).1
+            })
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+    }
+}

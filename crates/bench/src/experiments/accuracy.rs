@@ -1,0 +1,128 @@
+//! Tables VII and XVII (real datasets) plus Tables XII and XVIII (synthetic
+//! datasets) — the accuracy of A-STPM relative to E-STPM for the
+//! (minSeason, minDensity) grid.
+
+use super::{config_for, BenchScale};
+use crate::params::{accuracy_grid, scaled_real_spec, synthetic_series_points, synthetic_sequences};
+use crate::table::TextTable;
+use stpm_approx::{accuracy, AStpmConfig, AStpmMiner};
+use stpm_core::StpmMiner;
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+
+/// Accuracy of one (spec, configuration) point, in percent.
+#[must_use]
+pub fn accuracy_for(spec: &DatasetSpec, min_season: u64, min_density: f64) -> f64 {
+    let data = generate(spec);
+    let dseq = data.dseq().expect("generated data maps to sequences");
+    let config = config_for(spec.profile, 0.006, min_density, min_season);
+    let exact = StpmMiner::new(&dseq, &config)
+        .expect("valid configuration")
+        .mine();
+    let approx = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config))
+        .expect("valid configuration")
+        .mine()
+        .expect("valid dataset");
+    accuracy(
+        &exact,
+        dseq.registry(),
+        approx.report(),
+        approx.registry(),
+    )
+}
+
+/// Tables VII / XVII: A-STPM accuracy on the (surrogate) real datasets.
+#[must_use]
+pub fn run_real(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let (seasons, densities) = accuracy_grid();
+    let seasons = scale.thin(&seasons);
+    let densities = scale.thin(&densities);
+
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        let spec = scale.apply(scaled_real_spec(profile));
+        let mut header: Vec<String> = vec!["minSeason".to_string()];
+        header.extend(densities.iter().map(|d| format!("{:.2}%", d * 100.0)));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(
+            &format!(
+                "A-STPM accuracy (%) on {} real (Tables VII/XVII shape)",
+                profile.short_name()
+            ),
+            &header_refs,
+        );
+        for &min_season in &seasons {
+            let mut row = vec![min_season.to_string()];
+            for &min_density in &densities {
+                row.push(format!(
+                    "{:.0}",
+                    accuracy_for(&spec, min_season, min_density)
+                ));
+            }
+            table.add_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Tables XII / XVIII: A-STPM accuracy on the synthetic datasets while the
+/// number of series grows.
+#[must_use]
+pub fn run_synthetic(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let pairs = scale.thin(&crate::params::scalability_param_pairs());
+    let series_points = scale.thin(&synthetic_series_points());
+
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        let mut header: Vec<String> = vec!["#series".to_string()];
+        header.extend(pairs.iter().map(|(s, d)| format!("{s}-{:.1}%", d * 100.0)));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(
+            &format!(
+                "A-STPM accuracy (%) on {} synthetic (Tables XII/XVIII shape)",
+                profile.short_name()
+            ),
+            &header_refs,
+        );
+        for &series in &series_points {
+            let spec = scale.apply(DatasetSpec::synthetic(
+                profile,
+                series,
+                synthetic_sequences(profile),
+            ));
+            let mut row = vec![series.to_string()];
+            for &(min_season, min_density) in &pairs {
+                row.push(format!("{:.0}", accuracy_for(&spec, min_season, min_density)));
+            }
+            table.add_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_is_a_percentage() {
+        let spec = BenchScale::quick().apply(scaled_real_spec(DatasetProfile::Influenza));
+        let acc = accuracy_for(&spec, 2, 0.0075);
+        assert!((0.0..=100.0).contains(&acc));
+    }
+
+    #[test]
+    fn real_accuracy_tables_have_grid_shape() {
+        let tables = run_real(&[DatasetProfile::Influenza], &BenchScale::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+
+    #[test]
+    fn synthetic_accuracy_tables_have_one_row_per_series_point() {
+        let tables = run_synthetic(&[DatasetProfile::Influenza], &BenchScale::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

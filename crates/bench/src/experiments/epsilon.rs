@@ -1,0 +1,78 @@
+//! Tables XIX and XX — sensitivity of the extracted pattern set to the
+//! tolerance buffer ε: the number of extracted patterns per ε value and the
+//! percentage of patterns lost relative to the smallest ε.
+
+use super::{config_for, BenchScale};
+use crate::params::scaled_real_spec;
+use crate::table::TextTable;
+use stpm_core::StpmMiner;
+use stpm_datagen::{generate, DatasetProfile};
+
+/// Number of frequent seasonal patterns for one ε value.
+#[must_use]
+pub fn patterns_for_epsilon(profile: DatasetProfile, scale: &BenchScale, epsilon: u64) -> usize {
+    let spec = scale.apply(scaled_real_spec(profile));
+    let data = generate(&spec);
+    let dseq = data.dseq().expect("generated data maps to sequences");
+    let config = config_for(profile, 0.002, 0.005, 4).with_epsilon(epsilon);
+    StpmMiner::new(&dseq, &config)
+        .expect("valid configuration")
+        .mine()
+        .total_patterns()
+}
+
+/// Runs the ε sweep (ε ∈ {0, 1, 2} finest-granularity granules — one coarse
+/// time unit per step, mirroring the paper's 1/2/3 hour and 1/2/3 day
+/// sweeps) and reports counts plus the pattern-loss percentage w.r.t. ε = 0.
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let epsilons: Vec<u64> = if scale.quick_grid { vec![0, 2] } else { vec![0, 1, 2] };
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        let mut table = TextTable::new(
+            &format!(
+                "Extracted patterns vs tolerance buffer ε on {} (Tables XIX/XX shape)",
+                profile.short_name()
+            ),
+            &["epsilon (granules)", "#patterns", "pattern loss (%)"],
+        );
+        let mut reference = None;
+        for &eps in &epsilons {
+            let count = patterns_for_epsilon(profile, scale, eps);
+            let reference_count = *reference.get_or_insert(count);
+            let loss = if reference_count == 0 {
+                0.0
+            } else {
+                100.0 * (reference_count.saturating_sub(count)) as f64 / reference_count as f64
+            };
+            table.add_row(vec![
+                eps.to_string(),
+                count.to_string(),
+                format!("{loss:.2}"),
+            ]);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_sweep_produces_loss_column() {
+        let tables = run(&[DatasetProfile::Influenza], &BenchScale::quick());
+        assert_eq!(tables.len(), 1);
+        let rendered = tables[0].render();
+        assert!(rendered.contains("pattern loss"));
+        assert_eq!(tables[0].len(), 2);
+    }
+
+    #[test]
+    fn mining_succeeds_for_every_epsilon() {
+        for eps in [0, 1, 3] {
+            let _ = patterns_for_epsilon(DatasetProfile::HandFootMouth, &BenchScale::quick(), eps);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Tables XI, XV, XVI — the percentage of time series and events pruned by
+//! A-STPM on the synthetic datasets, as the number of series grows.
+
+use super::{config_for, BenchScale};
+use crate::params::{scalability_param_pairs, synthetic_sequences, synthetic_series_points};
+use crate::table::TextTable;
+use stpm_approx::{AStpmConfig, AStpmMiner};
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+
+/// Pruned-series and pruned-events percentages of one configuration point.
+#[must_use]
+pub fn pruning_for(spec: &DatasetSpec, min_season: u64, min_density: f64) -> (f64, f64) {
+    let data = generate(spec);
+    let config = config_for(spec.profile, 0.006, min_density, min_season);
+    let report = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config))
+        .expect("valid configuration")
+        .mine()
+        .expect("valid dataset");
+    (report.pruned_series_pct(), report.pruned_events_pct())
+}
+
+/// Runs the pruning-ratio sweep for each profile: rows = #series, columns =
+/// the three (minSeason, minDensity) pairs, once for series % and once for
+/// events %.
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let pairs = scale.thin(&scalability_param_pairs());
+    let series_points = scale.thin(&synthetic_series_points());
+
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        let mut header: Vec<String> = vec!["#series".to_string()];
+        for (s, d) in &pairs {
+            header.push(format!("series% {s}-{:.1}%", d * 100.0));
+        }
+        for (s, d) in &pairs {
+            header.push(format!("events% {s}-{:.1}%", d * 100.0));
+        }
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(
+            &format!(
+                "Pruned time series and events by A-STPM on {} (Tables XI/XV/XVI shape)",
+                profile.short_name()
+            ),
+            &header_refs,
+        );
+        for &series in &series_points {
+            let spec = scale.apply(DatasetSpec::synthetic(
+                profile,
+                series,
+                synthetic_sequences(profile),
+            ));
+            let mut row = vec![series.to_string()];
+            let results: Vec<(f64, f64)> = pairs
+                .iter()
+                .map(|&(min_season, min_density)| pruning_for(&spec, min_season, min_density))
+                .collect();
+            for (series_pct, _) in &results {
+                row.push(format!("{series_pct:.2}"));
+            }
+            for (_, events_pct) in &results {
+                row.push(format!("{events_pct:.2}"));
+            }
+            table.add_row(row);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::scaled_real_spec;
+
+    #[test]
+    fn pruning_percentages_are_bounded() {
+        let spec = BenchScale::quick().apply(scaled_real_spec(DatasetProfile::HandFootMouth));
+        let (series_pct, events_pct) = pruning_for(&spec, 2, 0.0075);
+        assert!((0.0..=100.0).contains(&series_pct));
+        assert!((0.0..=100.0).contains(&events_pct));
+    }
+
+    #[test]
+    fn noise_heavy_datasets_see_more_pruning() {
+        let scale = BenchScale::quick();
+        let correlated = scale
+            .apply(scaled_real_spec(DatasetProfile::Influenza))
+            .with_correlated_fraction(1.0);
+        let noisy = scale
+            .apply(scaled_real_spec(DatasetProfile::Influenza))
+            .with_correlated_fraction(0.3);
+        let (p_corr, _) = pruning_for(&correlated, 4, 0.0075);
+        let (p_noisy, _) = pruning_for(&noisy, 4, 0.0075);
+        assert!(
+            p_noisy >= p_corr,
+            "noisy {p_noisy}% should prune at least as much as correlated {p_corr}%"
+        );
+    }
+
+    #[test]
+    fn run_produces_grid_tables() {
+        let tables = run(&[DatasetProfile::Influenza], &BenchScale::quick());
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Figures 7–10 and 17–20 — runtime and memory comparison of A-STPM, E-STPM
+//! and APS-growth on the (surrogate) real datasets while varying one
+//! threshold at a time (minSeason, minDensity, maxPeriod).
+
+use super::{config_for, BenchScale};
+use crate::measure::{measure_apsgrowth, measure_astpm, measure_estpm};
+use crate::params::{scaled_real_spec, ParamGrid};
+use crate::table::TextTable;
+use stpm_datagen::{generate, DatasetProfile};
+
+/// Which quantity the produced tables report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Wall-clock runtime in seconds (Figures 7/8/17/18).
+    Runtime,
+    /// Estimated peak data-structure footprint in MiB (Figures 9/10/19/20).
+    Memory,
+}
+
+/// One measured sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The varied parameter's value (printed in the first column).
+    pub x: String,
+    /// A-STPM measurement (runtime seconds, memory MiB).
+    pub astpm: (f64, f64),
+    /// E-STPM measurement.
+    pub estpm: (f64, f64),
+    /// APS-growth measurement.
+    pub apsgrowth: (f64, f64),
+}
+
+/// Runs one sweep (varying minSeason, minDensity or maxPeriod) on one
+/// profile and returns the measured points.
+#[must_use]
+pub fn sweep(
+    profile: DatasetProfile,
+    scale: &BenchScale,
+    vary: &str,
+) -> Vec<SweepPoint> {
+    let grid = ParamGrid::default();
+    let spec = scale.apply(scaled_real_spec(profile));
+    let data = generate(&spec);
+    let dseq = data.dseq().expect("generated data maps to sequences");
+
+    let defaults = (0.006_f64, 0.0075_f64, 4_u64);
+    let points: Vec<(String, f64, f64, u64)> = match vary {
+        "minSeason" => scale
+            .thin(&grid.min_season)
+            .iter()
+            .map(|&s| (s.to_string(), defaults.0, defaults.1, s))
+            .collect(),
+        "minDensity" => scale
+            .thin(&grid.min_density)
+            .iter()
+            .map(|&d| (format!("{:.2}%", d * 100.0), defaults.0, d, defaults.2))
+            .collect(),
+        _ => scale
+            .thin(&grid.max_period)
+            .iter()
+            .map(|&p| (format!("{:.1}%", p * 100.0), p, defaults.1, defaults.2))
+            .collect(),
+    };
+
+    points
+        .into_iter()
+        .map(|(label, max_period, min_density, min_season)| {
+            let config = config_for(profile, max_period, min_density, min_season);
+            let (e, _) = measure_estpm(&dseq, &config);
+            let (a, _) = measure_astpm(&data.dsyb, data.mapping_factor, &config);
+            let (b, _) = measure_apsgrowth(&dseq, &config);
+            SweepPoint {
+                x: label,
+                astpm: (a.runtime_secs(), a.memory_mib()),
+                estpm: (e.runtime_secs(), e.memory_mib()),
+                apsgrowth: (b.runtime_secs(), b.memory_mib()),
+            }
+        })
+        .collect()
+}
+
+/// Runs the three sweeps for every profile and renders one table per
+/// (profile, sweep) pair for the requested metric.
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, metric: Metric) -> Vec<TextTable> {
+    let metric_name = match metric {
+        Metric::Runtime => "runtime (s)",
+        Metric::Memory => "memory (MiB)",
+    };
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        for vary in ["minSeason", "minDensity", "maxPeriod"] {
+            let mut table = TextTable::new(
+                &format!(
+                    "{metric_name} on {} while varying {vary} (Figs 7-10/17-20 shape)",
+                    profile.short_name()
+                ),
+                &[vary, "A-STPM", "E-STPM", "APS-growth"],
+            );
+            for point in sweep(profile, scale, vary) {
+                let pick = |pair: (f64, f64)| match metric {
+                    Metric::Runtime => pair.0,
+                    Metric::Memory => pair.1,
+                };
+                table.add_row(vec![
+                    point.x.clone(),
+                    format!("{:.4}", pick(point.astpm)),
+                    format!("{:.4}", pick(point.estpm)),
+                    format!("{:.4}", pick(point.apsgrowth)),
+                ]);
+            }
+            tables.push(table);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_one_point_per_grid_value() {
+        let points = sweep(DatasetProfile::Influenza, &BenchScale::quick(), "minSeason");
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.estpm.0 >= 0.0);
+            assert!(p.estpm.1 > 0.0);
+            assert!(p.apsgrowth.1 > 0.0);
+        }
+    }
+
+    #[test]
+    fn run_emits_three_sweeps_per_profile() {
+        let tables = run(
+            &[DatasetProfile::Influenza],
+            &BenchScale::quick(),
+            Metric::Runtime,
+        );
+        assert_eq!(tables.len(), 3);
+        let memory = run(
+            &[DatasetProfile::Influenza],
+            &BenchScale::quick(),
+            Metric::Memory,
+        );
+        assert_eq!(memory.len(), 3);
+        assert!(memory[0].render().contains("memory"));
+    }
+}

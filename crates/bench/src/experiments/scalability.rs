@@ -1,0 +1,180 @@
+//! Figures 11–14 and 21–24 — scalability of A-STPM, E-STPM and APS-growth on
+//! the synthetic datasets while the number of sequences or the number of
+//! time series grows.
+
+use super::{config_for, BenchScale};
+use crate::measure::{measure_apsgrowth, measure_astpm, measure_estpm};
+use crate::params::{
+    scalability_param_pairs, sequence_percentages, synthetic_sequences, synthetic_series_points,
+};
+use crate::table::TextTable;
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+
+/// Which dataset dimension the experiment scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleAxis {
+    /// Vary the number of temporal sequences (Figures 11/12/21/22).
+    Sequences,
+    /// Vary the number of time series (Figures 13/14/23/24).
+    Series,
+}
+
+/// One measured scalability point: runtimes in seconds (A-STPM also reports
+/// its MI/µ computation time separately, as in Figures 13/14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// The scaled dimension's value (printed in the first column).
+    pub x: String,
+    /// A-STPM mining runtime (excluding MI).
+    pub astpm_mining: f64,
+    /// A-STPM MI + µ computation time.
+    pub astpm_mi: f64,
+    /// E-STPM runtime.
+    pub estpm: f64,
+    /// APS-growth runtime.
+    pub apsgrowth: f64,
+}
+
+fn measure_point(spec: &DatasetSpec, min_season: u64, min_density: f64, x: String) -> ScalePoint {
+    let data = generate(spec);
+    let dseq = data.dseq().expect("generated data maps to sequences");
+    let config = config_for(spec.profile, 0.006, min_density, min_season);
+    let (e, _) = measure_estpm(&dseq, &config);
+    let (a, _) = measure_astpm(&data.dsyb, data.mapping_factor, &config);
+    let (b, _) = measure_apsgrowth(&dseq, &config);
+    ScalePoint {
+        x,
+        astpm_mining: (a.runtime - a.mi_time).as_secs_f64(),
+        astpm_mi: a.mi_time.as_secs_f64(),
+        estpm: e.runtime_secs(),
+        apsgrowth: b.runtime_secs(),
+    }
+}
+
+/// Runs one scalability sweep for one profile and one (minSeason, minDensity)
+/// pair.
+#[must_use]
+pub fn sweep(
+    profile: DatasetProfile,
+    scale: &BenchScale,
+    axis: ScaleAxis,
+    min_season: u64,
+    min_density: f64,
+) -> Vec<ScalePoint> {
+    let base_series = scale
+        .series_override
+        .unwrap_or_else(|| synthetic_series_points()[2]);
+    let base_sequences = scale
+        .sequences_override
+        .unwrap_or_else(|| synthetic_sequences(profile));
+    match axis {
+        ScaleAxis::Sequences => scale
+            .thin(&sequence_percentages())
+            .iter()
+            .map(|&pct| {
+                let sequences = (base_sequences * pct / 100).max(20);
+                let spec = DatasetSpec::synthetic(profile, base_series, sequences);
+                measure_point(&spec, min_season, min_density, format!("{pct}%"))
+            })
+            .collect(),
+        ScaleAxis::Series => {
+            let series_points = if let Some(n) = scale.series_override {
+                vec![n / 2, n]
+            } else {
+                synthetic_series_points()
+            };
+            scale
+                .thin(&series_points)
+                .iter()
+                .map(|&series| {
+                    let spec = DatasetSpec::synthetic(profile, series.max(2), base_sequences);
+                    measure_point(&spec, min_season, min_density, series.to_string())
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs the scalability experiment for every profile and the three parameter
+/// pairs of the paper; returns one table per (profile, pair).
+#[must_use]
+pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, axis: ScaleAxis) -> Vec<TextTable> {
+    let pairs = scale.thin(&scalability_param_pairs());
+    let axis_name = match axis {
+        ScaleAxis::Sequences => "#sequences",
+        ScaleAxis::Series => "#time series",
+    };
+    let mut tables = Vec::new();
+    for &profile in profiles {
+        for &(min_season, min_density) in &pairs {
+            let mut table = TextTable::new(
+                &format!(
+                    "Scalability on {} synthetic, varying {axis_name} (minSeason={min_season}, minDensity={:.1}%) — Figs 11-14/21-24 shape",
+                    profile.short_name(),
+                    min_density * 100.0
+                ),
+                &[
+                    axis_name,
+                    "A-STPM mining (s)",
+                    "A-STPM MI (s)",
+                    "E-STPM (s)",
+                    "APS-growth (s)",
+                ],
+            );
+            for point in sweep(profile, scale, axis, min_season, min_density) {
+                table.add_row(vec![
+                    point.x.clone(),
+                    format!("{:.4}", point.astpm_mining),
+                    format!("{:.4}", point.astpm_mi),
+                    format!("{:.4}", point.estpm),
+                    format!("{:.4}", point.apsgrowth),
+                ]);
+            }
+            tables.push(table);
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_sweep_produces_points() {
+        let points = sweep(
+            DatasetProfile::Influenza,
+            &BenchScale::quick(),
+            ScaleAxis::Sequences,
+            2,
+            0.0075,
+        );
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.estpm >= 0.0);
+            assert!(p.astpm_mi >= 0.0);
+        }
+    }
+
+    #[test]
+    fn series_sweep_produces_points() {
+        let points = sweep(
+            DatasetProfile::SmartCity,
+            &BenchScale::quick(),
+            ScaleAxis::Series,
+            2,
+            0.0075,
+        );
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn run_emits_one_table_per_parameter_pair() {
+        let tables = run(
+            &[DatasetProfile::Influenza],
+            &BenchScale::quick(),
+            ScaleAxis::Sequences,
+        );
+        assert_eq!(tables.len(), 2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # stpm-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FreqSTPfTS evaluation (Section VI and the appendix of the paper).
+//!
+//! Each experiment is a library function (under [`experiments`]) plus a thin
+//! binary in `src/bin/` that prints the same rows or series the paper
+//! reports. The harness compares the three contenders uniformly:
+//!
+//! * **E-STPM** — the exact miner (`stpm-core`),
+//! * **A-STPM** — the approximate, mutual-information-based miner
+//!   (`stpm-approx`),
+//! * **APS-growth** — the adapted PS-growth baseline (`stpm-baseline`).
+//!
+//! Because the original testbed (32-core EPYC, 512 GB RAM) and the raw
+//! datasets are unavailable, the harness defaults to laptop-scale slices of
+//! the Table V workloads; set the environment variable `STPM_BENCH_SCALE`
+//! (a value in `(0, 1]`, default `0.2`) to grow them towards the paper's
+//! sizes. Relative results — who wins and by roughly what factor — are the
+//! quantities `EXPERIMENTS.md` tracks.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod params;
+pub mod table;
+
+pub use measure::{measure_apsgrowth, measure_astpm, measure_estpm, Measurement};
+pub use params::{bench_scale, scaled_real_spec, scaled_synthetic_spec, ParamGrid};
+pub use table::TextTable;

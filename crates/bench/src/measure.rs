@@ -1,0 +1,156 @@
+//! Uniform measurement of the three contenders: runtime, estimated memory
+//! footprint and output size.
+
+use std::time::{Duration, Instant};
+use stpm_approx::{AStpmConfig, AStpmMiner, AStpmReport};
+use stpm_baseline::{ApsGrowth, ApsGrowthReport};
+use stpm_core::{MiningReport, StpmConfig, StpmMiner};
+use stpm_timeseries::{SequenceDatabase, SymbolicDatabase};
+
+/// One measured run of one algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// Algorithm label ("E-STPM", "A-STPM", "APS-growth").
+    pub algorithm: &'static str,
+    /// Wall-clock runtime of the mining call.
+    pub runtime: Duration,
+    /// Estimated peak heap footprint of the algorithm's data structures, in
+    /// bytes (the quantity plotted by the paper's memory figures).
+    pub memory_bytes: usize,
+    /// Total number of frequent seasonal patterns found (events + k-event
+    /// patterns).
+    pub patterns: usize,
+    /// Wall-clock time of the MI/µ computation (A-STPM only, zero otherwise).
+    pub mi_time: Duration,
+}
+
+impl Measurement {
+    /// Runtime in seconds (convenience for table output).
+    #[must_use]
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+
+    /// Memory in mebibytes (convenience for table output).
+    #[must_use]
+    pub fn memory_mib(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Runs and measures the exact miner.
+#[must_use]
+pub fn measure_estpm(dseq: &SequenceDatabase, config: &StpmConfig) -> (Measurement, MiningReport) {
+    let start = Instant::now();
+    let report = StpmMiner::new(dseq, config)
+        .expect("benchmark configurations are valid")
+        .mine();
+    let runtime = start.elapsed();
+    (
+        Measurement {
+            algorithm: "E-STPM",
+            runtime,
+            memory_bytes: report.stats().peak_footprint_bytes,
+            patterns: report.total_patterns(),
+            mi_time: Duration::ZERO,
+        },
+        report,
+    )
+}
+
+/// Runs and measures the approximate miner (operates on `D_SYB` because the
+/// series pruning happens before the sequence mapping).
+#[must_use]
+pub fn measure_astpm(
+    dsyb: &SymbolicDatabase,
+    mapping_factor: u64,
+    config: &StpmConfig,
+) -> (Measurement, AStpmReport) {
+    let approx_config = AStpmConfig::new(config.clone());
+    let start = Instant::now();
+    let report = AStpmMiner::new(dsyb, mapping_factor, &approx_config)
+        .expect("benchmark configurations are valid")
+        .mine()
+        .expect("benchmark datasets are valid");
+    let runtime = start.elapsed();
+    (
+        Measurement {
+            algorithm: "A-STPM",
+            runtime,
+            memory_bytes: report.report().stats().peak_footprint_bytes,
+            patterns: report.report().total_patterns(),
+            mi_time: report.mi_time(),
+        },
+        report,
+    )
+}
+
+/// Runs and measures the APS-growth baseline.
+#[must_use]
+pub fn measure_apsgrowth(
+    dseq: &SequenceDatabase,
+    config: &StpmConfig,
+) -> (Measurement, ApsGrowthReport) {
+    let start = Instant::now();
+    let report = ApsGrowth::new(dseq, config)
+        .expect("benchmark configurations are valid")
+        .mine();
+    let runtime = start.elapsed();
+    (
+        Measurement {
+            algorithm: "APS-growth",
+            runtime,
+            memory_bytes: report.footprint_bytes,
+            patterns: report.report.total_patterns(),
+            mi_time: Duration::ZERO,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamGrid;
+    use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+
+    fn tiny_dataset() -> (SymbolicDatabase, SequenceDatabase, u64) {
+        let spec = DatasetSpec::real(DatasetProfile::Influenza)
+            .scaled_to(5, 150)
+            .with_seed(9);
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        (data.dsyb, dseq, data.mapping_factor)
+    }
+
+    #[test]
+    fn all_three_algorithms_are_measurable() {
+        let (dsyb, dseq, m) = tiny_dataset();
+        let config = ParamGrid::default_config(DatasetProfile::Influenza);
+
+        let (e, _) = measure_estpm(&dseq, &config);
+        assert_eq!(e.algorithm, "E-STPM");
+        assert!(e.memory_bytes > 0);
+        assert!(e.runtime_secs() >= 0.0);
+
+        let (a, _) = measure_astpm(&dsyb, m, &config);
+        assert_eq!(a.algorithm, "A-STPM");
+        assert!(a.memory_mib() >= 0.0);
+
+        let (b, _) = measure_apsgrowth(&dseq, &config);
+        assert_eq!(b.algorithm, "APS-growth");
+        assert!(b.memory_bytes > 0);
+    }
+
+    #[test]
+    fn approximate_memory_does_not_exceed_exact_memory() {
+        // A-STPM mines a projection of the database, so its data-structure
+        // footprint cannot exceed E-STPM's on the same configuration.
+        let (dsyb, dseq, m) = tiny_dataset();
+        let config = ParamGrid::default_config(DatasetProfile::Influenza);
+        let (e, _) = measure_estpm(&dseq, &config);
+        let (a, _) = measure_astpm(&dsyb, m, &config);
+        assert!(a.memory_bytes <= e.memory_bytes);
+        assert!(a.patterns <= e.patterns);
+    }
+}

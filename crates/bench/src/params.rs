@@ -1,0 +1,225 @@
+//! Parameter grids (Table VI of the paper) and dataset-scaling helpers.
+
+use stpm_core::{StpmConfig, Threshold};
+use stpm_datagen::{DatasetProfile, DatasetSpec};
+
+/// The user-defined parameter values of Table VI.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamGrid {
+    /// `maxPeriod` values, as fractions of `|D_SEQ|` (Table VI: 0.2%–1.0%).
+    pub max_period: Vec<f64>,
+    /// `minDensity` values, as fractions of `|D_SEQ|` (Table VI: 0.5%–1.5%).
+    pub min_density: Vec<f64>,
+    /// `minSeason` values (Table VI: 4–20).
+    pub min_season: Vec<u64>,
+}
+
+impl Default for ParamGrid {
+    fn default() -> Self {
+        Self {
+            max_period: vec![0.002, 0.004, 0.006, 0.008, 0.010],
+            min_density: vec![0.005, 0.0075, 0.010, 0.0125, 0.015],
+            min_season: vec![4, 8, 12, 16, 20],
+        }
+    }
+}
+
+impl ParamGrid {
+    /// The default value used for a parameter while another one is varied
+    /// (middle of the Table VI range).
+    #[must_use]
+    pub fn default_config(profile: DatasetProfile) -> StpmConfig {
+        StpmConfig {
+            max_period: Threshold::Fraction(0.006),
+            min_density: Threshold::Fraction(0.0075),
+            dist_interval: scaled_dist_interval(profile),
+            min_season: 4,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        }
+    }
+}
+
+/// The paper's `distInterval` recommendation for a profile, shrunk by the
+/// bench scale so that scaled-down databases still contain several seasons.
+#[must_use]
+pub fn scaled_dist_interval(profile: DatasetProfile) -> (u64, u64) {
+    let (lo, hi) = profile.dist_interval();
+    let scale = bench_scale();
+    (
+        ((lo as f64 * scale).round() as u64).max(2),
+        ((hi as f64 * scale).round() as u64).max(10),
+    )
+}
+
+/// The benchmark scale factor, read from `STPM_BENCH_SCALE` (default 1.0 =
+/// the Table V sizes for the real datasets; smaller values shrink the
+/// sequence counts for quick smoke runs).
+#[must_use]
+pub fn bench_scale() -> f64 {
+    std::env::var("STPM_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0 && *v <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// The scaled specification of a *real* dataset (Table V sizes × scale).
+#[must_use]
+pub fn scaled_real_spec(profile: DatasetProfile) -> DatasetSpec {
+    let scale = bench_scale();
+    let spec = DatasetSpec::real(profile);
+    spec.scaled_to(
+        ((spec.num_series as f64 * scale.max(0.5)).round() as usize).max(6),
+        ((spec.num_sequences as f64 * scale).round() as u64).max(120),
+    )
+}
+
+/// The scaled specification of a *synthetic* dataset used by the scalability
+/// experiments: `series` time series and `sequences` granules, both already
+/// chosen by the caller (the harness divides the paper's 2 000–10 000 series
+/// and 10⁵–10⁶ sequences by a constant factor).
+#[must_use]
+pub fn scaled_synthetic_spec(
+    profile: DatasetProfile,
+    series: usize,
+    sequences: u64,
+) -> DatasetSpec {
+    DatasetSpec::synthetic(profile, series, sequences)
+}
+
+/// The synthetic series counts of Tables XI/XII (2 000 … 10 000), divided by
+/// the bench divisor so they stay laptop-sized; the ratios between the points
+/// are preserved.
+#[must_use]
+pub fn synthetic_series_points() -> Vec<usize> {
+    let divisor = synthetic_divisor();
+    [2_000usize, 4_000, 6_000, 8_000, 10_000]
+        .iter()
+        .map(|n| (n / divisor).max(4))
+        .collect()
+}
+
+/// The sequence percentages of Figures 11/12 (20% … 100% of the synthetic
+/// sequence count).
+#[must_use]
+pub fn sequence_percentages() -> Vec<u64> {
+    vec![20, 40, 60, 80, 100]
+}
+
+/// Divisor applied to the paper's synthetic sizes (paper: 10⁴ series,
+/// ~10⁵–10⁶ sequences). Controlled by `STPM_BENCH_SYN_DIVISOR`, default 100.
+#[must_use]
+pub fn synthetic_divisor() -> usize {
+    std::env::var("STPM_BENCH_SYN_DIVISOR")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|v| *v >= 1)
+        .unwrap_or(100)
+}
+
+/// The synthetic sequence count of a profile divided by the bench divisor
+/// (the paper multiplies the real sequence counts by 1 000).
+#[must_use]
+pub fn synthetic_sequences(profile: DatasetProfile) -> u64 {
+    (profile.num_sequences() * 1_000 / synthetic_divisor() as u64 / 10).max(200)
+}
+
+/// The (minSeason, minDensity%) pairs used by the scalability and pruning
+/// tables: (12, 0.5%), (16, 0.75%), (20, 1.0%).
+#[must_use]
+pub fn scalability_param_pairs() -> Vec<(u64, f64)> {
+    vec![(12, 0.005), (16, 0.0075), (20, 0.010)]
+}
+
+/// The (minSeason, minDensity%) grid of the accuracy tables
+/// (Tables VII/XVII): minSeason ∈ {8,12,16,20} × minDensity ∈ {0.5,0.75,1.0}%.
+#[must_use]
+pub fn accuracy_grid() -> (Vec<u64>, Vec<f64>) {
+    (vec![8, 12, 16, 20], vec![0.005, 0.0075, 0.010])
+}
+
+/// The (maxPeriod%, minSeason, minDensity%) grid of the pattern-count tables
+/// (Tables IX/X/XIII/XIV).
+#[must_use]
+pub fn pattern_count_grid() -> (Vec<f64>, Vec<(u64, f64)>) {
+    (
+        vec![0.002, 0.004, 0.006],
+        vec![
+            (8, 0.005),
+            (8, 0.0075),
+            (8, 0.010),
+            (12, 0.005),
+            (12, 0.0075),
+            (12, 0.010),
+            (16, 0.005),
+            (16, 0.0075),
+            (16, 0.010),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_table_vi() {
+        let grid = ParamGrid::default();
+        assert_eq!(grid.max_period.len(), 5);
+        assert_eq!(grid.min_density.len(), 5);
+        assert_eq!(grid.min_season, vec![4, 8, 12, 16, 20]);
+    }
+
+    #[test]
+    fn bench_scale_is_in_unit_interval() {
+        let s = bench_scale();
+        assert!(s > 0.0 && s <= 1.0);
+    }
+
+    #[test]
+    fn scaled_real_spec_preserves_profile() {
+        let spec = scaled_real_spec(DatasetProfile::RenewableEnergy);
+        assert_eq!(spec.profile, DatasetProfile::RenewableEnergy);
+        assert!(spec.num_series >= 6);
+        assert!(spec.num_sequences >= 120);
+        assert!(spec.num_sequences <= 1460);
+    }
+
+    #[test]
+    fn synthetic_points_preserve_ordering() {
+        let points = synthetic_series_points();
+        assert_eq!(points.len(), 5);
+        for w in points.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(sequence_percentages(), vec![20, 40, 60, 80, 100]);
+        assert!(synthetic_sequences(DatasetProfile::Influenza) >= 200);
+    }
+
+    #[test]
+    fn grids_are_well_formed() {
+        let (seasons, densities) = accuracy_grid();
+        assert_eq!(seasons.len(), 4);
+        assert_eq!(densities.len(), 3);
+        let (periods, pairs) = pattern_count_grid();
+        assert_eq!(periods.len(), 3);
+        assert_eq!(pairs.len(), 9);
+        assert_eq!(scalability_param_pairs().len(), 3);
+    }
+
+    #[test]
+    fn dist_interval_scaling_keeps_bounds_ordered() {
+        for profile in DatasetProfile::all() {
+            let (lo, hi) = scaled_dist_interval(profile);
+            assert!(lo < hi);
+        }
+    }
+
+    #[test]
+    fn default_config_uses_profile_interval() {
+        let config = ParamGrid::default_config(DatasetProfile::Influenza);
+        assert_eq!(config.min_season, 4);
+        assert_eq!(config.max_pattern_len, 2);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error types for the mining layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while configuring or running the STPM miner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A threshold is outside its valid domain.
+    InvalidThreshold {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The sequence database is empty.
+    EmptyDatabase,
+    /// An internal invariant was violated (indicates a bug, never expected).
+    Internal {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidThreshold { parameter, reason } => {
+                write!(f, "invalid threshold `{parameter}`: {reason}")
+            }
+            Error::EmptyDatabase => write!(f, "the temporal sequence database is empty"),
+            Error::Internal { reason } => write!(f, "internal invariant violated: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::InvalidThreshold {
+            parameter: "minSeason",
+            reason: "must be at least 1".into(),
+        };
+        assert!(e.to_string().contains("minSeason"));
+        assert!(Error::EmptyDatabase.to_string().contains("empty"));
+        assert!(Error::Internal {
+            reason: "oops".into()
+        }
+        .to_string()
+        .contains("oops"));
+    }
+}

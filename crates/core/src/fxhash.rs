@@ -1,0 +1,135 @@
+//! A small, fast, non-cryptographic hasher (the FxHash algorithm used by the
+//! Rust compiler) plus `HashMap`/`HashSet` aliases built on it.
+//!
+//! The mining algorithm performs a very large number of hash-table lookups on
+//! small integer keys (event labels, granule positions, packed pattern ids);
+//! SipHash dominates the profile there, so the hierarchical lookup hash
+//! structures use this hasher instead. Implemented locally to stay within the
+//! approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant of the FxHash mixing step (64-bit golden-ratio
+/// derived constant, identical to the one used by rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash hasher state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+        let builder = FxBuildHasher::default();
+        let mut hasher = builder.build_hasher();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+    }
+
+    #[test]
+    fn different_inputs_generally_hash_differently() {
+        let values: Vec<u64> = (0..1000).collect();
+        let hashes: FxHashSet<u64> = values.iter().map(hash_of).collect();
+        // No collisions expected over a tiny dense range.
+        assert_eq!(hashes.len(), values.len());
+    }
+
+    #[test]
+    fn works_with_composite_keys_and_strings() {
+        let mut map: FxHashMap<(u32, u16), &str> = FxHashMap::default();
+        map.insert((1, 2), "a");
+        map.insert((1, 3), "b");
+        assert_eq!(map.get(&(1, 2)), Some(&"a"));
+        assert_eq!(map.get(&(1, 3)), Some(&"b"));
+        assert_eq!(map.get(&(2, 2)), None);
+
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        // Byte-string lengths not divisible by 8 exercise the remainder path.
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+    }
+
+    #[test]
+    fn set_behaves_like_std_set() {
+        let mut set: FxHashSet<u64> = FxHashSet::default();
+        assert!(set.insert(7));
+        assert!(!set.insert(7));
+        assert!(set.contains(&7));
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,562 @@
+//! Hierarchical lookup hash structures `HLH_1` and `HLH_k` (Figures 4 and 5
+//! of the paper).
+//!
+//! * [`Hlh1`] plays the role of the single-event hash table `EH` plus the
+//!   event-granule hash table `GH`: for each candidate event it stores the
+//!   support set and, aligned with it, the event instances occurring in each
+//!   supporting granule.
+//! * [`HlhK`] combines the k-event hash table `EH_k`, the pattern hash table
+//!   `PH_k` and the pattern-granule hash table `GH_k`: candidate k-event
+//!   groups point to their candidate patterns, and every pattern stores its
+//!   supporting granules together with the instance bindings that realise it
+//!   there (needed to verify relations when the pattern is extended).
+
+use crate::config::ResolvedConfig;
+use crate::fxhash::FxHashMap;
+use crate::pattern::TemporalPattern;
+use crate::support::SupportSet;
+use serde::{Deserialize, Serialize};
+use stpm_timeseries::{EventInstance, EventLabel, GranulePos, SequenceDatabase};
+
+/// Per-event entry of `HLH_1`: support set plus the instances per supporting
+/// granule (`instances[i]` belongs to granule `support[i]`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct EventEntry {
+    /// Sorted granule positions where the event occurs.
+    pub support: SupportSet,
+    /// Instances of the event per supporting granule, aligned with `support`.
+    pub instances: Vec<Vec<EventInstance>>,
+}
+
+impl EventEntry {
+    /// Instances of the event in granule `granule`, or an empty slice.
+    #[must_use]
+    pub fn instances_at(&self, granule: GranulePos) -> &[EventInstance] {
+        match self.support.binary_search(&granule) {
+            Ok(idx) => &self.instances[idx],
+            Err(_) => &[],
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.support.len() * std::mem::size_of::<GranulePos>()
+            + self
+                .instances
+                .iter()
+                .map(|v| v.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Vec<EventInstance>>())
+                .sum::<usize>()
+    }
+}
+
+/// The hierarchical lookup hash structure for single events (`HLH_1`).
+#[derive(Debug, Clone, Default)]
+pub struct Hlh1 {
+    events: FxHashMap<EventLabel, EventEntry>,
+}
+
+impl Hlh1 {
+    /// Scans `D_SEQ` once and builds `HLH_1`. When `candidates_only` is set
+    /// (the Apriori-like pruning of E-STPM), only events whose `maxSeason`
+    /// reaches `minSeason` are kept; otherwise every event with non-empty
+    /// support is retained.
+    #[must_use]
+    pub fn build(
+        dseq: &SequenceDatabase,
+        config: &ResolvedConfig,
+        candidates_only: bool,
+    ) -> Self {
+        let mut events: FxHashMap<EventLabel, EventEntry> = FxHashMap::default();
+        for sequence in dseq.sequences() {
+            let granule = sequence.granule();
+            for instance in sequence.instances() {
+                let entry = events.entry(instance.label).or_default();
+                match entry.support.last() {
+                    Some(&last) if last == granule => {
+                        let idx = entry.instances.len() - 1;
+                        entry.instances[idx].push(*instance);
+                    }
+                    _ => {
+                        entry.support.push(granule);
+                        entry.instances.push(vec![*instance]);
+                    }
+                }
+            }
+        }
+        if candidates_only {
+            events.retain(|_, entry| config.is_candidate(entry.support.len()));
+        }
+        Self { events }
+    }
+
+    /// The candidate event labels, sorted canonically.
+    #[must_use]
+    pub fn labels(&self) -> Vec<EventLabel> {
+        let mut labels: Vec<EventLabel> = self.events.keys().copied().collect();
+        labels.sort_unstable();
+        labels
+    }
+
+    /// Entry of one event label.
+    #[must_use]
+    pub fn entry(&self, label: EventLabel) -> Option<&EventEntry> {
+        self.events.get(&label)
+    }
+
+    /// Support set of one event (empty when the event is not a candidate).
+    #[must_use]
+    pub fn support(&self, label: EventLabel) -> &[GranulePos] {
+        self.events.get(&label).map_or(&[], |e| &e.support)
+    }
+
+    /// Instances of one event in one granule.
+    #[must_use]
+    pub fn instances_at(&self, label: EventLabel, granule: GranulePos) -> &[EventInstance] {
+        self.events
+            .get(&label)
+            .map_or(&[] as &[EventInstance], |e| e.instances_at(granule))
+    }
+
+    /// Number of events held in the structure.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (reported by the memory
+    /// experiments of Figures 9/10/19/20).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.events
+            .iter()
+            .map(|(_, entry)| {
+                std::mem::size_of::<EventLabel>()
+                    + std::mem::size_of::<EventEntry>()
+                    + entry.footprint_bytes()
+            })
+            .sum()
+    }
+}
+
+/// One instance binding of a pattern in a granule: `binding[i]` is the
+/// instance realising the pattern's `events()[i]`.
+pub type Binding = Vec<EventInstance>;
+
+/// Per-pattern entry of `HLH_k`: the pattern, its support set, and the
+/// instance bindings per supporting granule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternEntry {
+    /// The candidate pattern.
+    pub pattern: TemporalPattern,
+    /// Sorted granule positions where the pattern occurs.
+    pub support: SupportSet,
+    /// All bindings per supporting granule, aligned with `support`.
+    pub bindings: Vec<Vec<Binding>>,
+}
+
+impl PatternEntry {
+    /// Bindings of the pattern in granule `granule`, or an empty slice.
+    #[must_use]
+    pub fn bindings_at(&self, granule: GranulePos) -> &[Binding] {
+        match self.support.binary_search(&granule) {
+            Ok(idx) => &self.bindings[idx],
+            Err(_) => &[],
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        let binding_bytes: usize = self
+            .bindings
+            .iter()
+            .flat_map(|per_granule| per_granule.iter())
+            .map(|b| b.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Binding>())
+            .sum();
+        self.support.len() * std::mem::size_of::<GranulePos>()
+            + binding_bytes
+            + self.pattern.events().len() * std::mem::size_of::<EventLabel>()
+            + self.pattern.triples().len() * 4
+    }
+}
+
+/// Per-group entry of `HLH_k`: the sorted event group, its support set, and
+/// the indices (into [`HlhK::patterns`]) of its candidate patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct GroupEntry {
+    /// The support set of the event group.
+    pub support: SupportSet,
+    /// Indices of the group's candidate patterns in the pattern table.
+    pub patterns: Vec<usize>,
+}
+
+/// The hierarchical lookup hash structure for k-event groups and patterns
+/// (`HLH_k`, k ≥ 2).
+#[derive(Debug, Clone, Default)]
+pub struct HlhK {
+    k: usize,
+    groups: FxHashMap<Vec<EventLabel>, GroupEntry>,
+    patterns: Vec<PatternEntry>,
+    pattern_index: FxHashMap<TemporalPattern, usize>,
+}
+
+impl HlhK {
+    /// Creates an empty structure for k-event groups.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            groups: FxHashMap::default(),
+            patterns: Vec::new(),
+            pattern_index: FxHashMap::default(),
+        }
+    }
+
+    /// The `k` of this level.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Registers a candidate k-event group with its support set.
+    pub fn insert_group(&mut self, events: Vec<EventLabel>, support: SupportSet) {
+        self.groups.entry(events).or_insert(GroupEntry {
+            support,
+            patterns: Vec::new(),
+        });
+    }
+
+    /// The candidate k-event groups, sorted canonically.
+    #[must_use]
+    pub fn groups(&self) -> Vec<(&Vec<EventLabel>, &GroupEntry)> {
+        let mut groups: Vec<_> = self.groups.iter().collect();
+        groups.sort_by(|a, b| a.0.cmp(b.0));
+        groups
+    }
+
+    /// Entry of one group.
+    #[must_use]
+    pub fn group(&self, events: &[EventLabel]) -> Option<&GroupEntry> {
+        self.groups.get(events)
+    }
+
+    /// Adds one occurrence (granule + binding) of a candidate pattern that
+    /// belongs to `group`. Creates the pattern entry on first use.
+    pub fn add_pattern_occurrence(
+        &mut self,
+        group: &[EventLabel],
+        pattern: &TemporalPattern,
+        granule: GranulePos,
+        binding: Binding,
+    ) {
+        let idx = match self.pattern_index.get(pattern) {
+            Some(idx) => *idx,
+            None => {
+                let idx = self.patterns.len();
+                self.patterns.push(PatternEntry {
+                    pattern: pattern.clone(),
+                    support: Vec::new(),
+                    bindings: Vec::new(),
+                });
+                self.pattern_index.insert(pattern.clone(), idx);
+                if let Some(entry) = self.groups.get_mut(group) {
+                    entry.patterns.push(idx);
+                }
+                idx
+            }
+        };
+        let entry = &mut self.patterns[idx];
+        match entry.support.last() {
+            Some(&last) if last == granule => {
+                let last_idx = entry.bindings.len() - 1;
+                entry.bindings[last_idx].push(binding);
+            }
+            _ => {
+                entry.support.push(granule);
+                entry.bindings.push(vec![binding]);
+            }
+        }
+    }
+
+    /// Drops the candidate patterns that fail the `maxSeason` gate (applied
+    /// after all occurrences of a group have been collected). Returns the
+    /// number of patterns removed.
+    pub fn retain_candidates(&mut self, config: &ResolvedConfig) -> usize {
+        let mut removed = 0usize;
+        let mut keep = vec![false; self.patterns.len()];
+        for (idx, entry) in self.patterns.iter().enumerate() {
+            keep[idx] = config.is_candidate(entry.support.len());
+            if !keep[idx] {
+                removed += 1;
+            }
+        }
+        if removed == 0 {
+            return 0;
+        }
+        // Compact the pattern table and remap group/pattern indices.
+        let mut remap: Vec<Option<usize>> = vec![None; self.patterns.len()];
+        let mut new_patterns = Vec::with_capacity(self.patterns.len() - removed);
+        for (idx, entry) in self.patterns.drain(..).enumerate() {
+            if keep[idx] {
+                remap[idx] = Some(new_patterns.len());
+                new_patterns.push(entry);
+            }
+        }
+        self.patterns = new_patterns;
+        self.pattern_index = self
+            .patterns
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.pattern.clone(), i))
+            .collect();
+        for entry in self.groups.values_mut() {
+            entry.patterns = entry
+                .patterns
+                .iter()
+                .filter_map(|idx| remap[*idx])
+                .collect();
+        }
+        removed
+    }
+
+    /// The candidate pattern entries of this level.
+    #[must_use]
+    pub fn patterns(&self) -> &[PatternEntry] {
+        &self.patterns
+    }
+
+    /// The pattern entries belonging to one group.
+    #[must_use]
+    pub fn patterns_of_group(&self, events: &[EventLabel]) -> Vec<&PatternEntry> {
+        self.groups
+            .get(events)
+            .map(|g| g.patterns.iter().map(|idx| &self.patterns[*idx]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether any candidate pattern of this level relates the two events
+    /// (in either orientation). This is the lookup behind the transitivity
+    /// pruning (Lemma 4) and the iterative verification of Section IV-D.
+    #[must_use]
+    pub fn has_relation_between(&self, a: EventLabel, b: EventLabel) -> bool {
+        let key = if a <= b { vec![a, b] } else { vec![b, a] };
+        self.groups
+            .get(&key)
+            .is_some_and(|g| !g.patterns.is_empty())
+    }
+
+    /// Number of candidate groups.
+    #[must_use]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of candidate patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the level holds no candidate patterns.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The distinct event labels participating in any candidate pattern of
+    /// this level (used to build `FilteredF_1`).
+    #[must_use]
+    pub fn participating_events(&self) -> Vec<EventLabel> {
+        let mut labels: Vec<EventLabel> = self
+            .patterns
+            .iter()
+            .flat_map(|p| p.pattern.events().iter().copied())
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        labels
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        let group_bytes: usize = self
+            .groups
+            .iter()
+            .map(|(events, entry)| {
+                events.len() * std::mem::size_of::<EventLabel>()
+                    + entry.support.len() * std::mem::size_of::<GranulePos>()
+                    + entry.patterns.len() * std::mem::size_of::<usize>()
+            })
+            .sum();
+        let pattern_bytes: usize = self.patterns.iter().map(PatternEntry::footprint_bytes).sum();
+        group_bytes + pattern_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{StpmConfig, Threshold};
+    use crate::relation::RelationKind;
+    use stpm_timeseries::{Alphabet, Interval, SeriesId, SymbolId, SymbolicDatabase, SymbolicSeries};
+
+    fn config(min_density: u64, min_season: u64) -> ResolvedConfig {
+        StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(min_density),
+            dist_interval: (1, 50),
+            min_season,
+            ..StpmConfig::default()
+        }
+        .resolve(100)
+        .unwrap()
+    }
+
+    fn small_dseq() -> SequenceDatabase {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let c = SymbolicSeries::from_labels(
+            "C",
+            &["1", "1", "0", "1", "0", "0", "0", "0", "0"],
+            alphabet.clone(),
+        )
+        .unwrap();
+        let d = SymbolicSeries::from_labels(
+            "D",
+            &["1", "0", "0", "1", "1", "0", "0", "0", "0"],
+            alphabet,
+        )
+        .unwrap();
+        SymbolicDatabase::new(vec![c, d])
+            .unwrap()
+            .to_sequence_database(3)
+            .unwrap()
+    }
+
+    fn label(series: u32, symbol: u16) -> EventLabel {
+        EventLabel::new(SeriesId(series), SymbolId(symbol))
+    }
+
+    #[test]
+    fn hlh1_build_collects_support_and_instances() {
+        let dseq = small_dseq();
+        let hlh1 = Hlh1::build(&dseq, &config(1, 1), false);
+        // Events: C:0, C:1, D:0, D:1.
+        assert_eq!(hlh1.len(), 4);
+        assert!(!hlh1.is_empty());
+        let c1 = label(0, 1);
+        assert_eq!(hlh1.support(c1), &[1, 2]);
+        assert_eq!(hlh1.instances_at(c1, 1).len(), 1);
+        assert_eq!(hlh1.instances_at(c1, 1)[0].interval, Interval::new(1, 2));
+        assert_eq!(hlh1.instances_at(c1, 3).len(), 0);
+        assert!(hlh1.entry(c1).is_some());
+        assert!(hlh1.entry(label(5, 0)).is_none());
+        assert!(hlh1.footprint_bytes() > 0);
+        assert_eq!(hlh1.labels().len(), 4);
+    }
+
+    #[test]
+    fn hlh1_candidate_filter_drops_rare_events() {
+        let dseq = small_dseq();
+        // minDensity 2, minSeason 2 → an event needs support >= 4 to be a candidate.
+        let cfg = config(2, 2);
+        let all = Hlh1::build(&dseq, &cfg, false);
+        let filtered = Hlh1::build(&dseq, &cfg, true);
+        assert!(filtered.len() < all.len());
+        // C:0 occurs in granules 1, 2, 3 (support 3 < 4) → pruned.
+        assert!(filtered.entry(label(0, 0)).is_none());
+        // Support lookups for pruned events return the empty slice.
+        assert!(filtered.support(label(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn hlh1_multiple_instances_in_one_granule() {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        // 1,0,1 inside a single granule → two instances of C:1 at granule 1.
+        let c = SymbolicSeries::from_labels("C", &["1", "0", "1"], alphabet).unwrap();
+        let dseq = SymbolicDatabase::new(vec![c])
+            .unwrap()
+            .to_sequence_database(3)
+            .unwrap();
+        let hlh1 = Hlh1::build(&dseq, &config(1, 1), false);
+        assert_eq!(hlh1.instances_at(label(0, 1), 1).len(), 2);
+    }
+
+    #[test]
+    fn hlhk_group_and_pattern_bookkeeping() {
+        let cfg = config(1, 1);
+        let mut hlh2 = HlhK::new(2);
+        assert_eq!(hlh2.k(), 2);
+        let group = vec![label(0, 1), label(1, 1)];
+        hlh2.insert_group(group.clone(), vec![1, 2, 4]);
+        assert_eq!(hlh2.num_groups(), 1);
+        assert!(hlh2.group(&group).is_some());
+        assert!(hlh2.group(&[label(0, 0)]).is_none());
+
+        let pattern = TemporalPattern::pair(
+            [label(0, 1), label(1, 1)],
+            RelationKind::Contains,
+            false,
+        );
+        let binding = vec![
+            EventInstance::new(label(0, 1), Interval::new(1, 2)),
+            EventInstance::new(label(1, 1), Interval::new(1, 1)),
+        ];
+        hlh2.add_pattern_occurrence(&group, &pattern, 1, binding.clone());
+        hlh2.add_pattern_occurrence(&group, &pattern, 1, binding.clone());
+        hlh2.add_pattern_occurrence(&group, &pattern, 4, binding);
+
+        assert_eq!(hlh2.num_patterns(), 1);
+        let entry = &hlh2.patterns()[0];
+        assert_eq!(entry.support, vec![1, 4]);
+        assert_eq!(entry.bindings_at(1).len(), 2);
+        assert_eq!(entry.bindings_at(4).len(), 1);
+        assert!(entry.bindings_at(2).is_empty());
+        assert_eq!(hlh2.patterns_of_group(&group).len(), 1);
+        assert!(hlh2.has_relation_between(label(0, 1), label(1, 1)));
+        assert!(hlh2.has_relation_between(label(1, 1), label(0, 1)));
+        assert!(!hlh2.has_relation_between(label(0, 1), label(0, 0)));
+        assert_eq!(hlh2.participating_events(), vec![label(0, 1), label(1, 1)]);
+        assert!(hlh2.footprint_bytes() > 0);
+        assert!(!hlh2.is_empty());
+        let _ = cfg;
+    }
+
+    #[test]
+    fn hlhk_retain_candidates_compacts_table() {
+        // minDensity 1, minSeason 2 → a candidate needs support >= 2.
+        let cfg = config(1, 2);
+        let mut hlh2 = HlhK::new(2);
+        let group_a = vec![label(0, 1), label(1, 1)];
+        let group_b = vec![label(0, 1), label(1, 0)];
+        hlh2.insert_group(group_a.clone(), vec![1, 2]);
+        hlh2.insert_group(group_b.clone(), vec![3]);
+
+        let strong = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, false);
+        let weak = TemporalPattern::pair([label(0, 1), label(1, 0)], RelationKind::Follows, false);
+        let binding = vec![
+            EventInstance::new(label(0, 1), Interval::new(1, 1)),
+            EventInstance::new(label(1, 1), Interval::new(2, 2)),
+        ];
+        hlh2.add_pattern_occurrence(&group_a, &strong, 1, binding.clone());
+        hlh2.add_pattern_occurrence(&group_a, &strong, 2, binding.clone());
+        hlh2.add_pattern_occurrence(&group_b, &weak, 3, binding);
+
+        assert_eq!(hlh2.num_patterns(), 2);
+        let removed = hlh2.retain_candidates(&cfg);
+        assert_eq!(removed, 1);
+        assert_eq!(hlh2.num_patterns(), 1);
+        assert_eq!(hlh2.patterns()[0].pattern, strong);
+        assert!(hlh2.patterns_of_group(&group_b).is_empty());
+        assert_eq!(hlh2.patterns_of_group(&group_a).len(), 1);
+        // Retaining again removes nothing.
+        assert_eq!(hlh2.retain_candidates(&cfg), 0);
+    }
+}

@@ -1,0 +1,549 @@
+//! The Seasonal Temporal Pattern Mining algorithm (E-STPM, Algorithm 1).
+//!
+//! Mining proceeds in two steps:
+//!
+//! * **Step 2.1 — seasonal single events.** One scan of `D_SEQ` builds
+//!   `HLH_1`; events whose `maxSeason` reaches `minSeason` are *candidates*
+//!   (Apriori-like pruning, Lemmas 1–2); candidates whose season count
+//!   reaches `minSeason` are frequent seasonal events.
+//! * **Step 2.2 — seasonal k-event patterns.** Candidate k-event groups are
+//!   grown from `HLH_{k-1} × FilteredF_1`, where `FilteredF_1` keeps only the
+//!   single events that participate in candidate (k-1)-patterns
+//!   (transitivity pruning, Lemmas 3–4). Relations are verified on the
+//!   instance bindings stored in `HLH_{k-1}`, candidate patterns are kept in
+//!   `HLH_k`, and the frequent ones are reported.
+//!
+//! Both prunings can be disabled individually through
+//! [`PruningMode`](crate::config::PruningMode) to reproduce the ablation
+//! study of the paper (Figures 15, 16, 25, 26).
+
+use crate::config::{ResolvedConfig, StpmConfig};
+use crate::error::Result;
+use crate::hlh::{Binding, Hlh1, HlhK};
+use crate::pattern::{RelationTriple, TemporalPattern};
+use crate::relation::{chronological_order, classify_relation};
+use crate::report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
+use crate::season::find_seasons;
+use crate::support::intersect;
+use std::time::Instant;
+use stpm_timeseries::{EventLabel, SequenceDatabase};
+
+/// The exact seasonal temporal pattern miner (E-STPM).
+#[derive(Debug, Clone)]
+pub struct StpmMiner<'a> {
+    dseq: &'a SequenceDatabase,
+    config: ResolvedConfig,
+}
+
+impl<'a> StpmMiner<'a> {
+    /// Creates a miner for `dseq`, resolving the fractional thresholds of
+    /// `config` against the database size.
+    ///
+    /// # Errors
+    /// Propagates configuration-validation errors.
+    pub fn new(dseq: &'a SequenceDatabase, config: &StpmConfig) -> Result<Self> {
+        let resolved = config.resolve(dseq.num_granules())?;
+        Ok(Self {
+            dseq,
+            config: resolved,
+        })
+    }
+
+    /// Creates a miner from an already-resolved configuration.
+    #[must_use]
+    pub fn with_resolved(dseq: &'a SequenceDatabase, config: ResolvedConfig) -> Self {
+        Self { dseq, config }
+    }
+
+    /// The resolved configuration the miner runs with.
+    #[must_use]
+    pub fn config(&self) -> &ResolvedConfig {
+        &self.config
+    }
+
+    /// Runs the full mining process and returns every frequent seasonal
+    /// single event and temporal pattern.
+    #[must_use]
+    pub fn mine(&self) -> MiningReport {
+        let total_start = Instant::now();
+        let apriori = self.config.pruning.apriori_enabled();
+
+        // -------- Step 2.1: frequent seasonal single events --------
+        let single_start = Instant::now();
+        let hlh1 = Hlh1::build(self.dseq, &self.config, apriori);
+        let mut events_out = Vec::new();
+        for label in hlh1.labels() {
+            let entry = hlh1.entry(label).expect("label comes from the table");
+            let seasons = find_seasons(&entry.support, &self.config);
+            if seasons.is_frequent(self.config.min_season) {
+                events_out.push(MinedEvent {
+                    label,
+                    support: entry.support.clone(),
+                    seasons,
+                });
+            }
+        }
+        let single_event_time = single_start.elapsed();
+
+        // -------- Step 2.2: frequent seasonal k-event patterns --------
+        let pattern_start = Instant::now();
+        let f1 = hlh1.labels();
+        let mut patterns_out: Vec<MinedPattern> = Vec::new();
+        let mut level_stats: Vec<LevelStats> = Vec::new();
+        let mut levels: Vec<HlhK> = Vec::new();
+        let mut footprint = hlh1.footprint_bytes();
+        let mut peak_footprint = footprint;
+
+        for k in 2..=self.config.max_pattern_len {
+            let hlhk = if k == 2 {
+                self.mine_pairs(&hlh1, &f1)
+            } else {
+                let prev = levels.last().expect("level k-1 was mined first");
+                let hlh2 = levels.first().expect("level 2 exists");
+                self.mine_k_events(&hlh1, &f1, prev, hlh2, k)
+            };
+
+            let mut frequent = 0usize;
+            for entry in hlhk.patterns() {
+                let seasons = find_seasons(&entry.support, &self.config);
+                if seasons.is_frequent(self.config.min_season) {
+                    frequent += 1;
+                    patterns_out.push(MinedPattern::new(
+                        entry.pattern.clone(),
+                        entry.support.clone(),
+                        seasons,
+                    ));
+                }
+            }
+            let level_footprint = hlhk.footprint_bytes();
+            footprint += level_footprint;
+            peak_footprint = peak_footprint.max(footprint);
+            level_stats.push(LevelStats {
+                k,
+                candidate_groups: hlhk.num_groups(),
+                candidate_patterns: hlhk.num_patterns(),
+                frequent_patterns: frequent,
+                footprint_bytes: level_footprint,
+            });
+            let empty = hlhk.is_empty();
+            levels.push(hlhk);
+            if empty {
+                break;
+            }
+        }
+        let pattern_time = pattern_start.elapsed();
+
+        let stats = MiningStats {
+            num_granules: self.dseq.num_granules(),
+            num_events: self.dseq.distinct_events().len(),
+            candidate_events: hlh1.len(),
+            frequent_events: events_out.len(),
+            levels: level_stats,
+            total_time: total_start.elapsed(),
+            single_event_time,
+            pattern_time,
+            peak_footprint_bytes: peak_footprint,
+        };
+        MiningReport::new(events_out, patterns_out, stats)
+    }
+
+    /// Mines candidate 2-event groups and patterns (Section IV-D, 4.2.1).
+    fn mine_pairs(&self, hlh1: &Hlh1, f1: &[EventLabel]) -> HlhK {
+        let apriori = self.config.pruning.apriori_enabled();
+        let mut hlh2 = HlhK::new(2);
+        for (i, &ei) in f1.iter().enumerate() {
+            for (j, &ej) in f1.iter().enumerate().skip(i) {
+                let support = intersect(hlh1.support(ei), hlh1.support(ej));
+                if support.is_empty() {
+                    continue;
+                }
+                if apriori && !self.config.is_candidate(support.len()) {
+                    continue;
+                }
+                let group = vec![ei, ej];
+                hlh2.insert_group(group.clone(), support.clone());
+                for &granule in &support {
+                    let instances_i = hlh1.instances_at(ei, granule);
+                    let instances_j = hlh1.instances_at(ej, granule);
+                    for (a_idx, a) in instances_i.iter().enumerate() {
+                        for (b_idx, b) in instances_j.iter().enumerate() {
+                            if i == j && b_idx <= a_idx {
+                                continue;
+                            }
+                            let in_order =
+                                chronological_order(&a.interval, &b.interval, 0u8, 1u8);
+                            let (first, second, swapped) = if in_order {
+                                (a, b, false)
+                            } else {
+                                (b, a, true)
+                            };
+                            let Some(kind) = classify_relation(
+                                &first.interval,
+                                &second.interval,
+                                self.config.epsilon,
+                                self.config.min_overlap,
+                            ) else {
+                                continue;
+                            };
+                            let pattern = TemporalPattern::pair([ei, ej], kind, swapped);
+                            hlh2.add_pattern_occurrence(&group, &pattern, granule, vec![*a, *b]);
+                        }
+                    }
+                }
+            }
+        }
+        if apriori {
+            hlh2.retain_candidates(&self.config);
+        }
+        hlh2
+    }
+
+    /// Mines candidate k-event groups and patterns for k ≥ 3
+    /// (Section IV-D, 4.2.2): each candidate (k-1)-group of `prev` is
+    /// extended with a single event from `FilteredF_1`, relations with the
+    /// new event are verified on the stored instance bindings, and the
+    /// resulting candidate k-patterns are collected into a fresh `HLH_k`.
+    fn mine_k_events(
+        &self,
+        hlh1: &Hlh1,
+        f1: &[EventLabel],
+        prev: &HlhK,
+        hlh2: &HlhK,
+        k: usize,
+    ) -> HlhK {
+        let apriori = self.config.pruning.apriori_enabled();
+        let transitivity = self.config.pruning.transitivity_enabled();
+        let filtered_f1: Vec<EventLabel> = if transitivity {
+            let participating = prev.participating_events();
+            f1.iter()
+                .copied()
+                .filter(|e| participating.binary_search(e).is_ok())
+                .collect()
+        } else {
+            f1.to_vec()
+        };
+
+        let new_index = u8::try_from(k - 1).expect("pattern length fits u8");
+        let mut hlhk = HlhK::new(k);
+        for (group_events, group_entry) in prev.groups() {
+            if group_entry.patterns.is_empty() {
+                continue;
+            }
+            let last = *group_events.last().expect("groups are non-empty");
+            for &ek in &filtered_f1 {
+                if ek <= last {
+                    continue;
+                }
+                let group_support = intersect(&group_entry.support, hlh1.support(ek));
+                if group_support.is_empty() {
+                    continue;
+                }
+                if apriori && !self.config.is_candidate(group_support.len()) {
+                    continue;
+                }
+                // Transitivity pruning (Lemma 4): every event of the group
+                // must already form a candidate relation with E_k in HLH_2.
+                if transitivity
+                    && !group_events
+                        .iter()
+                        .all(|&eprev| hlh2.has_relation_between(eprev, ek))
+                {
+                    continue;
+                }
+                let new_group: Vec<EventLabel> = group_events
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once(ek))
+                    .collect();
+                let mut group_registered = false;
+
+                for pattern_entry in prev.patterns_of_group(group_events) {
+                    let extendable = intersect(&pattern_entry.support, hlh1.support(ek));
+                    for &granule in &extendable {
+                        let ek_instances = hlh1.instances_at(ek, granule);
+                        if ek_instances.is_empty() {
+                            continue;
+                        }
+                        for binding in pattern_entry.bindings_at(granule) {
+                            'instances: for ek_instance in ek_instances {
+                                if binding.iter().any(|b| b == ek_instance) {
+                                    continue;
+                                }
+                                let mut new_triples = Vec::with_capacity(binding.len());
+                                for (idx, bound) in binding.iter().enumerate() {
+                                    let idx_u8 =
+                                        u8::try_from(idx).expect("pattern length fits u8");
+                                    let in_order = chronological_order(
+                                        &bound.interval,
+                                        &ek_instance.interval,
+                                        idx_u8,
+                                        new_index,
+                                    );
+                                    let triple = if in_order {
+                                        classify_relation(
+                                            &bound.interval,
+                                            &ek_instance.interval,
+                                            self.config.epsilon,
+                                            self.config.min_overlap,
+                                        )
+                                        .map(|r| RelationTriple::new(r, idx_u8, new_index))
+                                    } else {
+                                        classify_relation(
+                                            &ek_instance.interval,
+                                            &bound.interval,
+                                            self.config.epsilon,
+                                            self.config.min_overlap,
+                                        )
+                                        .map(|r| RelationTriple::new(r, new_index, idx_u8))
+                                    };
+                                    match triple {
+                                        Some(t) => new_triples.push(t),
+                                        None => continue 'instances,
+                                    }
+                                }
+                                let new_pattern =
+                                    pattern_entry.pattern.extended(ek, new_triples);
+                                if !group_registered {
+                                    hlhk.insert_group(new_group.clone(), group_support.clone());
+                                    group_registered = true;
+                                }
+                                let mut new_binding: Binding = binding.clone();
+                                new_binding.push(*ek_instance);
+                                hlhk.add_pattern_occurrence(
+                                    &new_group,
+                                    &new_pattern,
+                                    granule,
+                                    new_binding,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if apriori {
+            hlhk.retain_candidates(&self.config);
+        }
+        hlhk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PruningMode, Threshold};
+    use crate::relation::RelationKind;
+    use std::collections::BTreeSet;
+    use stpm_timeseries::{Alphabet, SymbolicDatabase, SymbolicSeries};
+
+    /// Builds the full running example of the paper (Table II / Table IV):
+    /// five appliance series at 5-minute granularity, 42 instants, mapped to
+    /// 14 granules of 15 minutes.
+    fn paper_dseq() -> (SymbolicDatabase, SequenceDatabase) {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let rows: &[(&str, &str)] = &[
+            ("C", "110100110000000000111111000000100110000110"),
+            ("D", "100100110110000000111111000000100100110110"),
+            ("F", "001011001001111000000000111111001001001001"),
+            ("M", "111100111110111111000111111111111000111000"),
+            ("N", "110111111110111111000000111111111111111000"),
+        ];
+        let series: Vec<SymbolicSeries> = rows
+            .iter()
+            .map(|(name, bits)| {
+                let labels: Vec<&str> = bits
+                    .chars()
+                    .map(|c| if c == '1' { "1" } else { "0" })
+                    .collect();
+                SymbolicSeries::from_labels(name, &labels, alphabet.clone()).unwrap()
+            })
+            .collect();
+        let dsyb = SymbolicDatabase::new(series).unwrap();
+        let dseq = dsyb.to_sequence_database(3).unwrap();
+        (dsyb, dseq)
+    }
+
+    fn paper_config() -> StpmConfig {
+        StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (3, 10),
+            min_season: 2,
+            max_pattern_len: 3,
+            ..StpmConfig::default()
+        }
+    }
+
+    #[test]
+    fn mining_the_paper_example_finds_c1_contains_d1() {
+        let (dsyb, dseq) = paper_dseq();
+        let miner = StpmMiner::new(&dseq, &paper_config()).unwrap();
+        let report = miner.mine();
+
+        let c1 = dsyb.registry().label("C", "1").unwrap();
+        let d1 = dsyb.registry().label("D", "1").unwrap();
+        let target = TemporalPattern::pair([c1, d1], RelationKind::Contains, false);
+        let found = report
+            .patterns()
+            .iter()
+            .find(|p| p.pattern() == &target)
+            .expect("C:1 contains D:1 must be a frequent seasonal pattern");
+        assert_eq!(found.support(), &[1, 2, 3, 7, 8, 11, 12, 14]);
+        assert!(found.seasons().count() >= 2);
+    }
+
+    #[test]
+    fn single_event_m1_is_not_frequent_but_participates_in_patterns() {
+        // The anti-monotonicity counter-example of Section IV-B: M:1 alone is
+        // not seasonal (one long season), yet M:1 ≽ N:1 is.
+        let (dsyb, dseq) = paper_dseq();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(3),
+            dist_interval: (4, 10),
+            min_season: 2,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        };
+        let miner = StpmMiner::new(&dseq, &config).unwrap();
+        let report = miner.mine();
+
+        let m1 = dsyb.registry().label("M", "1").unwrap();
+        let n1 = dsyb.registry().label("N", "1").unwrap();
+        assert!(
+            !report.events().iter().any(|e| e.label == m1),
+            "M:1 must not be a frequent seasonal single event"
+        );
+        let target = TemporalPattern::pair([m1, n1], RelationKind::Contains, false);
+        assert!(
+            report.contains_pattern(&target),
+            "M:1 contains N:1 must be frequent"
+        );
+    }
+
+    #[test]
+    fn report_contains_three_event_patterns() {
+        let (_, dseq) = paper_dseq();
+        let miner = StpmMiner::new(&dseq, &paper_config()).unwrap();
+        let report = miner.mine();
+        assert!(
+            !report.patterns_of_len(3).is_empty(),
+            "the example database contains frequent 3-event patterns"
+        );
+        // Every 3-event pattern has 3 relation triples.
+        for p in report.patterns_of_len(3) {
+            assert_eq!(p.pattern().triples().len(), 3);
+        }
+    }
+
+    #[test]
+    fn all_pruning_modes_find_the_same_frequent_patterns() {
+        // The prunings are exact: they shrink the search space but never the
+        // output (completeness of E-STPM).
+        let (_, dseq) = paper_dseq();
+        let mut outputs: Vec<BTreeSet<String>> = Vec::new();
+        for mode in PruningMode::all_modes() {
+            let config = paper_config().with_pruning(mode);
+            let miner = StpmMiner::new(&dseq, &config).unwrap();
+            let report = miner.mine();
+            let set: BTreeSet<String> = report
+                .patterns()
+                .iter()
+                .map(|p| format!("{:?}", p.pattern()))
+                .chain(report.events().iter().map(|e| format!("{:?}", e.label)))
+                .collect();
+            outputs.push(set);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+        assert_eq!(outputs[2], outputs[3]);
+        assert!(!outputs[0].is_empty());
+    }
+
+    #[test]
+    fn pruning_shrinks_candidate_counts() {
+        let (_, dseq) = paper_dseq();
+        let full = StpmMiner::new(&dseq, &paper_config().with_pruning(PruningMode::All))
+            .unwrap()
+            .mine();
+        let none = StpmMiner::new(&dseq, &paper_config().with_pruning(PruningMode::NoPrune))
+            .unwrap()
+            .mine();
+        assert!(
+            full.stats().total_candidate_patterns() <= none.stats().total_candidate_patterns()
+        );
+        assert!(full.stats().candidate_events <= none.stats().candidate_events);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, dseq) = paper_dseq();
+        let report = StpmMiner::new(&dseq, &paper_config()).unwrap().mine();
+        let stats = report.stats();
+        assert_eq!(stats.num_granules, 14);
+        assert_eq!(stats.num_events, 10);
+        assert!(stats.candidate_events > 0);
+        assert!(stats.peak_footprint_bytes > 0);
+        assert!(!stats.levels.is_empty());
+        assert_eq!(stats.levels[0].k, 2);
+        assert!(stats.total_frequent_patterns() > 0);
+    }
+
+    #[test]
+    fn max_pattern_len_one_mines_only_events() {
+        let (_, dseq) = paper_dseq();
+        let config = StpmConfig {
+            max_pattern_len: 1,
+            ..paper_config()
+        };
+        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        assert!(report.patterns().is_empty());
+        assert!(!report.events().is_empty());
+    }
+
+    #[test]
+    fn strict_thresholds_yield_empty_output() {
+        let (_, dseq) = paper_dseq();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(1),
+            min_density: Threshold::Absolute(10),
+            dist_interval: (1, 2),
+            min_season: 5,
+            ..paper_config()
+        };
+        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        assert!(report.patterns().is_empty());
+        assert!(report.events().is_empty());
+    }
+
+    #[test]
+    fn epsilon_widens_or_preserves_the_output() {
+        let (_, dseq) = paper_dseq();
+        let strict = StpmMiner::new(&dseq, &paper_config().with_epsilon(0))
+            .unwrap()
+            .mine();
+        let tolerant = StpmMiner::new(&dseq, &paper_config().with_epsilon(1))
+            .unwrap()
+            .mine();
+        // With ε the relation classifier merges near-boundary cases; the
+        // number of *distinct* patterns may change, but mining must still
+        // succeed and find the headline pattern.
+        assert!(strict.total_patterns() > 0);
+        assert!(tolerant.total_patterns() > 0);
+    }
+
+    #[test]
+    fn with_resolved_constructor_matches_new() {
+        let (_, dseq) = paper_dseq();
+        let config = paper_config();
+        let resolved = config.resolve(dseq.num_granules()).unwrap();
+        let a = StpmMiner::new(&dseq, &config).unwrap().mine();
+        let b = StpmMiner::with_resolved(&dseq, resolved).mine();
+        assert_eq!(a.patterns().len(), b.patterns().len());
+        assert_eq!(a.events().len(), b.events().len());
+        assert_eq!(
+            StpmMiner::with_resolved(&dseq, resolved).config().min_season,
+            2
+        );
+    }
+}

@@ -1,0 +1,331 @@
+//! Temporal patterns (Definition 3.8).
+//!
+//! An *n-event pattern* is a list of `n(n-1)/2` triples `(r_ij, E_i, E_j)`,
+//! one per pair of events, where `r_ij` is the temporal relation holding
+//! between the instances of `E_i` and `E_j`. The events of a
+//! [`TemporalPattern`] are kept in a canonical order (the order in which the
+//! mining algorithm assembled the event group); every triple stores the
+//! indices of its two events *in chronological orientation* — `first` is the
+//! event whose instance starts earlier.
+
+use crate::relation::RelationKind;
+use serde::{Deserialize, Serialize};
+use stpm_timeseries::{EventLabel, EventRegistry};
+
+/// One pairwise relation of a pattern: `events[first] r events[second]`,
+/// oriented so that `events[first]`'s instance is the chronologically earlier
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RelationTriple {
+    /// The relation kind.
+    pub relation: RelationKind,
+    /// Index (into the pattern's event list) of the earlier event.
+    pub first: u8,
+    /// Index (into the pattern's event list) of the later event.
+    pub second: u8,
+}
+
+impl RelationTriple {
+    /// Creates a triple.
+    #[must_use]
+    pub fn new(relation: RelationKind, first: u8, second: u8) -> Self {
+        Self {
+            relation,
+            first,
+            second,
+        }
+    }
+
+    /// Whether the triple involves the event at `index`.
+    #[must_use]
+    pub fn involves(&self, index: u8) -> bool {
+        self.first == index || self.second == index
+    }
+
+    /// The unordered pair of event indices, smaller first.
+    #[must_use]
+    pub fn pair(&self) -> (u8, u8) {
+        if self.first <= self.second {
+            (self.first, self.second)
+        } else {
+            (self.second, self.first)
+        }
+    }
+}
+
+/// A temporal pattern: an ordered list of events plus one relation triple per
+/// event pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TemporalPattern {
+    events: Vec<EventLabel>,
+    triples: Vec<RelationTriple>,
+}
+
+impl TemporalPattern {
+    /// A single-event pattern (no relations).
+    #[must_use]
+    pub fn single(event: EventLabel) -> Self {
+        Self {
+            events: vec![event],
+            triples: Vec::new(),
+        }
+    }
+
+    /// A 2-event pattern with one relation. `swapped` indicates that the
+    /// chronologically earlier instance belongs to the *second* event of the
+    /// canonical event list.
+    #[must_use]
+    pub fn pair(events: [EventLabel; 2], relation: RelationKind, swapped: bool) -> Self {
+        let triple = if swapped {
+            RelationTriple::new(relation, 1, 0)
+        } else {
+            RelationTriple::new(relation, 0, 1)
+        };
+        Self {
+            events: events.to_vec(),
+            triples: vec![triple],
+        }
+    }
+
+    /// Builds a pattern from raw parts. The number of triples must be
+    /// `events.len() * (events.len() - 1) / 2`; triples are sorted into a
+    /// canonical order so that structurally identical patterns compare equal.
+    #[must_use]
+    pub fn from_parts(events: Vec<EventLabel>, mut triples: Vec<RelationTriple>) -> Self {
+        triples.sort_by_key(|t| {
+            let (a, b) = t.pair();
+            (b, a, t.first, t.second, t.relation)
+        });
+        Self { events, triples }
+    }
+
+    /// The pattern's events, in canonical (mining) order.
+    #[must_use]
+    pub fn events(&self) -> &[EventLabel] {
+        &self.events
+    }
+
+    /// The pairwise relation triples.
+    #[must_use]
+    pub fn triples(&self) -> &[RelationTriple] {
+        &self.triples
+    }
+
+    /// Number of events (the pattern's `n`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the pattern has no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether `event` occurs in the pattern (the paper's `E_i ∈ P`).
+    #[must_use]
+    pub fn contains_event(&self, event: EventLabel) -> bool {
+        self.events.contains(&event)
+    }
+
+    /// Extends the pattern with a new event and the relation triples that
+    /// connect every existing event to it. `new_triples[i]` is the oriented
+    /// relation between event `i` and the new event.
+    #[must_use]
+    pub fn extended(&self, event: EventLabel, new_triples: Vec<RelationTriple>) -> Self {
+        let mut events = self.events.clone();
+        events.push(event);
+        let mut triples = self.triples.clone();
+        triples.extend(new_triples);
+        Self::from_parts(events, triples)
+    }
+
+    /// The relation triple between the events at indices `i` and `j`, if any.
+    #[must_use]
+    pub fn relation_between(&self, i: u8, j: u8) -> Option<&RelationTriple> {
+        let pair = if i <= j { (i, j) } else { (j, i) };
+        self.triples.iter().find(|t| t.pair() == pair)
+    }
+
+    /// Whether `other` is a sub-pattern of `self` (`P_1 ⊆ P`): every event of
+    /// `other` appears in `self` and every triple of `other` appears (same
+    /// relation, same oriented event pair) in `self`.
+    #[must_use]
+    pub fn is_sub_pattern_of(&self, other: &TemporalPattern) -> bool {
+        // `self ⊆ other` : map each of self's events to other's indices.
+        let mapping: Option<Vec<u8>> = self
+            .events
+            .iter()
+            .map(|e| {
+                other
+                    .events
+                    .iter()
+                    .position(|o| o == e)
+                    .map(|i| u8::try_from(i).expect("pattern length fits u8"))
+            })
+            .collect();
+        let Some(mapping) = mapping else {
+            return false;
+        };
+        self.triples.iter().all(|t| {
+            let first = mapping[t.first as usize];
+            let second = mapping[t.second as usize];
+            other.triples.iter().any(|o| {
+                o.relation == t.relation && o.first == first && o.second == second
+            })
+        })
+    }
+
+    /// Human-readable rendering, e.g. `"C:1 ≽ D:1"` for pairs or the triple
+    /// list `"(Contains, C:1, D:1), (Follows, C:1, F:1), …"` for longer
+    /// patterns.
+    #[must_use]
+    pub fn display(&self, registry: &EventRegistry) -> String {
+        match self.events.len() {
+            0 => String::from("<empty>"),
+            1 => registry.display(self.events[0]),
+            2 => {
+                let t = &self.triples[0];
+                format!(
+                    "{} {} {}",
+                    registry.display(self.events[t.first as usize]),
+                    t.relation.symbol(),
+                    registry.display(self.events[t.second as usize])
+                )
+            }
+            _ => self
+                .triples
+                .iter()
+                .map(|t| {
+                    format!(
+                        "({}, {}, {})",
+                        t.relation,
+                        registry.display(self.events[t.first as usize]),
+                        registry.display(self.events[t.second as usize])
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_timeseries::{SeriesId, SymbolId};
+
+    fn label(series: u32, symbol: u16) -> EventLabel {
+        EventLabel::new(SeriesId(series), SymbolId(symbol))
+    }
+
+    fn registry() -> EventRegistry {
+        let mut reg = EventRegistry::new();
+        reg.register_series("C", &["0".into(), "1".into()]);
+        reg.register_series("D", &["0".into(), "1".into()]);
+        reg.register_series("F", &["0".into(), "1".into()]);
+        reg
+    }
+
+    #[test]
+    fn single_event_pattern() {
+        let p = TemporalPattern::single(label(0, 1));
+        assert_eq!(p.len(), 1);
+        assert!(p.triples().is_empty());
+        assert!(p.contains_event(label(0, 1)));
+        assert!(!p.contains_event(label(1, 1)));
+        assert_eq!(p.display(&registry()), "C:1");
+    }
+
+    #[test]
+    fn pair_pattern_orientation() {
+        let p = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        assert_eq!(p.display(&registry()), "C:1 ≽ D:1");
+        let swapped =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, true);
+        assert_eq!(swapped.display(&registry()), "D:1 → C:1");
+        assert_ne!(p, swapped);
+    }
+
+    #[test]
+    fn extension_builds_triangular_relation_list() {
+        let p = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        let extended = p.extended(
+            label(2, 1),
+            vec![
+                RelationTriple::new(RelationKind::Follows, 0, 2),
+                RelationTriple::new(RelationKind::Follows, 1, 2),
+            ],
+        );
+        assert_eq!(extended.len(), 3);
+        assert_eq!(extended.triples().len(), 3);
+        assert!(extended.relation_between(0, 1).is_some());
+        assert!(extended.relation_between(0, 2).is_some());
+        assert!(extended.relation_between(2, 1).is_some());
+        assert!(extended.relation_between(1, 1).is_none());
+        let text = extended.display(&registry());
+        assert!(text.contains("Contains"));
+        assert!(text.contains("F:1"));
+    }
+
+    #[test]
+    fn canonical_triple_order_makes_patterns_comparable() {
+        let a = TemporalPattern::from_parts(
+            vec![label(0, 1), label(1, 1), label(2, 1)],
+            vec![
+                RelationTriple::new(RelationKind::Follows, 0, 2),
+                RelationTriple::new(RelationKind::Contains, 0, 1),
+                RelationTriple::new(RelationKind::Follows, 1, 2),
+            ],
+        );
+        let b = TemporalPattern::from_parts(
+            vec![label(0, 1), label(1, 1), label(2, 1)],
+            vec![
+                RelationTriple::new(RelationKind::Contains, 0, 1),
+                RelationTriple::new(RelationKind::Follows, 1, 2),
+                RelationTriple::new(RelationKind::Follows, 0, 2),
+            ],
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sub_pattern_detection() {
+        let pair = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        let triple = pair.extended(
+            label(2, 1),
+            vec![
+                RelationTriple::new(RelationKind::Follows, 0, 2),
+                RelationTriple::new(RelationKind::Follows, 1, 2),
+            ],
+        );
+        assert!(pair.is_sub_pattern_of(&triple));
+        assert!(!triple.is_sub_pattern_of(&pair));
+        assert!(pair.is_sub_pattern_of(&pair));
+
+        let other_pair =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, false);
+        assert!(!other_pair.is_sub_pattern_of(&triple));
+
+        let single = TemporalPattern::single(label(1, 1));
+        assert!(single.is_sub_pattern_of(&triple));
+        assert!(!TemporalPattern::single(label(2, 0)).is_sub_pattern_of(&triple));
+    }
+
+    #[test]
+    fn relation_triple_helpers() {
+        let t = RelationTriple::new(RelationKind::Overlaps, 2, 1);
+        assert!(t.involves(1));
+        assert!(t.involves(2));
+        assert!(!t.involves(0));
+        assert_eq!(t.pair(), (1, 2));
+    }
+
+    #[test]
+    fn empty_pattern_display() {
+        let p = TemporalPattern::from_parts(vec![], vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.display(&registry()), "<empty>");
+    }
+}

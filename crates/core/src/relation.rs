@@ -1,0 +1,265 @@
+//! Temporal relations between event instances (Section III-C, Table III).
+//!
+//! Three Allen-style relations are used: *Follows* (→), *Contains* (≽) and
+//! *Overlaps* (≬). The exact-endpoint-matching problem of Allen's relations
+//! is avoided with a tolerance buffer ε; a minimal overlapping duration
+//! `d_o` keeps Overlaps meaningful. The classifier below is a deterministic
+//! decision chain, so the relations are mutually exclusive by construction
+//! (Property 1 of the paper's appendix).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stpm_timeseries::Interval;
+
+/// The three temporal relations of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RelationKind {
+    /// `E_i → E_j`: the first event ends (within ε) before the second starts.
+    Follows,
+    /// `E_i ≽ E_j`: the first event's interval contains the second's
+    /// (endpoints compared with ε tolerance).
+    Contains,
+    /// `E_i ≬ E_j`: the first event starts earlier, ends earlier, and the two
+    /// intervals share at least `d_o` granules.
+    Overlaps,
+}
+
+impl RelationKind {
+    /// The three kinds in a fixed order (used when enumerating the search
+    /// space, Section IV-D).
+    #[must_use]
+    pub fn all() -> [RelationKind; 3] {
+        [
+            RelationKind::Follows,
+            RelationKind::Contains,
+            RelationKind::Overlaps,
+        ]
+    }
+
+    /// The symbol the paper uses for the relation.
+    #[must_use]
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            RelationKind::Follows => "\u{2192}",  // →
+            RelationKind::Contains => "\u{227d}", // ≽
+            RelationKind::Overlaps => "\u{226c}", // ≬
+        }
+    }
+}
+
+impl fmt::Display for RelationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationKind::Follows => write!(f, "Follows"),
+            RelationKind::Contains => write!(f, "Contains"),
+            RelationKind::Overlaps => write!(f, "Overlaps"),
+        }
+    }
+}
+
+/// Classifies the temporal relation between two event instances whose
+/// intervals are `first` and `second`, where `first` is the chronologically
+/// earlier instance (callers must order the pair with [`chronological_order`]
+/// or equivalent). Returns `None` when none of the three relations holds
+/// (e.g. an overlap shorter than `d_o`).
+///
+/// * `epsilon` — tolerance buffer ε on the first interval's end point.
+/// * `min_overlap` — minimal overlapping duration `d_o` (granules).
+#[must_use]
+pub fn classify_relation(
+    first: &Interval,
+    second: &Interval,
+    epsilon: u64,
+    min_overlap: u64,
+) -> Option<RelationKind> {
+    debug_assert!(
+        first.start <= second.start,
+        "caller must pass intervals in chronological order"
+    );
+    // Contains: ts_i <= ts_j ∧ te_i ± ε >= te_j.
+    if first.start <= second.start && first.end + epsilon >= second.end {
+        return Some(RelationKind::Contains);
+    }
+    // Follows: te_i ± ε <= ts_j. With inclusive granule intervals a shared
+    // boundary granule (te_i == ts_j) counts as "meets", classified Follows.
+    if first.end <= second.start + epsilon {
+        return Some(RelationKind::Follows);
+    }
+    // Overlaps: ts_i < ts_j ∧ te_i ± ε < te_j ∧ overlap >= d_o.
+    if first.start < second.start && first.end < second.end + epsilon {
+        let overlap = first.overlap_len(second);
+        if overlap >= min_overlap.max(1) {
+            return Some(RelationKind::Overlaps);
+        }
+    }
+    None
+}
+
+/// Orders two instances chronologically: by start, then by *descending*
+/// duration (so a containing interval precedes the contained one when they
+/// share a start), then by the tie-break key. Returns `true` when the pair is
+/// already in order, `false` when it must be swapped.
+#[must_use]
+pub fn chronological_order<K: Ord>(a: &Interval, b: &Interval, key_a: K, key_b: K) -> bool {
+    (a.start, std::cmp::Reverse(a.end), key_a) <= (b.start, std::cmp::Reverse(b.end), key_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn follows_when_disjoint() {
+        assert_eq!(
+            classify_relation(&iv(1, 3), &iv(5, 8), 0, 1),
+            Some(RelationKind::Follows)
+        );
+    }
+
+    #[test]
+    fn meets_counts_as_follows() {
+        // Adjacent intervals sharing no granule.
+        assert_eq!(
+            classify_relation(&iv(1, 3), &iv(4, 6), 0, 1),
+            Some(RelationKind::Follows)
+        );
+    }
+
+    #[test]
+    fn contains_strict_and_equal() {
+        assert_eq!(
+            classify_relation(&iv(1, 10), &iv(3, 7), 0, 1),
+            Some(RelationKind::Contains)
+        );
+        // Identical intervals: Contains (the paper's Table IV pattern C:1 ≽ D:1
+        // counts granules where both run over the same interval).
+        assert_eq!(
+            classify_relation(&iv(4, 4), &iv(4, 4), 0, 1),
+            Some(RelationKind::Contains)
+        );
+        // Shared start, first longer.
+        assert_eq!(
+            classify_relation(&iv(1, 5), &iv(1, 3), 0, 1),
+            Some(RelationKind::Contains)
+        );
+    }
+
+    #[test]
+    fn overlaps_requires_minimum_duration() {
+        // Overlap of 3 granules (G3..G5).
+        assert_eq!(
+            classify_relation(&iv(1, 5), &iv(3, 8), 0, 1),
+            Some(RelationKind::Overlaps)
+        );
+        assert_eq!(
+            classify_relation(&iv(1, 5), &iv(3, 8), 0, 3),
+            Some(RelationKind::Overlaps)
+        );
+        // d_o = 4 > actual overlap 3: no relation.
+        assert_eq!(classify_relation(&iv(1, 5), &iv(3, 8), 0, 4), None);
+    }
+
+    #[test]
+    fn epsilon_extends_containment() {
+        // Without tolerance this is an overlap; with ε = 1 the first interval
+        // is considered to reach te_j, i.e. Contains.
+        assert_eq!(
+            classify_relation(&iv(1, 7), &iv(3, 8), 0, 1),
+            Some(RelationKind::Overlaps)
+        );
+        assert_eq!(
+            classify_relation(&iv(1, 7), &iv(3, 8), 1, 1),
+            Some(RelationKind::Contains)
+        );
+    }
+
+    #[test]
+    fn epsilon_extends_follows() {
+        // Two shared granules: an overlap at ε = 0, but with ε = 1 the first
+        // instance is considered to end (within tolerance) before the second
+        // starts, i.e. Follows.
+        assert_eq!(
+            classify_relation(&iv(1, 5), &iv(4, 9), 0, 1),
+            Some(RelationKind::Overlaps)
+        );
+        assert_eq!(
+            classify_relation(&iv(1, 5), &iv(4, 9), 1, 1),
+            Some(RelationKind::Follows)
+        );
+    }
+
+    #[test]
+    fn shared_boundary_granule_is_follows_per_paper_formula() {
+        // te_i == ts_j satisfies the paper's Follows condition te_i ± ε <= ts_j.
+        assert_eq!(
+            classify_relation(&iv(1, 4), &iv(4, 9), 0, 1),
+            Some(RelationKind::Follows)
+        );
+    }
+
+    #[test]
+    fn relations_are_mutually_exclusive() {
+        // Exhaustive sweep over small intervals: the classifier returns at
+        // most one relation per ordered pair by construction, and never
+        // panics.
+        for s1 in 1..6u64 {
+            for e1 in s1..7u64 {
+                for s2 in s1..7u64 {
+                    for e2 in s2..8u64 {
+                        let a = iv(s1, e1);
+                        let b = iv(s2, e2);
+                        if !chronological_order(&a, &b, 0, 1) {
+                            continue;
+                        }
+                        let _ = classify_relation(&a, &b, 0, 1);
+                        let _ = classify_relation(&a, &b, 1, 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_table_iv_h1_relations() {
+        // H1 of Table IV: C:1 [G1,G2], D:1 [G1,G1], M:1 [G1,G3], F:1 [G3,G3].
+        // C:1 contains D:1, M:1 contains C:1, C:1 followed by F:1.
+        assert_eq!(
+            classify_relation(&iv(1, 2), &iv(1, 1), 0, 1),
+            Some(RelationKind::Contains)
+        );
+        assert_eq!(
+            classify_relation(&iv(1, 3), &iv(1, 2), 0, 1),
+            Some(RelationKind::Contains)
+        );
+        assert_eq!(
+            classify_relation(&iv(1, 2), &iv(3, 3), 0, 1),
+            Some(RelationKind::Follows)
+        );
+    }
+
+    #[test]
+    fn chronological_ordering_rules() {
+        // Earlier start first.
+        assert!(chronological_order(&iv(1, 2), &iv(3, 4), 0, 0));
+        assert!(!chronological_order(&iv(3, 4), &iv(1, 2), 0, 0));
+        // Same start: longer (containing) interval first.
+        assert!(chronological_order(&iv(1, 5), &iv(1, 2), 0, 0));
+        assert!(!chronological_order(&iv(1, 2), &iv(1, 5), 0, 0));
+        // Identical intervals: tie-break key decides.
+        assert!(chronological_order(&iv(1, 2), &iv(1, 2), 0, 1));
+        assert!(!chronological_order(&iv(1, 2), &iv(1, 2), 1, 0));
+    }
+
+    #[test]
+    fn display_and_symbols() {
+        assert_eq!(RelationKind::Follows.to_string(), "Follows");
+        assert_eq!(RelationKind::Contains.to_string(), "Contains");
+        assert_eq!(RelationKind::Overlaps.to_string(), "Overlaps");
+        assert_eq!(RelationKind::all().len(), 3);
+        assert_eq!(RelationKind::Contains.symbol(), "≽");
+    }
+}

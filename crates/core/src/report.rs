@@ -1,0 +1,260 @@
+//! Mining results: frequent seasonal events and patterns plus run statistics.
+
+use crate::pattern::TemporalPattern;
+use crate::season::Seasons;
+use crate::support::SupportSet;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+use stpm_timeseries::{EventLabel, EventRegistry};
+
+/// A frequent seasonal single event (output of STPM step 2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinedEvent {
+    /// The event.
+    pub label: EventLabel,
+    /// Its support set.
+    pub support: SupportSet,
+    /// Its seasons.
+    pub seasons: Seasons,
+}
+
+/// A frequent seasonal temporal pattern (output of STPM step 2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinedPattern {
+    pattern: TemporalPattern,
+    support: SupportSet,
+    seasons: Seasons,
+}
+
+impl MinedPattern {
+    /// Creates a mined-pattern record.
+    #[must_use]
+    pub fn new(pattern: TemporalPattern, support: SupportSet, seasons: Seasons) -> Self {
+        Self {
+            pattern,
+            support,
+            seasons,
+        }
+    }
+
+    /// The pattern.
+    #[must_use]
+    pub fn pattern(&self) -> &TemporalPattern {
+        &self.pattern
+    }
+
+    /// The pattern's support set.
+    #[must_use]
+    pub fn support(&self) -> &[u64] {
+        &self.support
+    }
+
+    /// The pattern's seasons.
+    #[must_use]
+    pub fn seasons(&self) -> &Seasons {
+        &self.seasons
+    }
+
+    /// Human-readable rendering with season annotations.
+    #[must_use]
+    pub fn display(&self, registry: &EventRegistry) -> String {
+        format!(
+            "{} [seasons: {}, support: {}]",
+            self.pattern.display(registry),
+            self.seasons.count(),
+            self.support.len()
+        )
+    }
+}
+
+/// Per-level counters collected while mining (used to report the search-space
+/// reduction of the pruning techniques).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct LevelStats {
+    /// Pattern length `k` of the level.
+    pub k: usize,
+    /// Number of candidate k-event groups examined.
+    pub candidate_groups: usize,
+    /// Number of candidate k-event patterns kept in `HLH_k`.
+    pub candidate_patterns: usize,
+    /// Number of frequent seasonal k-event patterns found.
+    pub frequent_patterns: usize,
+    /// Approximate bytes held by `HLH_k` at the end of the level.
+    pub footprint_bytes: usize,
+}
+
+/// Statistics of a mining run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MiningStats {
+    /// Number of granules of the mined database.
+    pub num_granules: u64,
+    /// Number of distinct events in the database.
+    pub num_events: usize,
+    /// Number of candidate single events retained in `HLH_1`.
+    pub candidate_events: usize,
+    /// Number of frequent seasonal single events.
+    pub frequent_events: usize,
+    /// Per-level statistics for k ≥ 2.
+    pub levels: Vec<LevelStats>,
+    /// Wall-clock time of the whole mining run.
+    pub total_time: Duration,
+    /// Wall-clock time spent mining single events.
+    pub single_event_time: Duration,
+    /// Wall-clock time spent mining k ≥ 2 patterns.
+    pub pattern_time: Duration,
+    /// Approximate peak heap footprint of all HLH structures, in bytes.
+    pub peak_footprint_bytes: usize,
+}
+
+impl MiningStats {
+    /// Total number of frequent seasonal patterns across every level
+    /// (excluding single events).
+    #[must_use]
+    pub fn total_frequent_patterns(&self) -> usize {
+        self.levels.iter().map(|l| l.frequent_patterns).sum()
+    }
+
+    /// Total number of candidate patterns held across every level.
+    #[must_use]
+    pub fn total_candidate_patterns(&self) -> usize {
+        self.levels.iter().map(|l| l.candidate_patterns).sum()
+    }
+}
+
+/// The complete output of a mining run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MiningReport {
+    events: Vec<MinedEvent>,
+    patterns: Vec<MinedPattern>,
+    stats: MiningStats,
+}
+
+impl MiningReport {
+    /// Assembles a report.
+    #[must_use]
+    pub fn new(events: Vec<MinedEvent>, patterns: Vec<MinedPattern>, stats: MiningStats) -> Self {
+        Self {
+            events,
+            patterns,
+            stats,
+        }
+    }
+
+    /// The frequent seasonal single events.
+    #[must_use]
+    pub fn events(&self) -> &[MinedEvent] {
+        &self.events
+    }
+
+    /// The frequent seasonal patterns (k ≥ 2).
+    #[must_use]
+    pub fn patterns(&self) -> &[MinedPattern] {
+        &self.patterns
+    }
+
+    /// Run statistics.
+    #[must_use]
+    pub fn stats(&self) -> &MiningStats {
+        &self.stats
+    }
+
+    /// Total number of frequent seasonal patterns, counting single events.
+    #[must_use]
+    pub fn total_patterns(&self) -> usize {
+        self.events.len() + self.patterns.len()
+    }
+
+    /// The patterns of length `k`.
+    #[must_use]
+    pub fn patterns_of_len(&self, k: usize) -> Vec<&MinedPattern> {
+        self.patterns
+            .iter()
+            .filter(|p| p.pattern().len() == k)
+            .collect()
+    }
+
+    /// Whether a structurally identical pattern was found.
+    #[must_use]
+    pub fn contains_pattern(&self, pattern: &TemporalPattern) -> bool {
+        self.patterns.iter().any(|p| p.pattern() == pattern)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationKind;
+    use stpm_timeseries::{SeriesId, SymbolId};
+
+    fn label(series: u32, symbol: u16) -> EventLabel {
+        EventLabel::new(SeriesId(series), SymbolId(symbol))
+    }
+
+    fn registry() -> EventRegistry {
+        let mut reg = EventRegistry::new();
+        reg.register_series("C", &["0".into(), "1".into()]);
+        reg.register_series("D", &["0".into(), "1".into()]);
+        reg
+    }
+
+    fn sample_pattern() -> MinedPattern {
+        MinedPattern::new(
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false),
+            vec![1, 2, 3],
+            Seasons::default(),
+        )
+    }
+
+    #[test]
+    fn mined_pattern_accessors_and_display() {
+        let p = sample_pattern();
+        assert_eq!(p.pattern().len(), 2);
+        assert_eq!(p.support(), &[1, 2, 3]);
+        assert_eq!(p.seasons().count(), 0);
+        let text = p.display(&registry());
+        assert!(text.contains("C:1"));
+        assert!(text.contains("support: 3"));
+    }
+
+    #[test]
+    fn report_aggregation() {
+        let stats = MiningStats {
+            levels: vec![
+                LevelStats {
+                    k: 2,
+                    candidate_groups: 10,
+                    candidate_patterns: 6,
+                    frequent_patterns: 4,
+                    footprint_bytes: 100,
+                },
+                LevelStats {
+                    k: 3,
+                    candidate_groups: 3,
+                    candidate_patterns: 2,
+                    frequent_patterns: 1,
+                    footprint_bytes: 40,
+                },
+            ],
+            ..MiningStats::default()
+        };
+        assert_eq!(stats.total_frequent_patterns(), 5);
+        assert_eq!(stats.total_candidate_patterns(), 8);
+
+        let report = MiningReport::new(
+            vec![MinedEvent {
+                label: label(0, 1),
+                support: vec![1, 2],
+                seasons: Seasons::default(),
+            }],
+            vec![sample_pattern()],
+            stats,
+        );
+        assert_eq!(report.total_patterns(), 2);
+        assert_eq!(report.events().len(), 1);
+        assert_eq!(report.patterns().len(), 1);
+        assert_eq!(report.patterns_of_len(2).len(), 1);
+        assert!(report.patterns_of_len(3).is_empty());
+        assert!(report.contains_pattern(sample_pattern().pattern()));
+        assert_eq!(report.stats().levels.len(), 2);
+    }
+}

@@ -1,0 +1,301 @@
+//! Near support sets, seasons and the seasonality check
+//! (Definitions 3.13–3.15).
+//!
+//! Given the support set of an event or pattern, the season-extraction
+//! procedure is:
+//!
+//! 1. split the support set into *maximal near support sets* — maximal runs
+//!    whose consecutive granules are at most `maxPeriod` apart
+//!    (Definition 3.13);
+//! 2. walk the near support sets left to right; granules closer than
+//!    `distmin` to the end of the previously accepted season are dropped
+//!    (this reproduces the paper's worked example where `H_9` is excluded
+//!    from the second season of `M:1 ≽ N:1` because of `distmin = 4`);
+//! 3. a trimmed near support set whose density reaches `minDensity` becomes a
+//!    *season* (Definition 3.14);
+//! 4. the pattern's seasonal-occurrence count `seasons(P)` is the longest
+//!    chain of consecutive seasons whose pairwise distances lie inside
+//!    `distInterval` (Definition 3.15).
+
+use crate::config::ResolvedConfig;
+use serde::{Deserialize, Serialize};
+use stpm_timeseries::GranulePos;
+
+/// One season: the granules of a (trimmed) near support set that is dense
+/// enough.
+pub type Season = Vec<GranulePos>;
+
+/// The seasons of an event or pattern, together with the derived
+/// seasonal-occurrence count.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Seasons {
+    seasons: Vec<Season>,
+    chain_len: u64,
+}
+
+impl Seasons {
+    /// The seasons, in chronological order.
+    #[must_use]
+    pub fn seasons(&self) -> &[Season] {
+        &self.seasons
+    }
+
+    /// `seasons(P)`: the longest chain of consecutive seasons whose pairwise
+    /// distances fall inside `distInterval`.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.chain_len
+    }
+
+    /// Whether the pattern is frequent for the given `minSeason` threshold.
+    #[must_use]
+    pub fn is_frequent(&self, min_season: u64) -> bool {
+        self.chain_len >= min_season
+    }
+
+    /// Density (granule count) of every season.
+    #[must_use]
+    pub fn densities(&self) -> Vec<u64> {
+        self.seasons.iter().map(|s| s.len() as u64).collect()
+    }
+
+    /// Distances between consecutive seasons (Definition 3.14's `dist`).
+    #[must_use]
+    pub fn distances(&self) -> Vec<u64> {
+        self.seasons
+            .windows(2)
+            .map(|w| {
+                let prev_end = *w[0].last().expect("seasons are non-empty");
+                let next_start = *w[1].first().expect("seasons are non-empty");
+                next_start.abs_diff(prev_end)
+            })
+            .collect()
+    }
+}
+
+/// Extracts the seasons of a support set (described in the module docs).
+#[must_use]
+pub fn find_seasons(support: &[GranulePos], config: &ResolvedConfig) -> Seasons {
+    let near_sets = near_support_sets(support, config.max_period);
+    let mut seasons: Vec<Season> = Vec::new();
+    for near in near_sets {
+        let mut granules = near;
+        if let Some(prev) = seasons.last() {
+            let prev_end = *prev.last().expect("seasons are non-empty");
+            // Drop leading granules that would violate distmin w.r.t. the end
+            // of the previously accepted season.
+            let keep_from = granules
+                .iter()
+                .position(|g| g.saturating_sub(prev_end) >= config.dist_min)
+                .unwrap_or(granules.len());
+            granules.drain(..keep_from);
+        }
+        if granules.len() as u64 >= config.min_density {
+            seasons.push(granules);
+        }
+    }
+    let chain_len = longest_compliant_chain(&seasons, config.dist_min, config.dist_max);
+    Seasons { seasons, chain_len }
+}
+
+/// Splits a sorted support set into its maximal near support sets: maximal
+/// runs whose consecutive granules are at most `max_period` apart
+/// (Definition 3.13).
+#[must_use]
+pub fn near_support_sets(support: &[GranulePos], max_period: u64) -> Vec<Vec<GranulePos>> {
+    let mut sets = Vec::new();
+    let mut current: Vec<GranulePos> = Vec::new();
+    for &granule in support {
+        match current.last() {
+            Some(&last) if granule - last > max_period => {
+                sets.push(std::mem::take(&mut current));
+                current.push(granule);
+            }
+            _ => current.push(granule),
+        }
+    }
+    if !current.is_empty() {
+        sets.push(current);
+    }
+    sets
+}
+
+/// Length of the longest run of consecutive seasons whose pairwise distances
+/// are inside `[dist_min, dist_max]`.
+fn longest_compliant_chain(seasons: &[Season], dist_min: u64, dist_max: u64) -> u64 {
+    if seasons.is_empty() {
+        return 0;
+    }
+    let mut best = 1u64;
+    let mut current = 1u64;
+    for w in seasons.windows(2) {
+        let prev_end = *w[0].last().expect("seasons are non-empty");
+        let next_start = *w[1].first().expect("seasons are non-empty");
+        let dist = next_start.abs_diff(prev_end);
+        if dist >= dist_min && dist <= dist_max {
+            current += 1;
+        } else {
+            current = 1;
+        }
+        best = best.max(current);
+    }
+    best
+}
+
+/// Seasonality summary of a support set: season count plus the seasons
+/// themselves, kept as a named pair for report ergonomics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeasonSet {
+    /// The support set the seasons were derived from.
+    pub support: Vec<GranulePos>,
+    /// The derived seasons.
+    pub seasons: Seasons,
+}
+
+impl SeasonSet {
+    /// Derives the seasons of `support` under `config`.
+    #[must_use]
+    pub fn derive(support: Vec<GranulePos>, config: &ResolvedConfig) -> Self {
+        let seasons = find_seasons(&support, config);
+        Self { support, seasons }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{StpmConfig, Threshold};
+
+    fn config(max_period: u64, min_density: u64, dist: (u64, u64), min_season: u64) -> ResolvedConfig {
+        StpmConfig {
+            max_period: Threshold::Absolute(max_period),
+            min_density: Threshold::Absolute(min_density),
+            dist_interval: dist,
+            min_season,
+            ..StpmConfig::default()
+        }
+        .resolve(100)
+        .unwrap()
+    }
+
+    #[test]
+    fn near_support_sets_split_on_large_gaps() {
+        // The paper's C:1 ≽ D:1 example: SUP = {1,2,3,7,8,11,12,14}, maxPeriod 2
+        // yields {1,2,3}, {7,8}, {11,12,14}.
+        let sets = near_support_sets(&[1, 2, 3, 7, 8, 11, 12, 14], 2);
+        assert_eq!(sets, vec![vec![1, 2, 3], vec![7, 8], vec![11, 12, 14]]);
+    }
+
+    #[test]
+    fn near_support_sets_edge_cases() {
+        assert!(near_support_sets(&[], 2).is_empty());
+        assert_eq!(near_support_sets(&[5], 2), vec![vec![5]]);
+        assert_eq!(near_support_sets(&[1, 2, 3], 10), vec![vec![1, 2, 3]]);
+        assert_eq!(
+            near_support_sets(&[1, 5, 9], 2),
+            vec![vec![1], vec![5], vec![9]]
+        );
+    }
+
+    #[test]
+    fn paper_example_c1_contains_d1() {
+        // maxPeriod = 2, minDensity = 3: two of the three near support sets
+        // are dense enough.
+        let cfg = config(2, 3, (1, 20), 2);
+        let seasons = find_seasons(&[1, 2, 3, 7, 8, 11, 12, 14], &cfg);
+        assert_eq!(seasons.seasons().len(), 2);
+        assert_eq!(seasons.seasons()[0], vec![1, 2, 3]);
+        assert_eq!(seasons.seasons()[1], vec![11, 12, 14]);
+        assert_eq!(seasons.densities(), vec![3, 3]);
+        // Distance between season 1 (ends at 3) and season 2 (starts at 11).
+        assert_eq!(seasons.distances(), vec![8]);
+        assert_eq!(seasons.count(), 2);
+        assert!(seasons.is_frequent(2));
+        assert!(!seasons.is_frequent(3));
+    }
+
+    #[test]
+    fn paper_example_m1_contains_n1_with_distmin_trimming() {
+        // Section IV-B worked example: SUP(M:1 ≽ N:1) = {1,3,4,5,6,9,10,11,13},
+        // maxPeriod = 2, minDensity = 3, distInterval = [4, 10].
+        // H9 must be trimmed from the second season because it is only 3
+        // granules after the end of the first season.
+        let cfg = config(2, 3, (4, 10), 2);
+        let seasons = find_seasons(&[1, 3, 4, 5, 6, 9, 10, 11, 13], &cfg);
+        assert_eq!(seasons.seasons().len(), 2);
+        assert_eq!(seasons.seasons()[0], vec![1, 3, 4, 5, 6]);
+        assert_eq!(seasons.seasons()[1], vec![10, 11, 13]);
+        assert_eq!(seasons.count(), 2);
+        assert!(seasons.is_frequent(2));
+    }
+
+    #[test]
+    fn paper_example_single_event_m1_is_not_frequent() {
+        // SUP(M:1) = {1,2,3,4,5,6,8,9,10,11,13} forms a single season, so the
+        // event is not frequent for minSeason = 2 — the anti-monotonicity
+        // counter-example of Section IV-B.
+        let cfg = config(2, 3, (4, 10), 2);
+        let seasons = find_seasons(&[1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 13], &cfg);
+        assert_eq!(seasons.seasons().len(), 1);
+        assert_eq!(seasons.count(), 1);
+        assert!(!seasons.is_frequent(2));
+    }
+
+    #[test]
+    fn sparse_near_sets_are_not_seasons() {
+        let cfg = config(2, 3, (1, 20), 2);
+        let seasons = find_seasons(&[1, 2, 10, 11], &cfg);
+        assert!(seasons.seasons().is_empty());
+        assert_eq!(seasons.count(), 0);
+        assert!(!seasons.is_frequent(1));
+    }
+
+    #[test]
+    fn chain_breaks_when_distance_exceeds_distmax() {
+        // Three seasons at distances 5 and 50; with distmax = 10 only a chain
+        // of two is compliant.
+        let cfg = config(1, 2, (2, 10), 2);
+        let support = vec![1, 2, 8, 9, 60, 61];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.seasons().len(), 3);
+        assert_eq!(seasons.count(), 2);
+    }
+
+    #[test]
+    fn chain_restarts_after_violation() {
+        // Distances: 50 (violation), then 5, 5 (compliant) → chain of 3.
+        let cfg = config(1, 2, (2, 10), 2);
+        let support = vec![1, 2, 60, 61, 70, 71, 80, 81];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.seasons().len(), 4);
+        assert_eq!(seasons.count(), 3);
+    }
+
+    #[test]
+    fn trimming_can_reject_a_whole_near_set() {
+        // The second near set lies entirely within distmin of the first
+        // season's end, so it disappears.
+        let cfg = config(1, 2, (10, 100), 1);
+        let support = vec![1, 2, 5, 6];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.seasons().len(), 1);
+        assert_eq!(seasons.seasons()[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_support_yields_no_seasons() {
+        let cfg = config(2, 2, (1, 10), 1);
+        let seasons = find_seasons(&[], &cfg);
+        assert_eq!(seasons.count(), 0);
+        assert!(seasons.seasons().is_empty());
+        assert!(seasons.distances().is_empty());
+    }
+
+    #[test]
+    fn season_set_derive_keeps_support() {
+        let cfg = config(2, 2, (1, 10), 1);
+        let set = SeasonSet::derive(vec![1, 2, 3, 8, 9], &cfg);
+        assert_eq!(set.support, vec![1, 2, 3, 8, 9]);
+        assert_eq!(set.seasons.seasons().len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Support sets (Definition 3.12) and the sorted-set primitives the miner
+//! relies on.
+//!
+//! A support set is the sorted list of granule positions (in `H`) where an
+//! event, an event group or a pattern occurs. Keeping them sorted makes the
+//! intersection used when growing event groups a linear merge.
+
+use stpm_timeseries::GranulePos;
+
+/// A support set: sorted, duplicate-free granule positions.
+pub type SupportSet = Vec<GranulePos>;
+
+/// Intersects two sorted support sets (the `SUP(E_1,…,E_{k-1}) ∩ SUP(E_k)`
+/// step of Section IV-D 4.1).
+#[must_use]
+pub fn intersect(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Unions two sorted support sets (used when merging per-relation supports
+/// back into a group-level support).
+#[must_use]
+pub fn union(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Inserts a granule keeping the set sorted and duplicate-free. Appending in
+/// increasing order (the common case during the single database scan) is
+/// O(1).
+pub fn insert_sorted(set: &mut SupportSet, granule: GranulePos) {
+    match set.last() {
+        None => set.push(granule),
+        Some(last) if *last < granule => set.push(granule),
+        Some(last) if *last == granule => {}
+        _ => {
+            if let Err(pos) = set.binary_search(&granule) {
+                set.insert(pos, granule);
+            }
+        }
+    }
+}
+
+/// Relative support of a support set in a database of `dseq_len` granules.
+#[must_use]
+pub fn relative_support(set: &[GranulePos], dseq_len: u64) -> f64 {
+    if dseq_len == 0 {
+        0.0
+    } else {
+        set.len() as f64 / dseq_len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_of_sorted_sets() {
+        assert_eq!(intersect(&[1, 2, 3, 7, 8], &[2, 3, 4, 8, 9]), vec![2, 3, 8]);
+        assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<u64>::new());
+        assert_eq!(intersect(&[], &[1, 2]), Vec::<u64>::new());
+        assert_eq!(intersect(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_of_sorted_sets() {
+        assert_eq!(union(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union(&[], &[1]), vec![1]);
+        assert_eq!(union(&[1], &[]), vec![1]);
+        assert_eq!(union(&[], &[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn insert_sorted_keeps_invariants() {
+        let mut set = vec![];
+        insert_sorted(&mut set, 5);
+        insert_sorted(&mut set, 7);
+        insert_sorted(&mut set, 7);
+        insert_sorted(&mut set, 3);
+        insert_sorted(&mut set, 6);
+        insert_sorted(&mut set, 3);
+        assert_eq!(set, vec![3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn relative_support_bounds() {
+        assert!((relative_support(&[1, 2, 3], 10) - 0.3).abs() < 1e-12);
+        assert_eq!(relative_support(&[1, 2], 0), 0.0);
+        assert_eq!(relative_support(&[], 10), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! # stpm-datagen
+//!
+//! Synthetic dataset generators mirroring the evaluation workloads of the
+//! FreqSTPfTS paper (Section VI-A, Table V).
+//!
+//! The paper evaluates on three proprietary/real-data domains — renewable
+//! energy (RE, Spain), smart city (SC, New York City) and health (INF/HFM,
+//! Kawasaki) — plus synthetic scale-ups of each. Those raw datasets are not
+//! redistributable, so this crate synthesises time series with the same
+//! *statistical shape*: the per-dataset series counts, sequence counts,
+//! alphabet sizes and instance densities of Table V, seasonal bursts that
+//! repeat with a yearly (or domain-appropriate) period, correlated series
+//! groups that produce Follows/Contains/Overlaps relations, and uncorrelated
+//! noise series. Every generator is seeded and fully deterministic.
+//!
+//! See `DESIGN.md` (substitutions section) for why this preserves the
+//! behaviour the paper's experiments measure.
+//!
+//! ## Example
+//!
+//! ```
+//! use stpm_datagen::{DatasetProfile, DatasetSpec, generate};
+//!
+//! // A laptop-scale slice of the renewable-energy workload.
+//! let spec = DatasetSpec::real(DatasetProfile::RenewableEnergy).scaled_to(8, 200);
+//! let dataset = generate(&spec);
+//! assert_eq!(dataset.dsyb.num_series(), 8);
+//! let dseq = dataset.dseq().unwrap();
+//! assert_eq!(dseq.num_granules(), 200);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod profiles;
+
+pub use generator::{generate, GeneratedDataset};
+pub use profiles::{DatasetProfile, DatasetSpec};

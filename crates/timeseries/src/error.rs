@@ -1,0 +1,118 @@
+//! Error types shared by the data-transformation substrate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while transforming raw time series into the symbolic and
+/// temporal-sequence databases.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A time series contained no observations.
+    EmptySeries {
+        /// Name of the offending series.
+        name: String,
+    },
+    /// Two series that must share a granularity had different lengths.
+    LengthMismatch {
+        /// Name of the offending series.
+        name: String,
+        /// Expected number of observations.
+        expected: usize,
+        /// Actual number of observations.
+        actual: usize,
+    },
+    /// A symbolizer was configured with an invalid alphabet.
+    InvalidAlphabet {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A granularity conversion factor was invalid (zero, or not a divisor).
+    InvalidGranularity {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A value could not be symbolized (for example NaN with a symbolizer
+    /// that does not accept missing data).
+    NonFiniteValue {
+        /// Name of the offending series.
+        series: String,
+        /// Index of the offending observation.
+        index: usize,
+    },
+    /// The requested series does not exist in the database.
+    UnknownSeries {
+        /// Name that was looked up.
+        name: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptySeries { name } => write!(f, "time series `{name}` is empty"),
+            Error::LengthMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "time series `{name}` has {actual} observations, expected {expected}"
+            ),
+            Error::InvalidAlphabet { reason } => write!(f, "invalid alphabet: {reason}"),
+            Error::InvalidGranularity { reason } => write!(f, "invalid granularity: {reason}"),
+            Error::NonFiniteValue { series, index } => {
+                write!(f, "series `{series}` has a non-finite value at index {index}")
+            }
+            Error::UnknownSeries { name } => write!(f, "unknown series `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::EmptySeries { name: "C".into() };
+        assert!(e.to_string().contains('C'));
+
+        let e = Error::LengthMismatch {
+            name: "D".into(),
+            expected: 10,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('4'));
+
+        let e = Error::InvalidAlphabet {
+            reason: "needs at least two symbols".into(),
+        };
+        assert!(e.to_string().contains("two symbols"));
+
+        let e = Error::NonFiniteValue {
+            series: "M".into(),
+            index: 7,
+        };
+        assert!(e.to_string().contains('7'));
+
+        let e = Error::UnknownSeries { name: "Z".into() };
+        assert!(e.to_string().contains('Z'));
+
+        let e = Error::InvalidGranularity {
+            reason: "zero width".into(),
+        };
+        assert!(e.to_string().contains("zero width"));
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = Error::EmptySeries { name: "X".into() };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! Health scenario: detect seasonal disease outbreaks and the weather events
+//! that precede them — the influenza / hand-foot-mouth use case motivating
+//! the paper (Figure 1 and patterns P4–P7 of Table VIII).
+//!
+//! The example builds weather and case-count series explicitly (rather than
+//! through the dataset generator) so it doubles as a template for plugging
+//! your own epidemiological data into the library.
+//!
+//! Run with: `cargo run --release --example disease_outbreaks`
+
+use freqstpfts::prelude::*;
+
+/// Builds three years of weekly observations: cold+humid winters are
+/// followed, with a short lag, by influenza outbreaks.
+fn build_series() -> Vec<TimeSeries> {
+    let weeks = 52 * 3;
+    let mut temperature = Vec::with_capacity(weeks);
+    let mut humidity = Vec::with_capacity(weeks);
+    let mut influenza = Vec::with_capacity(weeks);
+    for week in 0..weeks {
+        let season_pos = week % 52;
+        // Winter spans the first 10 weeks of each simulated year.
+        let winter = season_pos < 10;
+        let late_winter = (2..12).contains(&season_pos);
+        // Simple deterministic pseudo-noise so the example stays reproducible.
+        let wobble = ((week * 37) % 10) as f64 / 10.0;
+        temperature.push(if winter { 1.0 + wobble } else { 12.0 + 2.0 * wobble });
+        humidity.push(if winter { 82.0 + wobble } else { 55.0 + 3.0 * wobble });
+        influenza.push(if late_winter { 240.0 + 20.0 * wobble } else { 15.0 + 5.0 * wobble });
+    }
+    vec![
+        TimeSeries::new("Temperature", temperature),
+        TimeSeries::new("Humidity", humidity),
+        TimeSeries::new("InfluenzaCases", influenza),
+    ]
+}
+
+fn main() {
+    let series = build_series();
+
+    // Each series gets a domain-specific symbolizer: Low/High temperature and
+    // humidity, Low/High case counts.
+    let temperature_sym = ThresholdSymbolizer::binary(8.0, "Low", "High");
+    let humidity_sym = ThresholdSymbolizer::binary(70.0, "Low", "High");
+    let cases_sym = ThresholdSymbolizer::binary(100.0, "Low", "High");
+    let symbolizers: Vec<&dyn Symbolizer> = vec![&temperature_sym, &humidity_sym, &cases_sym];
+
+    let dsyb = SymbolicDatabase::from_series_with(&series, &symbolizers)
+        .expect("aligned weekly series");
+    // Weekly data is already at the granularity we mine at: m = 1.
+    let dseq = dsyb.to_sequence_database(1).expect("valid mapping");
+
+    let config = StpmConfig {
+        max_period: Threshold::Absolute(3),
+        min_density: Threshold::Absolute(4),
+        dist_interval: (20, 52),
+        min_season: 2,
+        max_pattern_len: 3,
+        ..StpmConfig::default()
+    };
+    let report = StpmMiner::new(&dseq, &config)
+        .expect("valid configuration")
+        .mine();
+
+    println!("Seasonal disease patterns over {} weeks:", dseq.num_granules());
+    for pattern in report.patterns() {
+        let involves_outbreak = pattern
+            .pattern()
+            .events()
+            .iter()
+            .any(|e| dseq.registry().display(*e) == "InfluenzaCases:High");
+        if involves_outbreak {
+            println!(
+                "  {:<75} seasons={}",
+                pattern.pattern().display(dseq.registry()),
+                pattern.seasons().count()
+            );
+        }
+    }
+
+    // The headline insight of Figure 1: low temperature + high humidity are
+    // seasonally followed by an influenza outbreak.
+    let cold = dseq.registry().label("Temperature", "Low").unwrap();
+    let humid = dseq.registry().label("Humidity", "High").unwrap();
+    let outbreak = dseq.registry().label("InfluenzaCases", "High").unwrap();
+    let winter_pattern_found = report.patterns().iter().any(|p| {
+        let events = p.pattern().events();
+        events.contains(&cold) && events.contains(&humid) && events.contains(&outbreak)
+    });
+    println!(
+        "\n`Low Temperature / High Humidity -> High Influenza` found: {winter_pattern_found}"
+    );
+}

@@ -1,0 +1,72 @@
+//! Quickstart: mine seasonal temporal patterns from a handful of raw series.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! The example rebuilds the paper's running example (Table II: five
+//! appliances sampled every 5 minutes), maps it to 15-minute granules, and
+//! prints every frequent seasonal temporal pattern found by the exact miner.
+
+use freqstpfts::prelude::*;
+
+fn main() {
+    // Raw energy readings (kW) of five appliances, one value per 5 minutes.
+    // A reading above 0.1 kW means the appliance is ON.
+    let bits_to_values = |bits: &str| -> Vec<f64> {
+        bits.chars()
+            .map(|c| if c == '1' { 1.2 } else { 0.0 })
+            .collect()
+    };
+    let series = vec![
+        TimeSeries::new("Cooker", bits_to_values("110100110000000000111111000000100110000110")),
+        TimeSeries::new("DishWasher", bits_to_values("100100110110000000111111000000100100110110")),
+        TimeSeries::new("FoodProcessor", bits_to_values("001011001001111000000000111111001001001001")),
+        TimeSeries::new("Microwave", bits_to_values("111100111110111111000111111111111000111000")),
+        TimeSeries::new("Nespresso", bits_to_values("110111111110111111000000111111111111111000")),
+    ];
+
+    // Seasonality thresholds: occurrences at most 2 granules apart belong to
+    // the same season, a season needs at least 2 occurrences, consecutive
+    // seasons must be 3..10 granules apart, and a pattern must have at least
+    // 2 seasons to be reported.
+    let config = StpmConfig {
+        max_period: Threshold::Absolute(2),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (3, 10),
+        min_season: 2,
+        max_pattern_len: 3,
+        ..StpmConfig::default()
+    };
+
+    let outcome = freqstpfts::mine_seasonal_patterns(
+        &series,
+        &ThresholdSymbolizer::binary(0.1, "Off", "On"),
+        3, // three 5-minute samples per 15-minute granule
+        &config,
+    )
+    .expect("the example data is valid");
+
+    println!(
+        "D_SEQ has {} granules built from {} series",
+        outcome.dseq.num_granules(),
+        outcome.dsyb.num_series()
+    );
+    println!(
+        "Frequent seasonal single events: {}",
+        outcome.report.events().len()
+    );
+    for event in outcome.report.events() {
+        println!(
+            "  {:<22} support={:<3} seasons={}",
+            outcome.dseq.registry().display(event.label),
+            event.support.len(),
+            event.seasons.count()
+        );
+    }
+    println!(
+        "Frequent seasonal temporal patterns: {}",
+        outcome.report.patterns().len()
+    );
+    for pattern in outcome.report.patterns() {
+        println!("  {}", pattern.display(outcome.dseq.registry()));
+    }
+}

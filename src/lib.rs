@@ -1,0 +1,185 @@
+//! # FreqSTPfTS — Frequent Seasonal Temporal Pattern Mining from Time Series
+//!
+//! A Rust implementation of the FreqSTPfTS system from
+//! *"Mining Seasonal Temporal Patterns in Time Series"* (ICDE 2023):
+//! the exact miner **E-STPM**, the mutual-information-based approximate miner
+//! **A-STPM**, the **APS-growth** baseline, the data-transformation
+//! substrate, and the synthetic workload generators used by the evaluation
+//! harness.
+//!
+//! This facade crate re-exports the public API of the workspace crates and
+//! adds a small pipeline helper for the common "raw series in, seasonal
+//! patterns out" case.
+//!
+//! ```
+//! use freqstpfts::prelude::*;
+//!
+//! // 1. Raw time series (two appliances sampled every 5 minutes).
+//! let series = vec![
+//!     TimeSeries::new("Cooker", vec![1.8, 1.2, 0.0, 1.1, 0.0, 0.0, 1.3, 1.4, 0.0, 0.0, 0.0, 0.0]),
+//!     TimeSeries::new("Dishes", vec![2.0, 0.0, 0.0, 1.4, 0.0, 0.0, 1.2, 1.5, 0.0, 1.2, 1.1, 0.0]),
+//! ];
+//!
+//! // 2. Configure thresholds and mine, mapping 3 raw samples per granule.
+//! let config = StpmConfig {
+//!     max_period: Threshold::Absolute(2),
+//!     min_density: Threshold::Absolute(2),
+//!     dist_interval: (1, 10),
+//!     min_season: 1,
+//!     ..StpmConfig::default()
+//! };
+//! let outcome = mine_seasonal_patterns(
+//!     &series,
+//!     &ThresholdSymbolizer::binary(0.5, "Off", "On"),
+//!     3,
+//!     &config,
+//! ).unwrap();
+//! assert!(outcome.report.total_patterns() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use stpm_approx as approx;
+pub use stpm_baseline as baseline;
+pub use stpm_core as core;
+pub use stpm_datagen as datagen;
+pub use stpm_timeseries as timeseries;
+
+use stpm_core::{MiningReport, StpmConfig, StpmMiner};
+use stpm_timeseries::{SequenceDatabase, SymbolicDatabase, Symbolizer, TimeSeries};
+
+/// The most commonly used items of the whole workspace, importable with a
+/// single `use freqstpfts::prelude::*`.
+pub mod prelude {
+    pub use crate::{mine_seasonal_patterns, MiningOutcome};
+    pub use stpm_approx::{accuracy, AStpmConfig, AStpmMiner, AStpmReport};
+    pub use stpm_baseline::{ApsGrowth, ApsGrowthReport};
+    pub use stpm_core::{
+        MinedPattern, MiningReport, PruningMode, RelationKind, StpmConfig, StpmMiner,
+        TemporalPattern, Threshold,
+    };
+    pub use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+    pub use stpm_timeseries::{
+        Alphabet, EqualWidthSymbolizer, EventLabel, QuantileSymbolizer, SaxSymbolizer,
+        SequenceDatabase, SymbolicDatabase, SymbolicSeries, Symbolizer, ThresholdSymbolizer,
+        TimeSeries,
+    };
+}
+
+/// Everything the end-to-end pipeline produces: the intermediate databases
+/// (useful for inspection and for running the other miners on the same data)
+/// plus the exact miner's report.
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// The symbolic database `D_SYB` built from the raw series.
+    pub dsyb: SymbolicDatabase,
+    /// The temporal sequence database `D_SEQ`.
+    pub dseq: SequenceDatabase,
+    /// The frequent seasonal events and patterns found by E-STPM.
+    pub report: MiningReport,
+}
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The data-transformation phase failed.
+    Transform(stpm_timeseries::Error),
+    /// The mining phase failed.
+    Mining(stpm_core::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Transform(e) => write!(f, "data transformation failed: {e}"),
+            PipelineError::Mining(e) => write!(f, "mining failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Runs the full FreqSTPfTS pipeline on raw time series: symbolization with
+/// `symbolizer`, sequence mapping with factor `mapping_factor`, and exact
+/// seasonal temporal pattern mining with `config`.
+///
+/// # Errors
+/// Propagates validation errors from either phase.
+pub fn mine_seasonal_patterns<S: Symbolizer>(
+    series: &[TimeSeries],
+    symbolizer: &S,
+    mapping_factor: u64,
+    config: &StpmConfig,
+) -> Result<MiningOutcome, PipelineError> {
+    let dsyb =
+        SymbolicDatabase::from_series(series, symbolizer).map_err(PipelineError::Transform)?;
+    let dseq = dsyb
+        .to_sequence_database(mapping_factor)
+        .map_err(PipelineError::Transform)?;
+    let report = StpmMiner::new(&dseq, config)
+        .map_err(PipelineError::Mining)?
+        .mine();
+    Ok(MiningOutcome { dsyb, dseq, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::PipelineError;
+
+    #[test]
+    fn pipeline_mines_the_quickstart_example() {
+        let series = vec![
+            TimeSeries::new("A", vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]),
+            TimeSeries::new("B", vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]),
+        ];
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (1, 10),
+            min_season: 1,
+            ..StpmConfig::default()
+        };
+        let outcome = mine_seasonal_patterns(
+            &series,
+            &ThresholdSymbolizer::binary(0.5, "0", "1"),
+            3,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(outcome.dseq.num_granules(), 3);
+        assert!(outcome.report.total_patterns() > 0);
+    }
+
+    #[test]
+    fn pipeline_surfaces_transform_errors() {
+        let config = StpmConfig::default();
+        let err = mine_seasonal_patterns(
+            &[TimeSeries::new("empty", vec![])],
+            &ThresholdSymbolizer::binary(0.5, "0", "1"),
+            3,
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Transform(_)));
+        assert!(err.to_string().contains("transformation"));
+    }
+
+    #[test]
+    fn pipeline_surfaces_mining_errors() {
+        let series = vec![TimeSeries::new("A", vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0])];
+        let config = StpmConfig {
+            min_season: 0,
+            ..StpmConfig::default()
+        };
+        let err = mine_seasonal_patterns(
+            &series,
+            &ThresholdSymbolizer::binary(0.5, "0", "1"),
+            3,
+            &config,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::Mining(_)));
+        assert!(err.to_string().contains("mining"));
+    }
+}

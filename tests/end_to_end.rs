@@ -1,0 +1,186 @@
+//! Cross-crate integration tests: the full pipeline from raw time series to
+//! frequent seasonal temporal patterns, exercised through the facade crate,
+//! with the three miners compared on the same data.
+
+use freqstpfts::prelude::*;
+
+/// The paper's running example (Table II) as raw energy readings.
+fn paper_series() -> Vec<TimeSeries> {
+    let rows: &[(&str, &str)] = &[
+        ("C", "110100110000000000111111000000100110000110"),
+        ("D", "100100110110000000111111000000100100110110"),
+        ("F", "001011001001111000000000111111001001001001"),
+        ("M", "111100111110111111000111111111111000111000"),
+        ("N", "110111111110111111000000111111111111111000"),
+    ];
+    rows.iter()
+        .map(|(name, bits)| {
+            TimeSeries::new(
+                *name,
+                bits.chars()
+                    .map(|c| if c == '1' { 1.5 } else { 0.0 })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn paper_config() -> StpmConfig {
+    StpmConfig {
+        max_period: Threshold::Absolute(2),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (3, 10),
+        min_season: 2,
+        max_pattern_len: 3,
+        ..StpmConfig::default()
+    }
+}
+
+#[test]
+fn full_pipeline_reproduces_the_paper_running_example() {
+    let outcome = freqstpfts::mine_seasonal_patterns(
+        &paper_series(),
+        &ThresholdSymbolizer::binary(0.1, "0", "1"),
+        3,
+        &paper_config(),
+    )
+    .expect("the running example is valid");
+
+    assert_eq!(outcome.dsyb.num_series(), 5);
+    assert_eq!(outcome.dseq.num_granules(), 14);
+
+    // The headline pattern of the paper: C:1 contains D:1, with support
+    // {H1,H2,H3,H7,H8,H11,H12,H14}.
+    let c1 = outcome.dseq.registry().label("C", "1").unwrap();
+    let d1 = outcome.dseq.registry().label("D", "1").unwrap();
+    let target = TemporalPattern::pair([c1, d1], RelationKind::Contains, false);
+    let found = outcome
+        .report
+        .patterns()
+        .iter()
+        .find(|p| p.pattern() == &target)
+        .expect("C:1 ≽ D:1 must be frequent");
+    assert_eq!(found.support(), &[1, 2, 3, 7, 8, 11, 12, 14]);
+}
+
+#[test]
+fn exact_and_baseline_agree_on_strongly_seasonal_patterns() {
+    let outcome = freqstpfts::mine_seasonal_patterns(
+        &paper_series(),
+        &ThresholdSymbolizer::binary(0.1, "0", "1"),
+        3,
+        &paper_config(),
+    )
+    .unwrap();
+    let baseline = ApsGrowth::new(&outcome.dseq, &paper_config())
+        .unwrap()
+        .mine();
+
+    // Everything the baseline reports must also be reported by E-STPM.
+    for pattern in baseline.report.patterns() {
+        assert!(outcome.report.contains_pattern(pattern.pattern()));
+    }
+    // And the baseline does find the headline pattern here.
+    assert!(baseline.report.total_patterns() > 0);
+}
+
+#[test]
+fn approximate_miner_matches_exact_when_nothing_is_pruned() {
+    let dsyb = SymbolicDatabase::from_series(
+        &paper_series(),
+        &ThresholdSymbolizer::binary(0.1, "0", "1"),
+    )
+    .unwrap();
+    let dseq = dsyb.to_sequence_database(3).unwrap();
+    let exact = StpmMiner::new(&dseq, &paper_config()).unwrap().mine();
+
+    let approx = AStpmMiner::new(&dsyb, 3, &AStpmConfig::new(paper_config()).with_mu(0.0))
+        .unwrap()
+        .mine()
+        .unwrap();
+    let acc = accuracy(&exact, dsyb.registry(), approx.report(), approx.registry());
+    assert!((acc - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn generated_datasets_flow_through_all_three_miners() {
+    let spec = DatasetSpec::real(DatasetProfile::HandFootMouth)
+        .scaled_to(8, 240)
+        .with_seed(5);
+    let data = generate(&spec);
+    let dseq = data.dseq().unwrap();
+    let config = StpmConfig {
+        max_period: Threshold::Fraction(0.01),
+        min_density: Threshold::Fraction(0.0075),
+        dist_interval: DatasetProfile::HandFootMouth.dist_interval(),
+        min_season: 2,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    };
+
+    let exact = StpmMiner::new(&dseq, &config).unwrap().mine();
+    let approx = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config.clone()))
+        .unwrap()
+        .mine()
+        .unwrap();
+    let baseline = ApsGrowth::new(&dseq, &config).unwrap().mine();
+
+    // The exact miner dominates both others in recall on the same thresholds.
+    assert!(exact.total_patterns() >= approx.report().total_patterns());
+    for p in baseline.report.patterns() {
+        assert!(exact.contains_pattern(p.pattern()));
+    }
+    // The generated workload is genuinely seasonal: patterns exist.
+    assert!(exact.total_patterns() > 0);
+}
+
+#[test]
+fn pruning_modes_are_output_equivalent_on_generated_data() {
+    let spec = DatasetSpec::real(DatasetProfile::SmartCity)
+        .scaled_to(7, 208)
+        .with_seed(3);
+    let data = generate(&spec);
+    let dseq = data.dseq().unwrap();
+    let base = StpmConfig {
+        max_period: Threshold::Fraction(0.01),
+        min_density: Threshold::Fraction(0.01),
+        dist_interval: DatasetProfile::SmartCity.dist_interval(),
+        min_season: 2,
+        max_pattern_len: 3,
+        ..StpmConfig::default()
+    };
+    let mut totals = Vec::new();
+    for mode in PruningMode::all_modes() {
+        let report = StpmMiner::new(&dseq, &base.clone().with_pruning(mode))
+            .unwrap()
+            .mine();
+        totals.push(report.total_patterns());
+    }
+    assert!(totals.windows(2).all(|w| w[0] == w[1]), "{totals:?}");
+}
+
+#[test]
+fn mining_at_different_granularities_is_consistent() {
+    // Definition 3.11: different sequence mappings give different D_SEQ; the
+    // miner must work at every granularity and coarser granularities cannot
+    // have more granules.
+    let series = paper_series();
+    let symbolizer = ThresholdSymbolizer::binary(0.1, "0", "1");
+    let dsyb = SymbolicDatabase::from_series(&series, &symbolizer).unwrap();
+    let mut previous_granules = u64::MAX;
+    for m in [1u64, 2, 3, 6] {
+        let dseq = dsyb.to_sequence_database(m).unwrap();
+        assert!(dseq.num_granules() <= previous_granules);
+        previous_granules = dseq.num_granules();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (1, 20),
+            min_season: 1,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        };
+        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        assert!(report.stats().num_granules == dseq.num_granules());
+    }
+}

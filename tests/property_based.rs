@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) on the core invariants of the system:
+//! support-set algebra, season extraction, the anti-monotone `maxSeason`
+//! bound, relation classification, information-theoretic quantities and the
+//! end-to-end completeness of the pruning techniques.
+
+use proptest::prelude::*;
+
+use freqstpfts::core::season::{find_seasons, near_support_sets};
+use freqstpfts::core::support::{insert_sorted, intersect, union};
+use freqstpfts::core::{classify_relation, PruningMode, StpmConfig, StpmMiner, Threshold};
+use freqstpfts::prelude::*;
+use freqstpfts::timeseries::Interval;
+
+/// Strategy for a sorted, deduplicated support set over small granule ids.
+fn support_set() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(1u64..200, 0..60).prop_map(|s| s.into_iter().collect())
+}
+
+fn resolved(max_period: u64, min_density: u64, dist: (u64, u64), min_season: u64) -> freqstpfts::core::ResolvedConfig {
+    StpmConfig {
+        max_period: Threshold::Absolute(max_period),
+        min_density: Threshold::Absolute(min_density),
+        dist_interval: dist,
+        min_season,
+        ..StpmConfig::default()
+    }
+    .resolve(200)
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_is_subset_of_both(a in support_set(), b in support_set()) {
+        let i = intersect(&a, &b);
+        prop_assert!(i.iter().all(|x| a.contains(x)));
+        prop_assert!(i.iter().all(|x| b.contains(x)));
+        prop_assert!(i.windows(2).all(|w| w[0] < w[1]));
+        // Commutativity.
+        prop_assert_eq!(i, intersect(&b, &a));
+    }
+
+    #[test]
+    fn union_contains_both_inputs(a in support_set(), b in support_set()) {
+        let u = union(&a, &b);
+        prop_assert!(a.iter().all(|x| u.contains(x)));
+        prop_assert!(b.iter().all(|x| u.contains(x)));
+        prop_assert!(u.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(u.len() <= a.len() + b.len());
+    }
+
+    #[test]
+    fn insert_sorted_preserves_invariants(a in support_set(), extra in proptest::collection::vec(1u64..200, 0..20)) {
+        let mut set = a.clone();
+        for g in &extra {
+            insert_sorted(&mut set, *g);
+        }
+        prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(extra.iter().all(|g| set.contains(g)));
+        prop_assert!(a.iter().all(|g| set.contains(g)));
+    }
+
+    #[test]
+    fn near_support_sets_partition_the_support(support in support_set(), max_period in 1u64..10) {
+        let sets = near_support_sets(&support, max_period);
+        let flattened: Vec<u64> = sets.iter().flatten().copied().collect();
+        prop_assert_eq!(flattened, support.clone());
+        for set in &sets {
+            prop_assert!(set.windows(2).all(|w| w[1] - w[0] <= max_period));
+        }
+        // Gaps between consecutive near sets exceed maxPeriod.
+        for pair in sets.windows(2) {
+            let last = *pair[0].last().unwrap();
+            let first = *pair[1].first().unwrap();
+            prop_assert!(first - last > max_period);
+        }
+    }
+
+    #[test]
+    fn seasons_respect_density_and_count_bounds(
+        support in support_set(),
+        max_period in 1u64..8,
+        min_density in 1u64..6,
+        min_season in 1u64..5,
+    ) {
+        let config = resolved(max_period, min_density, (2, 50), min_season);
+        let seasons = find_seasons(&support, &config);
+        // Every season is dense enough and is made of support granules.
+        for season in seasons.seasons() {
+            prop_assert!(season.len() as u64 >= min_density);
+            prop_assert!(season.iter().all(|g| support.contains(g)));
+        }
+        // The seasonal-occurrence count is bounded by the number of seasons
+        // and by the anti-monotone maxSeason bound of Equation (1).
+        prop_assert!(seasons.count() as usize <= seasons.seasons().len());
+        let max_season = support.len() as f64 / min_density as f64;
+        prop_assert!((seasons.count() as f64) <= max_season + 1e-9);
+    }
+
+    #[test]
+    fn max_season_is_anti_monotone_under_subsets(a in support_set(), b in support_set()) {
+        // SUP(P) ⊆ SUP(P') implies maxSeason(P) <= maxSeason(P') (Lemma 1).
+        let config = resolved(3, 2, (2, 50), 2);
+        let sub = intersect(&a, &b);
+        prop_assert!(config.max_season(sub.len()) <= config.max_season(a.len()) + 1e-9);
+        prop_assert!(config.max_season(sub.len()) <= config.max_season(b.len()) + 1e-9);
+    }
+
+    #[test]
+    fn relation_classification_is_deterministic_and_exclusive(
+        s1 in 1u64..50, len1 in 0u64..10, s2 in 1u64..50, len2 in 0u64..10, eps in 0u64..3,
+    ) {
+        let a = Interval::new(s1, s1 + len1);
+        let b = Interval::new(s2, s2 + len2);
+        let (first, second) = if (a.start, std::cmp::Reverse(a.end)) <= (b.start, std::cmp::Reverse(b.end)) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let r1 = classify_relation(&first, &second, eps, 1);
+        let r2 = classify_relation(&first, &second, eps, 1);
+        prop_assert_eq!(r1, r2);
+        // With d_o = 1 every ordered pair must classify into exactly one of
+        // the three relations (the classifier is total for min_overlap = 1).
+        prop_assert!(r1.is_some());
+    }
+
+    #[test]
+    fn nmi_is_bounded_and_reflexive(bits in proptest::collection::vec(0u16..2, 16..128)) {
+        use freqstpfts::approx::normalized_mi;
+        use freqstpfts::timeseries::{Alphabet, SymbolicSeries};
+        use freqstpfts::timeseries::SymbolId;
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let series = SymbolicSeries::new(
+            "X".into(),
+            bits.iter().map(|b| SymbolId(*b)).collect(),
+            alphabet.clone(),
+        );
+        let shifted = SymbolicSeries::new(
+            "Y".into(),
+            bits.iter().rev().map(|b| SymbolId(*b)).collect(),
+            alphabet,
+        );
+        let self_nmi = normalized_mi(&series, &series);
+        let cross_nmi = normalized_mi(&series, &shifted);
+        prop_assert!((0.0..=1.0).contains(&cross_nmi));
+        // A non-constant series fully informs itself.
+        if bits.iter().any(|b| *b == 0) && bits.iter().any(|b| *b == 1) {
+            prop_assert!((self_nmi - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(self_nmi, 0.0);
+        }
+    }
+
+    #[test]
+    fn mu_threshold_is_monotone_in_event_probability(
+        lambda1 in 0.05f64..0.95,
+        min_season in 1u64..20,
+        min_density in 1u64..10,
+    ) {
+        use freqstpfts::approx::mu_threshold;
+        let mu_rare = mu_threshold(lambda1, 0.05, min_season, min_density, 1000);
+        let mu_common = mu_threshold(lambda1, 0.6, min_season, min_density, 1000);
+        prop_assert!((0.0..=1.0).contains(&mu_rare));
+        prop_assert!((0.0..=1.0).contains(&mu_common));
+        prop_assert!(mu_rare + 1e-9 >= mu_common);
+    }
+}
+
+proptest! {
+    // Mining whole random databases is more expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pruning_never_changes_the_mined_output(
+        seed in 0u64..1000,
+        min_season in 1u64..3,
+        min_density in 2u64..4,
+    ) {
+        let spec = DatasetSpec::real(DatasetProfile::Influenza)
+            .scaled_to(5, 120)
+            .with_seed(seed);
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(4),
+            min_density: Threshold::Absolute(min_density),
+            dist_interval: (3, 60),
+            min_season,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        };
+        let mut counts = Vec::new();
+        for mode in PruningMode::all_modes() {
+            let report = StpmMiner::new(&dseq, &config.clone().with_pruning(mode))
+                .unwrap()
+                .mine();
+            counts.push((report.events().len(), report.patterns().len()));
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{:?}", counts);
+    }
+
+    #[test]
+    fn every_reported_pattern_satisfies_the_seasonality_constraints(
+        seed in 0u64..500,
+    ) {
+        let spec = DatasetSpec::real(DatasetProfile::SmartCity)
+            .scaled_to(5, 104)
+            .with_seed(seed);
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(3),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (2, 40),
+            min_season: 2,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        };
+        let resolved = config.resolve(dseq.num_granules()).unwrap();
+        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        for pattern in report.patterns() {
+            // Season count respects minSeason and every season is dense enough.
+            prop_assert!(pattern.seasons().count() >= resolved.min_season);
+            for season in pattern.seasons().seasons() {
+                prop_assert!(season.len() as u64 >= resolved.min_density);
+                prop_assert!(season.windows(2).all(|w| w[1] - w[0] <= resolved.max_period));
+            }
+            // The support set only references granules where every event of
+            // the pattern occurs.
+            for granule in pattern.support() {
+                let sequence = dseq.sequence_at(*granule).unwrap();
+                for event in pattern.pattern().events() {
+                    prop_assert!(sequence.contains_event(*event));
+                }
+            }
+        }
+    }
+}
