@@ -220,12 +220,9 @@ mod tests {
             alphabet.clone(),
         )
         .unwrap();
-        let y = SymbolicSeries::from_labels(
-            "Y",
-            &["1", "1", "0", "0", "1", "1", "0", "0"],
-            alphabet,
-        )
-        .unwrap();
+        let y =
+            SymbolicSeries::from_labels("Y", &["1", "1", "0", "0", "1", "1", "0", "0"], alphabet)
+                .unwrap();
         let mu = pair_mu_threshold(&x, &y, 2, 2, 8);
         assert!((0.0..=1.0).contains(&mu));
         // The pair threshold can never exceed any single-direction threshold.

@@ -1,7 +1,6 @@
 //! Entropy, conditional entropy, mutual information and normalised mutual
 //! information over symbolic time series (Definitions 5.1–5.3).
 
-use serde::{Deserialize, Serialize};
 use stpm_timeseries::stats::{entropy, JointDistribution};
 use stpm_timeseries::{SeriesId, SymbolicDatabase, SymbolicSeries};
 
@@ -59,7 +58,7 @@ pub fn normalized_mi(x: &SymbolicSeries, y: &SymbolicSeries) -> f64 {
 /// The pairwise NMI values of every ordered pair of series in a symbolic
 /// database. Computed once per database and reused across threshold
 /// configurations (the paper notes MI is computed once per dataset).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NmiMatrix {
     n: usize,
     /// `values[i * n + j]` = `Ĩ(X_i; X_j)`.
@@ -77,8 +76,7 @@ impl NmiMatrix {
                 if i == j {
                     values[i * n + j] = 1.0;
                 } else {
-                    values[i * n + j] =
-                        normalized_mi(&dsyb.series()[i], &dsyb.series()[j]);
+                    values[i * n + j] = normalized_mi(&dsyb.series()[i], &dsyb.series()[j]);
                 }
             }
         }
@@ -190,12 +188,8 @@ mod tests {
         // X has 4 symbols worth of structure folded into 2, Y is coarser; use
         // different alphabets to expose asymmetry.
         let ax = Alphabet::from_strs(&["a", "b", "c", "d"]).unwrap();
-        let x = SymbolicSeries::from_labels(
-            "X",
-            &["a", "b", "c", "d", "a", "b", "c", "d"],
-            ax,
-        )
-        .unwrap();
+        let x = SymbolicSeries::from_labels("X", &["a", "b", "c", "d", "a", "b", "c", "d"], ax)
+            .unwrap();
         let y = series("Y", "00110011");
         let xy = normalized_mi(&x, &y);
         let yx = normalized_mi(&y, &x);

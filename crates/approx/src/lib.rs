@@ -18,15 +18,15 @@
 //! * the Lambert W function used by the bound ([`lambert`]),
 //! * the `maxSeason` lower bound of Theorem 1 and the μ derivation of
 //!   Corollary 1.1 ([`bound`]),
-//! * the approximate miner itself plus the accuracy metric used by the
-//!   evaluation ([`miner`]).
+//! * the approximate mining engine itself ([`miner`]), implementing the
+//!   workspace-wide [`MiningEngine`](stpm_core::MiningEngine) trait.
 //!
 //! ## Example
 //!
 //! ```
 //! use stpm_timeseries::{SymbolicDatabase, SymbolicSeries, Alphabet};
-//! use stpm_core::{StpmConfig, Threshold};
-//! use stpm_approx::{AStpmConfig, AStpmMiner};
+//! use stpm_core::{MiningEngine, MiningInput, StpmConfig, Threshold};
+//! use stpm_approx::AStpmMiner;
 //!
 //! let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
 //! let c = SymbolicSeries::from_labels(
@@ -34,16 +34,18 @@
 //! let d = SymbolicSeries::from_labels(
 //!     "D", &["1","0","0", "1","0","0", "1","1","0", "1","1","0"], alphabet).unwrap();
 //! let dsyb = SymbolicDatabase::new(vec![c, d]).unwrap();
+//! let dseq = dsyb.to_sequence_database(3).unwrap();
 //!
-//! let config = AStpmConfig::new(StpmConfig {
+//! let config = StpmConfig {
 //!     max_period: Threshold::Absolute(2),
 //!     min_density: Threshold::Absolute(2),
 //!     dist_interval: (1, 10),
 //!     min_season: 1,
 //!     ..StpmConfig::default()
-//! });
-//! let report = AStpmMiner::new(&dsyb, 3, &config).unwrap().mine().unwrap();
-//! assert!(report.kept_series().len() <= 2);
+//! };
+//! let input = MiningInput::new(&dsyb, &dseq, 3);
+//! let report = AStpmMiner::new().mine_with(&input, &config).unwrap();
+//! assert!(report.pruning().kept_series.len() <= 2);
 //! ```
 
 #![warn(missing_docs)]
@@ -56,4 +58,4 @@ pub mod miner;
 pub use bound::{max_season_lower_bound, mu_threshold, pair_mu_threshold};
 pub use info::{conditional_entropy, entropy_of, mutual_information, normalized_mi, NmiMatrix};
 pub use lambert::lambert_w0;
-pub use miner::{accuracy, AStpmConfig, AStpmMiner, AStpmReport};
+pub use miner::AStpmMiner;

@@ -1,209 +1,62 @@
-//! The approximate miner A-STPM (Algorithm 2) and the accuracy metric used
-//! to compare it against the exact miner.
+//! The approximate mining engine A-STPM (Algorithm 2).
 //!
 //! A-STPM computes the NMI of every pair of symbolic series once, derives the
-//! μ threshold of Corollary 1.1 from `minSeason` and `minDensity`, keeps only
+//! µ threshold of Corollary 1.1 from `minSeason` and `minDensity`, keeps only
 //! the series that participate in at least one correlated pair, and runs the
 //! exact E-STPM on the reduced database. Everything else (single events,
 //! 2-event patterns, k-event patterns) is inherited from `stpm-core`.
+//!
+//! The engine reports through the unified
+//! [`EngineReport`](stpm_core::EngineReport): the `"mi"` phase carries the
+//! NMI/µ computation time, the pruning summary carries the series/event
+//! pruning ratios of Table XI, and the registry is the registry of the
+//! *projected* database.
 
 use crate::bound::pair_mu_threshold;
 use crate::info::NmiMatrix;
-use serde::{Deserialize, Serialize};
-use std::fmt;
-use std::time::{Duration, Instant};
-use stpm_core::{MiningReport, StpmConfig, StpmMiner};
+use std::time::Instant;
+use stpm_core::engine::{phases, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
+use stpm_core::{EngineReport, MiningReport, ResolvedConfig, StpmMiner};
 use stpm_timeseries::{EventRegistry, SeriesId, SymbolicDatabase};
 
-/// Errors raised by the approximate miner.
-#[derive(Debug, Clone, PartialEq)]
-pub enum AStpmError {
-    /// The data-transformation phase failed (projection or sequence mapping).
-    Transform(stpm_timeseries::Error),
-    /// The exact-mining phase failed (configuration error).
-    Mining(stpm_core::Error),
-}
-
-impl fmt::Display for AStpmError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            AStpmError::Transform(e) => write!(f, "data transformation failed: {e}"),
-            AStpmError::Mining(e) => write!(f, "mining failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for AStpmError {}
-
-impl From<stpm_timeseries::Error> for AStpmError {
-    fn from(e: stpm_timeseries::Error) -> Self {
-        AStpmError::Transform(e)
-    }
-}
-
-impl From<stpm_core::Error> for AStpmError {
-    fn from(e: stpm_core::Error) -> Self {
-        AStpmError::Mining(e)
-    }
-}
-
-/// Configuration of the approximate miner: the exact-miner thresholds plus an
-/// optional explicit μ override (when `None`, μ is derived per series pair
-/// from Corollary 1.1 — the paper's default behaviour).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct AStpmConfig {
-    /// The thresholds passed to the exact miner on the reduced database.
-    pub stpm: StpmConfig,
-    /// Fixed μ threshold; overrides the Corollary 1.1 derivation when set.
+/// The approximate seasonal temporal pattern mining engine.
+///
+/// The engine value carries only its configuration: an optional fixed µ
+/// threshold. When `mu_override` is `None`, µ is derived per series pair from
+/// Corollary 1.1 — the paper's default behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AStpmMiner {
+    /// Fixed µ threshold; overrides the Corollary 1.1 derivation when set.
     pub mu_override: Option<f64>,
 }
 
-impl AStpmConfig {
-    /// Wraps an exact-miner configuration with the derived-μ behaviour.
+impl AStpmMiner {
+    /// The paper's default engine: µ derived from the seasonality thresholds
+    /// through the Lambert-W bound of Theorem 1.
     #[must_use]
-    pub fn new(stpm: StpmConfig) -> Self {
+    pub fn new() -> Self {
+        Self { mu_override: None }
+    }
+
+    /// Uses a fixed µ threshold instead of deriving it.
+    #[must_use]
+    pub fn with_mu(mu: f64) -> Self {
         Self {
-            stpm,
-            mu_override: None,
+            mu_override: Some(mu),
         }
-    }
-
-    /// Uses a fixed μ threshold instead of deriving it.
-    #[must_use]
-    pub fn with_mu(mut self, mu: f64) -> Self {
-        self.mu_override = Some(mu);
-        self
-    }
-}
-
-/// Output of an A-STPM run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct AStpmReport {
-    report: MiningReport,
-    registry: EventRegistry,
-    kept_series: Vec<SeriesId>,
-    pruned_series: Vec<SeriesId>,
-    total_series: usize,
-    pruned_events: usize,
-    total_events: usize,
-    mi_time: Duration,
-    mining_time: Duration,
-}
-
-impl AStpmReport {
-    /// The mining report produced on the reduced database. Event labels refer
-    /// to [`AStpmReport::registry`].
-    #[must_use]
-    pub fn report(&self) -> &MiningReport {
-        &self.report
-    }
-
-    /// Registry of the reduced database (use it to display patterns).
-    #[must_use]
-    pub fn registry(&self) -> &EventRegistry {
-        &self.registry
-    }
-
-    /// Series (ids of the *original* database) kept for mining.
-    #[must_use]
-    pub fn kept_series(&self) -> &[SeriesId] {
-        &self.kept_series
-    }
-
-    /// Series pruned before mining.
-    #[must_use]
-    pub fn pruned_series(&self) -> &[SeriesId] {
-        &self.pruned_series
-    }
-
-    /// Fraction of time series pruned, in percent (Table XI of the paper).
-    #[must_use]
-    pub fn pruned_series_pct(&self) -> f64 {
-        if self.total_series == 0 {
-            0.0
-        } else {
-            100.0 * self.pruned_series.len() as f64 / self.total_series as f64
-        }
-    }
-
-    /// Fraction of events pruned, in percent (Table XI of the paper).
-    #[must_use]
-    pub fn pruned_events_pct(&self) -> f64 {
-        if self.total_events == 0 {
-            0.0
-        } else {
-            100.0 * self.pruned_events as f64 / self.total_events as f64
-        }
-    }
-
-    /// Wall-clock time spent computing MI and μ.
-    #[must_use]
-    pub fn mi_time(&self) -> Duration {
-        self.mi_time
-    }
-
-    /// Wall-clock time spent mining the reduced database.
-    #[must_use]
-    pub fn mining_time(&self) -> Duration {
-        self.mining_time
-    }
-
-    /// Total wall-clock time (MI + mining).
-    #[must_use]
-    pub fn total_time(&self) -> Duration {
-        self.mi_time + self.mining_time
-    }
-}
-
-/// The approximate seasonal temporal pattern miner.
-#[derive(Debug, Clone)]
-pub struct AStpmMiner<'a> {
-    dsyb: &'a SymbolicDatabase,
-    mapping_factor: u64,
-    config: AStpmConfig,
-}
-
-impl<'a> AStpmMiner<'a> {
-    /// Creates a miner over the symbolic database `dsyb`; `mapping_factor` is
-    /// the `m` of the sequence mapping `g : X_S →_m H`.
-    ///
-    /// # Errors
-    /// [`AStpmError::Transform`] when `mapping_factor` does not produce at
-    /// least one granule.
-    pub fn new(
-        dsyb: &'a SymbolicDatabase,
-        mapping_factor: u64,
-        config: &AStpmConfig,
-    ) -> Result<Self, AStpmError> {
-        if mapping_factor == 0 || dsyb.len() as u64 / mapping_factor.max(1) == 0 {
-            return Err(AStpmError::Transform(
-                stpm_timeseries::Error::InvalidGranularity {
-                    reason: format!(
-                        "mapping factor {mapping_factor} produces no complete granule for {} instants",
-                        dsyb.len()
-                    ),
-                },
-            ));
-        }
-        Ok(Self {
-            dsyb,
-            mapping_factor,
-            config: config.clone(),
-        })
     }
 
     /// Identifies the correlated series of the database: the union of all
-    /// pairs whose minimum-direction NMI reaches the pair's μ threshold
+    /// pairs whose minimum-direction NMI reaches the pair's µ threshold
     /// (Definition 5.4 + Corollary 1.1).
     #[must_use]
-    pub fn correlated_series(&self) -> Vec<SeriesId> {
-        let dseq_len = self.dsyb.len() as u64 / self.mapping_factor;
-        let resolved = match self.config.stpm.resolve(dseq_len) {
-            Ok(r) => r,
-            Err(_) => return Vec::new(),
-        };
-        let matrix = NmiMatrix::compute(self.dsyb);
-        let n = self.dsyb.num_series();
+    pub fn correlated_series(
+        &self,
+        dsyb: &SymbolicDatabase,
+        config: &ResolvedConfig,
+    ) -> Vec<SeriesId> {
+        let matrix = NmiMatrix::compute(dsyb);
+        let n = dsyb.num_series();
         let mut keep = vec![false; n];
         for i in 0..n {
             for j in (i + 1)..n {
@@ -211,13 +64,13 @@ impl<'a> AStpmMiner<'a> {
                     SeriesId(u32::try_from(i).expect("series fits u32")),
                     SeriesId(u32::try_from(j).expect("series fits u32")),
                 );
-                let mu = self.config.mu_override.unwrap_or_else(|| {
+                let mu = self.mu_override.unwrap_or_else(|| {
                     pair_mu_threshold(
-                        &self.dsyb.series()[i],
-                        &self.dsyb.series()[j],
-                        resolved.min_season,
-                        resolved.min_density,
-                        dseq_len,
+                        &dsyb.series()[i],
+                        &dsyb.series()[j],
+                        config.min_season,
+                        config.min_density,
+                        config.dseq_len,
                     )
                 });
                 if matrix.min_nmi(si, sj) >= mu {
@@ -228,24 +81,35 @@ impl<'a> AStpmMiner<'a> {
         }
         keep.iter()
             .enumerate()
-            .filter_map(|(i, k)| {
-                k.then(|| SeriesId(u32::try_from(i).expect("series fits u32")))
-            })
+            .filter(|&(_i, k)| *k)
+            .map(|(i, _k)| SeriesId(u32::try_from(i).expect("series fits u32")))
             .collect()
     }
+}
 
-    /// Runs A-STPM: correlated-series detection, projection, exact mining on
-    /// the reduced database.
+impl MiningEngine for AStpmMiner {
+    fn name(&self) -> &'static str {
+        "A-STPM"
+    }
+
+    /// Runs A-STPM: correlated-series detection on `D_SYB`, projection,
+    /// sequence mapping, exact mining on the reduced database.
     ///
     /// # Errors
-    /// Propagates data-transformation and configuration errors.
-    pub fn mine(&self) -> Result<AStpmReport, AStpmError> {
+    /// Propagates data-transformation errors of the projection and mapping as
+    /// [`Error::Transform`](stpm_core::Error::Transform).
+    fn mine(
+        &self,
+        input: &MiningInput<'_>,
+        config: &ResolvedConfig,
+    ) -> stpm_core::Result<EngineReport> {
+        let dsyb = input.dsyb();
         let mi_start = Instant::now();
-        let kept = self.correlated_series();
+        let kept = self.correlated_series(dsyb, config);
         let mi_time = mi_start.elapsed();
 
-        let total_series = self.dsyb.num_series();
-        let total_events = self.dsyb.registry().num_events();
+        let total_series = dsyb.num_series();
+        let total_events = dsyb.registry().num_events();
         let kept_set: Vec<u32> = kept.iter().map(|s| s.0).collect();
         let pruned_series: Vec<SeriesId> = (0..total_series)
             .map(|i| SeriesId(u32::try_from(i).expect("series fits u32")))
@@ -253,85 +117,48 @@ impl<'a> AStpmMiner<'a> {
             .collect();
         let pruned_events: usize = pruned_series
             .iter()
-            .map(|s| {
-                self.dsyb
-                    .registry()
-                    .alphabet(*s)
-                    .map_or(0, <[String]>::len)
-            })
+            .map(|s| dsyb.registry().alphabet(*s).map_or(0, <[String]>::len))
             .sum();
 
         let mining_start = Instant::now();
         let (report, registry) = if kept.is_empty() {
             (MiningReport::default(), EventRegistry::new())
         } else {
-            let projected = self.dsyb.project(&kept)?;
-            let dseq = projected.to_sequence_database(self.mapping_factor)?;
-            let report = StpmMiner::new(&dseq, &self.config.stpm)?.mine();
+            let projected = dsyb.project(&kept)?;
+            let dseq = projected.to_sequence_database(input.mapping_factor())?;
+            // Projection preserves the granule count, so the resolved
+            // thresholds of the original database remain valid.
+            let report = StpmMiner::mine_sequences_resolved(&dseq, config);
             (report, projected.registry().clone())
         };
         let mining_time = mining_start.elapsed();
 
-        Ok(AStpmReport {
+        let memory = report.stats().peak_footprint_bytes;
+        Ok(EngineReport::new(
+            self.name(),
             report,
             registry,
-            kept_series: kept,
-            pruned_series,
-            total_series,
-            pruned_events,
-            total_events,
-            mi_time,
-            mining_time,
-        })
+            vec![
+                PhaseTiming::new(phases::MI, mi_time),
+                PhaseTiming::new(phases::PATTERNS, mining_time),
+            ],
+            PruningSummary {
+                kept_series: kept,
+                pruned_series,
+                total_series,
+                pruned_events,
+                total_events,
+                candidate_itemsets: 0,
+            },
+            memory,
+        ))
     }
-}
-
-/// Accuracy of an approximate result w.r.t. the exact result, in percent:
-/// the fraction of exact frequent seasonal patterns (events and k-event
-/// patterns) that the approximate run also found. Patterns are compared by
-/// their human-readable rendering so that reports produced over different
-/// (projected) registries remain comparable. An empty exact result counts as
-/// 100% accuracy.
-#[must_use]
-pub fn accuracy(
-    exact: &MiningReport,
-    exact_registry: &EventRegistry,
-    approx: &MiningReport,
-    approx_registry: &EventRegistry,
-) -> f64 {
-    let exact_set: std::collections::BTreeSet<String> = exact
-        .events()
-        .iter()
-        .map(|e| exact_registry.display(e.label))
-        .chain(
-            exact
-                .patterns()
-                .iter()
-                .map(|p| p.pattern().display(exact_registry)),
-        )
-        .collect();
-    if exact_set.is_empty() {
-        return 100.0;
-    }
-    let approx_set: std::collections::BTreeSet<String> = approx
-        .events()
-        .iter()
-        .map(|e| approx_registry.display(e.label))
-        .chain(
-            approx
-                .patterns()
-                .iter()
-                .map(|p| p.pattern().display(approx_registry)),
-        )
-        .collect();
-    let hit = exact_set.intersection(&approx_set).count();
-    100.0 * hit as f64 / exact_set.len() as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stpm_core::Threshold;
+    use stpm_core::{accuracy, StpmConfig, Threshold};
     use stpm_timeseries::{Alphabet, SymbolicSeries};
 
     /// Builds a database with two strongly correlated series (C and D share
@@ -353,26 +180,37 @@ mod tests {
                 .collect();
             SymbolicSeries::from_labels(name, &labels, alphabet.clone()).unwrap()
         };
-        SymbolicDatabase::new(vec![make("C", c), make("D", d), make("F", &f), make("Z", z)])
-            .unwrap()
+        SymbolicDatabase::new(vec![
+            make("C", c),
+            make("D", d),
+            make("F", &f),
+            make("Z", z),
+        ])
+        .unwrap()
     }
 
-    fn config() -> AStpmConfig {
-        AStpmConfig::new(StpmConfig {
+    fn config() -> StpmConfig {
+        StpmConfig {
             max_period: Threshold::Absolute(2),
             min_density: Threshold::Absolute(2),
             dist_interval: (3, 10),
             min_season: 2,
             max_pattern_len: 2,
             ..StpmConfig::default()
-        })
+        }
+    }
+
+    fn mine(dsyb: &SymbolicDatabase, engine: &AStpmMiner) -> EngineReport {
+        let dseq = dsyb.to_sequence_database(3).unwrap();
+        let input = MiningInput::new(dsyb, &dseq, 3);
+        engine.mine_with(&input, &config()).unwrap()
     }
 
     #[test]
     fn correlated_series_keeps_the_coupled_appliances() {
         let dsyb = sample_dsyb();
-        let miner = AStpmMiner::new(&dsyb, 3, &config()).unwrap();
-        let kept = miner.correlated_series();
+        let resolved = config().resolve(14).unwrap();
+        let kept = AStpmMiner::new().correlated_series(&dsyb, &resolved);
         // C (0) and F (2) are perfect mirrors → NMI 1.0, always kept.
         assert!(kept.contains(&SeriesId(0)));
         assert!(kept.contains(&SeriesId(2)));
@@ -381,41 +219,32 @@ mod tests {
     #[test]
     fn mu_override_zero_keeps_everything() {
         let dsyb = sample_dsyb();
-        let cfg = config().with_mu(0.0);
-        let miner = AStpmMiner::new(&dsyb, 3, &cfg).unwrap();
-        assert_eq!(miner.correlated_series().len(), 4);
-        let report = miner.mine().unwrap();
-        assert!(report.pruned_series().is_empty());
-        assert_eq!(report.pruned_series_pct(), 0.0);
-        assert_eq!(report.pruned_events_pct(), 0.0);
+        let report = mine(&dsyb, &AStpmMiner::with_mu(0.0));
+        assert!(report.pruning().pruned_series.is_empty());
+        assert_eq!(report.pruning().kept_series.len(), 4);
+        assert_eq!(report.pruning().pruned_series_pct(), 0.0);
+        assert_eq!(report.pruning().pruned_events_pct(), 0.0);
     }
 
     #[test]
     fn impossible_mu_prunes_everything() {
         let dsyb = sample_dsyb();
-        let cfg = config().with_mu(1.1);
-        let miner = AStpmMiner::new(&dsyb, 3, &cfg).unwrap();
-        let report = miner.mine().unwrap();
-        assert!(report.kept_series().is_empty());
-        assert_eq!(report.pruned_series().len(), 4);
-        assert_eq!(report.report().total_patterns(), 0);
-        assert!((report.pruned_series_pct() - 100.0).abs() < 1e-12);
-        assert!(report.total_time() >= report.mining_time());
+        let report = mine(&dsyb, &AStpmMiner::with_mu(1.1));
+        assert!(report.pruning().kept_series.is_empty());
+        assert_eq!(report.pruning().pruned_series.len(), 4);
+        assert_eq!(report.total_patterns(), 0);
+        assert!((report.pruning().pruned_series_pct() - 100.0).abs() < 1e-12);
+        assert!(report.total_time() >= report.phase_time(phases::MI));
     }
 
     #[test]
     fn approx_mining_reaches_high_accuracy_on_correlated_data() {
         let dsyb = sample_dsyb();
         let dseq = dsyb.to_sequence_database(3).unwrap();
-        let exact = StpmMiner::new(&dseq, &config().stpm).unwrap().mine();
-
-        let approx = AStpmMiner::new(&dsyb, 3, &config()).unwrap().mine().unwrap();
-        let acc = accuracy(
-            &exact,
-            dsyb.registry(),
-            approx.report(),
-            approx.registry(),
-        );
+        let input = MiningInput::new(&dsyb, &dseq, 3);
+        let exact = StpmMiner.mine_with(&input, &config()).unwrap();
+        let approx = AStpmMiner::new().mine_with(&input, &config()).unwrap();
+        let acc = accuracy(&exact, &approx);
         assert!((0.0..=100.0).contains(&acc));
         // A-STPM trades a small accuracy loss for speed; it must still find a
         // non-trivial share of the exact output on correlated data.
@@ -428,52 +257,42 @@ mod tests {
         // E-STPM and the accuracy is exactly 100%.
         let dsyb = sample_dsyb();
         let dseq = dsyb.to_sequence_database(3).unwrap();
-        let exact = StpmMiner::new(&dseq, &config().stpm).unwrap().mine();
-        let approx = AStpmMiner::new(&dsyb, 3, &config().with_mu(0.0))
-            .unwrap()
-            .mine()
+        let input = MiningInput::new(&dsyb, &dseq, 3);
+        let exact = StpmMiner.mine_with(&input, &config()).unwrap();
+        let approx = AStpmMiner::with_mu(0.0)
+            .mine_with(&input, &config())
             .unwrap();
-        let acc = accuracy(&exact, dsyb.registry(), approx.report(), approx.registry());
+        let acc = accuracy(&exact, &approx);
         assert!((acc - 100.0).abs() < 1e-12);
-        assert_eq!(approx.report().total_patterns(), exact.total_patterns());
+        assert_eq!(approx.total_patterns(), exact.total_patterns());
     }
 
     #[test]
     fn accuracy_of_identical_reports_is_100() {
         let dsyb = sample_dsyb();
-        let dseq = dsyb.to_sequence_database(3).unwrap();
-        let exact = StpmMiner::new(&dseq, &config().stpm).unwrap().mine();
-        let acc = accuracy(&exact, dsyb.registry(), &exact, dsyb.registry());
-        assert!((acc - 100.0).abs() < 1e-12);
+        let report = mine(&dsyb, &AStpmMiner::new());
+        assert!((accuracy(&report, &report) - 100.0).abs() < 1e-12);
     }
 
     #[test]
-    fn accuracy_of_empty_exact_result_is_100() {
-        let exact = MiningReport::default();
-        let approx = MiningReport::default();
-        let reg = EventRegistry::new();
-        assert!((accuracy(&exact, &reg, &approx, &reg) - 100.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn invalid_mapping_factor_is_rejected() {
+    #[should_panic(expected = "dseq was built with mapping factor 3")]
+    fn inconsistent_mapping_factor_is_rejected_at_construction() {
+        // A bundle whose mapping factor does not match the one dseq was built
+        // with would make A-STPM silently re-map a different database, so
+        // MiningInput rejects it up front.
         let dsyb = sample_dsyb();
-        assert!(AStpmMiner::new(&dsyb, 0, &config()).is_err());
-        assert!(AStpmMiner::new(&dsyb, 1000, &config()).is_err());
-    }
-
-    #[test]
-    fn error_display_covers_both_variants() {
-        let t: AStpmError = stpm_timeseries::Error::EmptySeries { name: "X".into() }.into();
-        assert!(t.to_string().contains("transformation"));
-        let m: AStpmError = stpm_core::Error::EmptyDatabase.into();
-        assert!(m.to_string().contains("mining"));
+        let dseq = dsyb.to_sequence_database(3).unwrap();
+        let _ = MiningInput::new(&dsyb, &dseq, 1000);
     }
 
     #[test]
     fn report_time_components_are_consistent() {
         let dsyb = sample_dsyb();
-        let report = AStpmMiner::new(&dsyb, 3, &config()).unwrap().mine().unwrap();
-        assert_eq!(report.total_time(), report.mi_time() + report.mining_time());
+        let report = mine(&dsyb, &AStpmMiner::new());
+        assert_eq!(
+            report.total_time(),
+            report.phase_time(phases::MI) + report.phase_time(phases::PATTERNS)
+        );
+        assert_eq!(report.engine(), "A-STPM");
     }
 }

@@ -1,82 +1,124 @@
 //! APS-growth: the 2-phase adaptation of PS-growth to seasonal temporal
 //! pattern mining, used as the experimental baseline.
 //!
-//! * **Phase 1** mines periodic-frequent itemsets over the transactional view
-//!   of `D_SEQ` with `minSup = minSeason · minDensity` (a seasonal pattern
-//!   must occur at least that often) and
-//!   `maxPer = max(maxPeriod, distmax)` (occurrences may be separated by at
-//!   most one inter-season gap).
+//! * **Phase 1** mines frequent itemsets over the transactional view of
+//!   `D_SEQ` with `minSup = minSeason · minDensity` — a seasonal pattern must
+//!   occur at least that often, so the support threshold is a *necessary*
+//!   condition and phase 1 never loses a seasonal pattern. PS-growth's
+//!   periodicity constraint is deliberately disabled (`maxPer = |D_SEQ|`):
+//!   a seasonal support set may contain stray occurrences arbitrarily far
+//!   from any season, so no finite gap bound is a necessary condition, and a
+//!   tighter `maxPer` would make the baseline miss patterns E-STPM finds.
 //! * **Phase 2** turns each periodic itemset into temporal patterns by
 //!   re-scanning its supporting granules, classifying the pairwise relations
 //!   of every instance combination, and applying the same season checks as
 //!   STPM.
 //!
-//! The output is reported with the same [`MiningReport`] type as the exact
-//! miner so that the benchmark harness can compare the three algorithms
-//! uniformly.
+//! The output is reported through the workspace-wide
+//! [`EngineReport`](stpm_core::EngineReport) so that the benchmark harness
+//! can compare the three algorithms uniformly: the `"itemsets"` phase carries
+//! the PS-growth time, the `"extraction"` phase the temporal-pattern
+//! extraction time, and the pruning summary's `candidate_itemsets` counter
+//! the number of phase-1 itemsets.
 
 use crate::psgrowth::{PeriodicItemset, PsGrowth};
 use crate::transactions::TransactionDb;
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Instant;
+use stpm_core::engine::{phases, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 use stpm_core::season::find_seasons;
 use stpm_core::{
-    classify_relation, MinedEvent, MinedPattern, MiningReport, MiningStats, RelationTriple,
-    ResolvedConfig, StpmConfig, TemporalPattern,
+    classify_relation, EngineReport, MinedEvent, MinedPattern, MiningReport, MiningStats,
+    RelationTriple, ResolvedConfig, StpmConfig, TemporalPattern,
 };
 use stpm_timeseries::{EventInstance, GranulePos, SequenceDatabase};
 
-/// Output of an APS-growth run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ApsGrowthReport {
-    /// Frequent seasonal events and patterns, in the exact miner's format.
-    pub report: MiningReport,
-    /// Number of periodic-frequent itemsets produced by phase 1.
-    pub phase1_itemsets: usize,
-    /// Wall-clock time of phase 1 (PS-growth).
-    pub phase1_time: Duration,
-    /// Wall-clock time of phase 2 (temporal pattern extraction).
-    pub phase2_time: Duration,
-    /// Approximate heap footprint of the itemset occurrence lists and pattern
-    /// tables, in bytes.
-    pub footprint_bytes: usize,
-}
+/// The APS-growth baseline mining engine.
+///
+/// A stateless engine value; the thresholds it derives `minSup`/`maxPer` from
+/// arrive per call, exactly like the other engines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApsGrowth;
 
-impl ApsGrowthReport {
-    /// Total wall-clock time of both phases.
-    #[must_use]
-    pub fn total_time(&self) -> Duration {
-        self.phase1_time + self.phase2_time
+impl ApsGrowth {
+    /// Mines a sequence database directly, resolving the thresholds of
+    /// `config` against the database size first.
+    ///
+    /// # Errors
+    /// Propagates configuration-validation errors.
+    pub fn mine_sequences(
+        dseq: &SequenceDatabase,
+        config: &StpmConfig,
+    ) -> stpm_core::Result<MiningReport> {
+        let resolved = config.resolve(dseq.num_granules())?;
+        Ok(BaselineRun {
+            dseq,
+            config: resolved,
+        }
+        .mine()
+        .report)
     }
 }
 
-/// The APS-growth baseline miner.
+impl MiningEngine for ApsGrowth {
+    fn name(&self) -> &'static str {
+        "APS-growth"
+    }
+
+    fn mine(
+        &self,
+        input: &MiningInput<'_>,
+        config: &ResolvedConfig,
+    ) -> stpm_core::Result<EngineReport> {
+        let run = BaselineRun {
+            dseq: input.dseq(),
+            config: *config,
+        }
+        .mine();
+        Ok(EngineReport::new(
+            self.name(),
+            run.report,
+            input.dseq().registry().clone(),
+            vec![
+                PhaseTiming::new(phases::ITEMSETS, run.phase1_time),
+                PhaseTiming::new(phases::EXTRACTION, run.phase2_time),
+            ],
+            PruningSummary {
+                candidate_itemsets: run.phase1_itemsets,
+                ..PruningSummary::keep_all(input)
+            },
+            run.footprint_bytes,
+        ))
+    }
+}
+
+/// Raw output of one baseline run, before it is folded into an
+/// [`EngineReport`].
+struct BaselineOutput {
+    report: MiningReport,
+    phase1_itemsets: usize,
+    phase1_time: std::time::Duration,
+    phase2_time: std::time::Duration,
+    footprint_bytes: usize,
+}
+
+/// One APS-growth run over one database.
 #[derive(Debug, Clone)]
-pub struct ApsGrowth<'a> {
+struct BaselineRun<'a> {
     dseq: &'a SequenceDatabase,
     config: ResolvedConfig,
 }
 
-impl<'a> ApsGrowth<'a> {
-    /// Creates a baseline miner with the same thresholds as the exact miner.
-    ///
-    /// # Errors
-    /// Propagates configuration-validation errors.
-    pub fn new(dseq: &'a SequenceDatabase, config: &StpmConfig) -> stpm_core::Result<Self> {
-        Ok(Self {
-            dseq,
-            config: config.resolve(dseq.num_granules())?,
-        })
-    }
-
-    /// Runs both phases and assembles the report.
-    #[must_use]
-    pub fn mine(&self) -> ApsGrowthReport {
+impl BaselineRun<'_> {
+    /// Runs both phases and assembles the raw output.
+    fn mine(&self) -> BaselineOutput {
         // ---- Phase 1: periodic-frequent itemset mining ----
         let phase1_start = Instant::now();
         let transactions = TransactionDb::from_sequences(self.dseq);
         let min_sup = (self.config.min_season * self.config.min_density).max(1);
-        let max_per = self.config.dist_max.max(self.config.max_period);
+        // Seasons tolerate stray support occurrences, so periodicity is not a
+        // necessary condition of seasonality; |D_SEQ| disables the pruning.
+        let max_per = self.dseq.num_granules();
         let psgrowth = PsGrowth::new(
             min_sup,
             max_per,
@@ -134,7 +176,7 @@ impl<'a> ApsGrowth<'a> {
             pattern_time: phase2_time,
             peak_footprint_bytes: footprint,
         };
-        ApsGrowthReport {
+        BaselineOutput {
             report: MiningReport::new(events_out, patterns_out, stats),
             phase1_itemsets: itemsets.len(),
             phase1_time,
@@ -209,12 +251,8 @@ impl<'a> ApsGrowth<'a> {
                 let (a, b) = (&binding[i], &binding[j]);
                 let i_u8 = u8::try_from(i).expect("itemset fits u8");
                 let j_u8 = u8::try_from(j).expect("itemset fits u8");
-                let in_order = stpm_core::relation::chronological_order(
-                    &a.interval,
-                    &b.interval,
-                    i_u8,
-                    j_u8,
-                );
+                let in_order =
+                    stpm_core::relation::chronological_order(&a.interval, &b.interval, i_u8, j_u8);
                 let triple = if in_order {
                     classify_relation(
                         &a.interval,
@@ -283,35 +321,41 @@ mod tests {
     #[test]
     fn baseline_finds_the_headline_pattern() {
         let (dsyb, dseq) = paper_dseq();
-        let report = ApsGrowth::new(&dseq, &config()).unwrap().mine();
+        let input = MiningInput::new(&dsyb, &dseq, 3);
+        let report = ApsGrowth.mine_with(&input, &config()).unwrap();
         let c1 = dsyb.registry().label("C", "1").unwrap();
         let d1 = dsyb.registry().label("D", "1").unwrap();
         let target = TemporalPattern::pair([c1, d1], RelationKind::Contains, false);
         assert!(
-            report.report.contains_pattern(&target),
+            report.contains_pattern(&target),
             "APS-growth must also find C:1 ≽ D:1"
         );
-        assert!(report.phase1_itemsets > 0);
-        assert!(report.footprint_bytes > 0);
-        assert_eq!(report.total_time(), report.phase1_time + report.phase2_time);
+        assert!(report.pruning().candidate_itemsets > 0);
+        assert!(report.memory_bytes() > 0);
+        assert_eq!(
+            report.total_time(),
+            report.phase_time(phases::ITEMSETS) + report.phase_time(phases::EXTRACTION)
+        );
+        assert_eq!(report.engine(), "APS-growth");
     }
 
     #[test]
     fn baseline_output_is_a_subset_of_estpm_output() {
-        // APS-growth can only miss patterns (because of the minSup constraint
-        // of phase 1), never invent ones the exact miner would reject.
+        // APS-growth mines the same frequency definition with a different
+        // search strategy; it must never invent patterns the exact miner
+        // would reject.
         let (_, dseq) = paper_dseq();
         let cfg = config();
-        let exact = StpmMiner::new(&dseq, &cfg).unwrap().mine();
-        let baseline = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
-        for p in baseline.report.patterns() {
+        let exact = StpmMiner::mine_sequences(&dseq, &cfg).unwrap();
+        let baseline = ApsGrowth::mine_sequences(&dseq, &cfg).unwrap();
+        for p in baseline.patterns() {
             assert!(
                 exact.contains_pattern(p.pattern()),
                 "baseline produced a pattern E-STPM did not: {:?}",
                 p.pattern()
             );
         }
-        for e in baseline.report.events() {
+        for e in baseline.events() {
             assert!(
                 exact.events().iter().any(|x| x.label == e.label),
                 "baseline produced an event E-STPM did not"
@@ -326,17 +370,9 @@ mod tests {
             max_pattern_len: 3,
             ..config()
         };
-        let report = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
-        assert!(report
-            .report
-            .patterns()
-            .iter()
-            .all(|p| p.pattern().len() <= 3));
-        assert!(report
-            .report
-            .patterns()
-            .iter()
-            .any(|p| p.pattern().len() == 3));
+        let report = ApsGrowth::mine_sequences(&dseq, &cfg).unwrap();
+        assert!(report.patterns().iter().all(|p| p.pattern().len() <= 3));
+        assert!(report.patterns().iter().any(|p| p.pattern().len() == 3));
     }
 
     #[test]
@@ -347,7 +383,7 @@ mod tests {
             min_density: Threshold::Absolute(10),
             ..config()
         };
-        let report = ApsGrowth::new(&dseq, &cfg).unwrap().mine();
-        assert_eq!(report.report.total_patterns(), 0);
+        let report = ApsGrowth::mine_sequences(&dseq, &cfg).unwrap();
+        assert_eq!(report.total_patterns(), 0);
     }
 }

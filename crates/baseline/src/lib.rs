@@ -21,6 +21,10 @@
 //! information for every frequent itemset, it is slower and more
 //! memory-hungry than E-STPM/A-STPM — which is exactly the behaviour the
 //! paper's evaluation quantifies.
+//!
+//! Like the other miners of the workspace, [`ApsGrowth`] implements the
+//! [`MiningEngine`](stpm_core::MiningEngine) trait and reports through the
+//! unified [`EngineReport`](stpm_core::EngineReport).
 
 #![warn(missing_docs)]
 
@@ -29,7 +33,7 @@ pub mod psgrowth;
 pub mod pstree;
 pub mod transactions;
 
-pub use adapter::{ApsGrowth, ApsGrowthReport};
+pub use adapter::ApsGrowth;
 pub use psgrowth::{PeriodicItemset, PsGrowth};
 pub use pstree::PsTree;
 pub use transactions::TransactionDb;

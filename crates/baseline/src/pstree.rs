@@ -71,11 +71,7 @@ impl PsTree {
             }
             // Descending support, ties broken by the label order, makes the
             // insertion order deterministic.
-            kept.sort_by(|a, b| {
-                supports[b]
-                    .cmp(&supports[a])
-                    .then_with(|| a.cmp(b))
-            });
+            kept.sort_by(|a, b| supports[b].cmp(&supports[a]).then_with(|| a.cmp(b)));
             tree.insert(&kept, tids);
         }
         tree
@@ -129,10 +125,7 @@ impl PsTree {
             .header
             .iter()
             .map(|(item, nodes)| {
-                let support: u64 = nodes
-                    .iter()
-                    .map(|n| self.nodes[*n].tids.len() as u64)
-                    .sum();
+                let support: u64 = nodes.iter().map(|n| self.nodes[*n].tids.len() as u64).sum();
                 (*item, support)
             })
             .collect();

@@ -1,18 +1,52 @@
-//! Criterion micro-benchmarks of the mining kernels: relation
-//! classification, support-set intersection, season extraction, NMI
-//! computation, PS-tree construction, and small end-to-end runs of the three
-//! miners.
+//! Micro-benchmarks of the mining kernels: relation classification,
+//! support-set intersection, season extraction, NMI computation, PS-growth,
+//! and small end-to-end runs of the three engines.
+//!
+//! The build container has no access to crates.io, so instead of criterion
+//! this is a `harness = false` benchmark with a small built-in timing loop
+//! (median of `SAMPLES` batches). Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
-use stpm_approx::{normalized_mi, AStpmConfig, AStpmMiner};
+use std::time::Instant;
+use stpm_approx::{normalized_mi, AStpmMiner};
 use stpm_baseline::{ApsGrowth, PsGrowth, TransactionDb};
 use stpm_bench::experiments::config_for;
 use stpm_bench::params::scaled_real_spec;
 use stpm_core::season::find_seasons;
-use stpm_core::{classify_relation, support, StpmConfig, StpmMiner, Threshold};
+use stpm_core::{
+    classify_relation, support, MiningEngine, MiningInput, StpmConfig, StpmMiner, Threshold,
+};
 use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
 use stpm_timeseries::Interval;
+
+const SAMPLES: usize = 20;
+
+/// Times `f` over `SAMPLES` batches of `iters` iterations and prints the
+/// median per-iteration time.
+fn bench_function<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    // Warm-up.
+    for _ in 0..iters.min(3) {
+        black_box(f());
+    }
+    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters)
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    if median >= 1_000_000.0 {
+        println!("{name:<40} {:>12.3} ms/iter", median / 1_000_000.0);
+    } else if median >= 1_000.0 {
+        println!("{name:<40} {:>12.3} µs/iter", median / 1_000.0);
+    } else {
+        println!("{name:<40} {median:>12.1} ns/iter");
+    }
+}
 
 fn bench_dataset() -> stpm_datagen::GeneratedDataset {
     let spec = DatasetSpec::real(DatasetProfile::Influenza)
@@ -32,7 +66,7 @@ fn bench_config() -> StpmConfig {
     }
 }
 
-fn relation_kernel(c: &mut Criterion) {
+fn relation_kernel() {
     let pairs: Vec<(Interval, Interval)> = (0..256u64)
         .map(|i| {
             (
@@ -41,85 +75,78 @@ fn relation_kernel(c: &mut Criterion) {
             )
         })
         .collect();
-    c.bench_function("relation/classify_256_pairs", |b| {
-        b.iter(|| {
-            let mut count = 0usize;
-            for (a, bnd) in &pairs {
-                if classify_relation(black_box(a), black_box(bnd), 0, 1).is_some() {
-                    count += 1;
-                }
+    bench_function("relation/classify_256_pairs", 1000, || {
+        let mut count = 0usize;
+        for (a, b) in &pairs {
+            if classify_relation(black_box(a), black_box(b), 0, 1).is_some() {
+                count += 1;
             }
-            black_box(count)
-        });
+        }
+        count
     });
 }
 
-fn support_kernel(c: &mut Criterion) {
+fn support_kernel() {
     let a: Vec<u64> = (0..4096).filter(|x| x % 2 == 0).collect();
     let b: Vec<u64> = (0..4096).filter(|x| x % 3 == 0).collect();
-    c.bench_function("support/intersect_4k", |b_| {
-        b_.iter(|| black_box(support::intersect(black_box(&a), black_box(&b))));
+    bench_function("support/intersect_4k", 1000, || {
+        support::intersect(black_box(&a), black_box(&b))
     });
 }
 
-fn season_kernel(c: &mut Criterion) {
+fn season_kernel() {
     let support: Vec<u64> = (1..2000u64).filter(|x| x % 17 < 6).collect();
     let config = bench_config().resolve(2000).unwrap();
-    c.bench_function("season/find_seasons_2k", |b| {
-        b.iter(|| black_box(find_seasons(black_box(&support), &config)));
+    bench_function("season/find_seasons_2k", 1000, || {
+        find_seasons(black_box(&support), &config)
     });
 }
 
-fn nmi_kernel(c: &mut Criterion) {
+fn nmi_kernel() {
     let data = bench_dataset();
     let x = &data.dsyb.series()[0];
     let y = &data.dsyb.series()[1];
-    c.bench_function("approx/nmi_1200_instants", |b| {
-        b.iter(|| black_box(normalized_mi(black_box(x), black_box(y))));
+    bench_function("approx/nmi_1200_instants", 500, || {
+        normalized_mi(black_box(x), black_box(y))
     });
 }
 
-fn pstree_kernel(c: &mut Criterion) {
+fn pstree_kernel() {
     let data = bench_dataset();
     let dseq = data.dseq().unwrap();
     let transactions = TransactionDb::from_sequences(&dseq);
-    c.bench_function("baseline/psgrowth_small", |b| {
-        b.iter_batched(
-            || transactions.clone(),
-            |db| black_box(PsGrowth::new(6, 40, 2, db.len() as u64).mine(&db)),
-            BatchSize::SmallInput,
-        );
+    bench_function("baseline/psgrowth_small", 20, || {
+        PsGrowth::new(6, 40, 2, transactions.len() as u64).mine(black_box(&transactions))
     });
 }
 
-fn end_to_end(c: &mut Criterion) {
+fn end_to_end() {
     let data = bench_dataset();
     let dseq = data.dseq().unwrap();
+    let input = MiningInput::new(&data.dsyb, &dseq, data.mapping_factor);
     let config = config_for(DatasetProfile::Influenza, 0.006, 0.0075, 2);
 
-    c.bench_function("mine/estpm_small", |b| {
-        b.iter(|| black_box(StpmMiner::new(&dseq, &config).unwrap().mine()));
+    bench_function("mine/estpm_small", 20, || {
+        StpmMiner.mine_with(black_box(&input), &config).unwrap()
     });
-    c.bench_function("mine/astpm_small", |b| {
-        b.iter(|| {
-            black_box(
-                AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config.clone()))
-                    .unwrap()
-                    .mine()
-                    .unwrap(),
-            )
-        });
+    bench_function("mine/astpm_small", 20, || {
+        AStpmMiner::new()
+            .mine_with(black_box(&input), &config)
+            .unwrap()
     });
-    c.bench_function("mine/apsgrowth_small", |b| {
-        b.iter(|| black_box(ApsGrowth::new(&dseq, &config).unwrap().mine()));
+    bench_function("mine/apsgrowth_small", 20, || {
+        ApsGrowth.mine_with(black_box(&input), &config).unwrap()
     });
     // Guard that the scaled specs used by the experiment binaries stay valid.
     let _ = scaled_real_spec(DatasetProfile::RenewableEnergy);
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = relation_kernel, support_kernel, season_kernel, nmi_kernel, pstree_kernel, end_to_end
-);
-criterion_main!(kernels);
+fn main() {
+    println!("kernels (median of {SAMPLES} batches)");
+    relation_kernel();
+    support_kernel();
+    season_kernel();
+    nmi_kernel();
+    pstree_kernel();
+    end_to_end();
+}

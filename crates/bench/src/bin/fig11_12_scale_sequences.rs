@@ -12,7 +12,11 @@ fn scale() -> BenchScale {
 fn main() {
     use stpm_bench::experiments::scalability::{run, ScaleAxis};
     use stpm_datagen::DatasetProfile::{Influenza, RenewableEnergy};
-    for table in run(&[RenewableEnergy, Influenza], &scale(), ScaleAxis::Sequences) {
+    for table in run(
+        &[RenewableEnergy, Influenza],
+        &scale(),
+        ScaleAxis::Sequences,
+    ) {
         table.print();
     }
 }

@@ -1,19 +1,24 @@
 //! Figures 15, 16, 25, 26 — effectiveness of the two pruning techniques:
 //! E-STPM run with NoPrune / Apriori / Trans / All while varying minSeason,
 //! minDensity and maxPeriod.
+//!
+//! The pruning mode travels inside [`StpmConfig`](stpm_core::StpmConfig), so
+//! the ablation drives the exact engine through the same
+//! [`stpm_core::MiningEngine`] path as every other experiment.
 
-use super::{config_for, BenchScale};
-use crate::params::{scaled_real_spec, ParamGrid};
+use super::runtime_memory::sweep_points;
+use super::{config_for, BenchScale, PreparedData};
+use crate::measure::measure;
+use crate::params::scaled_real_spec;
 use crate::table::TextTable;
-use std::time::Instant;
-use stpm_core::{PruningMode, StpmMiner};
-use stpm_datagen::{generate, DatasetProfile};
-use stpm_timeseries::SequenceDatabase;
+use stpm_core::{MiningInput, PruningMode, StpmMiner};
+use stpm_datagen::DatasetProfile;
 
-/// Runtime (seconds) of E-STPM under one pruning mode and one configuration.
+/// Runtime (seconds) and pattern count of E-STPM under one pruning mode and
+/// one configuration.
 #[must_use]
 pub fn runtime_for(
-    dseq: &SequenceDatabase,
+    input: &MiningInput<'_>,
     profile: DatasetProfile,
     mode: PruningMode,
     max_period: f64,
@@ -21,43 +26,20 @@ pub fn runtime_for(
     min_season: u64,
 ) -> (f64, usize) {
     let config = config_for(profile, max_period, min_density, min_season).with_pruning(mode);
-    let start = Instant::now();
-    let report = StpmMiner::new(dseq, &config)
-        .expect("valid configuration")
-        .mine();
-    (start.elapsed().as_secs_f64(), report.total_patterns())
+    let (measurement, _) = measure(&StpmMiner, input, &config);
+    (measurement.runtime_secs(), measurement.patterns)
 }
 
 /// Runs the pruning ablation for every profile: one table per (profile,
 /// varied parameter), with one column per pruning mode.
 #[must_use]
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
-    let grid = ParamGrid::default();
-    let defaults = (0.006_f64, 0.0075_f64, 4_u64);
     let mut tables = Vec::new();
     for &profile in profiles {
-        let spec = scale.apply(scaled_real_spec(profile));
-        let data = generate(&spec);
-        let dseq = data.dseq().expect("generated data maps to sequences");
+        let prepared = PreparedData::generate(&scale.apply(scaled_real_spec(profile)));
 
         for vary in ["minSeason", "minDensity", "maxPeriod"] {
-            let points: Vec<(String, f64, f64, u64)> = match vary {
-                "minSeason" => scale
-                    .thin(&grid.min_season)
-                    .iter()
-                    .map(|&s| (s.to_string(), defaults.0, defaults.1, s))
-                    .collect(),
-                "minDensity" => scale
-                    .thin(&grid.min_density)
-                    .iter()
-                    .map(|&d| (format!("{:.2}%", d * 100.0), defaults.0, d, defaults.2))
-                    .collect(),
-                _ => scale
-                    .thin(&grid.max_period)
-                    .iter()
-                    .map(|&p| (format!("{:.1}%", p * 100.0), p, defaults.1, defaults.2))
-                    .collect(),
-            };
+            let points = sweep_points(scale, vary);
             let mut table = TextTable::new(
                 &format!(
                     "E-STPM pruning ablation on {} while varying {vary} (Figs 15/16/25/26 shape) — runtime (s)",
@@ -69,8 +51,14 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
                 let mut row = vec![label];
                 let mut pattern_counts = Vec::new();
                 for mode in PruningMode::all_modes() {
-                    let (runtime, patterns) =
-                        runtime_for(&dseq, profile, mode, max_period, min_density, min_season);
+                    let (runtime, patterns) = runtime_for(
+                        &prepared.input(),
+                        profile,
+                        mode,
+                        max_period,
+                        min_density,
+                        min_season,
+                    );
                     pattern_counts.push(patterns);
                     row.push(format!("{runtime:.4}"));
                 }
@@ -102,13 +90,20 @@ mod tests {
     #[test]
     fn pruning_modes_produce_identical_outputs() {
         let scale = BenchScale::quick();
-        let spec = scale.apply(scaled_real_spec(DatasetProfile::HandFootMouth));
-        let data = generate(&spec);
-        let dseq = data.dseq().unwrap();
+        let prepared =
+            PreparedData::generate(&scale.apply(scaled_real_spec(DatasetProfile::HandFootMouth)));
         let counts: Vec<usize> = PruningMode::all_modes()
             .iter()
             .map(|&mode| {
-                runtime_for(&dseq, DatasetProfile::HandFootMouth, mode, 0.006, 0.0075, 2).1
+                runtime_for(
+                    &prepared.input(),
+                    DatasetProfile::HandFootMouth,
+                    mode,
+                    0.006,
+                    0.0075,
+                    2,
+                )
+                .1
             })
             .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");

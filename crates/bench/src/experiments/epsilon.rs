@@ -2,22 +2,20 @@
 //! tolerance buffer ε: the number of extracted patterns per ε value and the
 //! percentage of patterns lost relative to the smallest ε.
 
-use super::{config_for, BenchScale};
+use super::{config_for, BenchScale, PreparedData};
 use crate::params::scaled_real_spec;
 use crate::table::TextTable;
-use stpm_core::StpmMiner;
-use stpm_datagen::{generate, DatasetProfile};
+use stpm_core::{MiningEngine, StpmMiner};
+use stpm_datagen::DatasetProfile;
 
 /// Number of frequent seasonal patterns for one ε value.
 #[must_use]
 pub fn patterns_for_epsilon(profile: DatasetProfile, scale: &BenchScale, epsilon: u64) -> usize {
-    let spec = scale.apply(scaled_real_spec(profile));
-    let data = generate(&spec);
-    let dseq = data.dseq().expect("generated data maps to sequences");
+    let prepared = PreparedData::generate(&scale.apply(scaled_real_spec(profile)));
     let config = config_for(profile, 0.002, 0.005, 4).with_epsilon(epsilon);
-    StpmMiner::new(&dseq, &config)
+    StpmMiner
+        .mine_with(&prepared.input(), &config)
         .expect("valid configuration")
-        .mine()
         .total_patterns()
 }
 
@@ -26,7 +24,11 @@ pub fn patterns_for_epsilon(profile: DatasetProfile, scale: &BenchScale, epsilon
 /// sweeps) and reports counts plus the pattern-loss percentage w.r.t. ε = 0.
 #[must_use]
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
-    let epsilons: Vec<u64> = if scale.quick_grid { vec![0, 2] } else { vec![0, 1, 2] };
+    let epsilons: Vec<u64> = if scale.quick_grid {
+        vec![0, 2]
+    } else {
+        vec![0, 1, 2]
+    };
     let mut tables = Vec::new();
     for &profile in profiles {
         let mut table = TextTable::new(

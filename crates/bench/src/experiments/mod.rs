@@ -13,8 +13,35 @@ pub mod runtime_memory;
 pub mod scalability;
 
 use crate::params::scaled_dist_interval;
-use stpm_core::{StpmConfig, Threshold};
-use stpm_datagen::DatasetProfile;
+use stpm_core::{MiningInput, StpmConfig, Threshold};
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec, GeneratedDataset};
+use stpm_timeseries::SequenceDatabase;
+
+/// A generated dataset together with its sequence database, ready to be
+/// handed to any [`stpm_core::MiningEngine`] as a [`MiningInput`].
+#[derive(Debug, Clone)]
+pub struct PreparedData {
+    /// The generated dataset (raw series + `D_SYB` + mapping factor).
+    pub data: GeneratedDataset,
+    /// The sequence database `D_SEQ` built from it.
+    pub dseq: SequenceDatabase,
+}
+
+impl PreparedData {
+    /// Generates a dataset and builds its sequence database.
+    #[must_use]
+    pub fn generate(spec: &DatasetSpec) -> Self {
+        let data = generate(spec);
+        let dseq = data.dseq().expect("generated data maps to sequences");
+        Self { data, dseq }
+    }
+
+    /// The engine input view of the prepared data.
+    #[must_use]
+    pub fn input(&self) -> MiningInput<'_> {
+        MiningInput::new(&self.data.dsyb, &self.dseq, self.data.mapping_factor)
+    }
+}
 
 /// Controls how large an experiment run is: `full()` follows the paper's
 /// grids and the `STPM_BENCH_SCALE` environment variable, `quick()` shrinks

@@ -1,22 +1,35 @@
 //! Tables XI, XV, XVI — the percentage of time series and events pruned by
 //! A-STPM on the synthetic datasets, as the number of series grows.
+//!
+//! The percentages are read from the engine-agnostic
+//! [`PruningSummary`](stpm_core::PruningSummary) of the unified report, so
+//! any engine that prunes can be plugged into [`pruning_for`].
 
-use super::{config_for, BenchScale};
+use super::{config_for, BenchScale, PreparedData};
 use crate::params::{scalability_param_pairs, synthetic_sequences, synthetic_series_points};
 use crate::table::TextTable;
-use stpm_approx::{AStpmConfig, AStpmMiner};
-use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+use stpm_approx::AStpmMiner;
+use stpm_core::MiningEngine;
+use stpm_datagen::{DatasetProfile, DatasetSpec};
 
-/// Pruned-series and pruned-events percentages of one configuration point.
+/// Pruned-series and pruned-events percentages of one engine on one
+/// configuration point.
 #[must_use]
-pub fn pruning_for(spec: &DatasetSpec, min_season: u64, min_density: f64) -> (f64, f64) {
-    let data = generate(spec);
+pub fn pruning_for(
+    spec: &DatasetSpec,
+    engine: &dyn MiningEngine,
+    min_season: u64,
+    min_density: f64,
+) -> (f64, f64) {
+    let prepared = PreparedData::generate(spec);
     let config = config_for(spec.profile, 0.006, min_density, min_season);
-    let report = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config))
-        .expect("valid configuration")
-        .mine()
-        .expect("valid dataset");
-    (report.pruned_series_pct(), report.pruned_events_pct())
+    let report = engine
+        .mine_with(&prepared.input(), &config)
+        .expect("valid configuration");
+    (
+        report.pruning().pruned_series_pct(),
+        report.pruning().pruned_events_pct(),
+    )
 }
 
 /// Runs the pruning-ratio sweep for each profile: rows = #series, columns =
@@ -24,6 +37,7 @@ pub fn pruning_for(spec: &DatasetSpec, min_season: u64, min_density: f64) -> (f6
 /// events %.
 #[must_use]
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
+    let engine = AStpmMiner::new();
     let pairs = scale.thin(&scalability_param_pairs());
     let series_points = scale.thin(&synthetic_series_points());
 
@@ -39,7 +53,8 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut table = TextTable::new(
             &format!(
-                "Pruned time series and events by A-STPM on {} (Tables XI/XV/XVI shape)",
+                "Pruned time series and events by {} on {} (Tables XI/XV/XVI shape)",
+                engine.name(),
                 profile.short_name()
             ),
             &header_refs,
@@ -53,7 +68,9 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
             let mut row = vec![series.to_string()];
             let results: Vec<(f64, f64)> = pairs
                 .iter()
-                .map(|&(min_season, min_density)| pruning_for(&spec, min_season, min_density))
+                .map(|&(min_season, min_density)| {
+                    pruning_for(&spec, &engine, min_season, min_density)
+                })
                 .collect();
             for (series_pct, _) in &results {
                 row.push(format!("{series_pct:.2}"));
@@ -72,13 +89,22 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<TextTable> {
 mod tests {
     use super::*;
     use crate::params::scaled_real_spec;
+    use stpm_core::StpmMiner;
 
     #[test]
     fn pruning_percentages_are_bounded() {
         let spec = BenchScale::quick().apply(scaled_real_spec(DatasetProfile::HandFootMouth));
-        let (series_pct, events_pct) = pruning_for(&spec, 2, 0.0075);
+        let (series_pct, events_pct) = pruning_for(&spec, &AStpmMiner::new(), 2, 0.0075);
         assert!((0.0..=100.0).contains(&series_pct));
         assert!((0.0..=100.0).contains(&events_pct));
+    }
+
+    #[test]
+    fn non_pruning_engines_report_zero() {
+        let spec = BenchScale::quick().apply(scaled_real_spec(DatasetProfile::HandFootMouth));
+        let (series_pct, events_pct) = pruning_for(&spec, &StpmMiner, 2, 0.0075);
+        assert_eq!(series_pct, 0.0);
+        assert_eq!(events_pct, 0.0);
     }
 
     #[test]
@@ -90,8 +116,8 @@ mod tests {
         let noisy = scale
             .apply(scaled_real_spec(DatasetProfile::Influenza))
             .with_correlated_fraction(0.3);
-        let (p_corr, _) = pruning_for(&correlated, 4, 0.0075);
-        let (p_noisy, _) = pruning_for(&noisy, 4, 0.0075);
+        let (p_corr, _) = pruning_for(&correlated, &AStpmMiner::new(), 4, 0.0075);
+        let (p_noisy, _) = pruning_for(&noisy, &AStpmMiner::new(), 4, 0.0075);
         assert!(
             p_noisy >= p_corr,
             "noisy {p_noisy}% should prune at least as much as correlated {p_corr}%"

@@ -2,11 +2,11 @@
 //! temporal patterns found in each dataset, with their thresholds and
 //! seasonal occurrences.
 
-use super::{config_for, BenchScale};
+use super::{config_for, BenchScale, PreparedData};
 use crate::params::scaled_real_spec;
 use crate::table::TextTable;
-use stpm_core::StpmMiner;
-use stpm_datagen::{generate, DatasetProfile};
+use stpm_core::{MiningEngine, StpmMiner};
+use stpm_datagen::DatasetProfile;
 
 /// Mines each profile with a representative configuration and lists the
 /// highest-season patterns — the reproduction of Table VIII.
@@ -14,14 +14,12 @@ use stpm_datagen::{generate, DatasetProfile};
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, top_k: usize) -> Vec<TextTable> {
     let mut tables = Vec::new();
     for &profile in profiles {
-        let spec = scale.apply(scaled_real_spec(profile));
-        let data = generate(&spec);
-        let dseq = data.dseq().expect("generated data maps to sequences");
+        let prepared = PreparedData::generate(&scale.apply(scaled_real_spec(profile)));
         let mut config = config_for(profile, 0.006, 0.0075, 4);
         config.max_pattern_len = 3;
-        let report = StpmMiner::new(&dseq, &config)
-            .expect("valid configuration")
-            .mine();
+        let report = StpmMiner
+            .mine_with(&prepared.input(), &config)
+            .expect("valid configuration");
 
         let mut patterns: Vec<_> = report.patterns().iter().collect();
         patterns.sort_by_key(|p| {
@@ -32,8 +30,17 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, top_k: usize) -> Vec
             )
         });
         let mut table = TextTable::new(
-            &format!("Table VIII (surrogate) — interesting seasonal patterns on {}", profile.short_name()),
-            &["pattern", "#events", "seasons", "support", "season granules (first/last)"],
+            &format!(
+                "Table VIII (surrogate) — interesting seasonal patterns on {}",
+                profile.short_name()
+            ),
+            &[
+                "pattern",
+                "#events",
+                "seasons",
+                "support",
+                "season granules (first/last)",
+            ],
         );
         for p in patterns.into_iter().take(top_k) {
             let first = p
@@ -51,7 +58,7 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, top_k: usize) -> Vec
                 .copied()
                 .unwrap_or(0);
             table.add_row(vec![
-                p.pattern().display(dseq.registry()),
+                p.pattern().display(report.registry()),
                 p.pattern().len().to_string(),
                 p.seasons().count().to_string(),
                 p.support().len().to_string(),

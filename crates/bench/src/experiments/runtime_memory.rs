@@ -1,12 +1,17 @@
-//! Figures 7–10 and 17–20 — runtime and memory comparison of A-STPM, E-STPM
-//! and APS-growth on the (surrogate) real datasets while varying one
-//! threshold at a time (minSeason, minDensity, maxPeriod).
+//! Figures 7–10 and 17–20 — runtime and memory comparison of the mining
+//! engines on the (surrogate) real datasets while varying one threshold at a
+//! time (minSeason, minDensity, maxPeriod).
+//!
+//! The sweep is engine-agnostic: every contender returned by
+//! [`crate::measure::contenders`] is measured through the
+//! [`stpm_core::MiningEngine`] trait, and the tables derive their columns
+//! from the measured engine names.
 
-use super::{config_for, BenchScale};
-use crate::measure::{measure_apsgrowth, measure_astpm, measure_estpm};
+use super::{config_for, BenchScale, PreparedData};
+use crate::measure::{measure_all, Measurement};
 use crate::params::{scaled_real_spec, ParamGrid};
 use crate::table::TextTable;
-use stpm_datagen::{generate, DatasetProfile};
+use stpm_datagen::DatasetProfile;
 
 /// Which quantity the produced tables report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,34 +22,21 @@ pub enum Metric {
     Memory,
 }
 
-/// One measured sweep point.
+/// One measured sweep point: one measurement per contender, in
+/// [`crate::measure::contenders`] order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
     /// The varied parameter's value (printed in the first column).
     pub x: String,
-    /// A-STPM measurement (runtime seconds, memory MiB).
-    pub astpm: (f64, f64),
-    /// E-STPM measurement.
-    pub estpm: (f64, f64),
-    /// APS-growth measurement.
-    pub apsgrowth: (f64, f64),
+    /// One measurement per engine.
+    pub measurements: Vec<Measurement>,
 }
 
-/// Runs one sweep (varying minSeason, minDensity or maxPeriod) on one
-/// profile and returns the measured points.
-#[must_use]
-pub fn sweep(
-    profile: DatasetProfile,
-    scale: &BenchScale,
-    vary: &str,
-) -> Vec<SweepPoint> {
+/// The grid points of one sweep: (label, maxPeriod, minDensity, minSeason).
+pub(crate) fn sweep_points(scale: &BenchScale, vary: &str) -> Vec<(String, f64, f64, u64)> {
     let grid = ParamGrid::default();
-    let spec = scale.apply(scaled_real_spec(profile));
-    let data = generate(&spec);
-    let dseq = data.dseq().expect("generated data maps to sequences");
-
     let defaults = (0.006_f64, 0.0075_f64, 4_u64);
-    let points: Vec<(String, f64, f64, u64)> = match vary {
+    match vary {
         "minSeason" => scale
             .thin(&grid.min_season)
             .iter()
@@ -60,27 +52,30 @@ pub fn sweep(
             .iter()
             .map(|&p| (format!("{:.1}%", p * 100.0), p, defaults.1, defaults.2))
             .collect(),
-    };
+    }
+}
 
-    points
+/// Runs one sweep (varying minSeason, minDensity or maxPeriod) on one
+/// profile and returns the measured points.
+#[must_use]
+pub fn sweep(profile: DatasetProfile, scale: &BenchScale, vary: &str) -> Vec<SweepPoint> {
+    let prepared = PreparedData::generate(&scale.apply(scaled_real_spec(profile)));
+
+    sweep_points(scale, vary)
         .into_iter()
         .map(|(label, max_period, min_density, min_season)| {
             let config = config_for(profile, max_period, min_density, min_season);
-            let (e, _) = measure_estpm(&dseq, &config);
-            let (a, _) = measure_astpm(&data.dsyb, data.mapping_factor, &config);
-            let (b, _) = measure_apsgrowth(&dseq, &config);
             SweepPoint {
                 x: label,
-                astpm: (a.runtime_secs(), a.memory_mib()),
-                estpm: (e.runtime_secs(), e.memory_mib()),
-                apsgrowth: (b.runtime_secs(), b.memory_mib()),
+                measurements: measure_all(&prepared.input(), &config),
             }
         })
         .collect()
 }
 
 /// Runs the three sweeps for every profile and renders one table per
-/// (profile, sweep) pair for the requested metric.
+/// (profile, sweep) pair for the requested metric, with one column per
+/// measured engine.
 #[must_use]
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, metric: Metric) -> Vec<TextTable> {
     let metric_name = match metric {
@@ -90,24 +85,31 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, metric: Metric) -> V
     let mut tables = Vec::new();
     for &profile in profiles {
         for vary in ["minSeason", "minDensity", "maxPeriod"] {
+            let points = sweep(profile, scale, vary);
+            let mut header: Vec<String> = vec![vary.to_string()];
+            if let Some(first) = points.first() {
+                header.extend(first.measurements.iter().map(|m| m.algorithm.to_string()));
+            }
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
             let mut table = TextTable::new(
                 &format!(
                     "{metric_name} on {} while varying {vary} (Figs 7-10/17-20 shape)",
                     profile.short_name()
                 ),
-                &[vary, "A-STPM", "E-STPM", "APS-growth"],
+                &header_refs,
             );
-            for point in sweep(profile, scale, vary) {
-                let pick = |pair: (f64, f64)| match metric {
-                    Metric::Runtime => pair.0,
-                    Metric::Memory => pair.1,
-                };
-                table.add_row(vec![
-                    point.x.clone(),
-                    format!("{:.4}", pick(point.astpm)),
-                    format!("{:.4}", pick(point.estpm)),
-                    format!("{:.4}", pick(point.apsgrowth)),
-                ]);
+            for point in points {
+                let mut row = vec![point.x.clone()];
+                row.extend(point.measurements.iter().map(|m| {
+                    format!(
+                        "{:.4}",
+                        match metric {
+                            Metric::Runtime => m.runtime_secs(),
+                            Metric::Memory => m.memory_mib(),
+                        }
+                    )
+                }));
+                table.add_row(row);
             }
             tables.push(table);
         }
@@ -124,9 +126,10 @@ mod tests {
         let points = sweep(DatasetProfile::Influenza, &BenchScale::quick(), "minSeason");
         assert_eq!(points.len(), 2);
         for p in &points {
-            assert!(p.estpm.0 >= 0.0);
-            assert!(p.estpm.1 > 0.0);
-            assert!(p.apsgrowth.1 > 0.0);
+            assert_eq!(p.measurements.len(), 3);
+            for m in &p.measurements {
+                assert!(m.runtime_secs() >= 0.0);
+            }
         }
     }
 
@@ -145,5 +148,8 @@ mod tests {
         );
         assert_eq!(memory.len(), 3);
         assert!(memory[0].render().contains("memory"));
+        // The engine columns come from the engines themselves.
+        assert!(memory[0].render().contains("E-STPM"));
+        assert!(memory[0].render().contains("APS-growth"));
     }
 }

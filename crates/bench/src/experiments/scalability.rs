@@ -1,14 +1,19 @@
-//! Figures 11–14 and 21–24 — scalability of A-STPM, E-STPM and APS-growth on
-//! the synthetic datasets while the number of sequences or the number of
-//! time series grows.
+//! Figures 11–14 and 21–24 — scalability of the mining engines on the
+//! synthetic datasets while the number of sequences or the number of time
+//! series grows.
+//!
+//! Every contender is measured through the [`stpm_core::MiningEngine`]
+//! trait; engines with a pre-mining phase (A-STPM's MI/µ computation) get an
+//! extra column derived generically from their measured phase timings, as in
+//! Figures 13/14.
 
-use super::{config_for, BenchScale};
-use crate::measure::{measure_apsgrowth, measure_astpm, measure_estpm};
+use super::{config_for, BenchScale, PreparedData};
+use crate::measure::{measure_all, Measurement};
 use crate::params::{
     scalability_param_pairs, sequence_percentages, synthetic_sequences, synthetic_series_points,
 };
 use crate::table::TextTable;
-use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+use stpm_datagen::{DatasetProfile, DatasetSpec};
 
 /// Which dataset dimension the experiment scales.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,35 +24,22 @@ pub enum ScaleAxis {
     Series,
 }
 
-/// One measured scalability point: runtimes in seconds (A-STPM also reports
-/// its MI/µ computation time separately, as in Figures 13/14).
+/// One measured scalability point: one measurement per contender, in
+/// [`crate::measure::contenders`] order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalePoint {
     /// The scaled dimension's value (printed in the first column).
     pub x: String,
-    /// A-STPM mining runtime (excluding MI).
-    pub astpm_mining: f64,
-    /// A-STPM MI + µ computation time.
-    pub astpm_mi: f64,
-    /// E-STPM runtime.
-    pub estpm: f64,
-    /// APS-growth runtime.
-    pub apsgrowth: f64,
+    /// One measurement per engine.
+    pub measurements: Vec<Measurement>,
 }
 
 fn measure_point(spec: &DatasetSpec, min_season: u64, min_density: f64, x: String) -> ScalePoint {
-    let data = generate(spec);
-    let dseq = data.dseq().expect("generated data maps to sequences");
+    let prepared = PreparedData::generate(spec);
     let config = config_for(spec.profile, 0.006, min_density, min_season);
-    let (e, _) = measure_estpm(&dseq, &config);
-    let (a, _) = measure_astpm(&data.dsyb, data.mapping_factor, &config);
-    let (b, _) = measure_apsgrowth(&dseq, &config);
     ScalePoint {
         x,
-        astpm_mining: (a.runtime - a.mi_time).as_secs_f64(),
-        astpm_mi: a.mi_time.as_secs_f64(),
-        estpm: e.runtime_secs(),
-        apsgrowth: b.runtime_secs(),
+        measurements: measure_all(&prepared.input(), &config),
     }
 }
 
@@ -95,8 +87,24 @@ pub fn sweep(
     }
 }
 
+/// Which engines of a sweep reported a separate MI/pre-mining phase (derived
+/// from the data, not from engine names).
+fn engines_with_mi(points: &[ScalePoint]) -> Vec<&'static str> {
+    let mut names = Vec::new();
+    for point in points {
+        for m in &point.measurements {
+            if !m.mi_time.is_zero() && !names.contains(&m.algorithm) {
+                names.push(m.algorithm);
+            }
+        }
+    }
+    names
+}
+
 /// Runs the scalability experiment for every profile and the three parameter
-/// pairs of the paper; returns one table per (profile, pair).
+/// pairs of the paper; returns one table per (profile, pair). Columns: one
+/// mining-runtime column per engine, plus one MI column per engine that
+/// reported an MI phase.
 #[must_use]
 pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, axis: ScaleAxis) -> Vec<TextTable> {
     let pairs = scale.thin(&scalability_param_pairs());
@@ -107,28 +115,44 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, axis: ScaleAxis) -> 
     let mut tables = Vec::new();
     for &profile in profiles {
         for &(min_season, min_density) in &pairs {
+            let points = sweep(profile, scale, axis, min_season, min_density);
+            let mi_engines = engines_with_mi(&points);
+            let mut header: Vec<String> = vec![axis_name.to_string()];
+            if let Some(first) = points.first() {
+                header.extend(
+                    first
+                        .measurements
+                        .iter()
+                        .map(|m| format!("{} mining (s)", m.algorithm)),
+                );
+            }
+            header.extend(mi_engines.iter().map(|name| format!("{name} MI (s)")));
+            let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
             let mut table = TextTable::new(
                 &format!(
                     "Scalability on {} synthetic, varying {axis_name} (minSeason={min_season}, minDensity={:.1}%) — Figs 11-14/21-24 shape",
                     profile.short_name(),
                     min_density * 100.0
                 ),
-                &[
-                    axis_name,
-                    "A-STPM mining (s)",
-                    "A-STPM MI (s)",
-                    "E-STPM (s)",
-                    "APS-growth (s)",
-                ],
+                &header_refs,
             );
-            for point in sweep(profile, scale, axis, min_season, min_density) {
-                table.add_row(vec![
-                    point.x.clone(),
-                    format!("{:.4}", point.astpm_mining),
-                    format!("{:.4}", point.astpm_mi),
-                    format!("{:.4}", point.estpm),
-                    format!("{:.4}", point.apsgrowth),
-                ]);
+            for point in &points {
+                let mut row = vec![point.x.clone()];
+                row.extend(
+                    point
+                        .measurements
+                        .iter()
+                        .map(|m| format!("{:.4}", m.mining_secs())),
+                );
+                for name in &mi_engines {
+                    let mi = point
+                        .measurements
+                        .iter()
+                        .find(|m| m.algorithm == *name)
+                        .map_or(0.0, |m| m.mi_time.as_secs_f64());
+                    row.push(format!("{mi:.4}"));
+                }
+                table.add_row(row);
             }
             tables.push(table);
         }
@@ -151,8 +175,10 @@ mod tests {
         );
         assert_eq!(points.len(), 2);
         for p in &points {
-            assert!(p.estpm >= 0.0);
-            assert!(p.astpm_mi >= 0.0);
+            assert_eq!(p.measurements.len(), 3);
+            for m in &p.measurements {
+                assert!(m.mining_secs() >= 0.0);
+            }
         }
     }
 

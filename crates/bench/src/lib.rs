@@ -5,7 +5,11 @@
 //!
 //! Each experiment is a library function (under [`experiments`]) plus a thin
 //! binary in `src/bin/` that prints the same rows or series the paper
-//! reports. The harness compares the three contenders uniformly:
+//! reports. The harness is engine-agnostic: every experiment drives its
+//! miners through the [`stpm_core::MiningEngine`] trait and reads the
+//! unified [`stpm_core::EngineReport`], so adding a fourth engine means
+//! adding it to [`measure::contenders`] — nothing else. The default
+//! contenders are the paper's three:
 //!
 //! * **E-STPM** — the exact miner (`stpm-core`),
 //! * **A-STPM** — the approximate, mutual-information-based miner
@@ -26,6 +30,6 @@ pub mod measure;
 pub mod params;
 pub mod table;
 
-pub use measure::{measure_apsgrowth, measure_astpm, measure_estpm, Measurement};
+pub use measure::{contenders, measure, measure_all, Measurement};
 pub use params::{bench_scale, scaled_real_spec, scaled_synthetic_spec, ParamGrid};
 pub use table::TextTable;

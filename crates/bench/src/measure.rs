@@ -1,26 +1,39 @@
-//! Uniform measurement of the three contenders: runtime, estimated memory
-//! footprint and output size.
+//! Uniform measurement of mining engines: runtime, estimated memory
+//! footprint and output size, engine-agnostic through the
+//! [`MiningEngine`] trait.
 
 use std::time::{Duration, Instant};
-use stpm_approx::{AStpmConfig, AStpmMiner, AStpmReport};
-use stpm_baseline::{ApsGrowth, ApsGrowthReport};
-use stpm_core::{MiningReport, StpmConfig, StpmMiner};
-use stpm_timeseries::{SequenceDatabase, SymbolicDatabase};
+use stpm_approx::AStpmMiner;
+use stpm_baseline::ApsGrowth;
+use stpm_core::engine::phases;
+use stpm_core::{EngineReport, MiningEngine, MiningInput, StpmConfig, StpmMiner};
 
-/// One measured run of one algorithm.
+/// The paper's three contenders, in the order its tables list them:
+/// A-STPM, E-STPM, APS-growth.
+#[must_use]
+pub fn contenders() -> Vec<Box<dyn MiningEngine>> {
+    vec![
+        Box::new(AStpmMiner::new()),
+        Box::new(StpmMiner),
+        Box::new(ApsGrowth),
+    ]
+}
+
+/// One measured run of one engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measurement {
-    /// Algorithm label ("E-STPM", "A-STPM", "APS-growth").
+    /// Engine label (from [`MiningEngine::name`]).
     pub algorithm: &'static str,
     /// Wall-clock runtime of the mining call.
     pub runtime: Duration,
-    /// Estimated peak heap footprint of the algorithm's data structures, in
+    /// Estimated peak heap footprint of the engine's data structures, in
     /// bytes (the quantity plotted by the paper's memory figures).
     pub memory_bytes: usize,
     /// Total number of frequent seasonal patterns found (events + k-event
     /// patterns).
     pub patterns: usize,
-    /// Wall-clock time of the MI/µ computation (A-STPM only, zero otherwise).
+    /// Wall-clock time of the engine's MI/µ pre-mining phase (zero for
+    /// engines without one).
     pub mi_time: Duration,
 }
 
@@ -36,120 +49,87 @@ impl Measurement {
     pub fn memory_mib(&self) -> f64 {
         self.memory_bytes as f64 / (1024.0 * 1024.0)
     }
+
+    /// Runtime of the mining proper, excluding the MI/µ pre-phase, in
+    /// seconds (Figures 13/14 plot the two separately).
+    #[must_use]
+    pub fn mining_secs(&self) -> f64 {
+        (self.runtime.saturating_sub(self.mi_time)).as_secs_f64()
+    }
 }
 
-/// Runs and measures the exact miner.
+/// Runs and measures one engine on one input.
 #[must_use]
-pub fn measure_estpm(dseq: &SequenceDatabase, config: &StpmConfig) -> (Measurement, MiningReport) {
+pub fn measure(
+    engine: &dyn MiningEngine,
+    input: &MiningInput<'_>,
+    config: &StpmConfig,
+) -> (Measurement, EngineReport) {
     let start = Instant::now();
-    let report = StpmMiner::new(dseq, config)
-        .expect("benchmark configurations are valid")
-        .mine();
+    let report = engine
+        .mine_with(input, config)
+        .expect("benchmark datasets and configurations are valid");
     let runtime = start.elapsed();
     (
         Measurement {
-            algorithm: "E-STPM",
+            algorithm: report.engine(),
             runtime,
-            memory_bytes: report.stats().peak_footprint_bytes,
+            memory_bytes: report.memory_bytes(),
             patterns: report.total_patterns(),
-            mi_time: Duration::ZERO,
+            mi_time: report.phase_time(phases::MI),
         },
         report,
     )
 }
 
-/// Runs and measures the approximate miner (operates on `D_SYB` because the
-/// series pruning happens before the sequence mapping).
+/// Runs and measures every contender on the same input.
 #[must_use]
-pub fn measure_astpm(
-    dsyb: &SymbolicDatabase,
-    mapping_factor: u64,
-    config: &StpmConfig,
-) -> (Measurement, AStpmReport) {
-    let approx_config = AStpmConfig::new(config.clone());
-    let start = Instant::now();
-    let report = AStpmMiner::new(dsyb, mapping_factor, &approx_config)
-        .expect("benchmark configurations are valid")
-        .mine()
-        .expect("benchmark datasets are valid");
-    let runtime = start.elapsed();
-    (
-        Measurement {
-            algorithm: "A-STPM",
-            runtime,
-            memory_bytes: report.report().stats().peak_footprint_bytes,
-            patterns: report.report().total_patterns(),
-            mi_time: report.mi_time(),
-        },
-        report,
-    )
-}
-
-/// Runs and measures the APS-growth baseline.
-#[must_use]
-pub fn measure_apsgrowth(
-    dseq: &SequenceDatabase,
-    config: &StpmConfig,
-) -> (Measurement, ApsGrowthReport) {
-    let start = Instant::now();
-    let report = ApsGrowth::new(dseq, config)
-        .expect("benchmark configurations are valid")
-        .mine();
-    let runtime = start.elapsed();
-    (
-        Measurement {
-            algorithm: "APS-growth",
-            runtime,
-            memory_bytes: report.footprint_bytes,
-            patterns: report.report.total_patterns(),
-            mi_time: Duration::ZERO,
-        },
-        report,
-    )
+pub fn measure_all(input: &MiningInput<'_>, config: &StpmConfig) -> Vec<Measurement> {
+    contenders()
+        .iter()
+        .map(|engine| measure(engine.as_ref(), input, config).0)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::PreparedData;
     use crate::params::ParamGrid;
-    use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+    use stpm_datagen::{DatasetProfile, DatasetSpec};
 
-    fn tiny_dataset() -> (SymbolicDatabase, SequenceDatabase, u64) {
-        let spec = DatasetSpec::real(DatasetProfile::Influenza)
-            .scaled_to(5, 150)
-            .with_seed(9);
-        let data = generate(&spec);
-        let dseq = data.dseq().unwrap();
-        (data.dsyb, dseq, data.mapping_factor)
+    fn tiny_dataset() -> PreparedData {
+        PreparedData::generate(
+            &DatasetSpec::real(DatasetProfile::Influenza)
+                .scaled_to(5, 150)
+                .with_seed(9),
+        )
     }
 
     #[test]
-    fn all_three_algorithms_are_measurable() {
-        let (dsyb, dseq, m) = tiny_dataset();
+    fn all_three_contenders_are_measurable() {
+        let prepared = tiny_dataset();
         let config = ParamGrid::default_config(DatasetProfile::Influenza);
-
-        let (e, _) = measure_estpm(&dseq, &config);
-        assert_eq!(e.algorithm, "E-STPM");
-        assert!(e.memory_bytes > 0);
-        assert!(e.runtime_secs() >= 0.0);
-
-        let (a, _) = measure_astpm(&dsyb, m, &config);
-        assert_eq!(a.algorithm, "A-STPM");
-        assert!(a.memory_mib() >= 0.0);
-
-        let (b, _) = measure_apsgrowth(&dseq, &config);
-        assert_eq!(b.algorithm, "APS-growth");
-        assert!(b.memory_bytes > 0);
+        let measurements = measure_all(&prepared.input(), &config);
+        let names: Vec<&str> = measurements.iter().map(|m| m.algorithm).collect();
+        assert_eq!(names, vec!["A-STPM", "E-STPM", "APS-growth"]);
+        for m in &measurements {
+            assert!(m.memory_bytes > 0 || m.patterns == 0);
+            assert!(m.runtime_secs() >= 0.0);
+            assert!(m.memory_mib() >= 0.0);
+            assert!(m.mining_secs() <= m.runtime_secs());
+        }
     }
 
     #[test]
     fn approximate_memory_does_not_exceed_exact_memory() {
         // A-STPM mines a projection of the database, so its data-structure
         // footprint cannot exceed E-STPM's on the same configuration.
-        let (dsyb, dseq, m) = tiny_dataset();
+        let prepared = tiny_dataset();
         let config = ParamGrid::default_config(DatasetProfile::Influenza);
-        let (e, _) = measure_estpm(&dseq, &config);
-        let (a, _) = measure_astpm(&dsyb, m, &config);
+        let input = prepared.input();
+        let (a, _) = measure(&AStpmMiner::new(), &input, &config);
+        let (e, _) = measure(&StpmMiner, &input, &config);
         assert!(a.memory_bytes <= e.memory_bytes);
         assert!(a.patterns <= e.patterns);
     }

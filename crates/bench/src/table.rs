@@ -114,11 +114,7 @@ mod tests {
         assert!(s.contains("| name"));
         assert!(s.contains("a-much-longer-name"));
         // All body lines have the same width.
-        let widths: Vec<usize> = s
-            .lines()
-            .skip(1)
-            .map(str::len)
-            .collect();
+        let widths: Vec<usize> = s.lines().skip(1).map(str::len).collect();
         assert!(widths.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(t.len(), 2);
         assert!(!t.is_empty());

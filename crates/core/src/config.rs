@@ -4,12 +4,11 @@
 //! study of Figures 15/16/25/26.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// A threshold that can be given either as an absolute number of granules or
 /// as a fraction of `|D_SEQ|` (the paper expresses `maxPeriod` and
 /// `minDensity` as percentages of the database size, Table VI).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Threshold {
     /// An absolute number of granules.
     Absolute(u64),
@@ -53,7 +52,7 @@ impl Threshold {
 
 /// Which pruning techniques E-STPM applies. `All` is the algorithm of the
 /// paper; the other variants exist for the pruning-ablation experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PruningMode {
     /// No pruning: every event/group/pattern is expanded and only the final
     /// frequency check filters the output.
@@ -105,7 +104,7 @@ impl PruningMode {
 }
 
 /// User-facing configuration of the STPM miner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StpmConfig {
     /// `maxPeriod`: maximal period between two consecutive granules of a near
     /// support set (Definition 3.13).
@@ -209,7 +208,7 @@ impl StpmConfig {
 
 /// The configuration with every threshold resolved to an absolute number of
 /// granules — what the mining kernels actually consume.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResolvedConfig {
     /// Maximal period between consecutive granules of a near support set.
     pub max_period: u64,
@@ -306,16 +305,22 @@ mod tests {
 
     #[test]
     fn config_resolution_errors() {
-        let mut config = StpmConfig::default();
-        config.min_season = 0;
+        let config = StpmConfig {
+            min_season: 0,
+            ..StpmConfig::default()
+        };
         assert!(config.resolve(100).is_err());
 
-        let mut config = StpmConfig::default();
-        config.dist_interval = (10, 5);
+        let config = StpmConfig {
+            dist_interval: (10, 5),
+            ..StpmConfig::default()
+        };
         assert!(config.resolve(100).is_err());
 
-        let mut config = StpmConfig::default();
-        config.max_pattern_len = 0;
+        let config = StpmConfig {
+            max_pattern_len: 0,
+            ..StpmConfig::default()
+        };
         assert!(config.resolve(100).is_err());
 
         assert!(StpmConfig::default().resolve(0).is_err());

@@ -1,0 +1,441 @@
+//! The engine-agnostic mining API: [`MiningEngine`], [`MiningInput`] and the
+//! unified [`EngineReport`].
+//!
+//! The paper evaluates three contenders — exact E-STPM, approximate A-STPM
+//! and the APS-growth baseline — over one shared data-transformation
+//! substrate. This module is the seam that lets callers (the facade
+//! `Pipeline`, the benchmark harness, integration tests) treat them, and any
+//! future engine, uniformly:
+//!
+//! * [`MiningInput`] bundles the two databases of the pipeline (`D_SYB` and
+//!   `D_SEQ`) plus the sequence-mapping factor, because engines differ in
+//!   which representation they consume: E-STPM and APS-growth mine `D_SEQ`
+//!   directly, while A-STPM prunes series from `D_SYB` *before* the sequence
+//!   mapping.
+//! * [`EngineReport`] subsumes the per-engine report types of earlier
+//!   revisions (`MiningReport` alone, `AStpmReport`, `ApsGrowthReport`): the
+//!   mined patterns, the registry they should be displayed against, named
+//!   per-phase timings, a pruning summary, and a memory estimate.
+//! * [`accuracy`] compares any two engine reports the way the paper's
+//!   Tables VII/XII do, with no knowledge of which engines produced them.
+
+use crate::config::{ResolvedConfig, StpmConfig};
+use crate::error::Result;
+use crate::pattern::TemporalPattern;
+use crate::report::{MinedEvent, MinedPattern, MiningReport, MiningStats};
+use std::collections::BTreeSet;
+use std::time::Duration;
+use stpm_timeseries::{EventRegistry, SequenceDatabase, SeriesId, SymbolicDatabase};
+
+/// Canonical phase names used by the built-in engines. Custom engines may
+/// report any phase names they like; these constants exist so that generic
+/// consumers (benchmarks, tables) can pick out the common ones.
+pub mod phases {
+    /// Mutual-information / µ-threshold computation (A-STPM).
+    pub const MI: &str = "mi";
+    /// Frequent seasonal single-event mining.
+    pub const SINGLE_EVENTS: &str = "single-events";
+    /// Frequent seasonal k-event pattern mining.
+    pub const PATTERNS: &str = "patterns";
+    /// Periodic-frequent itemset mining (APS-growth phase 1).
+    pub const ITEMSETS: &str = "itemsets";
+    /// Temporal-pattern extraction from itemsets (APS-growth phase 2).
+    pub const EXTRACTION: &str = "extraction";
+}
+
+/// The input every [`MiningEngine`] mines: the symbolic database `D_SYB`, the
+/// temporal sequence database `D_SEQ` derived from it, and the sequence
+/// mapping factor `m` that links the two.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningInput<'a> {
+    dsyb: &'a SymbolicDatabase,
+    dseq: &'a SequenceDatabase,
+    mapping_factor: u64,
+}
+
+impl<'a> MiningInput<'a> {
+    /// Bundles the two databases of the data-transformation phase.
+    ///
+    /// # Panics
+    /// Panics when the bundle is inconsistent — `dseq` was not derived from
+    /// `dsyb` with `mapping_factor` (different mapping factor or series
+    /// count). An inconsistent bundle would make engines that re-map `D_SYB`
+    /// (A-STPM) silently mine a different database than engines that consume
+    /// `D_SEQ` directly, so it is rejected at construction.
+    #[must_use]
+    pub fn new(
+        dsyb: &'a SymbolicDatabase,
+        dseq: &'a SequenceDatabase,
+        mapping_factor: u64,
+    ) -> Self {
+        assert_eq!(
+            dseq.mapping_factor(),
+            mapping_factor,
+            "MiningInput: dseq was built with mapping factor {}, not {mapping_factor}",
+            dseq.mapping_factor()
+        );
+        assert_eq!(
+            dseq.num_series(),
+            dsyb.num_series(),
+            "MiningInput: dseq covers {} series but dsyb has {}",
+            dseq.num_series(),
+            dsyb.num_series()
+        );
+        Self {
+            dsyb,
+            dseq,
+            mapping_factor,
+        }
+    }
+
+    /// The symbolic database `D_SYB`.
+    #[must_use]
+    pub fn dsyb(&self) -> &'a SymbolicDatabase {
+        self.dsyb
+    }
+
+    /// The temporal sequence database `D_SEQ`.
+    #[must_use]
+    pub fn dseq(&self) -> &'a SequenceDatabase {
+        self.dseq
+    }
+
+    /// The sequence-mapping factor `m` (`D_SYB` instants per `D_SEQ`
+    /// granule).
+    #[must_use]
+    pub fn mapping_factor(&self) -> u64 {
+        self.mapping_factor
+    }
+
+    /// Number of granules of `D_SEQ` — the size every fractional threshold is
+    /// resolved against.
+    #[must_use]
+    pub fn num_granules(&self) -> u64 {
+        self.dseq.num_granules()
+    }
+}
+
+/// One named, timed phase of an engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Phase name (see [`phases`] for the canonical ones).
+    pub name: &'static str,
+    /// Wall-clock time spent in the phase.
+    pub time: Duration,
+}
+
+impl PhaseTiming {
+    /// Creates a named timing.
+    #[must_use]
+    pub fn new(name: &'static str, time: Duration) -> Self {
+        Self { name, time }
+    }
+}
+
+/// What an engine discarded before or while mining. All counters refer to the
+/// *original* (un-projected) database.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PruningSummary {
+    /// Series kept for mining (ids of the original database).
+    pub kept_series: Vec<SeriesId>,
+    /// Series pruned before mining.
+    pub pruned_series: Vec<SeriesId>,
+    /// Total series of the original database.
+    pub total_series: usize,
+    /// Events (symbol labels) pruned together with their series.
+    pub pruned_events: usize,
+    /// Total events of the original database.
+    pub total_events: usize,
+    /// Candidate itemsets produced by a phase-1 pre-mining step (APS-growth);
+    /// zero for engines without one.
+    pub candidate_itemsets: usize,
+}
+
+impl PruningSummary {
+    /// A summary for an engine that mines the whole database.
+    #[must_use]
+    pub fn keep_all(input: &MiningInput<'_>) -> Self {
+        let total_series = input.dsyb().num_series();
+        Self {
+            kept_series: (0..total_series)
+                .map(|i| SeriesId(u32::try_from(i).expect("series fits u32")))
+                .collect(),
+            pruned_series: Vec::new(),
+            total_series,
+            pruned_events: 0,
+            total_events: input.dsyb().registry().num_events(),
+            candidate_itemsets: 0,
+        }
+    }
+
+    /// Fraction of time series pruned, in percent (Table XI of the paper).
+    #[must_use]
+    pub fn pruned_series_pct(&self) -> f64 {
+        if self.total_series == 0 {
+            0.0
+        } else {
+            100.0 * self.pruned_series.len() as f64 / self.total_series as f64
+        }
+    }
+
+    /// Fraction of events pruned, in percent (Table XI of the paper).
+    #[must_use]
+    pub fn pruned_events_pct(&self) -> f64 {
+        if self.total_events == 0 {
+            0.0
+        } else {
+            100.0 * self.pruned_events as f64 / self.total_events as f64
+        }
+    }
+}
+
+/// The unified output of every mining engine: the frequent seasonal events
+/// and patterns, the registry to display them against, per-phase timings, a
+/// pruning summary and a memory estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    engine: &'static str,
+    report: MiningReport,
+    registry: EventRegistry,
+    phases: Vec<PhaseTiming>,
+    pruning: PruningSummary,
+    memory_bytes: usize,
+}
+
+impl EngineReport {
+    /// Assembles a report.
+    #[must_use]
+    pub fn new(
+        engine: &'static str,
+        report: MiningReport,
+        registry: EventRegistry,
+        phases: Vec<PhaseTiming>,
+        pruning: PruningSummary,
+        memory_bytes: usize,
+    ) -> Self {
+        Self {
+            engine,
+            report,
+            registry,
+            phases,
+            pruning,
+            memory_bytes,
+        }
+    }
+
+    /// Name of the engine that produced the report.
+    #[must_use]
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// The underlying mining report (events, patterns, run statistics).
+    #[must_use]
+    pub fn report(&self) -> &MiningReport {
+        &self.report
+    }
+
+    /// Consumes the report and returns the underlying [`MiningReport`].
+    #[must_use]
+    pub fn into_report(self) -> MiningReport {
+        self.report
+    }
+
+    /// Registry the mined labels refer to. For engines that project the
+    /// database (A-STPM) this is the registry of the *projected* database.
+    #[must_use]
+    pub fn registry(&self) -> &EventRegistry {
+        &self.registry
+    }
+
+    /// The frequent seasonal single events.
+    #[must_use]
+    pub fn events(&self) -> &[MinedEvent] {
+        self.report.events()
+    }
+
+    /// The frequent seasonal temporal patterns (k ≥ 2).
+    #[must_use]
+    pub fn patterns(&self) -> &[MinedPattern] {
+        self.report.patterns()
+    }
+
+    /// Run statistics of the underlying miner.
+    #[must_use]
+    pub fn stats(&self) -> &MiningStats {
+        self.report.stats()
+    }
+
+    /// Total number of frequent seasonal patterns, counting single events.
+    #[must_use]
+    pub fn total_patterns(&self) -> usize {
+        self.report.total_patterns()
+    }
+
+    /// Whether a structurally identical pattern was found.
+    #[must_use]
+    pub fn contains_pattern(&self, pattern: &TemporalPattern) -> bool {
+        self.report.contains_pattern(pattern)
+    }
+
+    /// The named phase timings, in execution order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseTiming] {
+        &self.phases
+    }
+
+    /// Time spent in the named phase ([`Duration::ZERO`] when the engine has
+    /// no such phase).
+    #[must_use]
+    pub fn phase_time(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| p.name == name)
+            .map(|p| p.time)
+            .sum()
+    }
+
+    /// Total wall-clock time across all phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.time).sum()
+    }
+
+    /// What the engine pruned before or while mining.
+    #[must_use]
+    pub fn pruning(&self) -> &PruningSummary {
+        &self.pruning
+    }
+
+    /// Estimated peak heap footprint of the engine's data structures, in
+    /// bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Memory estimate in mebibytes (convenience for table output).
+    #[must_use]
+    pub fn memory_mib(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// The human-readable renderings of every mined event and pattern.
+    /// Rendering through the report's own registry makes outputs produced
+    /// over different (projected) databases comparable.
+    #[must_use]
+    pub fn pattern_set(&self) -> BTreeSet<String> {
+        self.report
+            .events()
+            .iter()
+            .map(|e| self.registry.display(e.label))
+            .chain(
+                self.report
+                    .patterns()
+                    .iter()
+                    .map(|p| p.pattern().display(&self.registry)),
+            )
+            .collect()
+    }
+}
+
+/// Accuracy of a (possibly approximate) result w.r.t. a reference result, in
+/// percent: the fraction of the reference's frequent seasonal patterns
+/// (events and k-event patterns) that the other run also found. An empty
+/// reference counts as 100%.
+#[must_use]
+pub fn accuracy(reference: &EngineReport, other: &EngineReport) -> f64 {
+    let reference_set = reference.pattern_set();
+    if reference_set.is_empty() {
+        return 100.0;
+    }
+    let other_set = other.pattern_set();
+    let hit = reference_set.intersection(&other_set).count();
+    100.0 * hit as f64 / reference_set.len() as f64
+}
+
+/// A seasonal-temporal-pattern mining engine.
+///
+/// Implementations are lightweight, data-free values (engine configuration
+/// such as A-STPM's µ override lives on the implementing struct); the data
+/// arrives per call through [`MiningInput`]. This is what lets the facade
+/// `Pipeline`, the benchmark harness and the agreement tests run E-STPM,
+/// A-STPM, APS-growth — or any future engine — through one code path.
+pub trait MiningEngine {
+    /// Short display name of the engine ("E-STPM", "A-STPM", "APS-growth").
+    fn name(&self) -> &'static str;
+
+    /// Mines the input under an already-resolved configuration.
+    ///
+    /// # Errors
+    /// Propagates data-transformation errors (e.g. a failed projection) and
+    /// internal configuration errors.
+    fn mine(&self, input: &MiningInput<'_>, config: &ResolvedConfig) -> Result<EngineReport>;
+
+    /// Convenience wrapper: resolves `config` against the input's `D_SEQ`
+    /// size, then mines.
+    ///
+    /// # Errors
+    /// Propagates configuration-validation errors in addition to
+    /// [`MiningEngine::mine`]'s errors.
+    fn mine_with(&self, input: &MiningInput<'_>, config: &StpmConfig) -> Result<EngineReport> {
+        let resolved = config.resolve(input.num_granules())?;
+        self.mine(input, &resolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn report(engine: &'static str, phases: Vec<PhaseTiming>) -> EngineReport {
+        EngineReport::new(
+            engine,
+            MiningReport::default(),
+            EventRegistry::new(),
+            phases,
+            PruningSummary::default(),
+            64,
+        )
+    }
+
+    #[test]
+    fn phase_times_sum_and_lookup() {
+        let r = report(
+            "X",
+            vec![
+                PhaseTiming::new(phases::MI, Duration::from_millis(3)),
+                PhaseTiming::new(phases::PATTERNS, Duration::from_millis(7)),
+            ],
+        );
+        assert_eq!(r.phase_time(phases::MI), Duration::from_millis(3));
+        assert_eq!(r.phase_time("nonexistent"), Duration::ZERO);
+        assert_eq!(r.total_time(), Duration::from_millis(10));
+        assert_eq!(r.engine(), "X");
+        assert!((r.memory_mib() - 64.0 / 1024.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_reference_is_100() {
+        let a = report("A", Vec::new());
+        let b = report("B", Vec::new());
+        assert!((accuracy(&a, &b) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pruning_summary_percentages() {
+        let summary = PruningSummary {
+            kept_series: vec![SeriesId(0)],
+            pruned_series: vec![SeriesId(1), SeriesId(2), SeriesId(3)],
+            total_series: 4,
+            pruned_events: 6,
+            total_events: 8,
+            candidate_itemsets: 0,
+        };
+        assert!((summary.pruned_series_pct() - 75.0).abs() < 1e-12);
+        assert!((summary.pruned_events_pct() - 75.0).abs() < 1e-12);
+        assert_eq!(PruningSummary::default().pruned_series_pct(), 0.0);
+        assert_eq!(PruningSummary::default().pruned_events_pct(), 0.0);
+    }
+}

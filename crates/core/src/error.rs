@@ -17,11 +17,20 @@ pub enum Error {
     },
     /// The sequence database is empty.
     EmptyDatabase,
+    /// A data-transformation step performed by an engine (projection,
+    /// sequence mapping) failed.
+    Transform(stpm_timeseries::Error),
     /// An internal invariant was violated (indicates a bug, never expected).
     Internal {
         /// Human-readable description.
         reason: String,
     },
+}
+
+impl From<stpm_timeseries::Error> for Error {
+    fn from(e: stpm_timeseries::Error) -> Self {
+        Error::Transform(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -31,6 +40,7 @@ impl fmt::Display for Error {
                 write!(f, "invalid threshold `{parameter}`: {reason}")
             }
             Error::EmptyDatabase => write!(f, "the temporal sequence database is empty"),
+            Error::Transform(e) => write!(f, "data transformation failed: {e}"),
             Error::Internal { reason } => write!(f, "internal invariant violated: {reason}"),
         }
     }
@@ -50,6 +60,8 @@ mod tests {
         };
         assert!(e.to_string().contains("minSeason"));
         assert!(Error::EmptyDatabase.to_string().contains("empty"));
+        let t: Error = stpm_timeseries::Error::EmptySeries { name: "X".into() }.into();
+        assert!(t.to_string().contains("transformation"));
         assert!(Error::Internal {
             reason: "oops".into()
         }

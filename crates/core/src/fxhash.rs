@@ -91,9 +91,7 @@ mod tests {
 
     fn hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
         let builder = FxBuildHasher::default();
-        let mut hasher = builder.build_hasher();
-        value.hash(&mut hasher);
-        hasher.finish()
+        builder.hash_one(value)
     }
 
     #[test]

@@ -15,12 +15,11 @@ use crate::config::ResolvedConfig;
 use crate::fxhash::FxHashMap;
 use crate::pattern::TemporalPattern;
 use crate::support::SupportSet;
-use serde::{Deserialize, Serialize};
 use stpm_timeseries::{EventInstance, EventLabel, GranulePos, SequenceDatabase};
 
 /// Per-event entry of `HLH_1`: support set plus the instances per supporting
 /// granule (`instances[i]` belongs to granule `support[i]`).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EventEntry {
     /// Sorted granule positions where the event occurs.
     pub support: SupportSet,
@@ -45,7 +44,10 @@ impl EventEntry {
             + self
                 .instances
                 .iter()
-                .map(|v| v.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Vec<EventInstance>>())
+                .map(|v| {
+                    v.len() * std::mem::size_of::<EventInstance>()
+                        + std::mem::size_of::<Vec<EventInstance>>()
+                })
                 .sum::<usize>()
     }
 }
@@ -62,11 +64,7 @@ impl Hlh1 {
     /// reaches `minSeason` are kept; otherwise every event with non-empty
     /// support is retained.
     #[must_use]
-    pub fn build(
-        dseq: &SequenceDatabase,
-        config: &ResolvedConfig,
-        candidates_only: bool,
-    ) -> Self {
+    pub fn build(dseq: &SequenceDatabase, config: &ResolvedConfig, candidates_only: bool) -> Self {
         let mut events: FxHashMap<EventLabel, EventEntry> = FxHashMap::default();
         for sequence in dseq.sequences() {
             let granule = sequence.granule();
@@ -135,8 +133,8 @@ impl Hlh1 {
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
         self.events
-            .iter()
-            .map(|(_, entry)| {
+            .values()
+            .map(|entry| {
                 std::mem::size_of::<EventLabel>()
                     + std::mem::size_of::<EventEntry>()
                     + entry.footprint_bytes()
@@ -151,7 +149,7 @@ pub type Binding = Vec<EventInstance>;
 
 /// Per-pattern entry of `HLH_k`: the pattern, its support set, and the
 /// instance bindings per supporting granule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternEntry {
     /// The candidate pattern.
     pub pattern: TemporalPattern,
@@ -178,18 +176,20 @@ impl PatternEntry {
             .bindings
             .iter()
             .flat_map(|per_granule| per_granule.iter())
-            .map(|b| b.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Binding>())
+            .map(|b| {
+                b.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Binding>()
+            })
             .sum();
         self.support.len() * std::mem::size_of::<GranulePos>()
             + binding_bytes
-            + self.pattern.events().len() * std::mem::size_of::<EventLabel>()
+            + std::mem::size_of_val(self.pattern.events())
             + self.pattern.triples().len() * 4
     }
 }
 
 /// Per-group entry of `HLH_k`: the sorted event group, its support set, and
 /// the indices (into [`HlhK::patterns`]) of its candidate patterns.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GroupEntry {
     /// The support set of the event group.
     pub support: SupportSet,
@@ -396,7 +396,11 @@ impl HlhK {
                     + entry.patterns.len() * std::mem::size_of::<usize>()
             })
             .sum();
-        let pattern_bytes: usize = self.patterns.iter().map(PatternEntry::footprint_bytes).sum();
+        let pattern_bytes: usize = self
+            .patterns
+            .iter()
+            .map(PatternEntry::footprint_bytes)
+            .sum();
         group_bytes + pattern_bytes
     }
 }
@@ -406,7 +410,9 @@ mod tests {
     use super::*;
     use crate::config::{StpmConfig, Threshold};
     use crate::relation::RelationKind;
-    use stpm_timeseries::{Alphabet, Interval, SeriesId, SymbolId, SymbolicDatabase, SymbolicSeries};
+    use stpm_timeseries::{
+        Alphabet, Interval, SeriesId, SymbolId, SymbolicDatabase, SymbolicSeries,
+    };
 
     fn config(min_density: u64, min_season: u64) -> ResolvedConfig {
         StpmConfig {
@@ -500,11 +506,8 @@ mod tests {
         assert!(hlh2.group(&group).is_some());
         assert!(hlh2.group(&[label(0, 0)]).is_none());
 
-        let pattern = TemporalPattern::pair(
-            [label(0, 1), label(1, 1)],
-            RelationKind::Contains,
-            false,
-        );
+        let pattern =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
         let binding = vec![
             EventInstance::new(label(0, 1), Interval::new(1, 2)),
             EventInstance::new(label(1, 1), Interval::new(1, 1)),
@@ -539,7 +542,8 @@ mod tests {
         hlh2.insert_group(group_a.clone(), vec![1, 2]);
         hlh2.insert_group(group_b.clone(), vec![3]);
 
-        let strong = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, false);
+        let strong =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, false);
         let weak = TemporalPattern::pair([label(0, 1), label(1, 0)], RelationKind::Follows, false);
         let binding = vec![
             EventInstance::new(label(0, 1), Interval::new(1, 1)),

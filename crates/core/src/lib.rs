@@ -20,7 +20,10 @@
 //! * the hierarchical lookup hash structures `HLH_1` / `HLH_k` ([`hlh`]),
 //! * the mining algorithm itself with the Apriori-like and transitivity
 //!   pruning techniques, individually switchable for the ablation studies
-//!   ([`miner`], [`config::PruningMode`]).
+//!   ([`miner`], [`config::PruningMode`]),
+//! * the engine-agnostic API every miner of the workspace implements:
+//!   [`MiningEngine`], [`MiningInput`] and the unified [`EngineReport`]
+//!   ([`engine`]).
 //!
 //! ## Example
 //!
@@ -43,13 +46,41 @@
 //!     min_season: 1,
 //!     ..StpmConfig::default()
 //! };
-//! let result = StpmMiner::new(&dseq, &config).unwrap().mine();
+//! let result = StpmMiner::mine_sequences(&dseq, &config).unwrap();
 //! assert!(result.patterns().iter().any(|p| p.pattern().len() >= 2));
+//! ```
+//!
+//! To run E-STPM next to the other engines of the workspace through one code
+//! path, use the [`MiningEngine`] trait instead:
+//!
+//! ```
+//! # use stpm_timeseries::{SymbolicDatabase, SymbolicSeries, Alphabet};
+//! # use stpm_core::{StpmConfig, StpmMiner, Threshold};
+//! use stpm_core::{MiningEngine, MiningInput};
+//! # let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+//! # let c = SymbolicSeries::from_labels(
+//! #     "C", &["1","1","0", "1","0","0", "1","1","0", "0","0","0"], alphabet.clone()).unwrap();
+//! # let d = SymbolicSeries::from_labels(
+//! #     "D", &["1","0","0", "1","0","0", "1","1","0", "1","1","0"], alphabet).unwrap();
+//! # let dsyb = SymbolicDatabase::new(vec![c, d]).unwrap();
+//! # let dseq = dsyb.to_sequence_database(3).unwrap();
+//! # let config = StpmConfig {
+//! #     max_period: Threshold::Absolute(2),
+//! #     min_density: Threshold::Absolute(2),
+//! #     dist_interval: (1, 10),
+//! #     min_season: 1,
+//! #     ..StpmConfig::default()
+//! # };
+//! let input = MiningInput::new(&dsyb, &dseq, 3);
+//! let engine: &dyn MiningEngine = &StpmMiner;
+//! let report = engine.mine_with(&input, &config).unwrap();
+//! assert!(report.total_patterns() > 0);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod fxhash;
 pub mod hlh;
@@ -61,6 +92,7 @@ pub mod season;
 pub mod support;
 
 pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
+pub use engine::{accuracy, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 pub use error::{Error, Result};
 pub use hlh::{Hlh1, HlhK};
 pub use miner::StpmMiner;

@@ -18,6 +18,7 @@
 //! study of the paper (Figures 15, 16, 25, 26).
 
 use crate::config::{ResolvedConfig, StpmConfig};
+use crate::engine::{phases, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 use crate::error::Result;
 use crate::hlh::{Binding, Hlh1, HlhK};
 use crate::pattern::{RelationTriple, TemporalPattern};
@@ -28,43 +29,74 @@ use crate::support::intersect;
 use std::time::Instant;
 use stpm_timeseries::{EventLabel, SequenceDatabase};
 
-/// The exact seasonal temporal pattern miner (E-STPM).
+/// The exact seasonal temporal pattern mining engine (E-STPM).
+///
+/// `StpmMiner` is a stateless engine value: the data to mine arrives per call
+/// (either a bare [`SequenceDatabase`] through the inherent helpers, or a
+/// full [`MiningInput`] through the [`MiningEngine`] trait).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StpmMiner;
+
+impl StpmMiner {
+    /// Mines a sequence database, resolving the fractional thresholds of
+    /// `config` against the database size first.
+    ///
+    /// # Errors
+    /// Propagates configuration-validation errors.
+    pub fn mine_sequences(dseq: &SequenceDatabase, config: &StpmConfig) -> Result<MiningReport> {
+        let resolved = config.resolve(dseq.num_granules())?;
+        Ok(Self::mine_sequences_resolved(dseq, &resolved))
+    }
+
+    /// Mines a sequence database under an already-resolved configuration.
+    #[must_use]
+    pub fn mine_sequences_resolved(
+        dseq: &SequenceDatabase,
+        config: &ResolvedConfig,
+    ) -> MiningReport {
+        ExactRun {
+            dseq,
+            config: *config,
+        }
+        .mine()
+    }
+}
+
+impl MiningEngine for StpmMiner {
+    fn name(&self) -> &'static str {
+        "E-STPM"
+    }
+
+    fn mine(&self, input: &MiningInput<'_>, config: &ResolvedConfig) -> Result<EngineReport> {
+        let report = Self::mine_sequences_resolved(input.dseq(), config);
+        let stats = report.stats();
+        let timings = vec![
+            PhaseTiming::new(phases::SINGLE_EVENTS, stats.single_event_time),
+            PhaseTiming::new(phases::PATTERNS, stats.pattern_time),
+        ];
+        let memory = stats.peak_footprint_bytes;
+        Ok(EngineReport::new(
+            self.name(),
+            report,
+            input.dseq().registry().clone(),
+            timings,
+            PruningSummary::keep_all(input),
+            memory,
+        ))
+    }
+}
+
+/// One exact mining run over one database (the Algorithm 1 implementation).
 #[derive(Debug, Clone)]
-pub struct StpmMiner<'a> {
+struct ExactRun<'a> {
     dseq: &'a SequenceDatabase,
     config: ResolvedConfig,
 }
 
-impl<'a> StpmMiner<'a> {
-    /// Creates a miner for `dseq`, resolving the fractional thresholds of
-    /// `config` against the database size.
-    ///
-    /// # Errors
-    /// Propagates configuration-validation errors.
-    pub fn new(dseq: &'a SequenceDatabase, config: &StpmConfig) -> Result<Self> {
-        let resolved = config.resolve(dseq.num_granules())?;
-        Ok(Self {
-            dseq,
-            config: resolved,
-        })
-    }
-
-    /// Creates a miner from an already-resolved configuration.
-    #[must_use]
-    pub fn with_resolved(dseq: &'a SequenceDatabase, config: ResolvedConfig) -> Self {
-        Self { dseq, config }
-    }
-
-    /// The resolved configuration the miner runs with.
-    #[must_use]
-    pub fn config(&self) -> &ResolvedConfig {
-        &self.config
-    }
-
+impl ExactRun<'_> {
     /// Runs the full mining process and returns every frequent seasonal
     /// single event and temporal pattern.
-    #[must_use]
-    pub fn mine(&self) -> MiningReport {
+    fn mine(&self) -> MiningReport {
         let total_start = Instant::now();
         let apriori = self.config.pruning.apriori_enabled();
 
@@ -148,11 +180,14 @@ impl<'a> StpmMiner<'a> {
     }
 
     /// Mines candidate 2-event groups and patterns (Section IV-D, 4.2.1).
+    /// Patterns relate *distinct* events: an event group is a set, matching
+    /// the transactional view the APS-growth baseline mines — this is what
+    /// makes the two engines output-equivalent.
     fn mine_pairs(&self, hlh1: &Hlh1, f1: &[EventLabel]) -> HlhK {
         let apriori = self.config.pruning.apriori_enabled();
         let mut hlh2 = HlhK::new(2);
         for (i, &ei) in f1.iter().enumerate() {
-            for (j, &ej) in f1.iter().enumerate().skip(i) {
+            for &ej in f1.iter().skip(i + 1) {
                 let support = intersect(hlh1.support(ei), hlh1.support(ej));
                 if support.is_empty() {
                     continue;
@@ -165,13 +200,9 @@ impl<'a> StpmMiner<'a> {
                 for &granule in &support {
                     let instances_i = hlh1.instances_at(ei, granule);
                     let instances_j = hlh1.instances_at(ej, granule);
-                    for (a_idx, a) in instances_i.iter().enumerate() {
-                        for (b_idx, b) in instances_j.iter().enumerate() {
-                            if i == j && b_idx <= a_idx {
-                                continue;
-                            }
-                            let in_order =
-                                chronological_order(&a.interval, &b.interval, 0u8, 1u8);
+                    for a in instances_i.iter() {
+                        for b in instances_j.iter() {
+                            let in_order = chronological_order(&a.interval, &b.interval, 0u8, 1u8);
                             let (first, second, swapped) = if in_order {
                                 (a, b, false)
                             } else {
@@ -271,8 +302,7 @@ impl<'a> StpmMiner<'a> {
                                 }
                                 let mut new_triples = Vec::with_capacity(binding.len());
                                 for (idx, bound) in binding.iter().enumerate() {
-                                    let idx_u8 =
-                                        u8::try_from(idx).expect("pattern length fits u8");
+                                    let idx_u8 = u8::try_from(idx).expect("pattern length fits u8");
                                     let in_order = chronological_order(
                                         &bound.interval,
                                         &ek_instance.interval,
@@ -301,8 +331,7 @@ impl<'a> StpmMiner<'a> {
                                         None => continue 'instances,
                                     }
                                 }
-                                let new_pattern =
-                                    pattern_entry.pattern.extended(ek, new_triples);
+                                let new_pattern = pattern_entry.pattern.extended(ek, new_triples);
                                 if !group_registered {
                                     hlhk.insert_group(new_group.clone(), group_support.clone());
                                     group_registered = true;
@@ -377,8 +406,7 @@ mod tests {
     #[test]
     fn mining_the_paper_example_finds_c1_contains_d1() {
         let (dsyb, dseq) = paper_dseq();
-        let miner = StpmMiner::new(&dseq, &paper_config()).unwrap();
-        let report = miner.mine();
+        let report = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
 
         let c1 = dsyb.registry().label("C", "1").unwrap();
         let d1 = dsyb.registry().label("D", "1").unwrap();
@@ -405,8 +433,7 @@ mod tests {
             max_pattern_len: 2,
             ..StpmConfig::default()
         };
-        let miner = StpmMiner::new(&dseq, &config).unwrap();
-        let report = miner.mine();
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
 
         let m1 = dsyb.registry().label("M", "1").unwrap();
         let n1 = dsyb.registry().label("N", "1").unwrap();
@@ -424,8 +451,7 @@ mod tests {
     #[test]
     fn report_contains_three_event_patterns() {
         let (_, dseq) = paper_dseq();
-        let miner = StpmMiner::new(&dseq, &paper_config()).unwrap();
-        let report = miner.mine();
+        let report = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
         assert!(
             !report.patterns_of_len(3).is_empty(),
             "the example database contains frequent 3-event patterns"
@@ -444,8 +470,7 @@ mod tests {
         let mut outputs: Vec<BTreeSet<String>> = Vec::new();
         for mode in PruningMode::all_modes() {
             let config = paper_config().with_pruning(mode);
-            let miner = StpmMiner::new(&dseq, &config).unwrap();
-            let report = miner.mine();
+            let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
             let set: BTreeSet<String> = report
                 .patterns()
                 .iter()
@@ -463,22 +488,19 @@ mod tests {
     #[test]
     fn pruning_shrinks_candidate_counts() {
         let (_, dseq) = paper_dseq();
-        let full = StpmMiner::new(&dseq, &paper_config().with_pruning(PruningMode::All))
-            .unwrap()
-            .mine();
-        let none = StpmMiner::new(&dseq, &paper_config().with_pruning(PruningMode::NoPrune))
-            .unwrap()
-            .mine();
-        assert!(
-            full.stats().total_candidate_patterns() <= none.stats().total_candidate_patterns()
-        );
+        let full = StpmMiner::mine_sequences(&dseq, &paper_config().with_pruning(PruningMode::All))
+            .unwrap();
+        let none =
+            StpmMiner::mine_sequences(&dseq, &paper_config().with_pruning(PruningMode::NoPrune))
+                .unwrap();
+        assert!(full.stats().total_candidate_patterns() <= none.stats().total_candidate_patterns());
         assert!(full.stats().candidate_events <= none.stats().candidate_events);
     }
 
     #[test]
     fn stats_are_populated() {
         let (_, dseq) = paper_dseq();
-        let report = StpmMiner::new(&dseq, &paper_config()).unwrap().mine();
+        let report = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
         let stats = report.stats();
         assert_eq!(stats.num_granules, 14);
         assert_eq!(stats.num_events, 10);
@@ -496,7 +518,7 @@ mod tests {
             max_pattern_len: 1,
             ..paper_config()
         };
-        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
         assert!(report.patterns().is_empty());
         assert!(!report.events().is_empty());
     }
@@ -511,7 +533,7 @@ mod tests {
             min_season: 5,
             ..paper_config()
         };
-        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
         assert!(report.patterns().is_empty());
         assert!(report.events().is_empty());
     }
@@ -519,12 +541,8 @@ mod tests {
     #[test]
     fn epsilon_widens_or_preserves_the_output() {
         let (_, dseq) = paper_dseq();
-        let strict = StpmMiner::new(&dseq, &paper_config().with_epsilon(0))
-            .unwrap()
-            .mine();
-        let tolerant = StpmMiner::new(&dseq, &paper_config().with_epsilon(1))
-            .unwrap()
-            .mine();
+        let strict = StpmMiner::mine_sequences(&dseq, &paper_config().with_epsilon(0)).unwrap();
+        let tolerant = StpmMiner::mine_sequences(&dseq, &paper_config().with_epsilon(1)).unwrap();
         // With ε the relation classifier merges near-boundary cases; the
         // number of *distinct* patterns may change, but mining must still
         // succeed and find the headline pattern.
@@ -533,17 +551,31 @@ mod tests {
     }
 
     #[test]
-    fn with_resolved_constructor_matches_new() {
+    fn resolved_entry_point_matches_the_resolving_one() {
         let (_, dseq) = paper_dseq();
         let config = paper_config();
         let resolved = config.resolve(dseq.num_granules()).unwrap();
-        let a = StpmMiner::new(&dseq, &config).unwrap().mine();
-        let b = StpmMiner::with_resolved(&dseq, resolved).mine();
+        let a = StpmMiner::mine_sequences(&dseq, &config).unwrap();
+        let b = StpmMiner::mine_sequences_resolved(&dseq, &resolved);
         assert_eq!(a.patterns().len(), b.patterns().len());
         assert_eq!(a.events().len(), b.events().len());
-        assert_eq!(
-            StpmMiner::with_resolved(&dseq, resolved).config().min_season,
-            2
-        );
+    }
+
+    #[test]
+    fn engine_trait_wraps_the_exact_miner() {
+        use crate::engine::accuracy;
+        let (dsyb, dseq) = paper_dseq();
+        let input = MiningInput::new(&dsyb, &dseq, 3);
+        let engine: &dyn MiningEngine = &StpmMiner;
+        assert_eq!(engine.name(), "E-STPM");
+        let report = engine.mine_with(&input, &paper_config()).unwrap();
+        let direct = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
+        assert_eq!(report.total_patterns(), direct.total_patterns());
+        assert_eq!(report.pruning().pruned_series.len(), 0);
+        assert_eq!(report.pruning().kept_series.len(), 5);
+        assert!(report.phase_time(phases::SINGLE_EVENTS) <= report.total_time());
+        assert!(report.memory_bytes() > 0);
+        assert!((accuracy(&report, &report) - 100.0).abs() < 1e-12);
+        assert!(!report.pattern_set().is_empty());
     }
 }

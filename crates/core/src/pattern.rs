@@ -9,13 +9,12 @@
 //! event whose instance starts earlier.
 
 use crate::relation::RelationKind;
-use serde::{Deserialize, Serialize};
 use stpm_timeseries::{EventLabel, EventRegistry};
 
 /// One pairwise relation of a pattern: `events[first] r events[second]`,
 /// oriented so that `events[first]`'s instance is the chronologically earlier
 /// one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelationTriple {
     /// The relation kind.
     pub relation: RelationKind,
@@ -55,7 +54,7 @@ impl RelationTriple {
 
 /// A temporal pattern: an ordered list of events plus one relation triple per
 /// event pair.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TemporalPattern {
     events: Vec<EventLabel>,
     triples: Vec<RelationTriple>,
@@ -171,9 +170,10 @@ impl TemporalPattern {
         self.triples.iter().all(|t| {
             let first = mapping[t.first as usize];
             let second = mapping[t.second as usize];
-            other.triples.iter().any(|o| {
-                o.relation == t.relation && o.first == first && o.second == second
-            })
+            other
+                .triples
+                .iter()
+                .any(|o| o.relation == t.relation && o.first == first && o.second == second)
         })
     }
 

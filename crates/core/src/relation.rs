@@ -7,12 +7,11 @@
 //! decision chain, so the relations are mutually exclusive by construction
 //! (Property 1 of the paper's appendix).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use stpm_timeseries::Interval;
 
 /// The three temporal relations of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RelationKind {
     /// `E_i → E_j`: the first event ends (within ε) before the second starts.
     Follows,

@@ -3,12 +3,11 @@
 use crate::pattern::TemporalPattern;
 use crate::season::Seasons;
 use crate::support::SupportSet;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 use stpm_timeseries::{EventLabel, EventRegistry};
 
 /// A frequent seasonal single event (output of STPM step 2.1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinedEvent {
     /// The event.
     pub label: EventLabel,
@@ -19,7 +18,7 @@ pub struct MinedEvent {
 }
 
 /// A frequent seasonal temporal pattern (output of STPM step 2.2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinedPattern {
     pattern: TemporalPattern,
     support: SupportSet,
@@ -69,7 +68,7 @@ impl MinedPattern {
 
 /// Per-level counters collected while mining (used to report the search-space
 /// reduction of the pruning techniques).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LevelStats {
     /// Pattern length `k` of the level.
     pub k: usize,
@@ -84,7 +83,7 @@ pub struct LevelStats {
 }
 
 /// Statistics of a mining run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MiningStats {
     /// Number of granules of the mined database.
     pub num_granules: u64,
@@ -122,7 +121,7 @@ impl MiningStats {
 }
 
 /// The complete output of a mining run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MiningReport {
     events: Vec<MinedEvent>,
     patterns: Vec<MinedPattern>,

@@ -18,7 +18,6 @@
 //!    `distInterval` (Definition 3.15).
 
 use crate::config::ResolvedConfig;
-use serde::{Deserialize, Serialize};
 use stpm_timeseries::GranulePos;
 
 /// One season: the granules of a (trimmed) near support set that is dense
@@ -27,7 +26,7 @@ pub type Season = Vec<GranulePos>;
 
 /// The seasons of an event or pattern, together with the derived
 /// seasonal-occurrence count.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Seasons {
     seasons: Vec<Season>,
     chain_len: u64,
@@ -144,7 +143,7 @@ fn longest_compliant_chain(seasons: &[Season], dist_min: u64, dist_max: u64) -> 
 
 /// Seasonality summary of a support set: season count plus the seasons
 /// themselves, kept as a named pair for report ergonomics.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SeasonSet {
     /// The support set the seasons were derived from.
     pub support: Vec<GranulePos>,
@@ -166,7 +165,12 @@ mod tests {
     use super::*;
     use crate::config::{StpmConfig, Threshold};
 
-    fn config(max_period: u64, min_density: u64, dist: (u64, u64), min_season: u64) -> ResolvedConfig {
+    fn config(
+        max_period: u64,
+        min_density: u64,
+        dist: (u64, u64),
+        min_season: u64,
+    ) -> ResolvedConfig {
         StpmConfig {
             max_period: Threshold::Absolute(max_period),
             min_density: Threshold::Absolute(min_density),

@@ -10,8 +10,7 @@
 //! `D_SYB` → `D_SEQ`).
 
 use crate::profiles::DatasetSpec;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::SeededRng;
 use stpm_timeseries::{
     EqualWidthSymbolizer, Result as TsResult, SequenceDatabase, SymbolicDatabase, SymbolicSeries,
     Symbolizer, TimeSeries,
@@ -43,19 +42,11 @@ impl GeneratedDataset {
     }
 }
 
-/// A standard-normal sample via the Box–Muller transform (keeps the crate
-/// within the approved dependency set — no `rand_distr`).
-fn gaussian(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random::<f64>().max(1e-12);
-    let u2: f64 = rng.random::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// Generates a dataset according to `spec`. Fully deterministic for a given
 /// spec (including the seed).
 #[must_use]
 pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SeededRng::seed_from_u64(spec.seed);
     let profile = spec.profile;
     let m = profile.mapping_factor();
     let instants = spec.num_instants() as usize;
@@ -63,8 +54,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     let season_instants = profile.season_length() * m;
     let symbols = profile.symbols_per_series();
 
-    let num_correlated =
-        ((spec.num_series as f64) * spec.correlated_fraction).round() as usize;
+    let num_correlated = ((spec.num_series as f64) * spec.correlated_fraction).round() as usize;
     let num_correlated = num_correlated.min(spec.num_series);
     let group_size = 3usize;
 
@@ -131,7 +121,7 @@ fn seasonal_values(
     phase: u64,
     season_len: u64,
     symbols: usize,
-    rng: &mut StdRng,
+    rng: &mut SeededRng,
 ) -> Vec<f64> {
     let top = symbols as f64;
     (0..instants as u64)
@@ -147,19 +137,19 @@ fn seasonal_values(
             // Jitter is small enough to stay inside the band for the vast
             // majority of samples, but occasionally crosses over (realistic
             // measurement noise).
-            base + 0.12 * gaussian(rng)
+            base + 0.12 * rng.next_gaussian()
         })
         .collect()
 }
 
 /// Values of an uncorrelated noise series: a mean-reverting random walk that
 /// spreads over all symbol bands without seasonal structure.
-fn noise_values(instants: usize, symbols: usize, rng: &mut StdRng) -> Vec<f64> {
+fn noise_values(instants: usize, symbols: usize, rng: &mut SeededRng) -> Vec<f64> {
     let top = symbols as f64;
     let mut level = top / 2.0;
     (0..instants)
         .map(|_| {
-            level += 0.6 * gaussian(rng);
+            level += 0.6 * rng.next_gaussian();
             // Mean-revert towards the centre and clamp to the value range.
             level = level * 0.9 + (top / 2.0) * 0.1;
             level = level.clamp(0.0, top);
@@ -246,7 +236,7 @@ mod tests {
             max_pattern_len: 2,
             ..StpmConfig::default()
         };
-        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
         assert!(
             !report.patterns().is_empty(),
             "the generator must embed minable seasonal 2-event patterns"

@@ -33,6 +33,8 @@
 
 pub mod generator;
 pub mod profiles;
+pub mod rng;
 
 pub use generator::{generate, GeneratedDataset};
 pub use profiles::{DatasetProfile, DatasetSpec};
+pub use rng::SeededRng;

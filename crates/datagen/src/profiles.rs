@@ -2,10 +2,8 @@
 //! datasets, plus the knobs a specification can override (series count,
 //! sequence count, seed) for the scalability experiments.
 
-use serde::{Deserialize, Serialize};
-
 /// The four application-domain datasets of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatasetProfile {
     /// RE — renewable energy (ENTSO-E generation/consumption + weather, Spain).
     RenewableEnergy,
@@ -131,7 +129,7 @@ impl DatasetProfile {
 
 /// A concrete dataset specification: a profile plus the size overrides used
 /// by the scalability experiments.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DatasetSpec {
     /// The domain profile the dataset mimics.
     pub profile: DatasetProfile,
@@ -246,7 +244,10 @@ mod tests {
         assert_eq!(spec.num_sequences, 608);
         assert_eq!(spec.num_instants(), 608 * 4);
 
-        let scaled = spec.scaled_to(4, 100).with_seed(7).with_correlated_fraction(2.0);
+        let scaled = spec
+            .scaled_to(4, 100)
+            .with_seed(7)
+            .with_correlated_fraction(2.0);
         assert_eq!(scaled.num_series, 4);
         assert_eq!(scaled.num_sequences, 100);
         assert_eq!(scaled.seed, 7);

@@ -63,7 +63,10 @@ impl fmt::Display for Error {
             Error::InvalidAlphabet { reason } => write!(f, "invalid alphabet: {reason}"),
             Error::InvalidGranularity { reason } => write!(f, "invalid granularity: {reason}"),
             Error::NonFiniteValue { series, index } => {
-                write!(f, "series `{series}` has a non-finite value at index {index}")
+                write!(
+                    f,
+                    "series `{series}` has a non-finite value at index {index}"
+                )
             }
             Error::UnknownSeries { name } => write!(f, "unknown series `{name}`"),
         }

@@ -9,14 +9,13 @@
 //! where each coarser level is `m`-Finer-related to the level below it.
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Position of a granule within a granularity (1-based, Definition 3.2).
 pub type GranulePos = u64;
 
 /// The unit in which time instants of a [`TimeDomain`] are measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimeUnit {
     /// One second per instant.
     Second,
@@ -62,7 +61,7 @@ impl fmt::Display for TimeUnit {
 
 /// A time domain: an ordered set of `len` time instants measured in `unit`
 /// (Definition 3.1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimeDomain {
     unit: TimeUnit,
     len: u64,
@@ -97,7 +96,7 @@ impl TimeDomain {
 /// A time granularity: a complete and non-overlapping equal partitioning of a
 /// time domain (Definition 3.2). `width` is the number of *finest-level time
 /// instants* contained in one granule.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Granularity {
     name: String,
     width: u64,
@@ -137,7 +136,7 @@ impl Granularity {
     /// `self`. Returns the factor `m` when the relation holds.
     #[must_use]
     pub fn finer_than(&self, other: &Granularity) -> Option<u64> {
-        if self.width == 0 || other.width < self.width || other.width % self.width != 0 {
+        if self.width == 0 || other.width < self.width || !other.width.is_multiple_of(self.width) {
             return None;
         }
         Some(other.width / self.width)
@@ -167,7 +166,7 @@ impl fmt::Display for Granularity {
 
 /// A stack of granularities ordered from the finest (level 0) to the coarsest
 /// (Definition 3.4). Every level must be an exact multiple of the level below.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GranularityHierarchy {
     levels: Vec<Granularity>,
 }

@@ -5,11 +5,10 @@
 //! which lets the mining layer trace every instance back to raw timestamps.
 
 use crate::granularity::GranulePos;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A closed (inclusive) interval of granule positions `[start, end]`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interval {
     /// Start granule position (inclusive).
     pub start: GranulePos,

@@ -6,20 +6,19 @@
 //! [`EventLabel`] of two small integers; the [`EventRegistry`] maps labels
 //! back to human-readable names.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a time series within a database (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeriesId(pub u32);
 
 /// Identifier of a symbol within a series' alphabet (dense, 0-based).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SymbolId(pub u16);
 
 /// A temporal event identifier: a (series, symbol) pair such as `C:1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventLabel {
     /// The series the event belongs to.
     pub series: SeriesId,
@@ -42,12 +41,11 @@ impl EventLabel {
 }
 
 /// Maps [`EventLabel`]s to and from human-readable `series:symbol` names.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EventRegistry {
     series_names: Vec<String>,
     /// One alphabet (list of symbol strings) per series.
     alphabets: Vec<Vec<String>>,
-    #[serde(skip)]
     series_index: HashMap<String, SeriesId>,
 }
 
@@ -117,9 +115,7 @@ impl EventRegistry {
     /// Human-readable `series:symbol` name of a label, e.g. `"C:1"`.
     #[must_use]
     pub fn display(&self, label: EventLabel) -> String {
-        let series = self
-            .series_name(label.series)
-            .unwrap_or("<unknown-series>");
+        let series = self.series_name(label.series).unwrap_or("<unknown-series>");
         let symbol = self
             .alphabet(label.series)
             .and_then(|a| a.get(label.symbol.0 as usize))

@@ -12,12 +12,11 @@ use crate::granularity::GranulePos;
 use crate::interval::Interval;
 use crate::registry::{EventLabel, EventRegistry, SeriesId};
 use crate::symbolic::SymbolicDatabase;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
 /// A single occurrence of a temporal event: the event label plus the closed
 /// interval of finest-granularity granule positions during which it holds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventInstance {
     /// Which event (series, symbol) occurred.
     pub label: EventLabel,
@@ -36,7 +35,7 @@ impl EventInstance {
 /// The temporal sequence of one granule of `H`: every event instance (from
 /// every series) that occurs inside the granule, ordered chronologically by
 /// start time (ties broken by end time, then label).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TemporalSequence {
     granule: GranulePos,
     instances: Vec<EventInstance>,
@@ -97,7 +96,7 @@ impl TemporalSequence {
 /// The temporal sequence database `D_SEQ`: one [`TemporalSequence`] per
 /// granule of the chosen granularity `H`, plus the registry needed to print
 /// events back in `series:symbol` form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SequenceDatabase {
     sequences: Vec<TemporalSequence>,
     registry: EventRegistry,
@@ -135,9 +134,8 @@ impl SequenceDatabase {
             let mut instances = Vec::new();
             for (sid, series) in db.series().iter().enumerate() {
                 let label_series = SeriesId(u32::try_from(sid).expect("series fits u32"));
-                let window =
-                    &series.symbols()[usize::try_from(base).expect("index fits usize")
-                        ..usize::try_from(base + m).expect("index fits usize")];
+                let window = &series.symbols()[usize::try_from(base).expect("index fits usize")
+                    ..usize::try_from(base + m).expect("index fits usize")];
                 let mut run_start = 0usize;
                 while run_start < window.len() {
                     let symbol = window[run_start];

@@ -1,11 +1,10 @@
 //! Raw numeric time series (Definition 3.5).
 
 use crate::error::{Error, Result};
-use serde::{Deserialize, Serialize};
 
 /// A univariate time series: chronologically ordered measurements of a single
 /// phenomenon, sampled at every instant of the finest granularity `G`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimeSeries {
     name: String,
     values: Vec<f64>,
@@ -157,7 +156,9 @@ mod tests {
     #[test]
     fn validation_catches_empty_and_nan() {
         assert!(TimeSeries::new("E", vec![]).validate().is_err());
-        assert!(TimeSeries::new("N", vec![1.0, f64::NAN]).validate().is_err());
+        assert!(TimeSeries::new("N", vec![1.0, f64::NAN])
+            .validate()
+            .is_err());
         assert!(TimeSeries::new("I", vec![1.0, f64::INFINITY])
             .validate()
             .is_err());

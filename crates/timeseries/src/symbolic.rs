@@ -6,10 +6,9 @@ use crate::registry::{EventRegistry, SeriesId, SymbolId};
 use crate::sequence::SequenceDatabase;
 use crate::series::TimeSeries;
 use crate::symbolize::{Alphabet, Symbolizer};
-use serde::{Deserialize, Serialize};
 
 /// A symbolic time series: the per-instant symbol encoding of one raw series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymbolicSeries {
     name: String,
     symbols: Vec<SymbolId>,
@@ -98,7 +97,7 @@ impl SymbolicSeries {
 
 /// The symbolic database `D_SYB`: the symbolic representations of a set of
 /// time series, all sampled at the same (finest) granularity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymbolicDatabase {
     series: Vec<SymbolicSeries>,
     registry: EventRegistry,
@@ -229,11 +228,9 @@ impl SymbolicDatabase {
     pub fn project(&self, keep: &[SeriesId]) -> Result<Self> {
         let mut selected = Vec::with_capacity(keep.len());
         for id in keep {
-            let s = self
-                .series_by_id(*id)
-                .ok_or_else(|| Error::UnknownSeries {
-                    name: format!("series id {}", id.0),
-                })?;
+            let s = self.series_by_id(*id).ok_or_else(|| Error::UnknownSeries {
+                name: format!("series id {}", id.0),
+            })?;
             selected.push(s.clone());
         }
         Self::new(selected)

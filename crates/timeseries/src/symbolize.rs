@@ -10,10 +10,9 @@ use crate::error::{Error, Result};
 use crate::registry::SymbolId;
 use crate::series::TimeSeries;
 use crate::symbolic::SymbolicSeries;
-use serde::{Deserialize, Serialize};
 
 /// The finite, ordered set of symbols a series may be encoded with.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alphabet {
     labels: Vec<String>,
 }
@@ -100,7 +99,11 @@ pub trait Symbolizer {
     /// not a valid series.
     fn symbolize(&self, series: &TimeSeries) -> Result<SymbolicSeries> {
         series.validate()?;
-        let symbols = series.values().iter().map(|v| self.encode_value(*v)).collect();
+        let symbols = series
+            .values()
+            .iter()
+            .map(|v| self.encode_value(*v))
+            .collect();
         Ok(SymbolicSeries::new(
             series.name().to_string(),
             symbols,
@@ -114,7 +117,7 @@ pub trait Symbolizer {
 ///
 /// This is the encoder used for the appliance ON/OFF example of Table II and
 /// for the Low/Medium/High weather events in the evaluation datasets.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdSymbolizer {
     breakpoints: Vec<f64>,
     alphabet: Alphabet,
@@ -180,7 +183,7 @@ impl Symbolizer for ThresholdSymbolizer {
 }
 
 /// Equal-width binning over `[min, max]` of the series being encoded.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EqualWidthSymbolizer {
     min: f64,
     max: f64,
@@ -243,7 +246,7 @@ impl Symbolizer for EqualWidthSymbolizer {
 
 /// Quantile-based symbolizer: breakpoints are placed at empirical quantiles of
 /// a reference series so that buckets are (approximately) equi-probable.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantileSymbolizer {
     breakpoints: Vec<f64>,
     alphabet: Alphabet,
@@ -297,7 +300,7 @@ impl Symbolizer for QuantileSymbolizer {
 /// distribution so that each symbol is equi-probable under a Gaussian
 /// assumption. The per-value (PAA window = 1) variant is used because the
 /// sequence mapping of Definition 3.9 already performs temporal aggregation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SaxSymbolizer {
     mean: f64,
     std_dev: f64,
@@ -334,11 +337,10 @@ impl SaxSymbolizer {
     /// plus series-validation errors.
     pub fn fit(series: &TimeSeries, alphabet_size: usize) -> Result<Self> {
         series.validate()?;
-        let breakpoints = Self::gaussian_breakpoints(alphabet_size).ok_or_else(|| {
-            Error::InvalidAlphabet {
+        let breakpoints =
+            Self::gaussian_breakpoints(alphabet_size).ok_or_else(|| Error::InvalidAlphabet {
                 reason: format!("SAX alphabet size must be in 2..=10, got {alphabet_size}"),
-            }
-        })?;
+            })?;
         let labels: Vec<String> = (0..alphabet_size)
             .map(|i| {
                 char::from_u32('a' as u32 + u32::try_from(i).expect("small alphabet"))

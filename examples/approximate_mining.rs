@@ -2,6 +2,9 @@
 //! before mining, and quantify the speed/accuracy trade-off against the
 //! exact miner (the workflow behind Tables VII/XI/XII of the paper).
 //!
+//! Both engines run through the same `Pipeline`; only the `.engine(...)`
+//! selection differs, and both return the unified `EngineReport`.
+//!
 //! Run with: `cargo run --release --example approximate_mining`
 
 use freqstpfts::prelude::*;
@@ -15,7 +18,6 @@ fn main() {
         .with_correlated_fraction(0.6)
         .with_seed(99);
     let data = generate(&spec);
-    let dseq = data.dseq().expect("generated data is valid");
 
     let (dist_min, dist_max) = DatasetProfile::Influenza.dist_interval();
     let config = StpmConfig {
@@ -27,41 +29,50 @@ fn main() {
         ..StpmConfig::default()
     };
 
-    // Exact miner over all series.
-    let start = Instant::now();
-    let exact = StpmMiner::new(&dseq, &config)
-        .expect("valid configuration")
-        .mine();
-    let exact_time = start.elapsed();
+    // One pipeline per engine; everything but `.engine(...)` is identical.
+    let run_engine = |engine: Engine| {
+        let pipeline = Pipeline::builder()
+            .mapping_factor(data.mapping_factor)
+            .engine(engine)
+            .thresholds(config.clone());
+        let start = Instant::now();
+        let outcome = pipeline
+            .run_symbolic(&data.dsyb)
+            .expect("generated data is valid");
+        (outcome, start.elapsed())
+    };
 
-    // Approximate miner: µ is derived from minSeason/minDensity via the
-    // Lambert-W bound of Theorem 1 (Corollary 1.1).
-    let start = Instant::now();
-    let approx = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config))
-        .expect("valid configuration")
-        .mine()
-        .expect("valid dataset");
-    let approx_time = start.elapsed();
+    let (exact, exact_time) = run_engine(Engine::Exact);
+    // µ derived from minSeason/minDensity via the Lambert-W bound of
+    // Theorem 1 (Corollary 1.1).
+    let (approx, approx_time) = run_engine(Engine::Approximate { mu: None });
 
-    let acc = accuracy(&exact, dseq.registry(), approx.report(), approx.registry());
+    let acc = accuracy(&exact.report, &approx.report);
+    let pruning = approx.report.pruning();
 
-    println!("Workload: {} series x {} granules", dseq.num_series(), dseq.num_granules());
     println!(
-        "E-STPM : {:>8.2?}  -> {} patterns",
-        exact_time,
-        exact.total_patterns()
+        "Workload: {} series x {} granules",
+        exact.dseq.num_series(),
+        exact.dseq.num_granules()
     );
     println!(
-        "A-STPM : {:>8.2?}  -> {} patterns  (MI/µ time {:.2?}, mining time {:.2?})",
+        "{:<7}: {:>8.2?}  -> {} patterns",
+        exact.report.engine(),
+        exact_time,
+        exact.report.total_patterns()
+    );
+    println!(
+        "{:<7}: {:>8.2?}  -> {} patterns  (MI/µ time {:.2?}, mining time {:.2?})",
+        approx.report.engine(),
         approx_time,
-        approx.report().total_patterns(),
-        approx.mi_time(),
-        approx.mining_time()
+        approx.report.total_patterns(),
+        approx.report.phase_time("mi"),
+        approx.report.phase_time("patterns"),
     );
     println!(
         "Pruned {:.1}% of the time series ({:.1}% of the events); accuracy vs E-STPM: {:.1}%",
-        approx.pruned_series_pct(),
-        approx.pruned_events_pct(),
+        pruning.pruned_series_pct(),
+        pruning.pruned_events_pct(),
         acc
     );
     if approx_time < exact_time {
@@ -72,13 +83,10 @@ fn main() {
     }
 
     println!("\nSeries kept by the mutual-information filter:");
-    for id in approx.kept_series() {
+    for id in &pruning.kept_series {
         println!(
             "  {}",
-            data.dsyb
-                .registry()
-                .series_name(*id)
-                .unwrap_or("<unknown>")
+            data.dsyb.registry().series_name(*id).unwrap_or("<unknown>")
         );
     }
 }

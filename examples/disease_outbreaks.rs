@@ -2,9 +2,11 @@
 //! that precede them — the influenza / hand-foot-mouth use case motivating
 //! the paper (Figure 1 and patterns P4–P7 of Table VIII).
 //!
-//! The example builds weather and case-count series explicitly (rather than
-//! through the dataset generator) so it doubles as a template for plugging
-//! your own epidemiological data into the library.
+//! The example builds weather and case-count series explicitly with
+//! per-series symbolizers (rather than through the dataset generator), so it
+//! doubles as a template for plugging your own epidemiological data into the
+//! library: symbolize yourself, then enter the `Pipeline` through
+//! `run_symbolic`.
 //!
 //! Run with: `cargo run --release --example disease_outbreaks`
 
@@ -24,9 +26,21 @@ fn build_series() -> Vec<TimeSeries> {
         let late_winter = (2..12).contains(&season_pos);
         // Simple deterministic pseudo-noise so the example stays reproducible.
         let wobble = ((week * 37) % 10) as f64 / 10.0;
-        temperature.push(if winter { 1.0 + wobble } else { 12.0 + 2.0 * wobble });
-        humidity.push(if winter { 82.0 + wobble } else { 55.0 + 3.0 * wobble });
-        influenza.push(if late_winter { 240.0 + 20.0 * wobble } else { 15.0 + 5.0 * wobble });
+        temperature.push(if winter {
+            1.0 + wobble
+        } else {
+            12.0 + 2.0 * wobble
+        });
+        humidity.push(if winter {
+            82.0 + wobble
+        } else {
+            55.0 + 3.0 * wobble
+        });
+        influenza.push(if late_winter {
+            240.0 + 20.0 * wobble
+        } else {
+            15.0 + 5.0 * wobble
+        });
     }
     vec![
         TimeSeries::new("Temperature", temperature),
@@ -45,10 +59,8 @@ fn main() {
     let cases_sym = ThresholdSymbolizer::binary(100.0, "Low", "High");
     let symbolizers: Vec<&dyn Symbolizer> = vec![&temperature_sym, &humidity_sym, &cases_sym];
 
-    let dsyb = SymbolicDatabase::from_series_with(&series, &symbolizers)
-        .expect("aligned weekly series");
-    // Weekly data is already at the granularity we mine at: m = 1.
-    let dseq = dsyb.to_sequence_database(1).expect("valid mapping");
+    let dsyb =
+        SymbolicDatabase::from_series_with(&series, &symbolizers).expect("aligned weekly series");
 
     let config = StpmConfig {
         max_period: Threshold::Absolute(3),
@@ -58,21 +70,29 @@ fn main() {
         max_pattern_len: 3,
         ..StpmConfig::default()
     };
-    let report = StpmMiner::new(&dseq, &config)
-        .expect("valid configuration")
-        .mine();
+    // Weekly data is already at the granularity we mine at: m = 1.
+    let outcome = Pipeline::builder()
+        .mapping_factor(1)
+        .engine(Engine::Exact)
+        .thresholds(config)
+        .run_symbolic(&dsyb)
+        .expect("valid configuration");
+    let report = &outcome.report;
 
-    println!("Seasonal disease patterns over {} weeks:", dseq.num_granules());
+    println!(
+        "Seasonal disease patterns over {} weeks:",
+        outcome.dseq.num_granules()
+    );
     for pattern in report.patterns() {
         let involves_outbreak = pattern
             .pattern()
             .events()
             .iter()
-            .any(|e| dseq.registry().display(*e) == "InfluenzaCases:High");
+            .any(|e| report.registry().display(*e) == "InfluenzaCases:High");
         if involves_outbreak {
             println!(
                 "  {:<75} seasons={}",
-                pattern.pattern().display(dseq.registry()),
+                pattern.pattern().display(report.registry()),
                 pattern.seasons().count()
             );
         }
@@ -80,14 +100,12 @@ fn main() {
 
     // The headline insight of Figure 1: low temperature + high humidity are
     // seasonally followed by an influenza outbreak.
-    let cold = dseq.registry().label("Temperature", "Low").unwrap();
-    let humid = dseq.registry().label("Humidity", "High").unwrap();
-    let outbreak = dseq.registry().label("InfluenzaCases", "High").unwrap();
+    let cold = report.registry().label("Temperature", "Low").unwrap();
+    let humid = report.registry().label("Humidity", "High").unwrap();
+    let outbreak = report.registry().label("InfluenzaCases", "High").unwrap();
     let winter_pattern_found = report.patterns().iter().any(|p| {
         let events = p.pattern().events();
         events.contains(&cold) && events.contains(&humid) && events.contains(&outbreak)
     });
-    println!(
-        "\n`Low Temperature / High Humidity -> High Influenza` found: {winter_pattern_found}"
-    );
+    println!("\n`Low Temperature / High Humidity -> High Influenza` found: {winter_pattern_found}");
 }

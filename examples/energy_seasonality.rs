@@ -13,7 +13,6 @@ fn main() {
         .scaled_to(12, 730)
         .with_seed(2023);
     let data = generate(&spec);
-    let dseq = data.dseq().expect("generated data is valid");
 
     let (dist_min, dist_max) = DatasetProfile::RenewableEnergy.dist_interval();
     let config = StpmConfig {
@@ -25,14 +24,18 @@ fn main() {
         ..StpmConfig::default()
     };
 
-    let report = StpmMiner::new(&dseq, &config)
-        .expect("valid configuration")
-        .mine();
+    let outcome = Pipeline::builder()
+        .mapping_factor(data.mapping_factor)
+        .engine(Engine::Exact)
+        .thresholds(config.clone())
+        .run_symbolic(&data.dsyb)
+        .expect("generated data is valid");
+    let report = &outcome.report;
 
     println!(
         "Mined {} granules x {} series: {} seasonal events, {} seasonal patterns",
-        dseq.num_granules(),
-        dseq.num_series(),
+        outcome.dseq.num_granules(),
+        outcome.dseq.num_series(),
         report.events().len(),
         report.patterns().len()
     );
@@ -56,7 +59,7 @@ fn main() {
             .unwrap_or_default();
         println!(
             "  {:<60} seasons={:<2} first-season={}",
-            pattern.pattern().display(dseq.registry()),
+            pattern.pattern().display(report.registry()),
             seasons.count(),
             first_season
         );
@@ -65,15 +68,18 @@ fn main() {
     // The pruning ablation of Figures 15/16 in one line: how much faster is
     // the fully-pruned miner than the naive one on this workload?
     for mode in PruningMode::all_modes() {
+        let pipeline = Pipeline::builder()
+            .mapping_factor(data.mapping_factor)
+            .thresholds(config.clone().with_pruning(mode));
         let start = std::time::Instant::now();
-        let run = StpmMiner::new(&dseq, &config.clone().with_pruning(mode))
-            .expect("valid configuration")
-            .mine();
+        let run = pipeline
+            .run_symbolic(&data.dsyb)
+            .expect("valid configuration");
         println!(
             "  pruning={:<8} runtime={:>8.2?} patterns={}",
             mode.label(),
             start.elapsed(),
-            run.total_patterns()
+            run.report.total_patterns()
         );
     }
 }

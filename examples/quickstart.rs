@@ -1,10 +1,12 @@
-//! Quickstart: mine seasonal temporal patterns from a handful of raw series.
+//! Quickstart: mine seasonal temporal patterns from a handful of raw series
+//! with the `Pipeline` builder.
 //!
 //! Run with: `cargo run --example quickstart`
 //!
 //! The example rebuilds the paper's running example (Table II: five
 //! appliances sampled every 5 minutes), maps it to 15-minute granules, and
-//! prints every frequent seasonal temporal pattern found by the exact miner.
+//! prints every frequent seasonal temporal pattern found by the exact
+//! engine.
 
 use freqstpfts::prelude::*;
 
@@ -17,11 +19,26 @@ fn main() {
             .collect()
     };
     let series = vec![
-        TimeSeries::new("Cooker", bits_to_values("110100110000000000111111000000100110000110")),
-        TimeSeries::new("DishWasher", bits_to_values("100100110110000000111111000000100100110110")),
-        TimeSeries::new("FoodProcessor", bits_to_values("001011001001111000000000111111001001001001")),
-        TimeSeries::new("Microwave", bits_to_values("111100111110111111000111111111111000111000")),
-        TimeSeries::new("Nespresso", bits_to_values("110111111110111111000000111111111111111000")),
+        TimeSeries::new(
+            "Cooker",
+            bits_to_values("110100110000000000111111000000100110000110"),
+        ),
+        TimeSeries::new(
+            "DishWasher",
+            bits_to_values("100100110110000000111111000000100100110110"),
+        ),
+        TimeSeries::new(
+            "FoodProcessor",
+            bits_to_values("001011001001111000000000111111001001001001"),
+        ),
+        TimeSeries::new(
+            "Microwave",
+            bits_to_values("111100111110111111000111111111111000111000"),
+        ),
+        TimeSeries::new(
+            "Nespresso",
+            bits_to_values("110111111110111111000000111111111111111000"),
+        ),
     ];
 
     // Seasonality thresholds: occurrences at most 2 granules apart belong to
@@ -37,18 +54,19 @@ fn main() {
         ..StpmConfig::default()
     };
 
-    let outcome = freqstpfts::mine_seasonal_patterns(
-        &series,
-        &ThresholdSymbolizer::binary(0.1, "Off", "On"),
-        3, // three 5-minute samples per 15-minute granule
-        &config,
-    )
-    .expect("the example data is valid");
+    let outcome = Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.1, "Off", "On"))
+        .mapping_factor(3) // three 5-minute samples per 15-minute granule
+        .engine(Engine::Exact)
+        .thresholds(config)
+        .run(&series)
+        .expect("the example data is valid");
 
     println!(
-        "D_SEQ has {} granules built from {} series",
+        "D_SEQ has {} granules built from {} series (engine: {})",
         outcome.dseq.num_granules(),
-        outcome.dsyb.num_series()
+        outcome.dseq.num_series(),
+        outcome.report.engine()
     );
     println!(
         "Frequent seasonal single events: {}",
@@ -57,7 +75,7 @@ fn main() {
     for event in outcome.report.events() {
         println!(
             "  {:<22} support={:<3} seasons={}",
-            outcome.dseq.registry().display(event.label),
+            outcome.report.registry().display(event.label),
             event.support.len(),
             event.seasons.count()
         );
@@ -67,6 +85,6 @@ fn main() {
         outcome.report.patterns().len()
     );
     for pattern in outcome.report.patterns() {
-        println!("  {}", pattern.display(outcome.dseq.registry()));
+        println!("  {}", pattern.display(outcome.report.registry()));
     }
 }

@@ -1,6 +1,10 @@
 //! Smart-city scenario: how weather affects traffic, mined with both the
-//! exact miner and the APS-growth baseline to compare their outputs and
+//! exact engine and the APS-growth baseline to compare their outputs and
 //! runtimes (patterns P8–P11 of the paper's Table VIII).
+//!
+//! Because every engine returns the unified `EngineReport`, the comparison
+//! loop below is engine-agnostic — add `Engine::Approximate { mu: None }` to
+//! the array to bring A-STPM into the comparison.
 //!
 //! Run with: `cargo run --release --example traffic_weather`
 
@@ -13,7 +17,6 @@ fn main() {
         .scaled_to(10, 624)
         .with_seed(7);
     let data = generate(&spec);
-    let dseq = data.dseq().expect("generated data is valid");
 
     let (dist_min, dist_max) = DatasetProfile::SmartCity.dist_interval();
     let config = StpmConfig {
@@ -25,33 +28,37 @@ fn main() {
         ..StpmConfig::default()
     };
 
-    // Exact miner.
-    let start = Instant::now();
-    let exact = StpmMiner::new(&dseq, &config)
-        .expect("valid configuration")
-        .mine();
-    let exact_time = start.elapsed();
+    // Run both contenders through the same pipeline, engine-agnostically.
+    let mut outcomes = Vec::new();
+    for engine in [Engine::Exact, Engine::ApsGrowth] {
+        let pipeline = Pipeline::builder()
+            .mapping_factor(data.mapping_factor)
+            .engine(engine)
+            .thresholds(config.clone());
+        let start = Instant::now();
+        let outcome = pipeline
+            .run_symbolic(&data.dsyb)
+            .expect("generated data is valid");
+        outcomes.push((outcome, start.elapsed()));
+    }
 
-    // APS-growth baseline on the same data and thresholds.
-    let start = Instant::now();
-    let baseline = ApsGrowth::new(&dseq, &config)
-        .expect("valid configuration")
-        .mine();
-    let baseline_time = start.elapsed();
+    let (exact, exact_time) = &outcomes[0];
+    let (baseline, baseline_time) = &outcomes[1];
 
-    println!("Traffic/weather workload: {} granules, {} series", dseq.num_granules(), dseq.num_series());
     println!(
-        "E-STPM     : {:>8.2?}  {} seasonal patterns  (~{} KiB of HLH tables)",
-        exact_time,
-        exact.total_patterns(),
-        exact.stats().peak_footprint_bytes / 1024
+        "Traffic/weather workload: {} granules, {} series",
+        exact.dseq.num_granules(),
+        exact.dseq.num_series()
     );
-    println!(
-        "APS-growth : {:>8.2?}  {} seasonal patterns  (~{} KiB of PS-tree/itemset tables)",
-        baseline_time,
-        baseline.report.total_patterns(),
-        baseline.footprint_bytes / 1024
-    );
+    for (outcome, elapsed) in &outcomes {
+        println!(
+            "{:<10} : {:>8.2?}  {} seasonal patterns  (~{} KiB of mining tables)",
+            outcome.report.engine(),
+            elapsed,
+            outcome.report.total_patterns(),
+            outcome.report.memory_bytes() / 1024
+        );
+    }
     if baseline_time > exact_time {
         println!(
             "E-STPM is {:.1}x faster than the adapted PS-growth baseline on this workload",
@@ -61,20 +68,21 @@ fn main() {
 
     // The baseline can only miss patterns (its minSup constraint), never add:
     let missed = exact
+        .report
         .patterns()
         .iter()
         .filter(|p| !baseline.report.contains_pattern(p.pattern()))
         .count();
     println!(
         "Patterns found by E-STPM but missed by the baseline: {missed} of {}",
-        exact.patterns().len()
+        exact.report.patterns().len()
     );
 
     println!("\nSample seasonal traffic patterns:");
-    for pattern in exact.patterns().iter().take(8) {
+    for pattern in exact.report.patterns().iter().take(8) {
         println!(
             "  {:<55} seasons={}",
-            pattern.pattern().display(dseq.registry()),
+            pattern.pattern().display(exact.report.registry()),
             pattern.seasons().count()
         );
     }

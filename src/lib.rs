@@ -8,8 +8,11 @@
 //! harness.
 //!
 //! This facade crate re-exports the public API of the workspace crates and
-//! adds a small pipeline helper for the common "raw series in, seasonal
-//! patterns out" case.
+//! adds the [`Pipeline`] builder for the common "raw series in, seasonal
+//! patterns out" case. All three miners implement the
+//! [`MiningEngine`](stpm_core::MiningEngine) trait and are selected with
+//! [`Engine`]; every run returns the unified
+//! [`EngineReport`](stpm_core::EngineReport).
 //!
 //! ```
 //! use freqstpfts::prelude::*;
@@ -28,12 +31,13 @@
 //!     min_season: 1,
 //!     ..StpmConfig::default()
 //! };
-//! let outcome = mine_seasonal_patterns(
-//!     &series,
-//!     &ThresholdSymbolizer::binary(0.5, "Off", "On"),
-//!     3,
-//!     &config,
-//! ).unwrap();
+//! let outcome = Pipeline::builder()
+//!     .symbolizer(ThresholdSymbolizer::binary(0.5, "Off", "On"))
+//!     .mapping_factor(3)
+//!     .engine(Engine::Exact)
+//!     .thresholds(config)
+//!     .run(&series)
+//!     .unwrap();
 //! assert!(outcome.report.total_patterns() > 0);
 //! ```
 
@@ -45,18 +49,20 @@ pub use stpm_core as core;
 pub use stpm_datagen as datagen;
 pub use stpm_timeseries as timeseries;
 
-use stpm_core::{MiningReport, StpmConfig, StpmMiner};
+use stpm_approx::AStpmMiner;
+use stpm_baseline::ApsGrowth;
+use stpm_core::{EngineReport, MiningEngine, MiningInput, MiningReport, StpmConfig, StpmMiner};
 use stpm_timeseries::{SequenceDatabase, SymbolicDatabase, Symbolizer, TimeSeries};
 
 /// The most commonly used items of the whole workspace, importable with a
 /// single `use freqstpfts::prelude::*`.
 pub mod prelude {
-    pub use crate::{mine_seasonal_patterns, MiningOutcome};
-    pub use stpm_approx::{accuracy, AStpmConfig, AStpmMiner, AStpmReport};
-    pub use stpm_baseline::{ApsGrowth, ApsGrowthReport};
+    pub use crate::{Engine, Pipeline, PipelineError, PipelineOutcome};
+    pub use stpm_approx::AStpmMiner;
+    pub use stpm_baseline::ApsGrowth;
     pub use stpm_core::{
-        MinedPattern, MiningReport, PruningMode, RelationKind, StpmConfig, StpmMiner,
-        TemporalPattern, Threshold,
+        accuracy, EngineReport, MinedPattern, MiningEngine, MiningInput, MiningReport, PruningMode,
+        RelationKind, StpmConfig, StpmMiner, TemporalPattern, Threshold,
     };
     pub use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
     pub use stpm_timeseries::{
@@ -66,9 +72,228 @@ pub mod prelude {
     };
 }
 
-/// Everything the end-to-end pipeline produces: the intermediate databases
-/// (useful for inspection and for running the other miners on the same data)
-/// plus the exact miner's report.
+/// Which mining engine a [`Pipeline`] runs. Each variant instantiates one of
+/// the paper's three contenders; custom engines can be plugged in with
+/// [`Pipeline::engine_impl`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Engine {
+    /// The exact miner E-STPM (`stpm-core`).
+    Exact,
+    /// The approximate miner A-STPM (`stpm-approx`). With `mu: None` the µ
+    /// threshold is derived from the seasonality thresholds via the Lambert-W
+    /// bound (the paper's default); with `mu: Some(x)` it is fixed to `x`.
+    Approximate {
+        /// Optional fixed µ threshold.
+        mu: Option<f64>,
+    },
+    /// The APS-growth baseline (`stpm-baseline`).
+    ApsGrowth,
+}
+
+impl Engine {
+    /// Instantiates the engine.
+    #[must_use]
+    pub fn instantiate(&self) -> Box<dyn MiningEngine> {
+        match self {
+            Engine::Exact => Box::new(StpmMiner),
+            Engine::Approximate { mu: None } => Box::new(AStpmMiner::new()),
+            Engine::Approximate { mu: Some(mu) } => Box::new(AStpmMiner::with_mu(*mu)),
+            Engine::ApsGrowth => Box::new(ApsGrowth),
+        }
+    }
+}
+
+/// Everything a pipeline run produces: the intermediate databases (useful for
+/// inspection and for running other engines on the same data) plus the
+/// engine's unified report.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The symbolic database `D_SYB` — `Some` when the pipeline built it from
+    /// raw series ([`Pipeline::run`]); `None` when the caller supplied it
+    /// ([`Pipeline::run_symbolic`]), since the caller already owns that
+    /// database and cloning it per run would be pure overhead in sweep loops.
+    pub dsyb: Option<SymbolicDatabase>,
+    /// The temporal sequence database `D_SEQ`.
+    pub dseq: SequenceDatabase,
+    /// The engine's report: frequent seasonal events and patterns, per-phase
+    /// timings and pruning statistics.
+    pub report: EngineReport,
+}
+
+/// Errors of the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// `run(&[TimeSeries])` was called on a pipeline without a symbolizer.
+    MissingSymbolizer,
+    /// The data-transformation phase failed.
+    Transform(stpm_timeseries::Error),
+    /// The mining phase failed.
+    Mining(stpm_core::Error),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::MissingSymbolizer => write!(
+                f,
+                "pipeline has no symbolizer: call .symbolizer(...) before .run(...), \
+                 or symbolize yourself and call .run_symbolic(...)"
+            ),
+            PipelineError::Transform(e) => write!(f, "data transformation failed: {e}"),
+            PipelineError::Mining(e) => write!(f, "mining failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The end-to-end FreqSTPfTS pipeline: symbolization → sequence mapping →
+/// seasonal temporal pattern mining, with the engine chosen per run.
+///
+/// The builder methods are chainable and the terminal methods ([`run`],
+/// [`run_symbolic`]) borrow the pipeline, so one configured pipeline can mine
+/// many datasets.
+///
+/// [`run`]: Pipeline::run
+/// [`run_symbolic`]: Pipeline::run_symbolic
+pub struct Pipeline {
+    symbolizer: Option<Box<dyn Symbolizer>>,
+    mapping_factor: u64,
+    config: StpmConfig,
+    engine: Box<dyn MiningEngine>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::builder()
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("symbolizer", &self.symbolizer.is_some())
+            .field("mapping_factor", &self.mapping_factor)
+            .field("config", &self.config)
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Starts a pipeline with defaults: no symbolizer, mapping factor 1,
+    /// default thresholds, the exact engine.
+    #[must_use]
+    pub fn builder() -> Self {
+        Self {
+            symbolizer: None,
+            mapping_factor: 1,
+            config: StpmConfig::default(),
+            engine: Box::new(StpmMiner),
+        }
+    }
+
+    /// Sets the symbolizer applied to every raw series by [`Pipeline::run`].
+    /// Pipelines that start from an already-symbolized database
+    /// ([`Pipeline::run_symbolic`]) do not need one.
+    #[must_use]
+    pub fn symbolizer(mut self, symbolizer: impl Symbolizer + 'static) -> Self {
+        self.symbolizer = Some(Box::new(symbolizer));
+        self
+    }
+
+    /// Sets the sequence-mapping factor `m` (raw instants per `D_SEQ`
+    /// granule). Defaults to 1.
+    #[must_use]
+    pub fn mapping_factor(mut self, m: u64) -> Self {
+        self.mapping_factor = m;
+        self
+    }
+
+    /// Sets the seasonality thresholds. Defaults to [`StpmConfig::default`].
+    #[must_use]
+    pub fn thresholds(mut self, config: StpmConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects one of the built-in engines. Defaults to [`Engine::Exact`].
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine.instantiate();
+        self
+    }
+
+    /// Plugs in a custom [`MiningEngine`] implementation.
+    #[must_use]
+    pub fn engine_impl(mut self, engine: Box<dyn MiningEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Name of the currently selected engine.
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    /// Runs the full pipeline on raw time series: symbolization with the
+    /// configured symbolizer, sequence mapping, mining with the configured
+    /// engine.
+    ///
+    /// # Errors
+    /// [`PipelineError::MissingSymbolizer`] when no symbolizer was set;
+    /// otherwise propagates validation errors from either phase.
+    pub fn run(&self, series: &[TimeSeries]) -> Result<PipelineOutcome, PipelineError> {
+        let symbolizer = self
+            .symbolizer
+            .as_deref()
+            .ok_or(PipelineError::MissingSymbolizer)?;
+        let symbolic: Result<Vec<_>, _> = series.iter().map(|s| symbolizer.symbolize(s)).collect();
+        let dsyb = SymbolicDatabase::new(symbolic.map_err(PipelineError::Transform)?)
+            .map_err(PipelineError::Transform)?;
+        let (dseq, report) = self.mine_symbolic(&dsyb)?;
+        Ok(PipelineOutcome {
+            dsyb: Some(dsyb),
+            dseq,
+            report,
+        })
+    }
+
+    /// Runs the pipeline from an already-symbolized database — the entry
+    /// point for data symbolized with per-series symbolizers
+    /// ([`SymbolicDatabase::from_series_with`]) or produced by the dataset
+    /// generators. The outcome's `dsyb` is `None`: the caller keeps ownership
+    /// of the database it passed in.
+    ///
+    /// # Errors
+    /// Propagates sequence-mapping and mining errors.
+    pub fn run_symbolic(&self, dsyb: &SymbolicDatabase) -> Result<PipelineOutcome, PipelineError> {
+        let (dseq, report) = self.mine_symbolic(dsyb)?;
+        Ok(PipelineOutcome {
+            dsyb: None,
+            dseq,
+            report,
+        })
+    }
+
+    fn mine_symbolic(
+        &self,
+        dsyb: &SymbolicDatabase,
+    ) -> Result<(SequenceDatabase, EngineReport), PipelineError> {
+        let dseq = dsyb
+            .to_sequence_database(self.mapping_factor)
+            .map_err(PipelineError::Transform)?;
+        let input = MiningInput::new(dsyb, &dseq, self.mapping_factor);
+        let report = self
+            .engine
+            .mine_with(&input, &self.config)
+            .map_err(PipelineError::Mining)?;
+        Ok((dseq, report))
+    }
+}
+
+/// Everything the legacy single-engine pipeline produced.
 #[derive(Debug, Clone)]
 pub struct MiningOutcome {
     /// The symbolic database `D_SYB` built from the raw series.
@@ -79,32 +304,15 @@ pub struct MiningOutcome {
     pub report: MiningReport,
 }
 
-/// Errors of the end-to-end pipeline.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PipelineError {
-    /// The data-transformation phase failed.
-    Transform(stpm_timeseries::Error),
-    /// The mining phase failed.
-    Mining(stpm_core::Error),
-}
-
-impl std::fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PipelineError::Transform(e) => write!(f, "data transformation failed: {e}"),
-            PipelineError::Mining(e) => write!(f, "mining failed: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for PipelineError {}
-
-/// Runs the full FreqSTPfTS pipeline on raw time series: symbolization with
-/// `symbolizer`, sequence mapping with factor `mapping_factor`, and exact
-/// seasonal temporal pattern mining with `config`.
+/// Runs the full FreqSTPfTS pipeline on raw time series with the exact miner.
 ///
 /// # Errors
 /// Propagates validation errors from either phase.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Pipeline::builder().symbolizer(...).mapping_factor(...).thresholds(...).run(...)` \
+            — it supports all engines and returns the unified EngineReport"
+)]
 pub fn mine_seasonal_patterns<S: Symbolizer>(
     series: &[TimeSeries],
     symbolizer: &S,
@@ -116,9 +324,11 @@ pub fn mine_seasonal_patterns<S: Symbolizer>(
     let dseq = dsyb
         .to_sequence_database(mapping_factor)
         .map_err(PipelineError::Transform)?;
-    let report = StpmMiner::new(&dseq, config)
+    let input = MiningInput::new(&dsyb, &dseq, mapping_factor);
+    let report = StpmMiner
+        .mine_with(&input, config)
         .map_err(PipelineError::Mining)?
-        .mine();
+        .into_report();
     Ok(MiningOutcome { dsyb, dseq, report })
 }
 
@@ -127,24 +337,134 @@ mod tests {
     use super::prelude::*;
     use super::PipelineError;
 
-    #[test]
-    fn pipeline_mines_the_quickstart_example() {
-        let series = vec![
+    fn sample_series() -> Vec<TimeSeries> {
+        vec![
             TimeSeries::new("A", vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]),
             TimeSeries::new("B", vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0]),
-        ];
-        let config = StpmConfig {
+        ]
+    }
+
+    fn sample_config() -> StpmConfig {
+        StpmConfig {
             max_period: Threshold::Absolute(2),
             min_density: Threshold::Absolute(2),
             dist_interval: (1, 10),
             min_season: 1,
             ..StpmConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_mines_the_quickstart_example() {
+        let outcome = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .run(&sample_series())
+            .unwrap();
+        assert_eq!(outcome.dseq.num_granules(), 3);
+        assert!(outcome.report.total_patterns() > 0);
+        assert_eq!(outcome.report.engine(), "E-STPM");
+    }
+
+    #[test]
+    fn every_builtin_engine_is_reachable_through_the_builder() {
+        for engine in [
+            Engine::Exact,
+            Engine::Approximate { mu: None },
+            Engine::Approximate { mu: Some(0.0) },
+            Engine::ApsGrowth,
+        ] {
+            let pipeline = Pipeline::builder()
+                .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+                .mapping_factor(3)
+                .engine(engine)
+                .thresholds(sample_config());
+            let outcome = pipeline.run(&sample_series()).unwrap();
+            assert_eq!(outcome.report.engine(), pipeline.engine_name());
+            assert!(outcome.report.stats().num_granules <= 3);
+        }
+    }
+
+    #[test]
+    fn exact_and_zero_mu_approximate_agree() {
+        let base = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config());
+        let exact = base.run(&sample_series()).unwrap().report;
+        let approx = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .engine(Engine::Approximate { mu: Some(0.0) })
+            .thresholds(sample_config())
+            .run(&sample_series())
+            .unwrap()
+            .report;
+        assert!((accuracy(&exact, &approx) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_symbolic_accepts_prebuilt_databases() {
+        let dsyb = SymbolicDatabase::from_series(
+            &sample_series(),
+            &ThresholdSymbolizer::binary(0.5, "0", "1"),
+        )
+        .unwrap();
+        let outcome = Pipeline::builder()
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .run_symbolic(&dsyb)
+            .unwrap();
+        assert!(outcome.report.total_patterns() > 0);
+    }
+
+    #[test]
+    fn run_without_symbolizer_is_rejected() {
+        let err = Pipeline::builder()
+            .thresholds(sample_config())
+            .run(&sample_series())
+            .unwrap_err();
+        assert_eq!(err, PipelineError::MissingSymbolizer);
+        assert!(err.to_string().contains("symbolizer"));
+    }
+
+    #[test]
+    fn pipeline_surfaces_transform_errors() {
+        let err = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(StpmConfig::default())
+            .run(&[TimeSeries::new("empty", vec![])])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Transform(_)));
+        assert!(err.to_string().contains("transformation"));
+    }
+
+    #[test]
+    fn pipeline_surfaces_mining_errors() {
+        let config = StpmConfig {
+            min_season: 0,
+            ..StpmConfig::default()
         };
-        let outcome = mine_seasonal_patterns(
-            &series,
+        let err = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(config)
+            .run(&[TimeSeries::new("A", vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0])])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Mining(_)));
+        assert!(err.to_string().contains("mining"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrapper_still_mines() {
+        let outcome = super::mine_seasonal_patterns(
+            &sample_series(),
             &ThresholdSymbolizer::binary(0.5, "0", "1"),
             3,
-            &config,
+            &sample_config(),
         )
         .unwrap();
         assert_eq!(outcome.dseq.num_granules(), 3);
@@ -152,34 +472,15 @@ mod tests {
     }
 
     #[test]
-    fn pipeline_surfaces_transform_errors() {
-        let config = StpmConfig::default();
-        let err = mine_seasonal_patterns(
-            &[TimeSeries::new("empty", vec![])],
-            &ThresholdSymbolizer::binary(0.5, "0", "1"),
-            3,
-            &config,
-        )
-        .unwrap_err();
-        assert!(matches!(err, PipelineError::Transform(_)));
-        assert!(err.to_string().contains("transformation"));
-    }
-
-    #[test]
-    fn pipeline_surfaces_mining_errors() {
-        let series = vec![TimeSeries::new("A", vec![1.0, 0.0, 1.0, 0.0, 1.0, 0.0])];
-        let config = StpmConfig {
-            min_season: 0,
-            ..StpmConfig::default()
-        };
-        let err = mine_seasonal_patterns(
-            &series,
-            &ThresholdSymbolizer::binary(0.5, "0", "1"),
-            3,
-            &config,
-        )
-        .unwrap_err();
-        assert!(matches!(err, PipelineError::Mining(_)));
-        assert!(err.to_string().contains("mining"));
+    fn engine_variants_instantiate_the_three_contenders() {
+        let names: Vec<&str> = [
+            Engine::Approximate { mu: None },
+            Engine::Exact,
+            Engine::ApsGrowth,
+        ]
+        .iter()
+        .map(|e| e.instantiate().name())
+        .collect();
+        assert_eq!(names, vec!["A-STPM", "E-STPM", "APS-growth"]);
     }
 }

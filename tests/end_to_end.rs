@@ -1,6 +1,6 @@
 //! Cross-crate integration tests: the full pipeline from raw time series to
-//! frequent seasonal temporal patterns, exercised through the facade crate,
-//! with the three miners compared on the same data.
+//! frequent seasonal temporal patterns, exercised through the facade crate's
+//! `Pipeline` builder, with the three engines compared on the same data.
 
 use freqstpfts::prelude::*;
 
@@ -36,23 +36,28 @@ fn paper_config() -> StpmConfig {
     }
 }
 
+fn paper_pipeline(engine: Engine) -> Pipeline {
+    Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.1, "0", "1"))
+        .mapping_factor(3)
+        .engine(engine)
+        .thresholds(paper_config())
+}
+
 #[test]
 fn full_pipeline_reproduces_the_paper_running_example() {
-    let outcome = freqstpfts::mine_seasonal_patterns(
-        &paper_series(),
-        &ThresholdSymbolizer::binary(0.1, "0", "1"),
-        3,
-        &paper_config(),
-    )
-    .expect("the running example is valid");
+    let outcome = paper_pipeline(Engine::Exact)
+        .run(&paper_series())
+        .expect("the running example is valid");
 
-    assert_eq!(outcome.dsyb.num_series(), 5);
+    let dsyb = outcome.dsyb.as_ref().expect("run() builds D_SYB");
+    assert_eq!(dsyb.num_series(), 5);
     assert_eq!(outcome.dseq.num_granules(), 14);
 
     // The headline pattern of the paper: C:1 contains D:1, with support
     // {H1,H2,H3,H7,H8,H11,H12,H14}.
-    let c1 = outcome.dseq.registry().label("C", "1").unwrap();
-    let d1 = outcome.dseq.registry().label("D", "1").unwrap();
+    let c1 = outcome.report.registry().label("C", "1").unwrap();
+    let d1 = outcome.report.registry().label("D", "1").unwrap();
     let target = TemporalPattern::pair([c1, d1], RelationKind::Contains, false);
     let found = outcome
         .report
@@ -65,50 +70,35 @@ fn full_pipeline_reproduces_the_paper_running_example() {
 
 #[test]
 fn exact_and_baseline_agree_on_strongly_seasonal_patterns() {
-    let outcome = freqstpfts::mine_seasonal_patterns(
-        &paper_series(),
-        &ThresholdSymbolizer::binary(0.1, "0", "1"),
-        3,
-        &paper_config(),
-    )
-    .unwrap();
-    let baseline = ApsGrowth::new(&outcome.dseq, &paper_config())
-        .unwrap()
-        .mine();
+    let exact = paper_pipeline(Engine::Exact).run(&paper_series()).unwrap();
+    let baseline = paper_pipeline(Engine::ApsGrowth)
+        .run(&paper_series())
+        .unwrap();
 
     // Everything the baseline reports must also be reported by E-STPM.
     for pattern in baseline.report.patterns() {
-        assert!(outcome.report.contains_pattern(pattern.pattern()));
+        assert!(exact.report.contains_pattern(pattern.pattern()));
     }
     // And the baseline does find the headline pattern here.
     assert!(baseline.report.total_patterns() > 0);
 }
 
 #[test]
-fn approximate_miner_matches_exact_when_nothing_is_pruned() {
-    let dsyb = SymbolicDatabase::from_series(
-        &paper_series(),
-        &ThresholdSymbolizer::binary(0.1, "0", "1"),
-    )
-    .unwrap();
-    let dseq = dsyb.to_sequence_database(3).unwrap();
-    let exact = StpmMiner::new(&dseq, &paper_config()).unwrap().mine();
-
-    let approx = AStpmMiner::new(&dsyb, 3, &AStpmConfig::new(paper_config()).with_mu(0.0))
-        .unwrap()
-        .mine()
+fn approximate_engine_matches_exact_when_nothing_is_pruned() {
+    let exact = paper_pipeline(Engine::Exact).run(&paper_series()).unwrap();
+    let approx = paper_pipeline(Engine::Approximate { mu: Some(0.0) })
+        .run(&paper_series())
         .unwrap();
-    let acc = accuracy(&exact, dsyb.registry(), approx.report(), approx.registry());
+    let acc = accuracy(&exact.report, &approx.report);
     assert!((acc - 100.0).abs() < 1e-9);
 }
 
 #[test]
-fn generated_datasets_flow_through_all_three_miners() {
+fn generated_datasets_flow_through_all_three_engines() {
     let spec = DatasetSpec::real(DatasetProfile::HandFootMouth)
         .scaled_to(8, 240)
         .with_seed(5);
     let data = generate(&spec);
-    let dseq = data.dseq().unwrap();
     let config = StpmConfig {
         max_period: Threshold::Fraction(0.01),
         min_density: Threshold::Fraction(0.0075),
@@ -118,16 +108,22 @@ fn generated_datasets_flow_through_all_three_miners() {
         ..StpmConfig::default()
     };
 
-    let exact = StpmMiner::new(&dseq, &config).unwrap().mine();
-    let approx = AStpmMiner::new(&data.dsyb, data.mapping_factor, &AStpmConfig::new(config.clone()))
-        .unwrap()
-        .mine()
-        .unwrap();
-    let baseline = ApsGrowth::new(&dseq, &config).unwrap().mine();
+    let run = |engine: Engine| {
+        Pipeline::builder()
+            .mapping_factor(data.mapping_factor)
+            .engine(engine)
+            .thresholds(config.clone())
+            .run_symbolic(&data.dsyb)
+            .expect("generated data is valid")
+            .report
+    };
+    let exact = run(Engine::Exact);
+    let approx = run(Engine::Approximate { mu: None });
+    let baseline = run(Engine::ApsGrowth);
 
     // The exact miner dominates both others in recall on the same thresholds.
-    assert!(exact.total_patterns() >= approx.report().total_patterns());
-    for p in baseline.report.patterns() {
+    assert!(exact.total_patterns() >= approx.total_patterns());
+    for p in baseline.patterns() {
         assert!(exact.contains_pattern(p.pattern()));
     }
     // The generated workload is genuinely seasonal: patterns exist.
@@ -140,7 +136,6 @@ fn pruning_modes_are_output_equivalent_on_generated_data() {
         .scaled_to(7, 208)
         .with_seed(3);
     let data = generate(&spec);
-    let dseq = data.dseq().unwrap();
     let base = StpmConfig {
         max_period: Threshold::Fraction(0.01),
         min_density: Threshold::Fraction(0.01),
@@ -151,10 +146,12 @@ fn pruning_modes_are_output_equivalent_on_generated_data() {
     };
     let mut totals = Vec::new();
     for mode in PruningMode::all_modes() {
-        let report = StpmMiner::new(&dseq, &base.clone().with_pruning(mode))
-            .unwrap()
-            .mine();
-        totals.push(report.total_patterns());
+        let outcome = Pipeline::builder()
+            .mapping_factor(data.mapping_factor)
+            .thresholds(base.clone().with_pruning(mode))
+            .run_symbolic(&data.dsyb)
+            .unwrap();
+        totals.push(outcome.report.total_patterns());
     }
     assert!(totals.windows(2).all(|w| w[0] == w[1]), "{totals:?}");
 }
@@ -165,22 +162,27 @@ fn mining_at_different_granularities_is_consistent() {
     // miner must work at every granularity and coarser granularities cannot
     // have more granules.
     let series = paper_series();
-    let symbolizer = ThresholdSymbolizer::binary(0.1, "0", "1");
-    let dsyb = SymbolicDatabase::from_series(&series, &symbolizer).unwrap();
+    let config = StpmConfig {
+        max_period: Threshold::Absolute(2),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (1, 20),
+        min_season: 1,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    };
     let mut previous_granules = u64::MAX;
     for m in [1u64, 2, 3, 6] {
-        let dseq = dsyb.to_sequence_database(m).unwrap();
-        assert!(dseq.num_granules() <= previous_granules);
-        previous_granules = dseq.num_granules();
-        let config = StpmConfig {
-            max_period: Threshold::Absolute(2),
-            min_density: Threshold::Absolute(2),
-            dist_interval: (1, 20),
-            min_season: 1,
-            max_pattern_len: 2,
-            ..StpmConfig::default()
-        };
-        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
-        assert!(report.stats().num_granules == dseq.num_granules());
+        let outcome = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.1, "0", "1"))
+            .mapping_factor(m)
+            .thresholds(config.clone())
+            .run(&series)
+            .unwrap();
+        assert!(outcome.dseq.num_granules() <= previous_granules);
+        previous_granules = outcome.dseq.num_granules();
+        assert_eq!(
+            outcome.report.stats().num_granules,
+            outcome.dseq.num_granules()
+        );
     }
 }

@@ -1,22 +1,38 @@
-//! Property-based tests (proptest) on the core invariants of the system:
-//! support-set algebra, season extraction, the anti-monotone `maxSeason`
-//! bound, relation classification, information-theoretic quantities and the
-//! end-to-end completeness of the pruning techniques.
-
-use proptest::prelude::*;
+//! Property-based tests on the core invariants of the system: support-set
+//! algebra, season extraction, the anti-monotone `maxSeason` bound, relation
+//! classification, information-theoretic quantities and the end-to-end
+//! completeness of the pruning techniques.
+//!
+//! The build container has no access to crates.io, so instead of `proptest`
+//! each property is checked over a deterministic stream of pseudo-random
+//! cases drawn from the workspace's own seedable RNG
+//! ([`freqstpfts::datagen::SeededRng`]). Failures print the case seed so a
+//! case can be replayed exactly.
 
 use freqstpfts::core::season::{find_seasons, near_support_sets};
 use freqstpfts::core::support::{insert_sorted, intersect, union};
 use freqstpfts::core::{classify_relation, PruningMode, StpmConfig, StpmMiner, Threshold};
+use freqstpfts::datagen::SeededRng;
 use freqstpfts::prelude::*;
 use freqstpfts::timeseries::Interval;
+use std::collections::BTreeSet;
 
-/// Strategy for a sorted, deduplicated support set over small granule ids.
-fn support_set() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::btree_set(1u64..200, 0..60).prop_map(|s| s.into_iter().collect())
+/// Number of random cases per lightweight property.
+const CASES: u64 = 128;
+
+/// A sorted, deduplicated support set over small granule ids.
+fn random_support_set(rng: &mut SeededRng) -> Vec<u64> {
+    let len = rng.next_below(60);
+    let set: BTreeSet<u64> = (0..len).map(|_| 1 + rng.next_below(199)).collect();
+    set.into_iter().collect()
 }
 
-fn resolved(max_period: u64, min_density: u64, dist: (u64, u64), min_season: u64) -> freqstpfts::core::ResolvedConfig {
+fn resolved(
+    max_period: u64,
+    min_density: u64,
+    dist: (u64, u64),
+    min_season: u64,
+) -> freqstpfts::core::ResolvedConfig {
     StpmConfig {
         max_period: Threshold::Absolute(max_period),
         min_density: Threshold::Absolute(min_density),
@@ -28,109 +44,158 @@ fn resolved(max_period: u64, min_density: u64, dist: (u64, u64), min_season: u64
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn intersection_is_subset_of_both(a in support_set(), b in support_set()) {
+#[test]
+fn intersection_is_subset_of_both() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let a = random_support_set(&mut rng);
+        let b = random_support_set(&mut rng);
         let i = intersect(&a, &b);
-        prop_assert!(i.iter().all(|x| a.contains(x)));
-        prop_assert!(i.iter().all(|x| b.contains(x)));
-        prop_assert!(i.windows(2).all(|w| w[0] < w[1]));
+        assert!(i.iter().all(|x| a.contains(x)), "seed {seed}");
+        assert!(i.iter().all(|x| b.contains(x)), "seed {seed}");
+        assert!(i.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
         // Commutativity.
-        prop_assert_eq!(i, intersect(&b, &a));
+        assert_eq!(i, intersect(&b, &a), "seed {seed}");
     }
+}
 
-    #[test]
-    fn union_contains_both_inputs(a in support_set(), b in support_set()) {
+#[test]
+fn union_contains_both_inputs() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let a = random_support_set(&mut rng);
+        let b = random_support_set(&mut rng);
         let u = union(&a, &b);
-        prop_assert!(a.iter().all(|x| u.contains(x)));
-        prop_assert!(b.iter().all(|x| u.contains(x)));
-        prop_assert!(u.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(u.len() <= a.len() + b.len());
+        assert!(a.iter().all(|x| u.contains(x)), "seed {seed}");
+        assert!(b.iter().all(|x| u.contains(x)), "seed {seed}");
+        assert!(u.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert!(u.len() <= a.len() + b.len(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn insert_sorted_preserves_invariants(a in support_set(), extra in proptest::collection::vec(1u64..200, 0..20)) {
+#[test]
+fn insert_sorted_preserves_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let a = random_support_set(&mut rng);
+        let extra: Vec<u64> = (0..rng.next_below(20))
+            .map(|_| 1 + rng.next_below(199))
+            .collect();
         let mut set = a.clone();
         for g in &extra {
             insert_sorted(&mut set, *g);
         }
-        prop_assert!(set.windows(2).all(|w| w[0] < w[1]));
-        prop_assert!(extra.iter().all(|g| set.contains(g)));
-        prop_assert!(a.iter().all(|g| set.contains(g)));
+        assert!(set.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
+        assert!(extra.iter().all(|g| set.contains(g)), "seed {seed}");
+        assert!(a.iter().all(|g| set.contains(g)), "seed {seed}");
     }
+}
 
-    #[test]
-    fn near_support_sets_partition_the_support(support in support_set(), max_period in 1u64..10) {
+#[test]
+fn near_support_sets_partition_the_support() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let support = random_support_set(&mut rng);
+        let max_period = 1 + rng.next_below(9);
         let sets = near_support_sets(&support, max_period);
         let flattened: Vec<u64> = sets.iter().flatten().copied().collect();
-        prop_assert_eq!(flattened, support.clone());
+        assert_eq!(flattened, support, "seed {seed}");
         for set in &sets {
-            prop_assert!(set.windows(2).all(|w| w[1] - w[0] <= max_period));
+            assert!(
+                set.windows(2).all(|w| w[1] - w[0] <= max_period),
+                "seed {seed}"
+            );
         }
         // Gaps between consecutive near sets exceed maxPeriod.
         for pair in sets.windows(2) {
             let last = *pair[0].last().unwrap();
             let first = *pair[1].first().unwrap();
-            prop_assert!(first - last > max_period);
+            assert!(first - last > max_period, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn seasons_respect_density_and_count_bounds(
-        support in support_set(),
-        max_period in 1u64..8,
-        min_density in 1u64..6,
-        min_season in 1u64..5,
-    ) {
+#[test]
+fn seasons_respect_density_and_count_bounds() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let support = random_support_set(&mut rng);
+        let max_period = 1 + rng.next_below(7);
+        let min_density = 1 + rng.next_below(5);
+        let min_season = 1 + rng.next_below(4);
         let config = resolved(max_period, min_density, (2, 50), min_season);
         let seasons = find_seasons(&support, &config);
         // Every season is dense enough and is made of support granules.
         for season in seasons.seasons() {
-            prop_assert!(season.len() as u64 >= min_density);
-            prop_assert!(season.iter().all(|g| support.contains(g)));
+            assert!(season.len() as u64 >= min_density, "seed {seed}");
+            assert!(season.iter().all(|g| support.contains(g)), "seed {seed}");
         }
         // The seasonal-occurrence count is bounded by the number of seasons
         // and by the anti-monotone maxSeason bound of Equation (1).
-        prop_assert!(seasons.count() as usize <= seasons.seasons().len());
+        assert!(
+            seasons.count() as usize <= seasons.seasons().len(),
+            "seed {seed}"
+        );
         let max_season = support.len() as f64 / min_density as f64;
-        prop_assert!((seasons.count() as f64) <= max_season + 1e-9);
+        assert!((seasons.count() as f64) <= max_season + 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn max_season_is_anti_monotone_under_subsets(a in support_set(), b in support_set()) {
-        // SUP(P) ⊆ SUP(P') implies maxSeason(P) <= maxSeason(P') (Lemma 1).
-        let config = resolved(3, 2, (2, 50), 2);
+#[test]
+fn max_season_is_anti_monotone_under_subsets() {
+    // SUP(P) ⊆ SUP(P') implies maxSeason(P) <= maxSeason(P') (Lemma 1).
+    let config = resolved(3, 2, (2, 50), 2);
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let a = random_support_set(&mut rng);
+        let b = random_support_set(&mut rng);
         let sub = intersect(&a, &b);
-        prop_assert!(config.max_season(sub.len()) <= config.max_season(a.len()) + 1e-9);
-        prop_assert!(config.max_season(sub.len()) <= config.max_season(b.len()) + 1e-9);
+        assert!(
+            config.max_season(sub.len()) <= config.max_season(a.len()) + 1e-9,
+            "seed {seed}"
+        );
+        assert!(
+            config.max_season(sub.len()) <= config.max_season(b.len()) + 1e-9,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn relation_classification_is_deterministic_and_exclusive(
-        s1 in 1u64..50, len1 in 0u64..10, s2 in 1u64..50, len2 in 0u64..10, eps in 0u64..3,
-    ) {
+#[test]
+fn relation_classification_is_deterministic_and_exclusive() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let s1 = 1 + rng.next_below(49);
+        let len1 = rng.next_below(10);
+        let s2 = 1 + rng.next_below(49);
+        let len2 = rng.next_below(10);
+        let eps = rng.next_below(3);
         let a = Interval::new(s1, s1 + len1);
         let b = Interval::new(s2, s2 + len2);
-        let (first, second) = if (a.start, std::cmp::Reverse(a.end)) <= (b.start, std::cmp::Reverse(b.end)) {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (first, second) =
+            if (a.start, std::cmp::Reverse(a.end)) <= (b.start, std::cmp::Reverse(b.end)) {
+                (a, b)
+            } else {
+                (b, a)
+            };
         let r1 = classify_relation(&first, &second, eps, 1);
         let r2 = classify_relation(&first, &second, eps, 1);
-        prop_assert_eq!(r1, r2);
+        assert_eq!(r1, r2, "seed {seed}");
         // With d_o = 1 every ordered pair must classify into exactly one of
         // the three relations (the classifier is total for min_overlap = 1).
-        prop_assert!(r1.is_some());
+        assert!(r1.is_some(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn nmi_is_bounded_and_reflexive(bits in proptest::collection::vec(0u16..2, 16..128)) {
-        use freqstpfts::approx::normalized_mi;
-        use freqstpfts::timeseries::{Alphabet, SymbolicSeries};
-        use freqstpfts::timeseries::SymbolId;
+#[test]
+fn nmi_is_bounded_and_reflexive() {
+    use freqstpfts::approx::normalized_mi;
+    use freqstpfts::timeseries::SymbolId;
+    use freqstpfts::timeseries::{Alphabet, SymbolicSeries};
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let len = 16 + rng.next_below(112) as usize;
+        let bits: Vec<u16> = (0..len).map(|_| rng.next_below(2) as u16).collect();
         let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
         let series = SymbolicSeries::new(
             "X".into(),
@@ -144,40 +209,41 @@ proptest! {
         );
         let self_nmi = normalized_mi(&series, &series);
         let cross_nmi = normalized_mi(&series, &shifted);
-        prop_assert!((0.0..=1.0).contains(&cross_nmi));
+        assert!((0.0..=1.0).contains(&cross_nmi), "seed {seed}");
         // A non-constant series fully informs itself.
-        if bits.iter().any(|b| *b == 0) && bits.iter().any(|b| *b == 1) {
-            prop_assert!((self_nmi - 1.0).abs() < 1e-9);
+        if bits.contains(&0) && bits.contains(&1) {
+            assert!((self_nmi - 1.0).abs() < 1e-9, "seed {seed}");
         } else {
-            prop_assert_eq!(self_nmi, 0.0);
+            assert_eq!(self_nmi, 0.0, "seed {seed}");
         }
-    }
-
-    #[test]
-    fn mu_threshold_is_monotone_in_event_probability(
-        lambda1 in 0.05f64..0.95,
-        min_season in 1u64..20,
-        min_density in 1u64..10,
-    ) {
-        use freqstpfts::approx::mu_threshold;
-        let mu_rare = mu_threshold(lambda1, 0.05, min_season, min_density, 1000);
-        let mu_common = mu_threshold(lambda1, 0.6, min_season, min_density, 1000);
-        prop_assert!((0.0..=1.0).contains(&mu_rare));
-        prop_assert!((0.0..=1.0).contains(&mu_common));
-        prop_assert!(mu_rare + 1e-9 >= mu_common);
     }
 }
 
-proptest! {
-    // Mining whole random databases is more expensive; fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn mu_threshold_is_monotone_in_event_probability() {
+    use freqstpfts::approx::mu_threshold;
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let lambda1 = 0.05 + 0.9 * rng.next_f64();
+        let min_season = 1 + rng.next_below(19);
+        let min_density = 1 + rng.next_below(9);
+        let mu_rare = mu_threshold(lambda1, 0.05, min_season, min_density, 1000);
+        let mu_common = mu_threshold(lambda1, 0.6, min_season, min_density, 1000);
+        assert!((0.0..=1.0).contains(&mu_rare), "seed {seed}");
+        assert!((0.0..=1.0).contains(&mu_common), "seed {seed}");
+        assert!(mu_rare + 1e-9 >= mu_common, "seed {seed}");
+    }
+}
 
-    #[test]
-    fn pruning_never_changes_the_mined_output(
-        seed in 0u64..1000,
-        min_season in 1u64..3,
-        min_density in 2u64..4,
-    ) {
+// Mining whole random databases is more expensive; fewer cases.
+
+#[test]
+fn pruning_never_changes_the_mined_output() {
+    for case in 0..12u64 {
+        let mut rng = SeededRng::seed_from_u64(case);
+        let seed = rng.next_below(1000);
+        let min_season = 1 + rng.next_below(2);
+        let min_density = 2 + rng.next_below(2);
         let spec = DatasetSpec::real(DatasetProfile::Influenza)
             .scaled_to(5, 120)
             .with_seed(seed);
@@ -193,18 +259,22 @@ proptest! {
         };
         let mut counts = Vec::new();
         for mode in PruningMode::all_modes() {
-            let report = StpmMiner::new(&dseq, &config.clone().with_pruning(mode))
-                .unwrap()
-                .mine();
+            let report =
+                StpmMiner::mine_sequences(&dseq, &config.clone().with_pruning(mode)).unwrap();
             counts.push((report.events().len(), report.patterns().len()));
         }
-        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{:?}", counts);
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "case {case}: {counts:?}"
+        );
     }
+}
 
-    #[test]
-    fn every_reported_pattern_satisfies_the_seasonality_constraints(
-        seed in 0u64..500,
-    ) {
+#[test]
+fn every_reported_pattern_satisfies_the_seasonality_constraints() {
+    for case in 0..12u64 {
+        let mut rng = SeededRng::seed_from_u64(case);
+        let seed = rng.next_below(500);
         let spec = DatasetSpec::real(DatasetProfile::SmartCity)
             .scaled_to(5, 104)
             .with_seed(seed);
@@ -219,20 +289,29 @@ proptest! {
             ..StpmConfig::default()
         };
         let resolved = config.resolve(dseq.num_granules()).unwrap();
-        let report = StpmMiner::new(&dseq, &config).unwrap().mine();
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
         for pattern in report.patterns() {
-            // Season count respects minSeason and every season is dense enough.
-            prop_assert!(pattern.seasons().count() >= resolved.min_season);
+            // Season count respects minSeason and every season is dense
+            // enough.
+            assert!(
+                pattern.seasons().count() >= resolved.min_season,
+                "case {case}"
+            );
             for season in pattern.seasons().seasons() {
-                prop_assert!(season.len() as u64 >= resolved.min_density);
-                prop_assert!(season.windows(2).all(|w| w[1] - w[0] <= resolved.max_period));
+                assert!(season.len() as u64 >= resolved.min_density, "case {case}");
+                assert!(
+                    season
+                        .windows(2)
+                        .all(|w| w[1] - w[0] <= resolved.max_period),
+                    "case {case}"
+                );
             }
             // The support set only references granules where every event of
             // the pattern occurs.
             for granule in pattern.support() {
                 let sequence = dseq.sequence_at(*granule).unwrap();
                 for event in pattern.pattern().events() {
-                    prop_assert!(sequence.contains_event(*event));
+                    assert!(sequence.contains_event(*event), "case {case}");
                 }
             }
         }
