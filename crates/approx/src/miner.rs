@@ -7,10 +7,15 @@
 //! 2-event patterns, k-event patterns) is inherited from `stpm-core`.
 //!
 //! The engine reports through the unified
-//! [`EngineReport`](stpm_core::EngineReport): the `"mi"` phase carries the
+//! [`EngineReport`]: the `"mi"` phase carries the
 //! NMI/µ computation time, the pruning summary carries the series/event
 //! pruning ratios of Table XI, and the registry is the registry of the
 //! *projected* database.
+//!
+//! Because level mining is delegated to E-STPM, the
+//! [`threads`](stpm_core::StpmConfig::threads) knob applies here unchanged:
+//! A-STPM mines the reduced database with the same sharded parallel path and
+//! the same determinism guarantee.
 
 use crate::bound::pair_mu_threshold;
 use crate::info::NmiMatrix;
@@ -265,6 +270,27 @@ mod tests {
         let acc = accuracy(&exact, &approx);
         assert!((acc - 100.0).abs() < 1e-12);
         assert_eq!(approx.total_patterns(), exact.total_patterns());
+    }
+
+    #[test]
+    fn parallel_astpm_matches_sequential_astpm() {
+        // The threads knob reaches the delegated E-STPM run through
+        // ResolvedConfig, so the approximate engine inherits the determinism
+        // guarantee of the sharded path.
+        let dsyb = sample_dsyb();
+        let dseq = dsyb.to_sequence_database(3).unwrap();
+        let input = MiningInput::new(&dsyb, &dseq, 3);
+        let sequential = AStpmMiner::new().mine_with(&input, &config()).unwrap();
+        let parallel = AStpmMiner::new()
+            .mine_with(&input, &config().with_threads(4))
+            .unwrap();
+        assert_eq!(parallel.patterns(), sequential.patterns());
+        assert_eq!(parallel.events(), sequential.events());
+        assert_eq!(parallel.pattern_set(), sequential.pattern_set());
+        assert_eq!(
+            parallel.pruning().kept_series,
+            sequential.pruning().kept_series
+        );
     }
 
     #[test]

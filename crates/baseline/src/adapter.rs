@@ -15,7 +15,7 @@
 //!   STPM.
 //!
 //! The output is reported through the workspace-wide
-//! [`EngineReport`](stpm_core::EngineReport) so that the benchmark harness
+//! [`stpm_core::EngineReport`] so that the benchmark harness
 //! can compare the three algorithms uniformly: the `"itemsets"` phase carries
 //! the PS-growth time, the `"extraction"` phase the temporal-pattern
 //! extraction time, and the pruning summary's `candidate_itemsets` counter

@@ -67,4 +67,8 @@ fn main() {
     for t in ablation::run(&all, &s) {
         t.print();
     }
+    println!("### Thread scaling (sharded level mining) ###");
+    for t in threads::tables(&threads::collect(&all, &s)) {
+        t.print();
+    }
 }

@@ -1,0 +1,27 @@
+//! Thread-scaling of the sharded parallel level miner: runtime and speedup
+//! at 1/2/4/8 worker threads, printed as tables and written to
+//! `BENCH_threads.json` (pass --quick for a smoke run on a tiny dataset).
+use stpm_bench::experiments::{threads, BenchScale};
+use stpm_datagen::DatasetProfile;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick {
+        BenchScale::quick()
+    } else {
+        BenchScale::full()
+    };
+    let profiles: Vec<DatasetProfile> = if quick {
+        vec![DatasetProfile::Influenza]
+    } else {
+        DatasetProfile::all().to_vec()
+    };
+
+    let sweeps = threads::collect(&profiles, &scale);
+    for table in threads::tables(&sweeps) {
+        table.print();
+    }
+    let json = threads::to_json(&sweeps);
+    std::fs::write("BENCH_threads.json", &json).expect("writing BENCH_threads.json");
+    println!("wrote BENCH_threads.json ({} bytes)", json.len());
+}

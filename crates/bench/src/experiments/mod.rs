@@ -1,7 +1,7 @@
 //! One module per experiment family of the paper's evaluation. Every module
-//! exposes a `run(...)` entry point returning [`TextTable`]s that print the
-//! same rows/series the paper reports; the binaries in `src/bin/` are thin
-//! wrappers around these functions.
+//! exposes a `run(...)` entry point returning [`TextTable`](crate::TextTable)s
+//! that print the same rows/series the paper reports; the binaries in
+//! `src/bin/` are thin wrappers around these functions.
 
 pub mod ablation;
 pub mod accuracy;
@@ -11,6 +11,7 @@ pub mod pruning_ratio;
 pub mod qualitative;
 pub mod runtime_memory;
 pub mod scalability;
+pub mod threads;
 
 use crate::params::scaled_dist_interval;
 use stpm_core::{MiningInput, StpmConfig, Threshold};

@@ -1,0 +1,234 @@
+//! Thread-scaling experiment for the sharded parallel level-mining path.
+//!
+//! Unlike the other experiment families this one has no counterpart in the
+//! paper (the original evaluation is single-threaded): it measures how the
+//! exact miner speeds up when `StpmConfig::threads` grows, and doubles as a
+//! determinism check — every thread count must find the same patterns. The
+//! results are also emitted as machine-readable JSON (`BENCH_threads.json`)
+//! so the performance trajectory of the repository can be tracked across
+//! revisions without scraping tables.
+
+use super::{config_for, BenchScale, PreparedData};
+use crate::measure::{measure, Measurement};
+use crate::table::TextTable;
+use stpm_core::StpmMiner;
+use stpm_datagen::{DatasetProfile, DatasetSpec};
+
+/// One measured thread-count point of the sweep: the thread count plus the
+/// harness [`Measurement`] of the run (so the threads experiment measures
+/// exactly like every other experiment family).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPoint {
+    /// Worker threads the level miner was configured with.
+    pub threads: usize,
+    /// The uniform harness measurement (runtime, memory, pattern count).
+    pub measurement: Measurement,
+}
+
+impl ThreadPoint {
+    /// Runtime in seconds.
+    #[must_use]
+    pub fn runtime_secs(&self) -> f64 {
+        self.measurement.runtime_secs()
+    }
+
+    /// Total frequent seasonal patterns found; identical across the sweep by
+    /// the determinism guarantee.
+    #[must_use]
+    pub fn patterns(&self) -> usize {
+        self.measurement.patterns
+    }
+}
+
+/// One profile's sweep: the dataset label plus its measured points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSweep {
+    /// Short profile label of the dataset the sweep ran on.
+    pub dataset: &'static str,
+    /// The measured points, in the order the thread counts were given.
+    pub points: Vec<ThreadPoint>,
+}
+
+impl ThreadSweep {
+    /// Speedup of every point relative to the first (single-threaded) point.
+    #[must_use]
+    pub fn speedups(&self) -> Vec<f64> {
+        let base = self.points.first().map_or(0.0, ThreadPoint::runtime_secs);
+        self.points
+            .iter()
+            .map(|p| {
+                let secs = p.runtime_secs();
+                if secs > 0.0 {
+                    base / secs
+                } else {
+                    1.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// The thread counts the experiment measures by default.
+#[must_use]
+pub fn thread_counts() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// Measures the exact miner on one profile's dataset for every thread count.
+///
+/// # Panics
+/// Panics when two thread counts disagree on the mined patterns — that would
+/// break the determinism guarantee of the sharded path.
+#[must_use]
+pub fn sweep(profile: DatasetProfile, scale: &BenchScale, counts: &[usize]) -> ThreadSweep {
+    let spec = scale.apply(DatasetSpec::real(profile));
+    let prepared = PreparedData::generate(&spec);
+    let base_config = config_for(profile, 0.006, 0.0075, 2);
+    let points: Vec<ThreadPoint> = counts
+        .iter()
+        .map(|&threads| {
+            let config = base_config.clone().with_threads(threads);
+            let (measurement, _report) = measure(&StpmMiner, &prepared.input(), &config);
+            ThreadPoint {
+                threads,
+                measurement,
+            }
+        })
+        .collect();
+    if let Some(first) = points.first() {
+        for point in &points {
+            assert_eq!(
+                point.patterns(),
+                first.patterns(),
+                "thread count {} changed the mining output",
+                point.threads
+            );
+        }
+    }
+    ThreadSweep {
+        dataset: profile.short_name(),
+        points,
+    }
+}
+
+/// Runs the sweep for every profile.
+#[must_use]
+pub fn collect(profiles: &[DatasetProfile], scale: &BenchScale) -> Vec<ThreadSweep> {
+    let counts = scale.thin(&thread_counts());
+    profiles
+        .iter()
+        .map(|&profile| sweep(profile, scale, &counts))
+        .collect()
+}
+
+/// Renders one table per sweep: runtime and speedup per thread count.
+#[must_use]
+pub fn tables(sweeps: &[ThreadSweep]) -> Vec<TextTable> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut table = TextTable::new(
+                &format!(
+                    "E-STPM thread scaling on {} (sharded level mining)",
+                    sweep.dataset
+                ),
+                &["threads", "runtime (s)", "speedup", "patterns", "mem (MiB)"],
+            );
+            for (point, speedup) in sweep.points.iter().zip(sweep.speedups()) {
+                table.add_row(vec![
+                    point.threads.to_string(),
+                    format!("{:.4}", point.runtime_secs()),
+                    format!("{speedup:.2}x"),
+                    point.patterns().to_string(),
+                    format!("{:.3}", point.measurement.memory_mib()),
+                ]);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Serialises the sweeps as a JSON document (hand-rolled: the workspace is
+/// dependency-free). `available_parallelism` records the machine's core
+/// count — speedup is bounded by it, so a 1-core CI runner reporting ~1.0x
+/// is expected, not a regression. Shape:
+///
+/// ```json
+/// {"experiment":"threads","available_parallelism":8,"datasets":[
+///   {"profile":"RE","points":[
+///     {"threads":1,"runtime_secs":0.5,"speedup":1.0,
+///      "patterns":12,"memory_bytes":4096}]}]}
+/// ```
+#[must_use]
+pub fn to_json(sweeps: &[ThreadSweep]) -> String {
+    let datasets: Vec<String> = sweeps
+        .iter()
+        .map(|sweep| {
+            let points: Vec<String> = sweep
+                .points
+                .iter()
+                .zip(sweep.speedups())
+                .map(|(p, speedup)| {
+                    format!(
+                        "{{\"threads\":{},\"runtime_secs\":{:.6},\"speedup\":{:.4},\
+                         \"patterns\":{},\"memory_bytes\":{}}}",
+                        p.threads,
+                        p.runtime_secs(),
+                        speedup,
+                        p.patterns(),
+                        p.measurement.memory_bytes
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"profile\":\"{}\",\"points\":[{}]}}",
+                sweep.dataset,
+                points.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"threads\",\"available_parallelism\":{},\"datasets\":[{}]}}\n",
+        std::thread::available_parallelism().map_or(1, usize::from),
+        datasets.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_measures_every_thread_count_and_is_deterministic() {
+        let sweep = sweep(DatasetProfile::Influenza, &BenchScale::quick(), &[1, 2]);
+        assert_eq!(sweep.dataset, "INF");
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(sweep.points[0].threads, 1);
+        assert_eq!(sweep.points[1].threads, 2);
+        assert_eq!(sweep.points[0].patterns(), sweep.points[1].patterns());
+        let speedups = sweep.speedups();
+        assert_eq!(speedups.len(), 2);
+        assert!((speedups[0] - 1.0).abs() < 1e-9 || sweep.points[0].measurement.runtime.is_zero());
+    }
+
+    #[test]
+    fn json_carries_one_entry_per_thread_count() {
+        let sweeps = collect(&[DatasetProfile::Influenza], &BenchScale::quick());
+        let json = to_json(&sweeps);
+        assert!(json.starts_with("{\"experiment\":\"threads\""));
+        assert!(json.matches("\"threads\":").count() >= 2);
+        assert!(json.contains("\"profile\":\"INF\""));
+        assert!(json.contains("\"speedup\":"));
+        // Structurally sound: balanced braces/brackets, no trailing comma.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",]") && !json.contains(",}"));
+    }
+
+    #[test]
+    fn tables_render_one_row_per_point() {
+        let sweeps = collect(&[DatasetProfile::SmartCity], &BenchScale::quick());
+        let tables = tables(&sweeps);
+        assert_eq!(tables.len(), 1);
+    }
+}

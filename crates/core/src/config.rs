@@ -127,6 +127,12 @@ pub struct StpmConfig {
     pub max_pattern_len: usize,
     /// Which pruning techniques to apply.
     pub pruning: PruningMode,
+    /// Number of worker threads used to mine each candidate level. `1` (the
+    /// default) mines sequentially; `0` resolves to the machine's available
+    /// parallelism. Parallel mining shards the candidate space and merges the
+    /// per-shard results deterministically, so the output is identical for
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl Default for StpmConfig {
@@ -140,6 +146,7 @@ impl Default for StpmConfig {
             min_overlap: 1,
             max_pattern_len: 3,
             pruning: PruningMode::All,
+            threads: 1,
         }
     }
 }
@@ -187,6 +194,7 @@ impl StpmConfig {
             min_overlap: self.min_overlap.max(1),
             max_pattern_len: self.max_pattern_len,
             pruning: self.pruning,
+            threads: resolve_threads(self.threads),
             dseq_len,
         })
     }
@@ -203,6 +211,24 @@ impl StpmConfig {
     pub fn with_epsilon(mut self, epsilon: u64) -> Self {
         self.epsilon = epsilon;
         self
+    }
+
+    /// Builder-style helper that sets the level-mining thread count
+    /// (`0` = available parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Resolves the user-facing thread count to an effective worker count:
+/// `0` means "all available cores", everything else is taken verbatim.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        threads
     }
 }
 
@@ -228,6 +254,8 @@ pub struct ResolvedConfig {
     pub max_pattern_len: usize,
     /// Active pruning techniques.
     pub pruning: PruningMode,
+    /// Effective number of level-mining worker threads (always ≥ 1).
+    pub threads: usize,
     /// Number of granules in the database the config was resolved against.
     pub dseq_len: u64,
 }
@@ -348,6 +376,20 @@ mod tests {
             .with_epsilon(2);
         assert_eq!(config.pruning, PruningMode::NoPrune);
         assert_eq!(config.epsilon, 2);
+    }
+
+    #[test]
+    fn threads_default_to_sequential_and_zero_means_auto() {
+        let config = StpmConfig::default();
+        assert_eq!(config.threads, 1);
+        assert_eq!(config.resolve(100).unwrap().threads, 1);
+
+        let fixed = StpmConfig::default().with_threads(4);
+        assert_eq!(fixed.resolve(100).unwrap().threads, 4);
+
+        // 0 resolves to the machine's available parallelism, never below 1.
+        let auto = StpmConfig::default().with_threads(0);
+        assert!(auto.resolve(100).unwrap().threads >= 1);
     }
 
     #[test]

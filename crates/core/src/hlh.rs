@@ -286,8 +286,10 @@ impl HlhK {
     }
 
     /// Drops the candidate patterns that fail the `maxSeason` gate (applied
-    /// after all occurrences of a group have been collected). Returns the
-    /// number of patterns removed.
+    /// after all occurrences of a group have been collected), together with
+    /// any group whose pattern list becomes empty — such a group would never
+    /// be extended again, so keeping it would only inflate `num_groups()` and
+    /// `footprint_bytes()`. Returns the number of patterns removed.
     pub fn retain_candidates(&mut self, config: &ResolvedConfig) -> usize {
         let mut removed = 0usize;
         let mut keep = vec![false; self.patterns.len()];
@@ -323,7 +325,41 @@ impl HlhK {
                 .filter_map(|idx| remap[*idx])
                 .collect();
         }
+        self.groups.retain(|_, entry| !entry.patterns.is_empty());
         removed
+    }
+
+    /// Merges per-shard levels produced by parallel mining into one `HLH_k`,
+    /// preserving shard order. Sharding partitions the candidate space so
+    /// that every group (and therefore every pattern) is produced by exactly
+    /// one shard; concatenating the pattern tables in shard order makes the
+    /// merged level identical to the one sequential mining builds.
+    ///
+    /// # Panics
+    /// Panics when two shards produced the same group or pattern — that
+    /// would mean the shards did not partition the candidate space.
+    #[must_use]
+    pub fn merge_shards(k: usize, shards: Vec<HlhK>) -> Self {
+        let mut merged = Self::new(k);
+        for shard in shards {
+            assert_eq!(shard.k, k, "cannot merge levels of different k");
+            let offset = merged.patterns.len();
+            for (idx, entry) in shard.patterns.into_iter().enumerate() {
+                let previous = merged
+                    .pattern_index
+                    .insert(entry.pattern.clone(), offset + idx);
+                assert!(previous.is_none(), "pattern produced by two shards");
+                merged.patterns.push(entry);
+            }
+            for (events, mut entry) in shard.groups {
+                for pattern_idx in &mut entry.patterns {
+                    *pattern_idx += offset;
+                }
+                let previous = merged.groups.insert(events, entry);
+                assert!(previous.is_none(), "group produced by two shards");
+            }
+        }
+        merged
     }
 
     /// The candidate pattern entries of this level.
@@ -554,13 +590,67 @@ mod tests {
         hlh2.add_pattern_occurrence(&group_b, &weak, 3, binding);
 
         assert_eq!(hlh2.num_patterns(), 2);
+        let footprint_before = hlh2.footprint_bytes();
         let removed = hlh2.retain_candidates(&cfg);
         assert_eq!(removed, 1);
         assert_eq!(hlh2.num_patterns(), 1);
         assert_eq!(hlh2.patterns()[0].pattern, strong);
         assert!(hlh2.patterns_of_group(&group_b).is_empty());
         assert_eq!(hlh2.patterns_of_group(&group_a).len(), 1);
+        // group_b lost its last pattern: it is gone from the group table too,
+        // so group counts and footprints only reflect live candidates.
+        assert_eq!(hlh2.num_groups(), 1);
+        assert!(hlh2.group(&group_b).is_none());
+        assert!(hlh2.group(&group_a).is_some());
+        assert!(hlh2.footprint_bytes() < footprint_before);
         // Retaining again removes nothing.
         assert_eq!(hlh2.retain_candidates(&cfg), 0);
+    }
+
+    #[test]
+    fn merge_shards_concatenates_disjoint_levels_in_shard_order() {
+        let binding = |sym_a: u16, sym_b: u16| {
+            vec![
+                EventInstance::new(label(0, sym_a), Interval::new(1, 2)),
+                EventInstance::new(label(1, sym_b), Interval::new(1, 1)),
+            ]
+        };
+        let group_a = vec![label(0, 0), label(1, 0)];
+        let group_b = vec![label(0, 1), label(1, 1)];
+        let pattern_a =
+            TemporalPattern::pair([label(0, 0), label(1, 0)], RelationKind::Follows, false);
+        let pattern_b =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+
+        let mut shard1 = HlhK::new(2);
+        shard1.insert_group(group_a.clone(), vec![1, 2]);
+        shard1.add_pattern_occurrence(&group_a, &pattern_a, 1, binding(0, 0));
+        let mut shard2 = HlhK::new(2);
+        shard2.insert_group(group_b.clone(), vec![3]);
+        shard2.add_pattern_occurrence(&group_b, &pattern_b, 3, binding(1, 1));
+
+        let merged = HlhK::merge_shards(2, vec![shard1, shard2]);
+        assert_eq!(merged.num_groups(), 2);
+        assert_eq!(merged.num_patterns(), 2);
+        // Shard order is preserved in the pattern table.
+        assert_eq!(merged.patterns()[0].pattern, pattern_a);
+        assert_eq!(merged.patterns()[1].pattern, pattern_b);
+        // Group → pattern indices were remapped across the concatenation.
+        assert_eq!(merged.patterns_of_group(&group_b)[0].pattern, pattern_b);
+        assert!(merged.has_relation_between(label(0, 1), label(1, 1)));
+
+        // Merging empty shards yields an empty level.
+        assert!(HlhK::merge_shards(2, vec![HlhK::new(2), HlhK::new(2)]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "group produced by two shards")]
+    fn merge_shards_rejects_overlapping_shards() {
+        let group = vec![label(0, 0), label(1, 0)];
+        let mut shard1 = HlhK::new(2);
+        shard1.insert_group(group.clone(), vec![1]);
+        let mut shard2 = HlhK::new(2);
+        shard2.insert_group(group, vec![1]);
+        let _ = HlhK::merge_shards(2, vec![shard1, shard2]);
     }
 }

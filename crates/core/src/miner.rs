@@ -16,16 +16,34 @@
 //! Both prunings can be disabled individually through
 //! [`PruningMode`](crate::config::PruningMode) to reproduce the ablation
 //! study of the paper (Figures 15, 16, 25, 26).
+//!
+//! # Parallelism and memory
+//!
+//! Level mining is embarrassingly parallel across candidate groups: each
+//! level-2 event pair, and each (k-1)-group extension, is mined independently
+//! of every other. When [`StpmConfig::threads`] (resolved into
+//! [`ResolvedConfig::threads`]) is greater than one, the candidate space of
+//! each level is split into contiguous shards mined on scoped worker threads;
+//! the per-shard `HLH_k` structures are merged back in shard order
+//! ([`HlhK::merge_shards`]), which makes the parallel output *identical* —
+//! pattern order included — to the sequential one.
+//!
+//! Extension at level k only ever reads `HLH_2` (transitivity lookups) and
+//! `HLH_{k-1}` (instance bindings), so those are the only levels kept alive:
+//! every earlier level is dropped as soon as its successor exists, and
+//! [`MiningStats::peak_footprint_bytes`] reports the peak of the *live*
+//! structures, not the historical sum of all levels.
 
 use crate::config::{ResolvedConfig, StpmConfig};
 use crate::engine::{phases, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 use crate::error::Result;
-use crate::hlh::{Binding, Hlh1, HlhK};
+use crate::hlh::{Binding, GroupEntry, Hlh1, HlhK};
 use crate::pattern::{RelationTriple, TemporalPattern};
 use crate::relation::{chronological_order, classify_relation};
 use crate::report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
 use crate::season::find_seasons;
 use crate::support::intersect;
+use std::ops::Range;
 use std::time::Instant;
 use stpm_timeseries::{EventLabel, SequenceDatabase};
 
@@ -118,22 +136,28 @@ impl ExactRun<'_> {
         let single_event_time = single_start.elapsed();
 
         // -------- Step 2.2: frequent seasonal k-event patterns --------
+        // Only HLH_2 (transitivity lookups) and HLH_{k-1} (bindings to
+        // extend) are ever read again, so only those stay alive; the peak
+        // footprint tracks the live structures of each level.
         let pattern_start = Instant::now();
         let f1 = hlh1.labels();
+        let hlh1_footprint = hlh1.footprint_bytes();
         let mut patterns_out: Vec<MinedPattern> = Vec::new();
         let mut level_stats: Vec<LevelStats> = Vec::new();
-        let mut levels: Vec<HlhK> = Vec::new();
-        let mut footprint = hlh1.footprint_bytes();
-        let mut peak_footprint = footprint;
+        let mut hlh2: Option<HlhK> = None;
+        let mut prev: Option<HlhK> = None;
+        let mut peak_footprint = hlh1_footprint;
 
         for k in 2..=self.config.max_pattern_len {
-            let hlhk = if k == 2 {
-                self.mine_pairs(&hlh1, &f1)
-            } else {
-                let prev = levels.last().expect("level k-1 was mined first");
-                let hlh2 = levels.first().expect("level 2 exists");
-                self.mine_k_events(&hlh1, &f1, prev, hlh2, k)
+            let mut hlhk = match (k, &hlh2, &prev) {
+                (2, _, _) => self.mine_pairs(&hlh1, &f1),
+                (3, Some(h2), _) => self.mine_k_events(&hlh1, &f1, h2, h2, k),
+                (_, Some(h2), Some(p)) => self.mine_k_events(&hlh1, &f1, p, h2, k),
+                _ => unreachable!("levels are mined in increasing k"),
             };
+            if apriori {
+                hlhk.retain_candidates(&self.config);
+            }
 
             let mut frequent = 0usize;
             for entry in hlhk.patterns() {
@@ -148,8 +172,11 @@ impl ExactRun<'_> {
                 }
             }
             let level_footprint = hlhk.footprint_bytes();
-            footprint += level_footprint;
-            peak_footprint = peak_footprint.max(footprint);
+            let live_footprint = hlh1_footprint
+                + hlh2.as_ref().map_or(0, HlhK::footprint_bytes)
+                + prev.as_ref().map_or(0, HlhK::footprint_bytes)
+                + level_footprint;
+            peak_footprint = peak_footprint.max(live_footprint);
             level_stats.push(LevelStats {
                 k,
                 candidate_groups: hlhk.num_groups(),
@@ -158,7 +185,11 @@ impl ExactRun<'_> {
                 footprint_bytes: level_footprint,
             });
             let empty = hlhk.is_empty();
-            levels.push(hlhk);
+            if k == 2 {
+                hlh2 = Some(hlhk);
+            } else {
+                prev = Some(hlhk); // drops level k-1 (for k ≥ 4)
+            }
             if empty {
                 break;
             }
@@ -179,52 +210,121 @@ impl ExactRun<'_> {
         MiningReport::new(events_out, patterns_out, stats)
     }
 
-    /// Mines candidate 2-event groups and patterns (Section IV-D, 4.2.1).
+    /// Shards level-mining work across the configured worker threads and
+    /// merges the per-shard levels in shard order. `shard_ranges` cuts
+    /// `0..num_items` into at most `threads` *contiguous* ranges of roughly
+    /// equal estimated cost (evaluated only when actually sharding, so the
+    /// sequential path pays nothing for it); contiguity is what lets the
+    /// merged level preserve sequential order while heavy items don't pile
+    /// up in one shard. With one thread — or one work item — the chunk miner
+    /// runs inline on the caller's thread.
+    fn mine_sharded<C, F>(&self, k: usize, num_items: usize, shard_ranges: C, mine_chunk: F) -> HlhK
+    where
+        C: FnOnce(usize) -> Vec<Range<usize>>,
+        F: Fn(Range<usize>) -> HlhK + Sync,
+    {
+        let threads = self.config.threads.min(num_items).max(1);
+        if threads == 1 {
+            return mine_chunk(0..num_items);
+        }
+        let ranges = shard_ranges(threads);
+        debug_assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        debug_assert_eq!(ranges.last().map(|r| r.end), Some(num_items));
+        let shards: Vec<HlhK> = std::thread::scope(|scope| {
+            let mine_chunk = &mine_chunk;
+            let handles: Vec<_> = ranges
+                .into_iter()
+                // Row-aligned cuts can map to an empty pair range (the last
+                // triangle row holds no pairs) — nothing to spawn for.
+                .filter(|range| !range.is_empty())
+                .map(|range| scope.spawn(move || mine_chunk(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("mining shard panicked"))
+                .collect()
+        });
+        HlhK::merge_shards(k, shards)
+    }
+
+    /// Mines candidate 2-event groups and patterns (Section IV-D, 4.2.1),
+    /// sharding the candidate pair space across the configured threads.
     /// Patterns relate *distinct* events: an event group is a set, matching
     /// the transactional view the APS-growth baseline mines — this is what
     /// makes the two engines output-equivalent.
     fn mine_pairs(&self, hlh1: &Hlh1, f1: &[EventLabel]) -> HlhK {
+        let n = f1.len();
+        let num_pairs = n * n.saturating_sub(1) / 2;
+        // A pair's work is bounded by its support intersection, which is at
+        // most the smaller of the two single-event supports. Costs are
+        // aggregated per row (per first event) so the estimator stays O(n)
+        // in memory even when the pair space has millions of entries; the
+        // shard cuts are row-aligned as a result.
+        let shard_ranges = |threads: usize| {
+            let row_costs: Vec<u64> = (0..n)
+                .map(|i| {
+                    let sup_i = hlh1.support(f1[i]).len() as u64;
+                    f1[i + 1..]
+                        .iter()
+                        .map(|&ej| 1 + sup_i.min(hlh1.support(ej).len() as u64))
+                        .sum()
+                })
+                .collect();
+            balanced_ranges(&row_costs, threads)
+                .into_iter()
+                .map(|rows| pair_offset(n, rows.start)..pair_offset(n, rows.end))
+                .collect()
+        };
+        self.mine_sharded(2, num_pairs, shard_ranges, |range| {
+            self.mine_pairs_chunk(hlh1, f1, range)
+        })
+    }
+
+    /// Mines one shard of the candidate pair space into a local `HLH_2`.
+    /// A group is registered lazily, on its first candidate pattern: a pair
+    /// whose instances never classify into a relation contributes no
+    /// candidates and must not inflate the level's group count.
+    fn mine_pairs_chunk(&self, hlh1: &Hlh1, f1: &[EventLabel], range: Range<usize>) -> HlhK {
         let apriori = self.config.pruning.apriori_enabled();
         let mut hlh2 = HlhK::new(2);
-        for (i, &ei) in f1.iter().enumerate() {
-            for &ej in f1.iter().skip(i + 1) {
-                let support = intersect(hlh1.support(ei), hlh1.support(ej));
-                if support.is_empty() {
-                    continue;
-                }
-                if apriori && !self.config.is_candidate(support.len()) {
-                    continue;
-                }
-                let group = vec![ei, ej];
-                hlh2.insert_group(group.clone(), support.clone());
-                for &granule in &support {
-                    let instances_i = hlh1.instances_at(ei, granule);
-                    let instances_j = hlh1.instances_at(ej, granule);
-                    for a in instances_i.iter() {
-                        for b in instances_j.iter() {
-                            let in_order = chronological_order(&a.interval, &b.interval, 0u8, 1u8);
-                            let (first, second, swapped) = if in_order {
-                                (a, b, false)
-                            } else {
-                                (b, a, true)
-                            };
-                            let Some(kind) = classify_relation(
-                                &first.interval,
-                                &second.interval,
-                                self.config.epsilon,
-                                self.config.min_overlap,
-                            ) else {
-                                continue;
-                            };
-                            let pattern = TemporalPattern::pair([ei, ej], kind, swapped);
-                            hlh2.add_pattern_occurrence(&group, &pattern, granule, vec![*a, *b]);
+        for (ei, ej) in pair_range(f1, range) {
+            let support = intersect(hlh1.support(ei), hlh1.support(ej));
+            if support.is_empty() {
+                continue;
+            }
+            if apriori && !self.config.is_candidate(support.len()) {
+                continue;
+            }
+            let group = vec![ei, ej];
+            let mut group_registered = false;
+            for &granule in &support {
+                let instances_i = hlh1.instances_at(ei, granule);
+                let instances_j = hlh1.instances_at(ej, granule);
+                for a in instances_i.iter() {
+                    for b in instances_j.iter() {
+                        let in_order = chronological_order(&a.interval, &b.interval, 0u8, 1u8);
+                        let (first, second, swapped) = if in_order {
+                            (a, b, false)
+                        } else {
+                            (b, a, true)
+                        };
+                        let Some(kind) = classify_relation(
+                            &first.interval,
+                            &second.interval,
+                            self.config.epsilon,
+                            self.config.min_overlap,
+                        ) else {
+                            continue;
+                        };
+                        let pattern = TemporalPattern::pair([ei, ej], kind, swapped);
+                        if !group_registered {
+                            hlh2.insert_group(group.clone(), support.clone());
+                            group_registered = true;
                         }
+                        hlh2.add_pattern_occurrence(&group, &pattern, granule, vec![*a, *b]);
                     }
                 }
             }
-        }
-        if apriori {
-            hlh2.retain_candidates(&self.config);
         }
         hlh2
     }
@@ -234,6 +334,7 @@ impl ExactRun<'_> {
     /// extended with a single event from `FilteredF_1`, relations with the
     /// new event are verified on the stored instance bindings, and the
     /// resulting candidate k-patterns are collected into a fresh `HLH_k`.
+    /// The (k-1)-group list is sharded across the configured threads.
     fn mine_k_events(
         &self,
         hlh1: &Hlh1,
@@ -242,7 +343,6 @@ impl ExactRun<'_> {
         hlh2: &HlhK,
         k: usize,
     ) -> HlhK {
-        let apriori = self.config.pruning.apriori_enabled();
         let transitivity = self.config.pruning.transitivity_enabled();
         let filtered_f1: Vec<EventLabel> = if transitivity {
             let participating = prev.participating_events();
@@ -253,15 +353,48 @@ impl ExactRun<'_> {
         } else {
             f1.to_vec()
         };
+        let groups: Vec<(&Vec<EventLabel>, &GroupEntry)> = prev
+            .groups()
+            .into_iter()
+            .filter(|(_, entry)| !entry.patterns.is_empty())
+            .collect();
+        // A group's extension work scales with the occurrences of its
+        // candidate patterns (every binding is a potential extension seed).
+        let shard_ranges = |threads: usize| {
+            let costs: Vec<u64> = groups
+                .iter()
+                .map(|(_, entry)| {
+                    1 + entry
+                        .patterns
+                        .iter()
+                        .map(|&idx| prev.patterns()[idx].support.len() as u64)
+                        .sum::<u64>()
+                })
+                .collect();
+            balanced_ranges(&costs, threads)
+        };
+        self.mine_sharded(k, groups.len(), shard_ranges, |range| {
+            self.mine_k_events_chunk(hlh1, &filtered_f1, prev, hlh2, k, &groups[range])
+        })
+    }
 
+    /// Mines one shard of the (k-1)-group list into a local `HLH_k`.
+    fn mine_k_events_chunk(
+        &self,
+        hlh1: &Hlh1,
+        filtered_f1: &[EventLabel],
+        prev: &HlhK,
+        hlh2: &HlhK,
+        k: usize,
+        groups: &[(&Vec<EventLabel>, &GroupEntry)],
+    ) -> HlhK {
+        let apriori = self.config.pruning.apriori_enabled();
+        let transitivity = self.config.pruning.transitivity_enabled();
         let new_index = u8::try_from(k - 1).expect("pattern length fits u8");
         let mut hlhk = HlhK::new(k);
-        for (group_events, group_entry) in prev.groups() {
-            if group_entry.patterns.is_empty() {
-                continue;
-            }
+        for &(group_events, group_entry) in groups {
             let last = *group_events.last().expect("groups are non-empty");
-            for &ek in &filtered_f1 {
+            for &ek in filtered_f1 {
                 if ek <= last {
                     continue;
                 }
@@ -350,11 +483,81 @@ impl ExactRun<'_> {
                 }
             }
         }
-        if apriori {
-            hlhk.retain_candidates(&self.config);
-        }
         hlhk
     }
+}
+
+/// Flat triangular index of the first pair of row `row` (the number of pairs
+/// in rows `0..row` of an `n`-event triangle).
+fn pair_offset(n: usize, row: usize) -> usize {
+    row * n - row * (row + 1) / 2
+}
+
+/// Yields the candidate event pairs `(f1[i], f1[j])`, `i < j`, whose flat
+/// triangular indices fall in `range`, in the row-major order the sequential
+/// miner enumerates them — without materializing the full pair list. The
+/// flat index of pair `(i, j)` is [`pair_offset`]`(n, i) + (j - i - 1)`.
+fn pair_range(
+    f1: &[EventLabel],
+    range: Range<usize>,
+) -> impl Iterator<Item = (EventLabel, EventLabel)> + '_ {
+    let n = f1.len();
+    // Locate the (row, column) of range.start by walking the triangle rows.
+    let mut i = 0usize;
+    let mut row_start = 0usize; // flat index of pair (i, i + 1)
+    while i < n && row_start + (n - i - 1) <= range.start {
+        row_start += n - i - 1;
+        i += 1;
+    }
+    let mut j = i + 1 + (range.start - row_start);
+    let mut remaining = range.len();
+    std::iter::from_fn(move || {
+        if remaining == 0 {
+            return None;
+        }
+        while j >= n {
+            i += 1;
+            if i + 1 >= n {
+                return None;
+            }
+            j = i + 1;
+        }
+        let pair = (f1[i], f1[j]);
+        j += 1;
+        remaining -= 1;
+        Some(pair)
+    })
+}
+
+/// Cuts `costs.len()` work items into at most `threads` contiguous,
+/// non-empty ranges whose cumulative costs are as even as a greedy
+/// left-to-right walk can make them. Contiguity is what lets the per-shard
+/// results be merged back in order.
+fn balanced_ranges(costs: &[u64], threads: usize) -> Vec<Range<usize>> {
+    let total: u64 = costs.iter().sum();
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut spent = 0u64;
+    for t in 0..threads {
+        if start >= costs.len() {
+            break;
+        }
+        // Remaining shards must each get at least one item.
+        let max_end = costs.len() - (threads - t - 1).min(costs.len() - start - 1);
+        let target = (total * (t as u64 + 1)).div_ceil(threads as u64);
+        let mut end = start + 1;
+        spent += costs[start];
+        while end < max_end && spent + costs[end] / 2 < target {
+            spent += costs[end];
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    if let (Some(last), true) = (ranges.last_mut(), start < costs.len()) {
+        last.end = costs.len();
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -559,6 +762,188 @@ mod tests {
         let b = StpmMiner::mine_sequences_resolved(&dseq, &resolved);
         assert_eq!(a.patterns().len(), b.patterns().len());
         assert_eq!(a.events().len(), b.events().len());
+    }
+
+    #[test]
+    fn parallel_mining_is_identical_to_sequential() {
+        // The sharded parallel path must be byte-identical to the sequential
+        // one: same patterns, same order, same stats counters.
+        let (_, dseq) = paper_dseq();
+        for mode in PruningMode::all_modes() {
+            let sequential =
+                StpmMiner::mine_sequences(&dseq, &paper_config().with_pruning(mode)).unwrap();
+            for threads in [2, 4, 7] {
+                let parallel = StpmMiner::mine_sequences(
+                    &dseq,
+                    &paper_config().with_pruning(mode).with_threads(threads),
+                )
+                .unwrap();
+                assert_eq!(parallel.patterns(), sequential.patterns());
+                assert_eq!(parallel.events(), sequential.events());
+                assert_eq!(
+                    parallel.stats().levels,
+                    sequential.stats().levels,
+                    "level stats diverged with {threads} threads under {mode:?}"
+                );
+                assert_eq!(
+                    parallel.stats().peak_footprint_bytes,
+                    sequential.stats().peak_footprint_bytes
+                );
+            }
+        }
+    }
+
+    fn assert_partition(ranges: &[Range<usize>], len: usize, max_shards: usize) {
+        assert!(!ranges.is_empty());
+        assert!(ranges.len() <= max_shards);
+        assert_eq!(ranges.first().unwrap().start, 0);
+        assert_eq!(ranges.last().unwrap().end, len);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+        }
+        for range in ranges {
+            assert!(!range.is_empty());
+        }
+    }
+
+    #[test]
+    fn pair_range_matches_naive_triangular_enumeration() {
+        use stpm_timeseries::{SeriesId, SymbolId};
+        for n in [0usize, 1, 2, 3, 5, 8] {
+            let f1: Vec<EventLabel> = (0..n)
+                .map(|i| EventLabel::new(SeriesId(i as u32), SymbolId(0)))
+                .collect();
+            let naive: Vec<(EventLabel, EventLabel)> = f1
+                .iter()
+                .enumerate()
+                .flat_map(|(i, &ei)| f1.iter().skip(i + 1).map(move |&ej| (ei, ej)))
+                .collect();
+            let num_pairs = n * n.saturating_sub(1) / 2;
+            assert_eq!(naive.len(), num_pairs);
+            // The full range reproduces the enumeration; every sub-range is
+            // the matching slice of it.
+            let full: Vec<_> = pair_range(&f1, 0..num_pairs).collect();
+            assert_eq!(full, naive);
+            for start in 0..=num_pairs {
+                for end in start..=num_pairs {
+                    let sub: Vec<_> = pair_range(&f1, start..end).collect();
+                    assert_eq!(sub, naive[start..end], "n={n} range={start}..{end}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_cut_uniform_costs_evenly() {
+        let ranges = balanced_ranges(&[1; 8], 4);
+        assert_eq!(ranges, vec![0..2, 2..4, 4..6, 6..8]);
+        assert_partition(&ranges, 8, 4);
+    }
+
+    #[test]
+    fn balanced_ranges_isolate_heavy_items() {
+        let costs = [1, 1, 1, 100, 1, 1, 1, 1];
+        let ranges = balanced_ranges(&costs, 3);
+        assert_partition(&ranges, costs.len(), 3);
+        // The 100-cost item gets a shard of its own instead of dragging its
+        // neighbours along.
+        assert!(ranges.contains(&(3..4)));
+    }
+
+    #[test]
+    fn balanced_ranges_cover_degenerate_inputs() {
+        assert_partition(&balanced_ranges(&[5], 4), 1, 4);
+        assert_partition(&balanced_ranges(&[0, 0, 0], 2), 3, 2);
+        assert_partition(
+            &balanced_ranges(&[3, 9, 2, 7, 1, 1, 4, 2, 8, 6], 10),
+            10,
+            10,
+        );
+        assert_partition(&balanced_ranges(&[3, 9, 2], 1), 3, 1);
+    }
+
+    #[test]
+    fn more_threads_than_work_items_is_harmless() {
+        let (_, dseq) = paper_dseq();
+        let sequential = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
+        let oversubscribed =
+            StpmMiner::mine_sequences(&dseq, &paper_config().with_threads(1024)).unwrap();
+        assert_eq!(oversubscribed.patterns(), sequential.patterns());
+    }
+
+    #[test]
+    fn relation_less_pairs_do_not_count_as_candidate_groups() {
+        // A and B co-occur in every granule, but their instances only overlap
+        // by 2 instants while d_o = 3, so no relation ever classifies. The
+        // pair must not be registered as a level-2 candidate group (lazy
+        // registration), even with retain_candidates disabled (NoPrune).
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let a = SymbolicSeries::from_labels(
+            "A",
+            &["1", "1", "1", "0", "1", "1", "1", "0"],
+            alphabet.clone(),
+        )
+        .unwrap();
+        let b =
+            SymbolicSeries::from_labels("B", &["0", "1", "1", "1", "0", "1", "1", "1"], alphabet)
+                .unwrap();
+        let dseq = SymbolicDatabase::new(vec![a, b])
+            .unwrap()
+            .to_sequence_database(4)
+            .unwrap();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(1),
+            dist_interval: (1, 10),
+            min_season: 1,
+            min_overlap: 3,
+            max_pattern_len: 2,
+            pruning: PruningMode::NoPrune,
+            ..StpmConfig::default()
+        };
+        // Six event pairs share support; every pair except {A:1, B:1}
+        // classifies through Follows/Contains (one pattern each), while
+        // {A:1, B:1} can only classify through Overlaps. With d_o = 3 it
+        // classifies nothing and must not be registered as a group.
+        let report = StpmMiner::mine_sequences(&dseq, &config).unwrap();
+        let level2 = report.stats().levels[0];
+        assert_eq!(level2.candidate_patterns, 5);
+        assert_eq!(
+            level2.candidate_groups, 5,
+            "a group without a single candidate pattern must not be counted"
+        );
+        assert_eq!(
+            level2.candidate_groups, level2.candidate_patterns,
+            "every registered group carries at least one candidate pattern"
+        );
+
+        // Lowering d_o back to 1 makes A:1 ≬ B:1 classify: the pair counts.
+        let relaxed = StpmConfig {
+            min_overlap: 1,
+            ..config
+        };
+        let report = StpmMiner::mine_sequences(&dseq, &relaxed).unwrap();
+        let level2 = report.stats().levels[0];
+        assert_eq!(level2.candidate_patterns, 6);
+        assert_eq!(level2.candidate_groups, 6);
+    }
+
+    #[test]
+    fn peak_footprint_tracks_live_levels_not_their_sum() {
+        // With max_pattern_len = 3 the live set is at most
+        // HLH_1 + HLH_2 + HLH_3, so the peak is bounded by the sum of the
+        // level footprints and must be at least the largest live set.
+        let (_, dseq) = paper_dseq();
+        let report = StpmMiner::mine_sequences(&dseq, &paper_config()).unwrap();
+        let stats = report.stats();
+        let level_sum: usize = stats.levels.iter().map(|l| l.footprint_bytes).sum();
+        assert!(stats.peak_footprint_bytes > 0);
+        // hlh1 + all levels is the historical sum the old accounting
+        // reported; the live peak can never exceed it.
+        let resolved = paper_config().resolve(dseq.num_granules()).unwrap();
+        let hlh1 = Hlh1::build(&dseq, &resolved, true);
+        assert!(stats.peak_footprint_bytes <= hlh1.footprint_bytes() + level_sum);
+        assert!(stats.peak_footprint_bytes >= hlh1.footprint_bytes());
     }
 
     #[test]

@@ -58,17 +58,15 @@ impl Seasons {
         self.seasons.iter().map(|s| s.len() as u64).collect()
     }
 
-    /// Distances between consecutive seasons (Definition 3.14's `dist`).
+    /// Distances between consecutive seasons (Definition 3.14's `dist`):
+    /// `next_start - prev_end` over chronologically ordered seasons. The
+    /// extraction walks the sorted support set left to right, so a later
+    /// season always starts after the previous one ends; the checked
+    /// subtraction makes that invariant explicit instead of silently
+    /// absorbing a violation the way `abs_diff` would.
     #[must_use]
     pub fn distances(&self) -> Vec<u64> {
-        self.seasons
-            .windows(2)
-            .map(|w| {
-                let prev_end = *w[0].last().expect("seasons are non-empty");
-                let next_start = *w[1].first().expect("seasons are non-empty");
-                next_start.abs_diff(prev_end)
-            })
-            .collect()
+        self.seasons.windows(2).map(season_distance).collect()
     }
 }
 
@@ -119,6 +117,21 @@ pub fn near_support_sets(support: &[GranulePos], max_period: u64) -> Vec<Vec<Gra
     sets
 }
 
+/// `dist` between two consecutive seasons (Definition 3.14): the gap from
+/// the end of the earlier season to the start of the later one.
+///
+/// # Panics
+/// Panics when the pair is not chronologically ordered — season extraction
+/// only ever produces ordered, non-overlapping seasons, so a violation is a
+/// construction bug, not data to tolerate.
+fn season_distance(pair: &[Season]) -> u64 {
+    let prev_end = *pair[0].last().expect("seasons are non-empty");
+    let next_start = *pair[1].first().expect("seasons are non-empty");
+    next_start
+        .checked_sub(prev_end)
+        .expect("seasons are chronologically ordered and disjoint")
+}
+
 /// Length of the longest run of consecutive seasons whose pairwise distances
 /// are inside `[dist_min, dist_max]`.
 fn longest_compliant_chain(seasons: &[Season], dist_min: u64, dist_max: u64) -> u64 {
@@ -128,9 +141,7 @@ fn longest_compliant_chain(seasons: &[Season], dist_min: u64, dist_max: u64) -> 
     let mut best = 1u64;
     let mut current = 1u64;
     for w in seasons.windows(2) {
-        let prev_end = *w[0].last().expect("seasons are non-empty");
-        let next_start = *w[1].first().expect("seasons are non-empty");
-        let dist = next_start.abs_diff(prev_end);
+        let dist = season_distance(w);
         if dist >= dist_min && dist <= dist_max {
             current += 1;
         } else {
@@ -293,6 +304,51 @@ mod tests {
         assert_eq!(seasons.count(), 0);
         assert!(seasons.seasons().is_empty());
         assert!(seasons.distances().is_empty());
+        assert!(seasons.densities().is_empty());
+        assert!(!seasons.is_frequent(1));
+    }
+
+    #[test]
+    fn single_granule_support_forms_at_most_one_season() {
+        // One granule: a season iff minDensity allows it; no distances either
+        // way.
+        let cfg = config(2, 1, (1, 10), 1);
+        let seasons = find_seasons(&[7], &cfg);
+        assert_eq!(seasons.seasons(), &[vec![7]]);
+        assert_eq!(seasons.count(), 1);
+        assert!(seasons.distances().is_empty());
+
+        let dense = config(2, 2, (1, 10), 1);
+        let seasons = find_seasons(&[7], &dense);
+        assert!(seasons.seasons().is_empty());
+        assert_eq!(seasons.count(), 0);
+    }
+
+    #[test]
+    fn distances_are_chronological_gaps_not_absolute_differences() {
+        // Seasons {1,2,3} and {11,12,14}: dist = 11 - 3 = 8, measured from
+        // the end of the earlier season to the start of the later one.
+        let cfg = config(2, 3, (1, 20), 2);
+        let seasons = find_seasons(&[1, 2, 3, 7, 8, 11, 12, 14], &cfg);
+        assert_eq!(seasons.distances(), vec![8]);
+        // Three seasons → two gaps, each a forward (non-negative) distance.
+        let cfg = config(1, 2, (2, 100), 2);
+        let seasons = find_seasons(&[1, 2, 8, 9, 60, 61], &cfg);
+        assert_eq!(seasons.distances(), vec![6, 51]);
+    }
+
+    #[test]
+    fn distmin_trimming_that_empties_a_near_set_skips_its_distance() {
+        // Near sets {1,2}, {5,6}, {20,21} with distmin = 10: every granule of
+        // {5,6} is closer than distmin to the end of season {1,2}, so the
+        // position() search finds nothing, the unwrap_or(len) branch drains
+        // the whole set, and the next distance is measured from {1,2} to
+        // {20,21}.
+        let cfg = config(1, 2, (10, 100), 1);
+        let seasons = find_seasons(&[1, 2, 5, 6, 20, 21], &cfg);
+        assert_eq!(seasons.seasons(), &[vec![1, 2], vec![20, 21]]);
+        assert_eq!(seasons.distances(), vec![18]);
+        assert_eq!(seasons.count(), 2);
     }
 
     #[test]

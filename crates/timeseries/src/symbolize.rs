@@ -2,9 +2,9 @@
 //!
 //! A [`Symbolizer`] maps each raw value of a [`TimeSeries`] into a symbol of
 //! a finite [`Alphabet`], producing a [`SymbolicSeries`]. The paper uses SAX
-//! [41] as its reference technique; this module additionally provides the
-//! threshold, equal-width and quantile encoders that the paper's application
-//! examples (ON/OFF appliances, Low/High temperature, …) rely on.
+//! (its citation \[41\]) as the reference technique; this module additionally
+//! provides the threshold, equal-width and quantile encoders that the paper's
+//! application examples (ON/OFF appliances, Low/High temperature, …) rely on.
 
 use crate::error::{Error, Result};
 use crate::registry::SymbolId;
@@ -293,7 +293,8 @@ impl Symbolizer for QuantileSymbolizer {
     }
 }
 
-/// SAX (Symbolic Aggregate approXimation, Lin et al. [41]) symbolizer.
+/// SAX (Symbolic Aggregate approXimation, Lin et al., the paper's
+/// reference \[41\]) symbolizer.
 ///
 /// Values are z-normalised with the mean / standard deviation captured at fit
 /// time and bucketed with breakpoints taken from the standard normal

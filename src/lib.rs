@@ -10,9 +10,9 @@
 //! This facade crate re-exports the public API of the workspace crates and
 //! adds the [`Pipeline`] builder for the common "raw series in, seasonal
 //! patterns out" case. All three miners implement the
-//! [`MiningEngine`](stpm_core::MiningEngine) trait and are selected with
+//! [`MiningEngine`] trait and are selected with
 //! [`Engine`]; every run returns the unified
-//! [`EngineReport`](stpm_core::EngineReport).
+//! [`EngineReport`].
 //!
 //! ```
 //! use freqstpfts::prelude::*;
@@ -160,6 +160,7 @@ pub struct Pipeline {
     symbolizer: Option<Box<dyn Symbolizer>>,
     mapping_factor: u64,
     config: StpmConfig,
+    threads: Option<usize>,
     engine: Box<dyn MiningEngine>,
 }
 
@@ -175,6 +176,7 @@ impl std::fmt::Debug for Pipeline {
             .field("symbolizer", &self.symbolizer.is_some())
             .field("mapping_factor", &self.mapping_factor)
             .field("config", &self.config)
+            .field("threads", &self.threads)
             .field("engine", &self.engine.name())
             .finish()
     }
@@ -189,6 +191,7 @@ impl Pipeline {
             symbolizer: None,
             mapping_factor: 1,
             config: StpmConfig::default(),
+            threads: None,
             engine: Box::new(StpmMiner),
         }
     }
@@ -214,6 +217,16 @@ impl Pipeline {
     #[must_use]
     pub fn thresholds(mut self, config: StpmConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Sets the number of worker threads the mining engines use per candidate
+    /// level (`0` = all available cores). Mining output is identical for
+    /// every thread count. Takes precedence over [`StpmConfig::threads`]
+    /// regardless of the order the builder methods are called in.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -285,9 +298,13 @@ impl Pipeline {
             .to_sequence_database(self.mapping_factor)
             .map_err(PipelineError::Transform)?;
         let input = MiningInput::new(dsyb, &dseq, self.mapping_factor);
+        let mut config = self.config.clone();
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
         let report = self
             .engine
-            .mine_with(&input, &self.config)
+            .mine_with(&input, &config)
             .map_err(PipelineError::Mining)?;
         Ok((dseq, report))
     }
@@ -402,6 +419,38 @@ mod tests {
             .unwrap()
             .report;
         assert!((accuracy(&exact, &approx) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threads_knob_changes_nothing_but_wall_clock() {
+        // The builder knob is order-insensitive w.r.t. thresholds() and flows
+        // through every engine; parallel output equals sequential output.
+        for engine in [Engine::Exact, Engine::Approximate { mu: None }] {
+            let sequential = Pipeline::builder()
+                .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+                .mapping_factor(3)
+                .engine(engine)
+                .thresholds(sample_config())
+                .run(&sample_series())
+                .unwrap();
+            let parallel = Pipeline::builder()
+                .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+                .mapping_factor(3)
+                .engine(engine)
+                .threads(3) // before thresholds(): must still win
+                .thresholds(sample_config())
+                .run(&sample_series())
+                .unwrap();
+            assert_eq!(
+                parallel.report.pattern_set(),
+                sequential.report.pattern_set()
+            );
+            assert_eq!(
+                parallel.report.patterns(),
+                sequential.report.patterns(),
+                "parallel pattern order diverged for {engine:?}"
+            );
+        }
     }
 
     #[test]
