@@ -92,6 +92,15 @@ fn support_kernel() {
     bench_function("support/intersect_4k", 1000, || {
         support::intersect(black_box(&a), black_box(&b))
     });
+    // Skewed sizes trigger the galloping advance; the reused scratch buffer
+    // makes the kernel allocation-free, like the miner's inner loop.
+    let long: Vec<u64> = (0..262_144).map(|x| x * 2).collect();
+    let short: Vec<u64> = (0..64).map(|x| x * 8_191).collect();
+    let mut out = Vec::new();
+    bench_function("support/intersect_into_galloping_256k_vs_64", 1000, || {
+        support::intersect_into(&mut out, black_box(&short), black_box(&long));
+        out.len()
+    });
 }
 
 fn season_kernel() {

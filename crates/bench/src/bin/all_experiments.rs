@@ -71,4 +71,8 @@ fn main() {
     for t in threads::tables(&threads::collect(&all, &s)) {
         t.print();
     }
+    println!("### Single-threaded scaling (events / granules axes) ###");
+    for t in scaling::tables(&scaling::collect(DatasetProfile::RenewableEnergy, &s)) {
+        t.print();
+    }
 }

@@ -1,0 +1,26 @@
+//! Single-threaded scaling of the exact miner: runtime and peak footprint vs
+//! the number of events and the number of granules, printed as tables and
+//! written to `BENCH_scaling.json` (`--quick` runs a smoke grid and writes
+//! `BENCH_scaling_quick.json` instead, so it can never clobber the
+//! checked-in full-run baseline). The JSON is comparable across revisions:
+//! diff it against the baseline at the repository root to see the
+//! constant-factor trajectory of the core.
+use stpm_bench::experiments::{scaling, BenchScale};
+use stpm_datagen::DatasetProfile;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, path) = if quick {
+        (BenchScale::quick(), "BENCH_scaling_quick.json")
+    } else {
+        (BenchScale::full(), "BENCH_scaling.json")
+    };
+
+    let sweeps = scaling::collect(DatasetProfile::RenewableEnergy, &scale);
+    for table in scaling::tables(&sweeps) {
+        table.print();
+    }
+    let json = scaling::to_json(&sweeps);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}

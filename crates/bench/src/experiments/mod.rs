@@ -11,6 +11,7 @@ pub mod pruning_ratio;
 pub mod qualitative;
 pub mod runtime_memory;
 pub mod scalability;
+pub mod scaling;
 pub mod threads;
 
 use crate::params::scaled_dist_interval;

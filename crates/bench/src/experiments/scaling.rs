@@ -1,0 +1,263 @@
+//! Single-threaded scaling experiment: E-STPM runtime and peak footprint as
+//! the database grows along its two size axes.
+//!
+//! Unlike the figure/table reproductions, this family exists to track the
+//! *constant factor* of the exact miner across revisions of this repository:
+//! every run is single-threaded (so the numbers isolate the core data
+//! structures from thread scaling), mines up to 3-event patterns (so both the
+//! level-2 pair path and the k-event extension path are exercised), and is
+//! emitted as machine-readable JSON (`BENCH_scaling.json`) that can be
+//! diffed against the checked-in baseline of a previous revision.
+//!
+//! Two sweeps are measured per dataset profile:
+//!
+//! * **events axis** — the number of time series (and with it the number of
+//!   distinct events) grows while the granule count stays fixed;
+//! * **granules axis** — the number of sequences/granules grows while the
+//!   series count stays fixed.
+
+use super::{config_for, BenchScale, PreparedData};
+use crate::measure::{measure, Measurement};
+use crate::table::TextTable;
+use stpm_core::StpmMiner;
+use stpm_datagen::{DatasetProfile, DatasetSpec};
+
+/// One measured database size of a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalePoint {
+    /// Number of time series of the generated database.
+    pub series: usize,
+    /// Number of sequences (granules) of the generated database.
+    pub sequences: u64,
+    /// Distinct events actually present in `D_SEQ`.
+    pub events: usize,
+    /// Granules of `D_SEQ` (equals `sequences` for the generators).
+    pub granules: u64,
+    /// The uniform harness measurement (runtime, peak footprint, patterns).
+    pub measurement: Measurement,
+}
+
+impl ScalePoint {
+    /// Runtime in seconds.
+    #[must_use]
+    pub fn runtime_secs(&self) -> f64 {
+        self.measurement.runtime_secs()
+    }
+}
+
+/// One sweep along one size axis of one profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleSweep {
+    /// The size axis the sweep varies: `"events"` or `"granules"`.
+    pub axis: &'static str,
+    /// Short profile label of the dataset family.
+    pub dataset: &'static str,
+    /// The measured points, smallest database first.
+    pub points: Vec<ScalePoint>,
+}
+
+/// Series counts of the events-axis sweep.
+#[must_use]
+pub fn series_points(scale: &BenchScale) -> Vec<usize> {
+    if scale.quick_grid {
+        vec![4, 6]
+    } else {
+        vec![4, 8, 12, 16]
+    }
+}
+
+/// Sequence counts of the granules-axis sweep.
+#[must_use]
+pub fn sequence_points(scale: &BenchScale) -> Vec<u64> {
+    if scale.quick_grid {
+        vec![120, 240]
+    } else {
+        vec![360, 720, 1440, 2880]
+    }
+}
+
+/// The fixed series count of the granules-axis sweep; the fixed sequence
+/// count of the events-axis sweep is `sequence_points(...)[1]`.
+fn fixed_series(scale: &BenchScale) -> usize {
+    if scale.quick_grid {
+        5
+    } else {
+        8
+    }
+}
+
+/// Measures one generated database size, single-threaded.
+fn measure_point(profile: DatasetProfile, series: usize, sequences: u64) -> ScalePoint {
+    let spec = DatasetSpec::real(profile).scaled_to(series, sequences);
+    let prepared = PreparedData::generate(&spec);
+    let mut config = config_for(profile, 0.006, 0.0075, 2);
+    config.max_pattern_len = 3;
+    let config = config.with_threads(1);
+    let events = prepared.dseq.distinct_events().len();
+    let granules = prepared.dseq.num_granules();
+    let (measurement, _report) = measure(&StpmMiner, &prepared.input(), &config);
+    ScalePoint {
+        series,
+        sequences,
+        events,
+        granules,
+        measurement,
+    }
+}
+
+/// Runs both sweeps for one profile.
+#[must_use]
+pub fn collect(profile: DatasetProfile, scale: &BenchScale) -> Vec<ScaleSweep> {
+    let series = series_points(scale);
+    let sequences = sequence_points(scale);
+    let fixed_sequences = sequences[1];
+    let fixed = fixed_series(scale);
+    let events_axis = ScaleSweep {
+        axis: "events",
+        dataset: profile.short_name(),
+        points: series
+            .iter()
+            .map(|&s| measure_point(profile, s, fixed_sequences))
+            .collect(),
+    };
+    // The two axes cross at (fixed, fixed_sequences); reuse that point's
+    // measurement instead of mining the most expensive shared configuration
+    // twice per invocation.
+    let granules_axis = ScaleSweep {
+        axis: "granules",
+        dataset: profile.short_name(),
+        points: sequences
+            .iter()
+            .map(|&q| {
+                events_axis
+                    .points
+                    .iter()
+                    .find(|p| p.series == fixed && p.sequences == q)
+                    .cloned()
+                    .unwrap_or_else(|| measure_point(profile, fixed, q))
+            })
+            .collect(),
+    };
+    vec![events_axis, granules_axis]
+}
+
+/// Renders one table per sweep.
+#[must_use]
+pub fn tables(sweeps: &[ScaleSweep]) -> Vec<TextTable> {
+    sweeps
+        .iter()
+        .map(|sweep| {
+            let mut table = TextTable::new(
+                &format!(
+                    "E-STPM single-threaded scaling on {} ({} axis)",
+                    sweep.dataset, sweep.axis
+                ),
+                &[
+                    "series",
+                    "granules",
+                    "events",
+                    "runtime (s)",
+                    "peak mem (MiB)",
+                    "patterns",
+                ],
+            );
+            for point in &sweep.points {
+                table.add_row(vec![
+                    point.series.to_string(),
+                    point.granules.to_string(),
+                    point.events.to_string(),
+                    format!("{:.4}", point.runtime_secs()),
+                    format!("{:.3}", point.measurement.memory_mib()),
+                    point.measurement.patterns.to_string(),
+                ]);
+            }
+            table
+        })
+        .collect()
+}
+
+/// Serialises the sweeps as a JSON document (hand-rolled: the workspace is
+/// dependency-free). Shape:
+///
+/// ```json
+/// {"experiment":"scaling","threads":1,"sweeps":[
+///   {"axis":"events","profile":"RE","points":[
+///     {"series":4,"sequences":720,"events":16,"granules":720,
+///      "runtime_secs":0.1,"peak_footprint_bytes":4096,"patterns":7}]}]}
+/// ```
+#[must_use]
+pub fn to_json(sweeps: &[ScaleSweep]) -> String {
+    let rendered: Vec<String> = sweeps
+        .iter()
+        .map(|sweep| {
+            let points: Vec<String> = sweep
+                .points
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{{\"series\":{},\"sequences\":{},\"events\":{},\
+                         \"granules\":{},\"runtime_secs\":{:.6},\
+                         \"peak_footprint_bytes\":{},\"patterns\":{}}}",
+                        p.series,
+                        p.sequences,
+                        p.events,
+                        p.granules,
+                        p.runtime_secs(),
+                        p.measurement.memory_bytes,
+                        p.measurement.patterns
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"axis\":\"{}\",\"profile\":\"{}\",\"points\":[{}]}}",
+                sweep.axis,
+                sweep.dataset,
+                points.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"scaling\",\"threads\":1,\"sweeps\":[{}]}}\n",
+        rendered.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_collect_measures_both_axes() {
+        let sweeps = collect(DatasetProfile::Influenza, &BenchScale::quick());
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].axis, "events");
+        assert_eq!(sweeps[1].axis, "granules");
+        for sweep in &sweeps {
+            assert_eq!(sweep.dataset, "INF");
+            assert_eq!(sweep.points.len(), 2, "quick grids hold two points");
+            for point in &sweep.points {
+                assert!(point.runtime_secs() >= 0.0);
+                assert!(point.events > 0);
+                assert!(point.granules > 0);
+            }
+        }
+        // The events axis grows the series count, the granules axis the
+        // sequence count.
+        assert!(sweeps[0].points[0].series < sweeps[0].points[1].series);
+        assert!(sweeps[1].points[0].sequences < sweeps[1].points[1].sequences);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let sweeps = collect(DatasetProfile::Influenza, &BenchScale::quick());
+        let json = to_json(&sweeps);
+        assert!(json.starts_with("{\"experiment\":\"scaling\",\"threads\":1"));
+        assert!(json.contains("\"axis\":\"events\""));
+        assert!(json.contains("\"axis\":\"granules\""));
+        assert!(json.contains("\"peak_footprint_bytes\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",]") && !json.contains(",}"));
+        assert_eq!(tables(&sweeps).len(), 2);
+    }
+}

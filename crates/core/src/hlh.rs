@@ -1,54 +1,105 @@
 //! Hierarchical lookup hash structures `HLH_1` and `HLH_k` (Figures 4 and 5
-//! of the paper).
+//! of the paper), laid out for the hot path of the miner.
 //!
 //! * [`Hlh1`] plays the role of the single-event hash table `EH` plus the
 //!   event-granule hash table `GH`: for each candidate event it stores the
 //!   support set and, aligned with it, the event instances occurring in each
-//!   supporting granule.
+//!   supporting granule. Instances live in one flat array per event with a
+//!   granule-offset array on top (a CSR layout), not in one vector per
+//!   granule.
 //! * [`HlhK`] combines the k-event hash table `EH_k`, the pattern hash table
-//!   `PH_k` and the pattern-granule hash table `GH_k`: candidate k-event
-//!   groups point to their candidate patterns, and every pattern stores its
-//!   supporting granules together with the instance bindings that realise it
-//!   there (needed to verify relations when the pattern is extended).
+//!   `PH_k` and the pattern-granule hash table `GH_k`. Groups and patterns
+//!   are *interned*: each lives exactly once in an arena and is addressed by
+//!   a compact [`GroupId`] / [`PatternId`] everywhere else. The hash indexes
+//!   are keyed by packed `u64` buffers ([`encode_pattern_key`]), so an
+//!   occurrence insert hashes a few machine words instead of a whole
+//!   [`TemporalPattern`], and never clones the pattern. Instance bindings
+//!   are stored in one flat [`EventInstance`] pool per level (every binding
+//!   is `k` consecutive pool slots) with per-pattern offset arrays
+//!   pattern → granule → binding-id slice on top — appending an occurrence
+//!   is a bump-append, and reading the bindings of a granule is two offset
+//!   lookups once the granule's position in the support set is known.
+//!
+//! The arena + index layout is what [`HlhK::merge_shards`] exploits to make
+//! parallel mining byte-identical to sequential mining: per-shard ids are
+//! remapped by a constant offset in shard order.
 
 use crate::config::ResolvedConfig;
 use crate::fxhash::FxHashMap;
-use crate::pattern::TemporalPattern;
+use crate::pattern::{encode_label, encode_pattern_key, TemporalPattern};
 use crate::support::SupportSet;
 use stpm_timeseries::{EventInstance, EventLabel, GranulePos, SequenceDatabase};
 
+/// Compact identifier of a candidate group inside one [`HlhK`] (its index in
+/// the group arena, in insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// Compact identifier of a candidate pattern inside one [`HlhK`] (its index
+/// in the pattern arena, in insertion order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternId(pub u32);
+
 /// Per-event entry of `HLH_1`: support set plus the instances per supporting
-/// granule (`instances[i]` belongs to granule `support[i]`).
+/// granule in a CSR layout — `instances_at_index(i)` is the slice of
+/// instances occurring in granule `support[i]`.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct EventEntry {
     /// Sorted granule positions where the event occurs.
     pub support: SupportSet,
-    /// Instances of the event per supporting granule, aligned with `support`.
-    pub instances: Vec<Vec<EventInstance>>,
+    /// All instances of the event, granule-major.
+    instances: Vec<EventInstance>,
+    /// `starts[i]` is the index in `instances` of the first instance of
+    /// granule `support[i]`; the slice ends at `starts[i + 1]` (or the pool
+    /// end for the last granule).
+    starts: Vec<u32>,
 }
 
 impl EventEntry {
+    /// Appends one instance, opening a new granule run when `granule` is new.
+    /// Instances must arrive in non-decreasing granule order (one database
+    /// scan provides exactly that).
+    fn push(&mut self, granule: GranulePos, instance: EventInstance) {
+        match self.support.last() {
+            Some(&last) if last == granule => {}
+            other => {
+                debug_assert!(other.is_none_or(|&g| g < granule), "granules must ascend");
+                self.support.push(granule);
+                self.starts
+                    .push(u32::try_from(self.instances.len()).expect("instance count fits u32"));
+            }
+        }
+        self.instances.push(instance);
+    }
+
     /// Instances of the event in granule `granule`, or an empty slice.
     #[must_use]
     pub fn instances_at(&self, granule: GranulePos) -> &[EventInstance] {
         match self.support.binary_search(&granule) {
-            Ok(idx) => &self.instances[idx],
+            Ok(idx) => self.instances_at_index(idx),
             Err(_) => &[],
         }
+    }
+
+    /// Instances of the event in granule `support[idx]` — the two-offset
+    /// lookup used when the caller already knows the granule's position in
+    /// the support set (e.g. from an indexed intersection).
+    #[must_use]
+    pub fn instances_at_index(&self, idx: usize) -> &[EventInstance] {
+        let start = self.starts[idx] as usize;
+        let end = self
+            .starts
+            .get(idx + 1)
+            .map_or(self.instances.len(), |&s| s as usize);
+        &self.instances[start..end]
     }
 
     /// Approximate heap footprint in bytes.
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
         self.support.len() * std::mem::size_of::<GranulePos>()
-            + self
-                .instances
-                .iter()
-                .map(|v| {
-                    v.len() * std::mem::size_of::<EventInstance>()
-                        + std::mem::size_of::<Vec<EventInstance>>()
-                })
-                .sum::<usize>()
+            + self.instances.len() * std::mem::size_of::<EventInstance>()
+            + self.starts.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -56,6 +107,9 @@ impl EventEntry {
 #[derive(Debug, Clone, Default)]
 pub struct Hlh1 {
     events: FxHashMap<EventLabel, EventEntry>,
+    /// The candidate labels, sorted canonically — built once so `labels()`
+    /// does not re-collect and re-sort the key set on every call.
+    labels: Vec<EventLabel>,
 }
 
 impl Hlh1 {
@@ -69,31 +123,24 @@ impl Hlh1 {
         for sequence in dseq.sequences() {
             let granule = sequence.granule();
             for instance in sequence.instances() {
-                let entry = events.entry(instance.label).or_default();
-                match entry.support.last() {
-                    Some(&last) if last == granule => {
-                        let idx = entry.instances.len() - 1;
-                        entry.instances[idx].push(*instance);
-                    }
-                    _ => {
-                        entry.support.push(granule);
-                        entry.instances.push(vec![*instance]);
-                    }
-                }
+                events
+                    .entry(instance.label)
+                    .or_default()
+                    .push(granule, *instance);
             }
         }
         if candidates_only {
             events.retain(|_, entry| config.is_candidate(entry.support.len()));
         }
-        Self { events }
+        let mut labels: Vec<EventLabel> = events.keys().copied().collect();
+        labels.sort_unstable();
+        Self { events, labels }
     }
 
-    /// The candidate event labels, sorted canonically.
+    /// The candidate event labels, sorted canonically (cached at build time).
     #[must_use]
-    pub fn labels(&self) -> Vec<EventLabel> {
-        let mut labels: Vec<EventLabel> = self.events.keys().copied().collect();
-        labels.sort_unstable();
-        labels
+    pub fn labels(&self) -> &[EventLabel] {
+        &self.labels
     }
 
     /// Entry of one event label.
@@ -132,69 +179,87 @@ impl Hlh1 {
     /// experiments of Figures 9/10/19/20).
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
-        self.events
-            .values()
-            .map(|entry| {
-                std::mem::size_of::<EventLabel>()
-                    + std::mem::size_of::<EventEntry>()
-                    + entry.footprint_bytes()
-            })
-            .sum()
+        self.labels.len() * std::mem::size_of::<EventLabel>()
+            + self
+                .events
+                .values()
+                .map(|entry| {
+                    std::mem::size_of::<EventLabel>()
+                        + std::mem::size_of::<EventEntry>()
+                        + entry.footprint_bytes()
+                })
+                .sum::<usize>()
     }
 }
 
-/// One instance binding of a pattern in a granule: `binding[i]` is the
-/// instance realising the pattern's `events()[i]`.
-pub type Binding = Vec<EventInstance>;
-
-/// Per-pattern entry of `HLH_k`: the pattern, its support set, and the
-/// instance bindings per supporting granule.
+/// Per-pattern entry of `HLH_k`: the pattern (stored exactly once — the
+/// arena is the owner, the index maps only hold packed keys), its support
+/// set, and the CSR offsets of its bindings in the level's instance pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PatternEntry {
     /// The candidate pattern.
     pub pattern: TemporalPattern,
     /// Sorted granule positions where the pattern occurs.
     pub support: SupportSet,
-    /// All bindings per supporting granule, aligned with `support`.
-    pub bindings: Vec<Vec<Binding>>,
+    /// `granule_starts[i]` is the index in `bindings` of the first binding
+    /// of granule `support[i]`.
+    granule_starts: Vec<u32>,
+    /// Binding ids (into the level's pool, `k` slots each), granule-major.
+    bindings: Vec<u32>,
 }
 
 impl PatternEntry {
-    /// Bindings of the pattern in granule `granule`, or an empty slice.
+    /// Total number of occurrences (bindings) of the pattern.
     #[must_use]
-    pub fn bindings_at(&self, granule: GranulePos) -> &[Binding] {
+    pub fn num_bindings(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// The binding ids of granule `support[idx]` — a two-offset lookup for
+    /// callers that located the granule via an indexed intersection. Resolve
+    /// each id to its instance slice with [`HlhK::binding`].
+    #[must_use]
+    pub fn binding_ids_at_index(&self, idx: usize) -> &[u32] {
+        let start = self.granule_starts[idx] as usize;
+        let end = self
+            .granule_starts
+            .get(idx + 1)
+            .map_or(self.bindings.len(), |&s| s as usize);
+        &self.bindings[start..end]
+    }
+
+    /// The binding ids of one granule (empty when the granule does not
+    /// support the pattern).
+    #[must_use]
+    pub fn binding_ids_at(&self, granule: GranulePos) -> &[u32] {
         match self.support.binary_search(&granule) {
-            Ok(idx) => &self.bindings[idx],
+            Ok(idx) => self.binding_ids_at_index(idx),
             Err(_) => &[],
         }
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes (pool slots are accounted by the
+    /// level, not per pattern).
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
-        let binding_bytes: usize = self
-            .bindings
-            .iter()
-            .flat_map(|per_granule| per_granule.iter())
-            .map(|b| {
-                b.len() * std::mem::size_of::<EventInstance>() + std::mem::size_of::<Binding>()
-            })
-            .sum();
         self.support.len() * std::mem::size_of::<GranulePos>()
-            + binding_bytes
+            + self.granule_starts.len() * std::mem::size_of::<u32>()
+            + self.bindings.len() * std::mem::size_of::<u32>()
             + std::mem::size_of_val(self.pattern.events())
             + self.pattern.triples().len() * 4
     }
 }
 
-/// Per-group entry of `HLH_k`: the sorted event group, its support set, and
-/// the indices (into [`HlhK::patterns`]) of its candidate patterns.
+/// Per-group entry of `HLH_k`: the sorted event group (owned by the arena),
+/// its support set, and the ids of its candidate patterns.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct GroupEntry {
+    /// The group's events, sorted canonically.
+    pub events: Vec<EventLabel>,
     /// The support set of the event group.
     pub support: SupportSet,
-    /// Indices of the group's candidate patterns in the pattern table.
-    pub patterns: Vec<usize>,
+    /// Ids of the group's candidate patterns in the pattern arena.
+    pub patterns: Vec<PatternId>,
 }
 
 /// The hierarchical lookup hash structure for k-event groups and patterns
@@ -202,9 +267,16 @@ pub struct GroupEntry {
 #[derive(Debug, Clone, Default)]
 pub struct HlhK {
     k: usize,
-    groups: FxHashMap<Vec<EventLabel>, GroupEntry>,
+    /// Group arena, in insertion order.
+    groups: Vec<GroupEntry>,
+    /// Packed event labels → group id.
+    group_index: FxHashMap<Box<[u64]>, GroupId>,
+    /// Pattern arena, in insertion order.
     patterns: Vec<PatternEntry>,
-    pattern_index: FxHashMap<TemporalPattern, usize>,
+    /// Packed pattern key → pattern id.
+    pattern_index: FxHashMap<Box<[u64]>, PatternId>,
+    /// Flat instance pool: binding `b` occupies slots `b*k .. (b+1)*k`.
+    pool: Vec<EventInstance>,
 }
 
 impl HlhK {
@@ -213,9 +285,11 @@ impl HlhK {
     pub fn new(k: usize) -> Self {
         Self {
             k,
-            groups: FxHashMap::default(),
+            groups: Vec::new(),
+            group_index: FxHashMap::default(),
             patterns: Vec::new(),
             pattern_index: FxHashMap::default(),
+            pool: Vec::new(),
         }
     }
 
@@ -225,115 +299,209 @@ impl HlhK {
         self.k
     }
 
-    /// Registers a candidate k-event group with its support set.
-    pub fn insert_group(&mut self, events: Vec<EventLabel>, support: SupportSet) {
-        self.groups.entry(events).or_insert(GroupEntry {
+    fn encode_group(events: &[EventLabel]) -> Box<[u64]> {
+        events.iter().copied().map(encode_label).collect()
+    }
+
+    /// Registers a candidate k-event group with its support set and returns
+    /// its id (the existing id when the group is already registered).
+    pub fn insert_group(&mut self, events: Vec<EventLabel>, support: SupportSet) -> GroupId {
+        let key = Self::encode_group(&events);
+        if let Some(&id) = self.group_index.get(&key) {
+            return id;
+        }
+        let id = GroupId(u32::try_from(self.groups.len()).expect("group count fits u32"));
+        self.group_index.insert(key, id);
+        self.groups.push(GroupEntry {
+            events,
             support,
             patterns: Vec::new(),
         });
+        id
     }
 
-    /// The candidate k-event groups, sorted canonically.
+    /// The candidate k-event groups, sorted canonically by their events.
     #[must_use]
-    pub fn groups(&self) -> Vec<(&Vec<EventLabel>, &GroupEntry)> {
-        let mut groups: Vec<_> = self.groups.iter().collect();
-        groups.sort_by(|a, b| a.0.cmp(b.0));
+    pub fn groups(&self) -> Vec<&GroupEntry> {
+        let mut groups: Vec<&GroupEntry> = self.groups.iter().collect();
+        groups.sort_by(|a, b| a.events.cmp(&b.events));
         groups
     }
 
-    /// Entry of one group.
+    /// Entry of one group, looked up by its event list.
     #[must_use]
     pub fn group(&self, events: &[EventLabel]) -> Option<&GroupEntry> {
-        self.groups.get(events)
+        self.group_index
+            .get(&Self::encode_group(events))
+            .map(|&id| &self.groups[id.0 as usize])
     }
 
-    /// Adds one occurrence (granule + binding) of a candidate pattern that
-    /// belongs to `group`. Creates the pattern entry on first use.
-    pub fn add_pattern_occurrence(
-        &mut self,
-        group: &[EventLabel],
-        pattern: &TemporalPattern,
+    /// Entry of one pattern id.
+    #[must_use]
+    pub fn pattern(&self, id: PatternId) -> &PatternEntry {
+        &self.patterns[id.0 as usize]
+    }
+
+    /// The instance slice of one binding id.
+    #[must_use]
+    pub fn binding(&self, id: u32) -> &[EventInstance] {
+        &self.pool[id as usize * self.k..][..self.k]
+    }
+
+    /// The bindings of pattern `id` in `granule`, as instance slices.
+    pub fn bindings_at(
+        &self,
+        id: PatternId,
         granule: GranulePos,
-        binding: Binding,
-    ) {
-        let idx = match self.pattern_index.get(pattern) {
-            Some(idx) => *idx,
+    ) -> impl Iterator<Item = &[EventInstance]> + '_ {
+        self.pattern(id)
+            .binding_ids_at(granule)
+            .iter()
+            .map(move |&b| self.binding(b))
+    }
+
+    /// Adds one occurrence of the candidate pattern identified by `key` (its
+    /// packed interning key) to `group`. The binding is `prefix` followed by
+    /// `last` — the pool append copies the instances, so callers extend a
+    /// (k-1)-binding slice without materialising an owned vector.
+    /// `make_pattern` is invoked only when the key is new; the constructed
+    /// pattern is stored once in the arena and never cloned.
+    ///
+    /// Occurrences of one pattern must arrive in non-decreasing granule
+    /// order (level mining scans granules in order per candidate).
+    pub fn add_pattern_occurrence<F>(
+        &mut self,
+        group: GroupId,
+        key: &[u64],
+        make_pattern: F,
+        granule: GranulePos,
+        prefix: &[EventInstance],
+        last: EventInstance,
+    ) -> PatternId
+    where
+        F: FnOnce() -> TemporalPattern,
+    {
+        debug_assert_eq!(prefix.len() + 1, self.k, "binding length must be k");
+        let id = match self.pattern_index.get(key) {
+            Some(&id) => id,
             None => {
-                let idx = self.patterns.len();
+                let id = PatternId(u32::try_from(self.patterns.len()).expect("patterns fit u32"));
+                let pattern = make_pattern();
+                debug_assert_eq!(
+                    encode_pattern_key(&pattern),
+                    key,
+                    "interning key must encode the constructed pattern"
+                );
                 self.patterns.push(PatternEntry {
-                    pattern: pattern.clone(),
+                    pattern,
                     support: Vec::new(),
+                    granule_starts: Vec::new(),
                     bindings: Vec::new(),
                 });
-                self.pattern_index.insert(pattern.clone(), idx);
-                if let Some(entry) = self.groups.get_mut(group) {
-                    entry.patterns.push(idx);
-                }
-                idx
+                self.pattern_index.insert(key.into(), id);
+                self.groups[group.0 as usize].patterns.push(id);
+                id
             }
         };
-        let entry = &mut self.patterns[idx];
+        let binding_id = u32::try_from(self.pool.len() / self.k).expect("binding count fits u32");
+        self.pool.extend_from_slice(prefix);
+        self.pool.push(last);
+        let entry = &mut self.patterns[id.0 as usize];
         match entry.support.last() {
-            Some(&last) if last == granule => {
-                let last_idx = entry.bindings.len() - 1;
-                entry.bindings[last_idx].push(binding);
-            }
-            _ => {
+            Some(&g) if g == granule => {}
+            other => {
+                debug_assert!(other.is_none_or(|&g| g < granule), "granules must ascend");
                 entry.support.push(granule);
-                entry.bindings.push(vec![binding]);
+                entry
+                    .granule_starts
+                    .push(u32::try_from(entry.bindings.len()).expect("bindings fit u32"));
             }
         }
+        entry.bindings.push(binding_id);
+        id
     }
 
     /// Drops the candidate patterns that fail the `maxSeason` gate (applied
     /// after all occurrences of a group have been collected), together with
     /// any group whose pattern list becomes empty — such a group would never
     /// be extended again, so keeping it would only inflate `num_groups()` and
-    /// `footprint_bytes()`. Returns the number of patterns removed.
+    /// `footprint_bytes()`. The instance pool is compacted alongside, which
+    /// also makes every surviving pattern's bindings contiguous. Returns the
+    /// number of patterns removed.
     pub fn retain_candidates(&mut self, config: &ResolvedConfig) -> usize {
-        let mut removed = 0usize;
-        let mut keep = vec![false; self.patterns.len()];
-        for (idx, entry) in self.patterns.iter().enumerate() {
-            keep[idx] = config.is_candidate(entry.support.len());
-            if !keep[idx] {
-                removed += 1;
-            }
-        }
+        let keep: Vec<bool> = self
+            .patterns
+            .iter()
+            .map(|entry| config.is_candidate(entry.support.len()))
+            .collect();
+        let removed = keep.iter().filter(|&&k| !k).count();
         if removed == 0 {
             return 0;
         }
-        // Compact the pattern table and remap group/pattern indices.
-        let mut remap: Vec<Option<usize>> = vec![None; self.patterns.len()];
+        // Compact the pattern arena and the pool, remapping binding ids.
+        let mut remap: Vec<Option<PatternId>> = vec![None; self.patterns.len()];
         let mut new_patterns = Vec::with_capacity(self.patterns.len() - removed);
-        for (idx, entry) in self.patterns.drain(..).enumerate() {
-            if keep[idx] {
-                remap[idx] = Some(new_patterns.len());
-                new_patterns.push(entry);
+        let mut new_pool = Vec::new();
+        for (idx, mut entry) in self.patterns.drain(..).enumerate() {
+            if !keep[idx] {
+                continue;
             }
+            remap[idx] = Some(PatternId(
+                u32::try_from(new_patterns.len()).expect("patterns fit u32"),
+            ));
+            for binding in &mut entry.bindings {
+                let old = *binding as usize * self.k;
+                *binding = u32::try_from(new_pool.len() / self.k).expect("bindings fit u32");
+                new_pool.extend_from_slice(&self.pool[old..old + self.k]);
+            }
+            new_patterns.push(entry);
         }
         self.patterns = new_patterns;
+        self.pool = new_pool;
         self.pattern_index = self
             .patterns
             .iter()
             .enumerate()
-            .map(|(i, e)| (e.pattern.clone(), i))
+            .map(|(i, e)| {
+                (
+                    encode_pattern_key(&e.pattern).into_boxed_slice(),
+                    PatternId(u32::try_from(i).expect("patterns fit u32")),
+                )
+            })
             .collect();
-        for entry in self.groups.values_mut() {
-            entry.patterns = entry
+        // Compact the group arena, dropping groups that lost every pattern.
+        let mut new_groups = Vec::with_capacity(self.groups.len());
+        for mut group in self.groups.drain(..) {
+            group.patterns = group
                 .patterns
                 .iter()
-                .filter_map(|idx| remap[*idx])
+                .filter_map(|id| remap[id.0 as usize])
                 .collect();
+            if !group.patterns.is_empty() {
+                new_groups.push(group);
+            }
         }
-        self.groups.retain(|_, entry| !entry.patterns.is_empty());
+        self.groups = new_groups;
+        self.group_index = self
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                (
+                    Self::encode_group(&g.events),
+                    GroupId(u32::try_from(i).expect("groups fit u32")),
+                )
+            })
+            .collect();
         removed
     }
 
     /// Merges per-shard levels produced by parallel mining into one `HLH_k`,
     /// preserving shard order. Sharding partitions the candidate space so
     /// that every group (and therefore every pattern) is produced by exactly
-    /// one shard; concatenating the pattern tables in shard order makes the
-    /// merged level identical to the one sequential mining builds.
+    /// one shard; concatenating the arenas and the pools in shard order —
+    /// remapping each shard's ids by a constant offset — makes the merged
+    /// level identical to the one sequential mining builds.
     ///
     /// # Panics
     /// Panics when two shards produced the same group or pattern — that
@@ -343,49 +511,65 @@ impl HlhK {
         let mut merged = Self::new(k);
         for shard in shards {
             assert_eq!(shard.k, k, "cannot merge levels of different k");
-            let offset = merged.patterns.len();
-            for (idx, entry) in shard.patterns.into_iter().enumerate() {
+            let pattern_offset = u32::try_from(merged.patterns.len()).expect("patterns fit u32");
+            let group_offset = u32::try_from(merged.groups.len()).expect("groups fit u32");
+            let binding_offset =
+                u32::try_from(merged.pool.len() / k.max(1)).expect("bindings fit u32");
+            for (key, id) in shard.pattern_index {
                 let previous = merged
                     .pattern_index
-                    .insert(entry.pattern.clone(), offset + idx);
+                    .insert(key, PatternId(id.0 + pattern_offset));
                 assert!(previous.is_none(), "pattern produced by two shards");
-                merged.patterns.push(entry);
             }
-            for (events, mut entry) in shard.groups {
-                for pattern_idx in &mut entry.patterns {
-                    *pattern_idx += offset;
-                }
-                let previous = merged.groups.insert(events, entry);
+            for (key, id) in shard.group_index {
+                let previous = merged.group_index.insert(key, GroupId(id.0 + group_offset));
                 assert!(previous.is_none(), "group produced by two shards");
             }
+            for mut entry in shard.patterns {
+                for binding in &mut entry.bindings {
+                    *binding += binding_offset;
+                }
+                merged.patterns.push(entry);
+            }
+            for mut group in shard.groups {
+                for id in &mut group.patterns {
+                    id.0 += pattern_offset;
+                }
+                merged.groups.push(group);
+            }
+            merged.pool.extend_from_slice(&shard.pool);
         }
         merged
     }
 
-    /// The candidate pattern entries of this level.
+    /// The candidate pattern entries of this level, in insertion order.
     #[must_use]
     pub fn patterns(&self) -> &[PatternEntry] {
         &self.patterns
     }
 
-    /// The pattern entries belonging to one group.
+    /// The pattern entries belonging to one group, looked up by its events.
     #[must_use]
     pub fn patterns_of_group(&self, events: &[EventLabel]) -> Vec<&PatternEntry> {
-        self.groups
-            .get(events)
-            .map(|g| g.patterns.iter().map(|idx| &self.patterns[*idx]).collect())
+        self.group(events)
+            .map(|g| g.patterns.iter().map(|&id| self.pattern(id)).collect())
             .unwrap_or_default()
     }
 
     /// Whether any candidate pattern of this level relates the two events
     /// (in either orientation). This is the lookup behind the transitivity
     /// pruning (Lemma 4) and the iterative verification of Section IV-D.
+    /// The pair key is packed on the stack — no allocation per probe.
     #[must_use]
     pub fn has_relation_between(&self, a: EventLabel, b: EventLabel) -> bool {
-        let key = if a <= b { vec![a, b] } else { vec![b, a] };
-        self.groups
-            .get(&key)
-            .is_some_and(|g| !g.patterns.is_empty())
+        let key: [u64; 2] = if a <= b {
+            [encode_label(a), encode_label(b)]
+        } else {
+            [encode_label(b), encode_label(a)]
+        };
+        self.group_index
+            .get(&key[..])
+            .is_some_and(|&id| !self.groups[id.0 as usize].patterns.is_empty())
     }
 
     /// Number of candidate groups.
@@ -420,16 +604,18 @@ impl HlhK {
         labels
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes. Depends only on element counts
+    /// (never on capacities or map layout), so the sequential and the merged
+    /// parallel structures report identical footprints.
     #[must_use]
     pub fn footprint_bytes(&self) -> usize {
         let group_bytes: usize = self
             .groups
             .iter()
-            .map(|(events, entry)| {
-                events.len() * std::mem::size_of::<EventLabel>()
+            .map(|entry| {
+                entry.events.len() * std::mem::size_of::<EventLabel>()
                     + entry.support.len() * std::mem::size_of::<GranulePos>()
-                    + entry.patterns.len() * std::mem::size_of::<usize>()
+                    + entry.patterns.len() * std::mem::size_of::<PatternId>()
             })
             .sum();
         let pattern_bytes: usize = self
@@ -437,7 +623,16 @@ impl HlhK {
             .iter()
             .map(PatternEntry::footprint_bytes)
             .sum();
-        group_bytes + pattern_bytes
+        let index_bytes: usize = self
+            .group_index
+            .keys()
+            .chain(self.pattern_index.keys())
+            .map(|key| key.len() * std::mem::size_of::<u64>())
+            .sum();
+        group_bytes
+            + pattern_bytes
+            + index_bytes
+            + self.pool.len() * std::mem::size_of::<EventInstance>()
     }
 }
 
@@ -486,6 +681,19 @@ mod tests {
         EventLabel::new(SeriesId(series), SymbolId(symbol))
     }
 
+    /// Adds one occurrence the way the miner does: key + constructor.
+    fn add(
+        hlh: &mut HlhK,
+        group: GroupId,
+        pattern: &TemporalPattern,
+        granule: GranulePos,
+        binding: &[EventInstance],
+    ) -> PatternId {
+        let key = encode_pattern_key(pattern);
+        let (prefix, last) = binding.split_at(binding.len() - 1);
+        hlh.add_pattern_occurrence(group, &key, || pattern.clone(), granule, prefix, last[0])
+    }
+
     #[test]
     fn hlh1_build_collects_support_and_instances() {
         let dseq = small_dseq();
@@ -501,7 +709,9 @@ mod tests {
         assert!(hlh1.entry(c1).is_some());
         assert!(hlh1.entry(label(5, 0)).is_none());
         assert!(hlh1.footprint_bytes() > 0);
+        // The cached label list is sorted and complete.
         assert_eq!(hlh1.labels().len(), 4);
+        assert!(hlh1.labels().windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -516,6 +726,9 @@ mod tests {
         assert!(filtered.entry(label(0, 0)).is_none());
         // Support lookups for pruned events return the empty slice.
         assert!(filtered.support(label(0, 0)).is_empty());
+        // The label cache reflects the filtering.
+        assert_eq!(filtered.labels().len(), filtered.len());
+        assert!(!filtered.labels().contains(&label(0, 0)));
     }
 
     #[test]
@@ -528,7 +741,9 @@ mod tests {
             .to_sequence_database(3)
             .unwrap();
         let hlh1 = Hlh1::build(&dseq, &config(1, 1), false);
+        let entry = hlh1.entry(label(0, 1)).unwrap();
         assert_eq!(hlh1.instances_at(label(0, 1), 1).len(), 2);
+        assert_eq!(entry.instances_at_index(0).len(), 2);
     }
 
     #[test]
@@ -537,27 +752,36 @@ mod tests {
         let mut hlh2 = HlhK::new(2);
         assert_eq!(hlh2.k(), 2);
         let group = vec![label(0, 1), label(1, 1)];
-        hlh2.insert_group(group.clone(), vec![1, 2, 4]);
+        let gid = hlh2.insert_group(group.clone(), vec![1, 2, 4]);
+        // Re-registering returns the same id.
+        assert_eq!(hlh2.insert_group(group.clone(), vec![9]), gid);
         assert_eq!(hlh2.num_groups(), 1);
         assert!(hlh2.group(&group).is_some());
+        assert_eq!(hlh2.group(&group).unwrap().support, vec![1, 2, 4]);
         assert!(hlh2.group(&[label(0, 0)]).is_none());
 
         let pattern =
             TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
-        let binding = vec![
+        let binding = [
             EventInstance::new(label(0, 1), Interval::new(1, 2)),
             EventInstance::new(label(1, 1), Interval::new(1, 1)),
         ];
-        hlh2.add_pattern_occurrence(&group, &pattern, 1, binding.clone());
-        hlh2.add_pattern_occurrence(&group, &pattern, 1, binding.clone());
-        hlh2.add_pattern_occurrence(&group, &pattern, 4, binding);
+        let pid = add(&mut hlh2, gid, &pattern, 1, &binding);
+        assert_eq!(add(&mut hlh2, gid, &pattern, 1, &binding), pid);
+        assert_eq!(add(&mut hlh2, gid, &pattern, 4, &binding), pid);
 
         assert_eq!(hlh2.num_patterns(), 1);
-        let entry = &hlh2.patterns()[0];
+        let entry = hlh2.pattern(pid);
         assert_eq!(entry.support, vec![1, 4]);
-        assert_eq!(entry.bindings_at(1).len(), 2);
-        assert_eq!(entry.bindings_at(4).len(), 1);
-        assert!(entry.bindings_at(2).is_empty());
+        assert_eq!(entry.num_bindings(), 3);
+        assert_eq!(hlh2.bindings_at(pid, 1).count(), 2);
+        assert_eq!(hlh2.bindings_at(pid, 4).count(), 1);
+        assert_eq!(hlh2.bindings_at(pid, 2).count(), 0);
+        // Every stored binding is the instance pair, in event order.
+        for slice in hlh2.bindings_at(pid, 1) {
+            assert_eq!(slice, &binding);
+        }
+        assert_eq!(entry.binding_ids_at_index(0).len(), 2);
         assert_eq!(hlh2.patterns_of_group(&group).len(), 1);
         assert!(hlh2.has_relation_between(label(0, 1), label(1, 1)));
         assert!(hlh2.has_relation_between(label(1, 1), label(0, 1)));
@@ -569,25 +793,25 @@ mod tests {
     }
 
     #[test]
-    fn hlhk_retain_candidates_compacts_table() {
+    fn hlhk_retain_candidates_compacts_table_and_pool() {
         // minDensity 1, minSeason 2 → a candidate needs support >= 2.
         let cfg = config(1, 2);
         let mut hlh2 = HlhK::new(2);
         let group_a = vec![label(0, 1), label(1, 1)];
         let group_b = vec![label(0, 1), label(1, 0)];
-        hlh2.insert_group(group_a.clone(), vec![1, 2]);
-        hlh2.insert_group(group_b.clone(), vec![3]);
+        let ga = hlh2.insert_group(group_a.clone(), vec![1, 2]);
+        let gb = hlh2.insert_group(group_b.clone(), vec![3]);
 
         let strong =
             TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Follows, false);
         let weak = TemporalPattern::pair([label(0, 1), label(1, 0)], RelationKind::Follows, false);
-        let binding = vec![
+        let binding = [
             EventInstance::new(label(0, 1), Interval::new(1, 1)),
             EventInstance::new(label(1, 1), Interval::new(2, 2)),
         ];
-        hlh2.add_pattern_occurrence(&group_a, &strong, 1, binding.clone());
-        hlh2.add_pattern_occurrence(&group_a, &strong, 2, binding.clone());
-        hlh2.add_pattern_occurrence(&group_b, &weak, 3, binding);
+        add(&mut hlh2, ga, &strong, 1, &binding);
+        add(&mut hlh2, ga, &strong, 2, &binding);
+        add(&mut hlh2, gb, &weak, 3, &binding);
 
         assert_eq!(hlh2.num_patterns(), 2);
         let footprint_before = hlh2.footprint_bytes();
@@ -603,6 +827,9 @@ mod tests {
         assert!(hlh2.group(&group_b).is_none());
         assert!(hlh2.group(&group_a).is_some());
         assert!(hlh2.footprint_bytes() < footprint_before);
+        // The pool was compacted alongside (2 surviving bindings × k = 2).
+        assert_eq!(hlh2.pool.len(), 4);
+        assert_eq!(hlh2.bindings_at(PatternId(0), 2).count(), 1);
         // Retaining again removes nothing.
         assert_eq!(hlh2.retain_candidates(&cfg), 0);
     }
@@ -610,7 +837,7 @@ mod tests {
     #[test]
     fn merge_shards_concatenates_disjoint_levels_in_shard_order() {
         let binding = |sym_a: u16, sym_b: u16| {
-            vec![
+            [
                 EventInstance::new(label(0, sym_a), Interval::new(1, 2)),
                 EventInstance::new(label(1, sym_b), Interval::new(1, 1)),
             ]
@@ -623,20 +850,26 @@ mod tests {
             TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
 
         let mut shard1 = HlhK::new(2);
-        shard1.insert_group(group_a.clone(), vec![1, 2]);
-        shard1.add_pattern_occurrence(&group_a, &pattern_a, 1, binding(0, 0));
+        let g1 = shard1.insert_group(group_a.clone(), vec![1, 2]);
+        add(&mut shard1, g1, &pattern_a, 1, &binding(0, 0));
         let mut shard2 = HlhK::new(2);
-        shard2.insert_group(group_b.clone(), vec![3]);
-        shard2.add_pattern_occurrence(&group_b, &pattern_b, 3, binding(1, 1));
+        let g2 = shard2.insert_group(group_b.clone(), vec![3]);
+        add(&mut shard2, g2, &pattern_b, 3, &binding(1, 1));
 
         let merged = HlhK::merge_shards(2, vec![shard1, shard2]);
         assert_eq!(merged.num_groups(), 2);
         assert_eq!(merged.num_patterns(), 2);
-        // Shard order is preserved in the pattern table.
+        // Shard order is preserved in the pattern arena.
         assert_eq!(merged.patterns()[0].pattern, pattern_a);
         assert_eq!(merged.patterns()[1].pattern, pattern_b);
-        // Group → pattern indices were remapped across the concatenation.
+        // Group → pattern ids were remapped across the concatenation, and
+        // binding ids still resolve into the concatenated pool.
         assert_eq!(merged.patterns_of_group(&group_b)[0].pattern, pattern_b);
+        assert_eq!(merged.bindings_at(PatternId(1), 3).count(), 1);
+        assert_eq!(
+            merged.bindings_at(PatternId(1), 3).next().unwrap(),
+            &binding(1, 1)
+        );
         assert!(merged.has_relation_between(label(0, 1), label(1, 1)));
 
         // Merging empty shards yields an empty level.

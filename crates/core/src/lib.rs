@@ -94,7 +94,7 @@ pub mod support;
 pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
 pub use engine::{accuracy, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 pub use error::{Error, Result};
-pub use hlh::{Hlh1, HlhK};
+pub use hlh::{GroupId, Hlh1, HlhK, PatternId};
 pub use miner::StpmMiner;
 pub use pattern::{RelationTriple, TemporalPattern};
 pub use relation::{classify_relation, RelationKind};

@@ -37,15 +37,37 @@
 use crate::config::{ResolvedConfig, StpmConfig};
 use crate::engine::{phases, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 use crate::error::Result;
-use crate::hlh::{Binding, GroupEntry, Hlh1, HlhK};
-use crate::pattern::{RelationTriple, TemporalPattern};
+use crate::hlh::{GroupEntry, GroupId, Hlh1, HlhK};
+use crate::pattern::{encode_label, encode_triple, RelationTriple, TemporalPattern};
 use crate::relation::{chronological_order, classify_relation};
 use crate::report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
 use crate::season::find_seasons;
-use crate::support::intersect;
+use crate::support::{intersect_into, intersect_positions_into, SupportSet};
 use std::ops::Range;
 use std::time::Instant;
 use stpm_timeseries::{EventLabel, SequenceDatabase};
+
+/// Per-shard scratch buffers threaded through the chunk miners: support
+/// intersections, match positions, interning keys and relation triples all
+/// reuse their capacity across candidates instead of allocating per
+/// candidate. Each shard owns one `Scratch`, so the parallel path needs no
+/// synchronisation around them.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Candidate-group support under construction (k-loop), kept alive while
+    /// the per-pattern buffers below are recycled.
+    group_support: SupportSet,
+    /// Pair/extendable support intersection output.
+    support: SupportSet,
+    /// Positions of the intersection matches in the left input.
+    pos_a: Vec<u32>,
+    /// Positions of the intersection matches in the right input.
+    pos_b: Vec<u32>,
+    /// Packed interning key under construction.
+    key: Vec<u64>,
+    /// Relation triples of the occurrence under construction.
+    triples: Vec<RelationTriple>,
+}
 
 /// The exact seasonal temporal pattern mining engine (E-STPM).
 ///
@@ -122,7 +144,7 @@ impl ExactRun<'_> {
         let single_start = Instant::now();
         let hlh1 = Hlh1::build(self.dseq, &self.config, apriori);
         let mut events_out = Vec::new();
-        for label in hlh1.labels() {
+        for &label in hlh1.labels() {
             let entry = hlh1.entry(label).expect("label comes from the table");
             let seasons = find_seasons(&entry.support, &self.config);
             if seasons.is_frequent(self.config.min_season) {
@@ -140,7 +162,7 @@ impl ExactRun<'_> {
         // extend) are ever read again, so only those stay alive; the peak
         // footprint tracks the live structures of each level.
         let pattern_start = Instant::now();
-        let f1 = hlh1.labels();
+        let f1: &[EventLabel] = hlh1.labels();
         let hlh1_footprint = hlh1.footprint_bytes();
         let mut patterns_out: Vec<MinedPattern> = Vec::new();
         let mut level_stats: Vec<LevelStats> = Vec::new();
@@ -150,9 +172,9 @@ impl ExactRun<'_> {
 
         for k in 2..=self.config.max_pattern_len {
             let mut hlhk = match (k, &hlh2, &prev) {
-                (2, _, _) => self.mine_pairs(&hlh1, &f1),
-                (3, Some(h2), _) => self.mine_k_events(&hlh1, &f1, h2, h2, k),
-                (_, Some(h2), Some(p)) => self.mine_k_events(&hlh1, &f1, p, h2, k),
+                (2, _, _) => self.mine_pairs(&hlh1, f1),
+                (3, Some(h2), _) => self.mine_k_events(&hlh1, f1, h2, h2, k),
+                (_, Some(h2), Some(p)) => self.mine_k_events(&hlh1, f1, p, h2, k),
                 _ => unreachable!("levels are mined in increasing k"),
             };
             if apriori {
@@ -284,30 +306,41 @@ impl ExactRun<'_> {
     /// A group is registered lazily, on its first candidate pattern: a pair
     /// whose instances never classify into a relation contributes no
     /// candidates and must not inflate the level's group count.
+    ///
+    /// The loop is allocation-free per occurrence: the support intersection
+    /// reuses the shard's scratch buffers, instance slices are reached
+    /// through the recorded intersection positions (no binary search per
+    /// granule), the pattern is identified by a three-word stack key, and
+    /// the binding is appended straight into the level's instance pool.
     fn mine_pairs_chunk(&self, hlh1: &Hlh1, f1: &[EventLabel], range: Range<usize>) -> HlhK {
         let apriori = self.config.pruning.apriori_enabled();
         let mut hlh2 = HlhK::new(2);
+        let mut scratch = Scratch::default();
         for (ei, ej) in pair_range(f1, range) {
-            let support = intersect(hlh1.support(ei), hlh1.support(ej));
-            if support.is_empty() {
+            let entry_i = hlh1.entry(ei).expect("f1 labels come from HLH_1");
+            let entry_j = hlh1.entry(ej).expect("f1 labels come from HLH_1");
+            intersect_positions_into(
+                &entry_i.support,
+                &entry_j.support,
+                &mut scratch.support,
+                &mut scratch.pos_a,
+                &mut scratch.pos_b,
+            );
+            if scratch.support.is_empty() {
                 continue;
             }
-            if apriori && !self.config.is_candidate(support.len()) {
+            if apriori && !self.config.is_candidate(scratch.support.len()) {
                 continue;
             }
-            let group = vec![ei, ej];
-            let mut group_registered = false;
-            for &granule in &support {
-                let instances_i = hlh1.instances_at(ei, granule);
-                let instances_j = hlh1.instances_at(ej, granule);
+            let (enc_i, enc_j) = (encode_label(ei), encode_label(ej));
+            let mut group_id: Option<GroupId> = None;
+            for (m, &granule) in scratch.support.iter().enumerate() {
+                let instances_i = entry_i.instances_at_index(scratch.pos_a[m] as usize);
+                let instances_j = entry_j.instances_at_index(scratch.pos_b[m] as usize);
                 for a in instances_i.iter() {
                     for b in instances_j.iter() {
                         let in_order = chronological_order(&a.interval, &b.interval, 0u8, 1u8);
-                        let (first, second, swapped) = if in_order {
-                            (a, b, false)
-                        } else {
-                            (b, a, true)
-                        };
+                        let (first, second) = if in_order { (a, b) } else { (b, a) };
                         let Some(kind) = classify_relation(
                             &first.interval,
                             &second.interval,
@@ -316,12 +349,23 @@ impl ExactRun<'_> {
                         ) else {
                             continue;
                         };
-                        let pattern = TemporalPattern::pair([ei, ej], kind, swapped);
-                        if !group_registered {
-                            hlh2.insert_group(group.clone(), support.clone());
-                            group_registered = true;
-                        }
-                        hlh2.add_pattern_occurrence(&group, &pattern, granule, vec![*a, *b]);
+                        let triple = if in_order {
+                            RelationTriple::new(kind, 0, 1)
+                        } else {
+                            RelationTriple::new(kind, 1, 0)
+                        };
+                        let key = [enc_i, enc_j, encode_triple(triple)];
+                        let group = *group_id.get_or_insert_with(|| {
+                            hlh2.insert_group(vec![ei, ej], scratch.support.clone())
+                        });
+                        hlh2.add_pattern_occurrence(
+                            group,
+                            &key,
+                            || TemporalPattern::pair([ei, ej], kind, !in_order),
+                            granule,
+                            std::slice::from_ref(a),
+                            *b,
+                        );
                     }
                 }
             }
@@ -353,21 +397,21 @@ impl ExactRun<'_> {
         } else {
             f1.to_vec()
         };
-        let groups: Vec<(&Vec<EventLabel>, &GroupEntry)> = prev
+        let groups: Vec<&GroupEntry> = prev
             .groups()
             .into_iter()
-            .filter(|(_, entry)| !entry.patterns.is_empty())
+            .filter(|entry| !entry.patterns.is_empty())
             .collect();
         // A group's extension work scales with the occurrences of its
         // candidate patterns (every binding is a potential extension seed).
         let shard_ranges = |threads: usize| {
             let costs: Vec<u64> = groups
                 .iter()
-                .map(|(_, entry)| {
+                .map(|entry| {
                     1 + entry
                         .patterns
                         .iter()
-                        .map(|&idx| prev.patterns()[idx].support.len() as u64)
+                        .map(|&id| prev.pattern(id).support.len() as u64)
                         .sum::<u64>()
                 })
                 .collect();
@@ -379,6 +423,16 @@ impl ExactRun<'_> {
     }
 
     /// Mines one shard of the (k-1)-group list into a local `HLH_k`.
+    ///
+    /// Like the pair miner, the extension loop performs no per-occurrence
+    /// allocation: the group/extendable intersections reuse the shard's
+    /// scratch buffers, the interning key of an extended pattern is built
+    /// incrementally in a scratch word buffer (events + base triples are
+    /// shared prefixes, only the new triples vary per occurrence), bindings
+    /// of the previous level are read as pool slices, and the extended
+    /// binding is appended to the new level's pool without materialising an
+    /// owned vector. A [`TemporalPattern`] is only constructed the first
+    /// time its key appears.
     fn mine_k_events_chunk(
         &self,
         hlh1: &Hlh1,
@@ -386,23 +440,30 @@ impl ExactRun<'_> {
         prev: &HlhK,
         hlh2: &HlhK,
         k: usize,
-        groups: &[(&Vec<EventLabel>, &GroupEntry)],
+        groups: &[&GroupEntry],
     ) -> HlhK {
         let apriori = self.config.pruning.apriori_enabled();
         let transitivity = self.config.pruning.transitivity_enabled();
         let new_index = u8::try_from(k - 1).expect("pattern length fits u8");
         let mut hlhk = HlhK::new(k);
-        for &(group_events, group_entry) in groups {
+        let mut scratch = Scratch::default();
+        for &group_entry in groups {
+            let group_events = &group_entry.events;
             let last = *group_events.last().expect("groups are non-empty");
             for &ek in filtered_f1 {
                 if ek <= last {
                     continue;
                 }
-                let group_support = intersect(&group_entry.support, hlh1.support(ek));
-                if group_support.is_empty() {
+                let ek_entry = hlh1.entry(ek).expect("FilteredF_1 labels come from HLH_1");
+                intersect_into(
+                    &mut scratch.group_support,
+                    &group_entry.support,
+                    &ek_entry.support,
+                );
+                if scratch.group_support.is_empty() {
                     continue;
                 }
-                if apriori && !self.config.is_candidate(group_support.len()) {
+                if apriori && !self.config.is_candidate(scratch.group_support.len()) {
                     continue;
                 }
                 // Transitivity pruning (Lemma 4): every event of the group
@@ -414,26 +475,50 @@ impl ExactRun<'_> {
                 {
                     continue;
                 }
-                let new_group: Vec<EventLabel> = group_events
-                    .iter()
-                    .copied()
-                    .chain(std::iter::once(ek))
-                    .collect();
-                let mut group_registered = false;
+                let mut group_id: Option<GroupId> = None;
+                // Interning-key prefix shared by every pattern of this
+                // (group, E_k) combination: the packed new-group events.
+                scratch.key.clear();
+                scratch
+                    .key
+                    .extend(group_events.iter().copied().map(encode_label));
+                scratch.key.push(encode_label(ek));
+                let events_len = scratch.key.len();
 
-                for pattern_entry in prev.patterns_of_group(group_events) {
-                    let extendable = intersect(&pattern_entry.support, hlh1.support(ek));
-                    for &granule in &extendable {
-                        let ek_instances = hlh1.instances_at(ek, granule);
-                        if ek_instances.is_empty() {
-                            continue;
-                        }
-                        for binding in pattern_entry.bindings_at(granule) {
+                for &pid in &group_entry.patterns {
+                    let pattern_entry = prev.pattern(pid);
+                    // The base pattern's canonical triples are a shared
+                    // prefix too: new triples all involve the (largest) new
+                    // event index, so they sort after every base triple.
+                    scratch.key.truncate(events_len);
+                    scratch.key.extend(
+                        pattern_entry
+                            .pattern
+                            .triples()
+                            .iter()
+                            .copied()
+                            .map(encode_triple),
+                    );
+                    let base_len = scratch.key.len();
+                    intersect_positions_into(
+                        &pattern_entry.support,
+                        &ek_entry.support,
+                        &mut scratch.support,
+                        &mut scratch.pos_a,
+                        &mut scratch.pos_b,
+                    );
+                    for m in 0..scratch.support.len() {
+                        let granule = scratch.support[m];
+                        let ek_instances = ek_entry.instances_at_index(scratch.pos_b[m] as usize);
+                        debug_assert!(!ek_instances.is_empty(), "support implies instances");
+                        for &bid in pattern_entry.binding_ids_at_index(scratch.pos_a[m] as usize) {
+                            let binding = prev.binding(bid);
                             'instances: for ek_instance in ek_instances {
-                                if binding.iter().any(|b| b == ek_instance) {
+                                if binding.contains(ek_instance) {
                                     continue;
                                 }
-                                let mut new_triples = Vec::with_capacity(binding.len());
+                                scratch.triples.clear();
+                                scratch.key.truncate(base_len);
                                 for (idx, bound) in binding.iter().enumerate() {
                                     let idx_u8 = u8::try_from(idx).expect("pattern length fits u8");
                                     let in_order = chronological_order(
@@ -460,22 +545,34 @@ impl ExactRun<'_> {
                                         .map(|r| RelationTriple::new(r, new_index, idx_u8))
                                     };
                                     match triple {
-                                        Some(t) => new_triples.push(t),
+                                        Some(t) => {
+                                            scratch.triples.push(t);
+                                            scratch.key.push(encode_triple(t));
+                                        }
                                         None => continue 'instances,
                                     }
                                 }
-                                let new_pattern = pattern_entry.pattern.extended(ek, new_triples);
-                                if !group_registered {
-                                    hlhk.insert_group(new_group.clone(), group_support.clone());
-                                    group_registered = true;
-                                }
-                                let mut new_binding: Binding = binding.clone();
-                                new_binding.push(*ek_instance);
+                                let group = match group_id {
+                                    Some(g) => g,
+                                    None => {
+                                        let events: Vec<EventLabel> = group_events
+                                            .iter()
+                                            .copied()
+                                            .chain(std::iter::once(ek))
+                                            .collect();
+                                        let g = hlhk
+                                            .insert_group(events, scratch.group_support.clone());
+                                        group_id = Some(g);
+                                        g
+                                    }
+                                };
                                 hlhk.add_pattern_occurrence(
-                                    &new_group,
-                                    &new_pattern,
+                                    group,
+                                    &scratch.key,
+                                    || pattern_entry.pattern.extended(ek, scratch.triples.clone()),
                                     granule,
-                                    new_binding,
+                                    binding,
+                                    *ek_instance,
                                 );
                             }
                         }
@@ -518,6 +615,15 @@ fn pair_range(
         while j >= n {
             i += 1;
             if i + 1 >= n {
+                // Only reachable when the caller asked for more pairs than
+                // the triangle holds — the ranges cut by `pair_offset` always
+                // end on or before the last row. Assert instead of silently
+                // truncating the enumeration.
+                debug_assert!(
+                    remaining == 0,
+                    "pair_range walked past the end of the triangle \
+                     ({remaining} pairs still requested)"
+                );
                 return None;
             }
             j = i + 1;
@@ -831,6 +937,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn pair_range_ending_on_the_last_triangle_row_is_complete() {
+        use stpm_timeseries::{SeriesId, SymbolId};
+        // n = 5 → 10 pairs; the last row holds the single pair (3, 4) at
+        // flat index 9. Ranges that end exactly on the triangle's last row
+        // (or exactly at its end) must enumerate every requested pair — the
+        // pre-fix code could bail out of the row walk with pairs still
+        // pending, silently truncating the shard.
+        let f1: Vec<EventLabel> = (0..5)
+            .map(|i| EventLabel::new(SeriesId(i as u32), SymbolId(0)))
+            .collect();
+        let full: Vec<_> = pair_range(&f1, 0..10).collect();
+        assert_eq!(full.len(), 10);
+        assert_eq!(full[9], (f1[3], f1[4]));
+        // A range starting mid-triangle and ending exactly at the end.
+        let tail: Vec<_> = pair_range(&f1, 7..10).collect();
+        assert_eq!(tail, &full[7..10]);
+        // A range that ends exactly on a row boundary (end of row 1 = flat
+        // index 7) crosses the row-advance path on its final pair.
+        let boundary: Vec<_> = pair_range(&f1, 4..7).collect();
+        assert_eq!(boundary, &full[4..7]);
+        // The last single-pair range alone.
+        let last: Vec<_> = pair_range(&f1, 9..10).collect();
+        assert_eq!(last, vec![(f1[3], f1[4])]);
     }
 
     #[test]

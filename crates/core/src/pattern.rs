@@ -52,6 +52,43 @@ impl RelationTriple {
     }
 }
 
+/// Packs an event label into one interning-key word, delegating to
+/// [`EventLabel::packed`] (series id in the high bits, symbol id in the low
+/// 16). The packing is injective, so two labels collide only if they are
+/// equal.
+#[inline]
+#[must_use]
+pub fn encode_label(label: EventLabel) -> u64 {
+    label.packed()
+}
+
+/// Packs a relation triple into one interning-key word (relation
+/// discriminant, earlier index, later index). Injective for patterns of up
+/// to 256 events — far beyond `max_pattern_len`.
+#[inline]
+#[must_use]
+pub fn encode_triple(triple: RelationTriple) -> u64 {
+    ((triple.relation as u64) << 16) | (u64::from(triple.first) << 8) | u64::from(triple.second)
+}
+
+/// Encodes a pattern into the compact interning key used by the pattern
+/// index of `HLH_k`: the packed events followed by the packed triples, in
+/// the pattern's canonical order.
+///
+/// The key identifies the pattern: the word count `n + n(n-1)/2` is strictly
+/// monotone in the event count `n`, so keys of patterns with different event
+/// counts differ in length, and keys of same-length patterns differ in some
+/// word because both packings are injective. Hashing this flat buffer once
+/// replaces hashing the whole `TemporalPattern` (two heap vectors) on every
+/// occurrence insert.
+#[must_use]
+pub fn encode_pattern_key(pattern: &TemporalPattern) -> Vec<u64> {
+    let mut key = Vec::with_capacity(pattern.events.len() + pattern.triples.len());
+    key.extend(pattern.events.iter().copied().map(encode_label));
+    key.extend(pattern.triples.iter().copied().map(encode_triple));
+    key
+}
+
 /// A temporal pattern: an ordered list of events plus one relation triple per
 /// event pair.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -311,6 +348,50 @@ mod tests {
         let single = TemporalPattern::single(label(1, 1));
         assert!(single.is_sub_pattern_of(&triple));
         assert!(!TemporalPattern::single(label(2, 0)).is_sub_pattern_of(&triple));
+    }
+
+    #[test]
+    fn pattern_keys_identify_patterns() {
+        // Distinct labels and triples pack to distinct words.
+        assert_ne!(encode_label(label(0, 1)), encode_label(label(1, 0)));
+        assert_ne!(
+            encode_triple(RelationTriple::new(RelationKind::Follows, 0, 1)),
+            encode_triple(RelationTriple::new(RelationKind::Follows, 1, 0))
+        );
+        assert_ne!(
+            encode_triple(RelationTriple::new(RelationKind::Follows, 0, 1)),
+            encode_triple(RelationTriple::new(RelationKind::Contains, 0, 1))
+        );
+        // Structurally equal patterns share their key; different orientation
+        // or relation changes it.
+        let a = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        let b = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        let swapped =
+            TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, true);
+        assert_eq!(encode_pattern_key(&a), encode_pattern_key(&b));
+        assert_ne!(encode_pattern_key(&a), encode_pattern_key(&swapped));
+        assert_eq!(encode_pattern_key(&a).len(), 3);
+    }
+
+    #[test]
+    fn extension_key_is_the_base_key_plus_new_words() {
+        // The miner builds an extended pattern's interning key by appending
+        // the packed new event and new triples to the base pattern's packed
+        // events/triples. That shortcut is only sound if `from_parts`'s
+        // canonical sort keeps base triples first and new triples in
+        // generation order — which holds because every new triple involves
+        // the largest event index. Verify against the constructed pattern.
+        let base = TemporalPattern::pair([label(0, 1), label(1, 1)], RelationKind::Contains, false);
+        let new_triples = vec![
+            RelationTriple::new(RelationKind::Follows, 0, 2),
+            RelationTriple::new(RelationKind::Overlaps, 2, 1),
+        ];
+        let extended = base.extended(label(2, 1), new_triples.clone());
+        let mut incremental: Vec<u64> = base.events().iter().copied().map(encode_label).collect();
+        incremental.push(encode_label(label(2, 1)));
+        incremental.extend(base.triples().iter().copied().map(encode_triple));
+        incremental.extend(new_triples.iter().copied().map(encode_triple));
+        assert_eq!(incremental, encode_pattern_key(&extended));
     }
 
     #[test]

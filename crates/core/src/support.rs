@@ -10,24 +10,113 @@ use stpm_timeseries::GranulePos;
 /// A support set: sorted, duplicate-free granule positions.
 pub type SupportSet = Vec<GranulePos>;
 
-/// Intersects two sorted support sets (the `SUP(E_1,…,E_{k-1}) ∩ SUP(E_k)`
-/// step of Section IV-D 4.1).
-#[must_use]
-pub fn intersect(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+/// Size ratio beyond which the intersection routines switch from the linear
+/// merge to galloping (exponential-probe) advance on the longer side. With a
+/// ratio `r >= GALLOP_RATIO` the galloping cost `O(short · log r)` beats the
+/// merge cost `O(short + long)`.
+const GALLOP_RATIO: usize = 32;
+
+/// First index `>= lo` whose value is not less than `target`, found by
+/// galloping: probe at exponentially growing offsets, then binary-search the
+/// bracketed window. `O(log distance)` instead of `O(distance)`.
+#[inline]
+fn gallop(haystack: &[GranulePos], lo: usize, target: GranulePos) -> usize {
+    let mut base = lo;
+    let mut step = 1usize;
+    while base + step < haystack.len() && haystack[base + step] < target {
+        base += step;
+        step <<= 1;
+    }
+    let hi = (base + step).min(haystack.len());
+    base + haystack[base..hi].partition_point(|&v| v < target)
+}
+
+/// The single intersection core both public variants monomorphize over:
+/// reports every common value through `on_match(value, pos_in_a, pos_in_b)`.
+/// When one side is at least [`GALLOP_RATIO`] times longer, the shorter side
+/// is walked and the longer side is advanced by galloping; otherwise a
+/// linear merge runs.
+#[inline]
+fn intersect_with<F: FnMut(GranulePos, usize, usize)>(
+    a: &[GranulePos],
+    b: &[GranulePos],
+    mut on_match: F,
+) {
+    let a_short = a.len() <= b.len();
+    let (short, long) = if a_short { (a, b) } else { (b, a) };
+    if short.len() * GALLOP_RATIO <= long.len() {
+        let mut j = 0usize;
+        for (i, &x) in short.iter().enumerate() {
+            j = gallop(long, j, x);
+            if j == long.len() {
+                break;
+            }
+            if long[j] == x {
+                if a_short {
+                    on_match(x, i, j);
+                } else {
+                    on_match(x, j, i);
+                }
+                j += 1;
+            }
+        }
+        return;
+    }
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                on_match(a[i], i, j);
                 i += 1;
                 j += 1;
             }
         }
     }
+}
+
+/// Intersects two sorted support sets (the `SUP(E_1,…,E_{k-1}) ∩ SUP(E_k)`
+/// step of Section IV-D 4.1).
+#[must_use]
+pub fn intersect(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(&mut out, a, b);
     out
+}
+
+/// Intersects two sorted support sets into `out`, clearing it first — the
+/// allocation-free form the miner threads its per-shard scratch buffers
+/// through. When one side is at least `GALLOP_RATIO` (32) times longer than
+/// the other, the shorter side is walked and the longer side is advanced by
+/// galloping; otherwise a linear merge runs.
+pub fn intersect_into(out: &mut SupportSet, a: &[GranulePos], b: &[GranulePos]) {
+    out.clear();
+    intersect_with(a, b, |x, _, _| out.push(x));
+}
+
+/// Intersects two sorted support sets into `out` while also recording, for
+/// every match, its position in `a` (`pos_a`) and in `b` (`pos_b`). All
+/// three buffers are cleared first and reused across calls. The positions
+/// let the miner reach granule-aligned side data (instance slices in
+/// `HLH_1`, binding slices in `HLH_k`) with plain offset lookups instead of
+/// one binary search per matched granule. Galloping kicks in on skewed
+/// sizes exactly as in [`intersect_into`].
+pub fn intersect_positions_into(
+    a: &[GranulePos],
+    b: &[GranulePos],
+    out: &mut SupportSet,
+    pos_a: &mut Vec<u32>,
+    pos_b: &mut Vec<u32>,
+) {
+    out.clear();
+    pos_a.clear();
+    pos_b.clear();
+    intersect_with(a, b, |x, i, j| {
+        out.push(x);
+        pos_a.push(u32::try_from(i).expect("support position fits u32"));
+        pos_b.push(u32::try_from(j).expect("support position fits u32"));
+    });
 }
 
 /// Unions two sorted support sets (used when merging per-relation supports
@@ -94,6 +183,57 @@ mod tests {
         assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<u64>::new());
         assert_eq!(intersect(&[], &[1, 2]), Vec::<u64>::new());
         assert_eq!(intersect(&[1, 2, 3], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn intersect_into_reuses_the_buffer() {
+        let mut out = vec![99, 98, 97];
+        intersect_into(&mut out, &[1, 2, 3, 7, 8], &[2, 3, 4, 8, 9]);
+        assert_eq!(out, vec![2, 3, 8]);
+        intersect_into(&mut out, &[1, 2], &[3, 4]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn galloping_intersection_matches_linear_merge() {
+        // One side far more than GALLOP_RATIO times longer than the other.
+        let long: Vec<u64> = (0..10_000).map(|i| i * 3).collect();
+        let short = vec![0, 2, 3, 2_997, 14_000, 29_997, 29_998];
+        let expected = vec![0, 3, 2_997, 29_997];
+        let mut out = Vec::new();
+        intersect_into(&mut out, &short, &long);
+        assert_eq!(out, expected);
+        intersect_into(&mut out, &long, &short);
+        assert_eq!(out, expected);
+        // An empty short side short-circuits.
+        intersect_into(&mut out, &[], &long);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn positions_point_back_into_both_inputs() {
+        let a = vec![1, 2, 3, 7, 8, 20];
+        let b = vec![2, 3, 4, 8, 9];
+        let (mut out, mut pos_a, mut pos_b) = (Vec::new(), Vec::new(), Vec::new());
+        intersect_positions_into(&a, &b, &mut out, &mut pos_a, &mut pos_b);
+        assert_eq!(out, vec![2, 3, 8]);
+        assert_eq!(pos_a, vec![1, 2, 4]);
+        assert_eq!(pos_b, vec![0, 1, 3]);
+        for (m, &g) in out.iter().enumerate() {
+            assert_eq!(a[pos_a[m] as usize], g);
+            assert_eq!(b[pos_b[m] as usize], g);
+        }
+        // The same invariant holds in the galloping regime, on either side.
+        let long: Vec<u64> = (0..4_000).map(|i| i * 2).collect();
+        let short = vec![1, 2, 1_000, 7_998];
+        for (x, y) in [(&short, &long), (&long, &short)] {
+            intersect_positions_into(x, y, &mut out, &mut pos_a, &mut pos_b);
+            assert_eq!(out, vec![2, 1_000, 7_998]);
+            for (m, &g) in out.iter().enumerate() {
+                assert_eq!(x[pos_a[m] as usize], g);
+                assert_eq!(y[pos_b[m] as usize], g);
+            }
+        }
     }
 
     #[test]

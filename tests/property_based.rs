@@ -10,7 +10,9 @@
 //! case can be replayed exactly.
 
 use freqstpfts::core::season::{find_seasons, near_support_sets};
-use freqstpfts::core::support::{insert_sorted, intersect, union};
+use freqstpfts::core::support::{
+    insert_sorted, intersect, intersect_into, intersect_positions_into, union,
+};
 use freqstpfts::core::{classify_relation, PruningMode, StpmConfig, StpmMiner, Threshold};
 use freqstpfts::datagen::SeededRng;
 use freqstpfts::prelude::*;
@@ -56,6 +58,83 @@ fn intersection_is_subset_of_both() {
         assert!(i.windows(2).all(|w| w[0] < w[1]), "seed {seed}");
         // Commutativity.
         assert_eq!(i, intersect(&b, &a), "seed {seed}");
+    }
+}
+
+/// A short sorted set drawn partly *from* `long` (so intersections are
+/// non-trivial) and partly from fresh values — the skewed-size regime that
+/// makes `intersect_into` switch from the linear merge to galloping.
+fn skewed_partner(rng: &mut SeededRng, long: &[u64]) -> Vec<u64> {
+    let len = rng.next_below(6) as usize;
+    let set: BTreeSet<u64> = (0..len)
+        .map(|_| {
+            if !long.is_empty() && rng.next_below(2) == 0 {
+                long[rng.next_below(long.len() as u64) as usize]
+            } else {
+                1 + rng.next_below(40_000)
+            }
+        })
+        .collect();
+    set.into_iter().collect()
+}
+
+#[test]
+fn intersect_into_agrees_with_btreeset_reference() {
+    // One reused output buffer across every case: stale contents from a
+    // previous case must never leak into the next result.
+    let mut out = Vec::new();
+    let (mut pos_a, mut pos_b) = (Vec::new(), Vec::new());
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        // Alternate between same-order-of-magnitude sets (linear merge) and
+        // sets skewed far beyond the galloping threshold.
+        let (a, b) = if seed % 2 == 0 {
+            (random_support_set(&mut rng), random_support_set(&mut rng))
+        } else {
+            let long: Vec<u64> = {
+                let stride = 1 + rng.next_below(4);
+                let len = 1_500 + rng.next_below(2_500);
+                (0..len).map(|i| 1 + i * stride).collect()
+            };
+            let short = skewed_partner(&mut rng, &long);
+            if rng.next_below(2) == 0 {
+                (long, short)
+            } else {
+                (short, long)
+            }
+        };
+        let expected: Vec<u64> = {
+            let sa: BTreeSet<u64> = a.iter().copied().collect();
+            let sb: BTreeSet<u64> = b.iter().copied().collect();
+            sa.intersection(&sb).copied().collect()
+        };
+        intersect_into(&mut out, &a, &b);
+        assert_eq!(out, expected, "seed {seed}");
+        assert_eq!(out, intersect(&a, &b), "seed {seed}");
+        // The indexed variant finds the same granules, and every recorded
+        // position points back at its match in both inputs.
+        intersect_positions_into(&a, &b, &mut out, &mut pos_a, &mut pos_b);
+        assert_eq!(out, expected, "seed {seed}");
+        for (m, &g) in out.iter().enumerate() {
+            assert_eq!(a[pos_a[m] as usize], g, "seed {seed}");
+            assert_eq!(b[pos_b[m] as usize], g, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn union_agrees_with_btreeset_reference() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let a = random_support_set(&mut rng);
+        let b = skewed_partner(&mut rng, &a);
+        let expected: Vec<u64> = {
+            let mut set: BTreeSet<u64> = a.iter().copied().collect();
+            set.extend(b.iter().copied());
+            set.into_iter().collect()
+        };
+        assert_eq!(union(&a, &b), expected, "seed {seed}");
+        assert_eq!(union(&b, &a), expected, "seed {seed}");
     }
 }
 
