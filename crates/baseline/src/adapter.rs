@@ -26,7 +26,7 @@ use crate::transactions::TransactionDb;
 use std::collections::BTreeMap;
 use std::time::Instant;
 use stpm_core::engine::{phases, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
-use stpm_core::season::find_seasons;
+use stpm_core::season::{find_seasons, support_is_frequent};
 use stpm_core::{
     classify_relation, EngineReport, MinedEvent, MinedPattern, MiningReport, MiningStats,
     RelationTriple, ResolvedConfig, StpmConfig, TemporalPattern,
@@ -140,12 +140,13 @@ impl BaselineRun<'_> {
         let mut pattern_supports: BTreeMap<TemporalPattern, Vec<GranulePos>> = BTreeMap::new();
         for itemset in &itemsets {
             if itemset.items.len() == 1 {
-                let seasons = find_seasons(&itemset.tids, &self.config);
-                if seasons.is_frequent(self.config.min_season) {
+                // Early-exit frequency check; seasons are materialised only
+                // for the survivors.
+                if support_is_frequent(&itemset.tids, &self.config) {
                     events_out.push(MinedEvent {
                         label: itemset.items[0],
                         support: itemset.tids.clone(),
-                        seasons,
+                        seasons: find_seasons(&itemset.tids, &self.config),
                     });
                 }
             } else {
@@ -158,8 +159,8 @@ impl BaselineRun<'_> {
             footprint += support.len() * std::mem::size_of::<GranulePos>()
                 + pattern.events().len() * 8
                 + pattern.triples().len() * 4;
-            let seasons = find_seasons(support, &self.config);
-            if seasons.is_frequent(self.config.min_season) {
+            if support_is_frequent(support, &self.config) {
+                let seasons = find_seasons(support, &self.config);
                 patterns_out.push(MinedPattern::new(pattern.clone(), support.clone(), seasons));
             }
         }

@@ -12,12 +12,13 @@ use stpm_approx::{normalized_mi, AStpmMiner};
 use stpm_baseline::{ApsGrowth, PsGrowth, TransactionDb};
 use stpm_bench::experiments::config_for;
 use stpm_bench::params::scaled_real_spec;
-use stpm_core::season::find_seasons;
+use stpm_core::season::{find_seasons, support_is_frequent};
 use stpm_core::{
     classify_relation, support, MiningEngine, MiningInput, StpmConfig, StpmMiner, Threshold,
+    VerdictTable,
 };
 use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
-use stpm_timeseries::Interval;
+use stpm_timeseries::{EventLabel, Interval, SeriesId, SymbolId};
 
 const SAMPLES: usize = 20;
 
@@ -109,6 +110,68 @@ fn season_kernel() {
     bench_function("season/find_seasons_2k", 1000, || {
         find_seasons(black_box(&support), &config)
     });
+    // The allocation-free fast path the miner gates every candidate on.
+    bench_function("season/support_is_frequent_2k", 1000, || {
+        support_is_frequent(black_box(&support), &config)
+    });
+}
+
+fn adjacency_kernel() {
+    // Row width of a 4096-event F_1 (64 words); AND three member rows and
+    // walk the surviving bits — the per-group extension enumeration.
+    let rows: Vec<Vec<u64>> = (0..3u64)
+        .map(|r| {
+            (0..64)
+                .map(|w| {
+                    0x9e37_79b9_7f4a_7c15u64.rotate_left((r * 17 + w) as u32) | (1 << (w % 64))
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[u64]> = rows.iter().map(Vec::as_slice).collect();
+    let mut out = Vec::new();
+    bench_function("adjacency/and_3_rows_64w_iter_bits", 1000, || {
+        support::intersect_rows_into(&mut out, black_box(&refs));
+        support::iter_set_bits(&out, 1).sum::<usize>()
+    });
+}
+
+fn verdict_kernel() {
+    // A verdict table shaped like a mid-size level 2: 64 pairs × 32 shared
+    // granules × a 2×2 instance cross-product per granule.
+    let label = |series: u32| EventLabel::new(SeriesId(series), SymbolId(1));
+    let mut table = VerdictTable::default();
+    for p in 0..64u32 {
+        table.begin_pair(label(p), label(p + 64));
+        for granule in 0..32u64 {
+            table.begin_granule(1 + granule * 3);
+            for cell in 0..4u8 {
+                table.push_verdict(1 + (cell + p as u8) % 6);
+            }
+        }
+    }
+    bench_function("verdict/lookup_pair_block_cell", 1000, || {
+        let mut acc = 0u64;
+        for p in 0..64u32 {
+            let pair = table.pair(label(p), label(p + 64)).unwrap();
+            let block = pair.block(black_box(49)).unwrap();
+            acc += u64::from(block[3]);
+        }
+        acc
+    });
+    // The closed-form classifier the lookups replace, over the same volume.
+    let pairs: Vec<(Interval, Interval)> = (0..64u64)
+        .map(|i| (Interval::new(i, i + 4), Interval::new(i + 2, i + 6)))
+        .collect();
+    bench_function("verdict/classify_64_pairs_baseline", 1000, || {
+        let mut count = 0usize;
+        for (a, b) in &pairs {
+            if classify_relation(black_box(a), black_box(b), 0, 1).is_some() {
+                count += 1;
+            }
+        }
+        count
+    });
 }
 
 fn nmi_kernel() {
@@ -154,6 +217,8 @@ fn main() {
     println!("kernels (median of {SAMPLES} batches)");
     relation_kernel();
     support_kernel();
+    adjacency_kernel();
+    verdict_kernel();
     season_kernel();
     nmi_kernel();
     pstree_kernel();

@@ -45,15 +45,13 @@ pub fn run(profiles: &[DatasetProfile], scale: &BenchScale, top_k: usize) -> Vec
         for p in patterns.into_iter().take(top_k) {
             let first = p
                 .seasons()
-                .seasons()
-                .first()
+                .first_season()
                 .and_then(|s| s.first())
                 .copied()
                 .unwrap_or(0);
             let last = p
                 .seasons()
-                .seasons()
-                .last()
+                .last_season()
                 .and_then(|s| s.last())
                 .copied()
                 .unwrap_or(0);

@@ -35,6 +35,12 @@ pub struct ScalePoint {
     pub granules: u64,
     /// The uniform harness measurement (runtime, peak footprint, patterns).
     pub measurement: Measurement,
+    /// `classify_relation` calls the run replaced with level-2
+    /// verdict-table lookups at k ≥ 3.
+    pub classifier_calls_saved: usize,
+    /// Extension candidates the level-2 adjacency matrix pruned before any
+    /// support work at k ≥ 3.
+    pub adjacency_pruned_candidates: usize,
 }
 
 impl ScalePoint {
@@ -95,13 +101,15 @@ fn measure_point(profile: DatasetProfile, series: usize, sequences: u64) -> Scal
     let config = config.with_threads(1);
     let events = prepared.dseq.distinct_events().len();
     let granules = prepared.dseq.num_granules();
-    let (measurement, _report) = measure(&StpmMiner, &prepared.input(), &config);
+    let (measurement, report) = measure(&StpmMiner, &prepared.input(), &config);
     ScalePoint {
         series,
         sequences,
         events,
         granules,
         measurement,
+        classifier_calls_saved: report.classifier_calls_saved(),
+        adjacency_pruned_candidates: report.adjacency_pruned_candidates(),
     }
 }
 
@@ -183,7 +191,8 @@ pub fn tables(sweeps: &[ScaleSweep]) -> Vec<TextTable> {
 /// {"experiment":"scaling","threads":1,"sweeps":[
 ///   {"axis":"events","profile":"RE","points":[
 ///     {"series":4,"sequences":720,"events":16,"granules":720,
-///      "runtime_secs":0.1,"peak_footprint_bytes":4096,"patterns":7}]}]}
+///      "runtime_secs":0.1,"peak_footprint_bytes":4096,"patterns":7,
+///      "classifier_calls_saved":123,"adjacency_pruned_candidates":45}]}]}
 /// ```
 #[must_use]
 pub fn to_json(sweeps: &[ScaleSweep]) -> String {
@@ -197,14 +206,18 @@ pub fn to_json(sweeps: &[ScaleSweep]) -> String {
                     format!(
                         "{{\"series\":{},\"sequences\":{},\"events\":{},\
                          \"granules\":{},\"runtime_secs\":{:.6},\
-                         \"peak_footprint_bytes\":{},\"patterns\":{}}}",
+                         \"peak_footprint_bytes\":{},\"patterns\":{},\
+                         \"classifier_calls_saved\":{},\
+                         \"adjacency_pruned_candidates\":{}}}",
                         p.series,
                         p.sequences,
                         p.events,
                         p.granules,
                         p.runtime_secs(),
                         p.measurement.memory_bytes,
-                        p.measurement.patterns
+                        p.measurement.patterns,
+                        p.classifier_calls_saved,
+                        p.adjacency_pruned_candidates
                     )
                 })
                 .collect();
@@ -241,6 +254,15 @@ mod tests {
                 assert!(point.granules > 0);
             }
         }
+        // The runs mine up to 3-event patterns, so the k >= 3 reuse
+        // machinery must have engaged somewhere in the sweep.
+        assert!(
+            sweeps
+                .iter()
+                .flat_map(|s| &s.points)
+                .any(|p| p.classifier_calls_saved > 0),
+            "verdict-table reuse never engaged"
+        );
         // The events axis grows the series count, the granules axis the
         // sequence count.
         assert!(sweeps[0].points[0].series < sweeps[0].points[1].series);
@@ -255,6 +277,8 @@ mod tests {
         assert!(json.contains("\"axis\":\"events\""));
         assert!(json.contains("\"axis\":\"granules\""));
         assert!(json.contains("\"peak_footprint_bytes\":"));
+        assert!(json.contains("\"classifier_calls_saved\":"));
+        assert!(json.contains("\"adjacency_pruned_candidates\":"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",]") && !json.contains(",}"));

@@ -272,6 +272,21 @@ impl EngineReport {
         self.report.total_patterns()
     }
 
+    /// Total `classify_relation` calls the run avoided through the level-2
+    /// verdict table (zero for engines without the reuse machinery).
+    #[must_use]
+    pub fn classifier_calls_saved(&self) -> usize {
+        self.report.stats().total_classifier_calls_saved()
+    }
+
+    /// Total extension candidates the run pruned through the level-2
+    /// adjacency matrix before any support work (zero for engines without
+    /// the reuse machinery).
+    #[must_use]
+    pub fn adjacency_pruned_candidates(&self) -> usize {
+        self.report.stats().total_adjacency_pruned_candidates()
+    }
+
     /// Whether a structurally identical pattern was found.
     #[must_use]
     pub fn contains_pattern(&self, pattern: &TemporalPattern) -> bool {

@@ -23,6 +23,25 @@
 //! The arena + index layout is what [`HlhK::merge_shards`] exploits to make
 //! parallel mining byte-identical to sequential mining: per-shard ids are
 //! remapped by a constant offset in shard order.
+//!
+//! Two reuse structures ride on `HLH_2` so that level k ≥ 3 never re-derives
+//! what level 2 already computed:
+//!
+//! * [`RelationAdjacency`] — the level-2 relation graph as bitset rows over
+//!   interned `F_1` label ids. The extension set of a (k−1)-group is the
+//!   bitwise AND of its members' neighbor rows, and `has_relation_between`
+//!   becomes a single bit test instead of a hash probe per member.
+//! * [`VerdictTable`] — a CSR side table holding the classified relation
+//!   verdict of every level-2 instance cross-product cell, addressed by
+//!   (label pair, granule, instance-index pair). The k-event miner looks
+//!   verdicts up instead of re-running the closed-form classifier on the
+//!   same interval pairs; the classifier remains the fallback for cells the
+//!   table does not cover.
+//!
+//! Levels also come in a *terminal* flavour ([`HlhK::new_terminal`]): the
+//! last level of a run is never extended, so its instance bindings are never
+//! read — a terminal level keeps supports and patterns but skips the binding
+//! pool entirely, which is where the bulk of a level's footprint lives.
 
 use crate::config::ResolvedConfig;
 use crate::fxhash::FxHashMap;
@@ -217,9 +236,13 @@ impl PatternEntry {
 
     /// The binding ids of granule `support[idx]` — a two-offset lookup for
     /// callers that located the granule via an indexed intersection. Resolve
-    /// each id to its instance slice with [`HlhK::binding`].
+    /// each id to its instance slice with [`HlhK::binding`]. Empty on a
+    /// terminal level, which records no bindings.
     #[must_use]
     pub fn binding_ids_at_index(&self, idx: usize) -> &[u32] {
+        if self.granule_starts.is_empty() {
+            return &[];
+        }
         let start = self.granule_starts[idx] as usize;
         let end = self
             .granule_starts
@@ -262,6 +285,248 @@ pub struct GroupEntry {
     pub patterns: Vec<PatternId>,
 }
 
+/// The level-2 relation graph as a bitset adjacency matrix over interned
+/// `F_1` label ids (the indices of the sorted candidate-label list).
+///
+/// Row `i` has bit `j` set iff some candidate 2-pattern relates labels `i`
+/// and `j`. Built once after level 2, it turns the per-member
+/// `has_relation_between` hash probes of the transitivity pruning (Lemma 4)
+/// into one bitwise AND over the members' rows: the surviving bits *are* the
+/// extension candidates, so the per-group `F_1` scan disappears with them.
+#[derive(Debug, Clone, Default)]
+pub struct RelationAdjacency {
+    /// The interned labels, sorted canonically — bit/row `i` is `labels[i]`.
+    labels: Vec<EventLabel>,
+    /// `u64` words per row.
+    words_per_row: usize,
+    /// Row-major bit matrix, `labels.len() * words_per_row` words.
+    bits: Vec<u64>,
+}
+
+impl RelationAdjacency {
+    /// Builds the adjacency matrix of one `HLH_2` over the sorted candidate
+    /// labels `labels` (every event of every level-2 group must appear in
+    /// `labels`). Groups whose pattern list is empty contribute no edge —
+    /// matching [`HlhK::has_relation_between`].
+    #[must_use]
+    pub fn build(hlh2: &HlhK, labels: &[EventLabel]) -> Self {
+        debug_assert_eq!(hlh2.k, 2, "adjacency is derived from HLH_2");
+        debug_assert!(labels.windows(2).all(|w| w[0] < w[1]), "labels are sorted");
+        let n = labels.len();
+        let words_per_row = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words_per_row];
+        for group in &hlh2.groups {
+            if group.patterns.is_empty() {
+                continue;
+            }
+            let i = labels
+                .binary_search(&group.events[0])
+                .expect("group events come from the candidate labels");
+            let j = labels
+                .binary_search(&group.events[1])
+                .expect("group events come from the candidate labels");
+            bits[i * words_per_row + j / 64] |= 1 << (j % 64);
+            bits[j * words_per_row + i / 64] |= 1 << (i % 64);
+        }
+        Self {
+            labels: labels.to_vec(),
+            words_per_row,
+            bits,
+        }
+    }
+
+    /// Number of interned labels (rows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the matrix holds no labels.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The interned id of a label, if it is a candidate.
+    #[must_use]
+    pub fn index_of(&self, label: EventLabel) -> Option<usize> {
+        self.labels.binary_search(&label).ok()
+    }
+
+    /// The label of one interned id.
+    #[must_use]
+    pub fn label(&self, id: usize) -> EventLabel {
+        self.labels[id]
+    }
+
+    /// The neighbor row of label id `id`.
+    #[must_use]
+    pub fn row(&self, id: usize) -> &[u64] {
+        &self.bits[id * self.words_per_row..][..self.words_per_row]
+    }
+
+    /// Whether a candidate 2-pattern relates the labels with ids `i` and `j`
+    /// — the transitivity lookup as a single bit test.
+    #[must_use]
+    pub fn has_relation_between(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words_per_row + j / 64] & (1 << (j % 64)) != 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.labels.len() * std::mem::size_of::<EventLabel>()
+            + self.bits.len() * std::mem::size_of::<u64>()
+    }
+}
+
+/// CSR side table of the level-2 relation verdicts: for every processed
+/// candidate pair, for every shared granule, the packed
+/// [`encode_verdict`](crate::relation::encode_verdict) byte of every instance
+/// cross-product cell, row-major (`first-event instance × second-event
+/// instance` in the granule's `HLH_1` slice order).
+///
+/// Level k ≥ 3 classifies the *same* interval pairs level 2 already decided
+/// — the member of a (k−1)-binding against the extension event's instances.
+/// The table makes that a byte load: pair → (hash probe once per group ×
+/// extension), granule → (binary search once per granule), cell → offset
+/// arithmetic.
+#[derive(Debug, Clone, Default)]
+pub struct VerdictTable {
+    /// Canonically ordered packed label pair → pair slot.
+    pair_index: FxHashMap<[u64; 2], u32>,
+    /// `pair_starts[p]` is the first granule slot of pair `p`; the range
+    /// ends at `pair_starts[p + 1]` (or `granules.len()` for the last pair).
+    pair_starts: Vec<u32>,
+    /// Granule positions, concatenated per pair (sorted within each pair).
+    granules: Vec<GranulePos>,
+    /// `block_starts[g]` is the first byte of granule slot `g`'s verdict
+    /// block; blocks are contiguous, so the block ends at the next start.
+    block_starts: Vec<u32>,
+    /// The verdict bytes of every block, concatenated.
+    verdicts: Vec<u8>,
+}
+
+impl VerdictTable {
+    fn pair_key(a: EventLabel, b: EventLabel) -> [u64; 2] {
+        if a <= b {
+            [encode_label(a), encode_label(b)]
+        } else {
+            [encode_label(b), encode_label(a)]
+        }
+    }
+
+    /// Opens recording for a pair (its granules and blocks must then arrive
+    /// in ascending granule order). Each pair must be recorded exactly once.
+    pub fn begin_pair(&mut self, a: EventLabel, b: EventLabel) {
+        let slot = u32::try_from(self.pair_starts.len()).expect("pair count fits u32");
+        let previous = self.pair_index.insert(Self::pair_key(a, b), slot);
+        debug_assert!(previous.is_none(), "pair recorded twice");
+        self.pair_starts
+            .push(u32::try_from(self.granules.len()).expect("granule slots fit u32"));
+    }
+
+    /// Opens the verdict block of the current pair's next granule.
+    pub fn begin_granule(&mut self, granule: GranulePos) {
+        self.granules.push(granule);
+        self.block_starts
+            .push(u32::try_from(self.verdicts.len()).expect("verdict bytes fit u32"));
+    }
+
+    /// Appends one verdict byte to the current block (row-major cell order).
+    pub fn push_verdict(&mut self, verdict: u8) {
+        self.verdicts.push(verdict);
+    }
+
+    /// The recorded verdicts of one label pair (order-insensitive), if the
+    /// pair was processed at level 2.
+    #[must_use]
+    pub fn pair(&self, a: EventLabel, b: EventLabel) -> Option<PairVerdicts<'_>> {
+        let &slot = self.pair_index.get(&Self::pair_key(a, b))?;
+        let start = self.pair_starts[slot as usize] as usize;
+        let end = self
+            .pair_starts
+            .get(slot as usize + 1)
+            .map_or(self.granules.len(), |&s| s as usize);
+        Some(PairVerdicts {
+            table: self,
+            start,
+            end,
+        })
+    }
+
+    /// Number of recorded pairs.
+    #[must_use]
+    pub fn num_pairs(&self) -> usize {
+        self.pair_starts.len()
+    }
+
+    /// Whether the table holds no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pair_starts.is_empty()
+    }
+
+    /// Concatenates another table's rows after this one's (shards partition
+    /// the pair space, so keys never collide).
+    fn merge_from(&mut self, shard: VerdictTable) {
+        let pair_offset = u32::try_from(self.pair_starts.len()).expect("pair count fits u32");
+        let granule_offset = u32::try_from(self.granules.len()).expect("granule slots fit u32");
+        let verdict_offset = u32::try_from(self.verdicts.len()).expect("verdict bytes fit u32");
+        for (key, slot) in shard.pair_index {
+            let previous = self.pair_index.insert(key, slot + pair_offset);
+            assert!(previous.is_none(), "verdict pair produced by two shards");
+        }
+        self.pair_starts
+            .extend(shard.pair_starts.iter().map(|&s| s + granule_offset));
+        self.granules.extend_from_slice(&shard.granules);
+        self.block_starts
+            .extend(shard.block_starts.iter().map(|&s| s + verdict_offset));
+        self.verdicts.extend_from_slice(&shard.verdicts);
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.pair_index.len() * std::mem::size_of::<[u64; 2]>()
+            + self.pair_starts.len() * std::mem::size_of::<u32>()
+            + self.granules.len() * std::mem::size_of::<GranulePos>()
+            + self.block_starts.len() * std::mem::size_of::<u32>()
+            + self.verdicts.len()
+    }
+}
+
+/// The recorded verdict blocks of one label pair — a window into the
+/// [`VerdictTable`].
+#[derive(Debug, Clone, Copy)]
+pub struct PairVerdicts<'a> {
+    table: &'a VerdictTable,
+    /// First granule slot of the pair.
+    start: usize,
+    /// One past the pair's last granule slot.
+    end: usize,
+}
+
+impl<'a> PairVerdicts<'a> {
+    /// The verdict block of one granule: the row-major bytes of the
+    /// instance cross-product, or `None` when the granule was not processed
+    /// for this pair. Index cell `(i, j)` as `block[i * cols + j]`, where
+    /// `cols` is the second (larger-label) event's instance count in the
+    /// granule.
+    #[must_use]
+    pub fn block(&self, granule: GranulePos) -> Option<&'a [u8]> {
+        let granules = &self.table.granules[self.start..self.end];
+        let idx = self.start + granules.binary_search(&granule).ok()?;
+        let start = self.table.block_starts[idx] as usize;
+        let end = self
+            .table
+            .block_starts
+            .get(idx + 1)
+            .map_or(self.table.verdicts.len(), |&s| s as usize);
+        Some(&self.table.verdicts[start..end])
+    }
+}
+
 /// The hierarchical lookup hash structure for k-event groups and patterns
 /// (`HLH_k`, k ≥ 2).
 #[derive(Debug, Clone, Default)]
@@ -276,7 +541,14 @@ pub struct HlhK {
     /// Packed pattern key → pattern id.
     pattern_index: FxHashMap<Box<[u64]>, PatternId>,
     /// Flat instance pool: binding `b` occupies slots `b*k .. (b+1)*k`.
+    /// Empty for terminal levels, which record no bindings at all.
     pool: Vec<EventInstance>,
+    /// Whether occurrences append their binding to the pool. `false` for the
+    /// terminal level of a run: no later level reads its bindings.
+    record_bindings: bool,
+    /// Level-2 relation verdicts (empty unless this is a non-terminal
+    /// `HLH_2` mined with verdict recording).
+    verdicts: VerdictTable,
 }
 
 impl HlhK {
@@ -290,6 +562,21 @@ impl HlhK {
             patterns: Vec::new(),
             pattern_index: FxHashMap::default(),
             pool: Vec::new(),
+            record_bindings: true,
+            verdicts: VerdictTable::default(),
+        }
+    }
+
+    /// Creates an empty *terminal* level: occurrences are counted into the
+    /// supports as usual, but no binding is appended to the instance pool.
+    /// The miner uses this for `k == maxPatternLen` — nothing ever reads the
+    /// last level's bindings, and the pool is where most of a level's
+    /// footprint lives.
+    #[must_use]
+    pub fn new_terminal(k: usize) -> Self {
+        Self {
+            record_bindings: false,
+            ..Self::new(k)
         }
     }
 
@@ -297,6 +584,27 @@ impl HlhK {
     #[must_use]
     pub fn k(&self) -> usize {
         self.k
+    }
+
+    /// Whether occurrences record their instance bindings (`false` for
+    /// terminal levels).
+    #[must_use]
+    pub fn records_bindings(&self) -> bool {
+        self.record_bindings
+    }
+
+    /// The level-2 relation verdict side table (empty for k ≥ 3 levels and
+    /// for runs that never reach level 3).
+    #[must_use]
+    pub fn verdict_table(&self) -> &VerdictTable {
+        &self.verdicts
+    }
+
+    /// Mutable access to the verdict side table, for the level-2 miner to
+    /// record into.
+    #[must_use]
+    pub fn verdict_table_mut(&mut self) -> &mut VerdictTable {
+        &mut self.verdicts
     }
 
     fn encode_group(events: &[EventLabel]) -> Box<[u64]> {
@@ -403,21 +711,33 @@ impl HlhK {
                 id
             }
         };
-        let binding_id = u32::try_from(self.pool.len() / self.k).expect("binding count fits u32");
-        self.pool.extend_from_slice(prefix);
-        self.pool.push(last);
         let entry = &mut self.patterns[id.0 as usize];
-        match entry.support.last() {
-            Some(&g) if g == granule => {}
-            other => {
-                debug_assert!(other.is_none_or(|&g| g < granule), "granules must ascend");
-                entry.support.push(granule);
-                entry
-                    .granule_starts
-                    .push(u32::try_from(entry.bindings.len()).expect("bindings fit u32"));
+        if self.record_bindings {
+            let binding_id =
+                u32::try_from(self.pool.len() / self.k).expect("binding count fits u32");
+            self.pool.extend_from_slice(prefix);
+            self.pool.push(last);
+            match entry.support.last() {
+                Some(&g) if g == granule => {}
+                other => {
+                    debug_assert!(other.is_none_or(|&g| g < granule), "granules must ascend");
+                    entry.support.push(granule);
+                    entry
+                        .granule_starts
+                        .push(u32::try_from(entry.bindings.len()).expect("bindings fit u32"));
+                }
+            }
+            entry.bindings.push(binding_id);
+        } else {
+            // Terminal level: only the support set is maintained.
+            match entry.support.last() {
+                Some(&g) if g == granule => {}
+                other => {
+                    debug_assert!(other.is_none_or(|&g| g < granule), "granules must ascend");
+                    entry.support.push(granule);
+                }
             }
         }
-        entry.bindings.push(binding_id);
         id
     }
 
@@ -509,8 +829,16 @@ impl HlhK {
     #[must_use]
     pub fn merge_shards(k: usize, shards: Vec<HlhK>) -> Self {
         let mut merged = Self::new(k);
+        if let Some(first) = shards.first() {
+            merged.record_bindings = first.record_bindings;
+        }
         for shard in shards {
             assert_eq!(shard.k, k, "cannot merge levels of different k");
+            assert_eq!(
+                shard.record_bindings, merged.record_bindings,
+                "cannot merge terminal and non-terminal shards"
+            );
+            merged.verdicts.merge_from(shard.verdicts);
             let pattern_offset = u32::try_from(merged.patterns.len()).expect("patterns fit u32");
             let group_offset = u32::try_from(merged.groups.len()).expect("groups fit u32");
             let binding_offset =
@@ -633,6 +961,7 @@ impl HlhK {
             + pattern_bytes
             + index_bytes
             + self.pool.len() * std::mem::size_of::<EventInstance>()
+            + self.verdicts.footprint_bytes()
     }
 }
 

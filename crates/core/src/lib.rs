@@ -94,9 +94,9 @@ pub mod support;
 pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
 pub use engine::{accuracy, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 pub use error::{Error, Result};
-pub use hlh::{GroupId, Hlh1, HlhK, PatternId};
+pub use hlh::{GroupId, Hlh1, HlhK, PatternId, RelationAdjacency, VerdictTable};
 pub use miner::StpmMiner;
 pub use pattern::{RelationTriple, TemporalPattern};
 pub use relation::{classify_relation, RelationKind};
-pub use report::{MinedEvent, MinedPattern, MiningReport, MiningStats};
-pub use season::{SeasonSet, Seasons};
+pub use report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
+pub use season::{find_seasons, seasons_count, support_is_frequent, SeasonSet, Seasons};

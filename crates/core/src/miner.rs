@@ -33,19 +33,42 @@
 //! every earlier level is dropped as soon as its successor exists, and
 //! [`MiningStats::peak_footprint_bytes`] reports the peak of the *live*
 //! structures, not the historical sum of all levels.
+//!
+//! # Level-2 reuse at k ≥ 3
+//!
+//! The k ≥ 3 loop never re-derives what level 2 already knows:
+//!
+//! * extension candidates of a (k-1)-group are enumerated from the bitwise
+//!   AND of the members' [`RelationAdjacency`] rows (one pass instead of a
+//!   full `FilteredF_1` scan with per-member `has_relation_between` probes);
+//!   the skipped combinations are counted in
+//!   [`LevelStats::adjacency_pruned_candidates`];
+//! * relation verdicts between a binding member and an extension-event
+//!   instance are looked up in the [`VerdictTable`](crate::hlh::VerdictTable)
+//!   recorded while mining level 2 (counted in
+//!   [`LevelStats::classifier_calls_saved`]); the closed-form classifier
+//!   remains as the fallback for unrecorded pairs and as the debug-build
+//!   cross-check;
+//! * the last level of a run is mined *terminal* ([`HlhK::new_terminal`]):
+//!   nothing ever reads its bindings, so the binding pool — the bulk of a
+//!   level's footprint — is never populated.
 
 use crate::config::{ResolvedConfig, StpmConfig};
 use crate::engine::{phases, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 use crate::error::Result;
-use crate::hlh::{GroupEntry, GroupId, Hlh1, HlhK};
+use crate::hlh::{EventEntry, GroupEntry, GroupId, Hlh1, HlhK, PairVerdicts, RelationAdjacency};
 use crate::pattern::{encode_label, encode_triple, RelationTriple, TemporalPattern};
-use crate::relation::{chronological_order, classify_relation};
+use crate::relation::{
+    chronological_order, classify_relation, decode_verdict, encode_verdict, VERDICT_NONE,
+};
 use crate::report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
-use crate::season::find_seasons;
-use crate::support::{intersect_into, intersect_positions_into, SupportSet};
+use crate::season::{find_seasons, support_is_frequent};
+use crate::support::{
+    intersect_into, intersect_positions_into, intersect_rows_into, iter_set_bits, SupportSet,
+};
 use std::ops::Range;
 use std::time::Instant;
-use stpm_timeseries::{EventLabel, SequenceDatabase};
+use stpm_timeseries::{EventInstance, EventLabel, SequenceDatabase};
 
 /// Per-shard scratch buffers threaded through the chunk miners: support
 /// intersections, match positions, interning keys and relation triples all
@@ -67,6 +90,29 @@ struct Scratch {
     key: Vec<u64>,
     /// Relation triples of the occurrence under construction.
     triples: Vec<RelationTriple>,
+    /// Bitwise-AND of the group members' adjacency rows.
+    row: Vec<u64>,
+    /// The enumerated extension events of the current group.
+    ext: Vec<EventLabel>,
+}
+
+/// Per-level reuse counters collected while mining a chunk; summed across
+/// shards (the sums are order-independent, so parallel runs report exactly
+/// the sequential numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LevelCounters {
+    /// `classify_relation` calls replaced by a verdict-table lookup.
+    classifier_calls_saved: usize,
+    /// (group, extension-event) combinations the adjacency rows pruned
+    /// before any support intersection ran.
+    adjacency_pruned_candidates: usize,
+}
+
+impl LevelCounters {
+    fn merge(&mut self, other: LevelCounters) {
+        self.classifier_calls_saved += other.classifier_calls_saved;
+        self.adjacency_pruned_candidates += other.adjacency_pruned_candidates;
+    }
 }
 
 /// The exact seasonal temporal pattern mining engine (E-STPM).
@@ -146,12 +192,13 @@ impl ExactRun<'_> {
         let mut events_out = Vec::new();
         for &label in hlh1.labels() {
             let entry = hlh1.entry(label).expect("label comes from the table");
-            let seasons = find_seasons(&entry.support, &self.config);
-            if seasons.is_frequent(self.config.min_season) {
+            // Allocation-free early-exit frequency check; seasons are
+            // materialised only for the survivors.
+            if support_is_frequent(&entry.support, &self.config) {
                 events_out.push(MinedEvent {
                     label,
                     support: entry.support.clone(),
-                    seasons,
+                    seasons: find_seasons(&entry.support, &self.config),
                 });
             }
         }
@@ -168,33 +215,50 @@ impl ExactRun<'_> {
         let mut level_stats: Vec<LevelStats> = Vec::new();
         let mut hlh2: Option<HlhK> = None;
         let mut prev: Option<HlhK> = None;
+        let mut adjacency: Option<RelationAdjacency> = None;
         let mut peak_footprint = hlh1_footprint;
 
         for k in 2..=self.config.max_pattern_len {
-            let mut hlhk = match (k, &hlh2, &prev) {
-                (2, _, _) => self.mine_pairs(&hlh1, f1),
-                (3, Some(h2), _) => self.mine_k_events(&hlh1, f1, h2, h2, k),
-                (_, Some(h2), Some(p)) => self.mine_k_events(&hlh1, f1, p, h2, k),
+            // The last level is never extended: mine it without a binding
+            // pool (and, at level 2, without the verdict table).
+            let terminal = k == self.config.max_pattern_len;
+            let (mut hlhk, counters) = match (k, &hlh2, &prev) {
+                (2, _, _) => self.mine_pairs(&hlh1, f1, terminal),
+                (3, Some(h2), _) => {
+                    self.mine_k_events(&hlh1, f1, h2, h2, k, adjacency.as_ref(), terminal)
+                }
+                (_, Some(h2), Some(p)) => {
+                    self.mine_k_events(&hlh1, f1, p, h2, k, adjacency.as_ref(), terminal)
+                }
                 _ => unreachable!("levels are mined in increasing k"),
             };
             if apriori {
                 hlhk.retain_candidates(&self.config);
             }
+            if k == 2 && !terminal && self.config.pruning.transitivity_enabled() {
+                // Built after retain_candidates so the bit matrix matches
+                // exactly what has_relation_between would answer at k >= 3.
+                adjacency = Some(RelationAdjacency::build(&hlhk, f1));
+            }
 
             let mut frequent = 0usize;
             for entry in hlhk.patterns() {
-                let seasons = find_seasons(&entry.support, &self.config);
-                if seasons.is_frequent(self.config.min_season) {
+                // Allocation-free early-exit frequency check; seasons are
+                // materialised only for the survivors.
+                if support_is_frequent(&entry.support, &self.config) {
                     frequent += 1;
                     patterns_out.push(MinedPattern::new(
                         entry.pattern.clone(),
                         entry.support.clone(),
-                        seasons,
+                        find_seasons(&entry.support, &self.config),
                     ));
                 }
             }
             let level_footprint = hlhk.footprint_bytes();
             let live_footprint = hlh1_footprint
+                + adjacency
+                    .as_ref()
+                    .map_or(0, RelationAdjacency::footprint_bytes)
                 + hlh2.as_ref().map_or(0, HlhK::footprint_bytes)
                 + prev.as_ref().map_or(0, HlhK::footprint_bytes)
                 + level_footprint;
@@ -205,6 +269,8 @@ impl ExactRun<'_> {
                 candidate_patterns: hlhk.num_patterns(),
                 frequent_patterns: frequent,
                 footprint_bytes: level_footprint,
+                classifier_calls_saved: counters.classifier_calls_saved,
+                adjacency_pruned_candidates: counters.adjacency_pruned_candidates,
             });
             let empty = hlhk.is_empty();
             if k == 2 {
@@ -240,10 +306,16 @@ impl ExactRun<'_> {
     /// merged level preserve sequential order while heavy items don't pile
     /// up in one shard. With one thread — or one work item — the chunk miner
     /// runs inline on the caller's thread.
-    fn mine_sharded<C, F>(&self, k: usize, num_items: usize, shard_ranges: C, mine_chunk: F) -> HlhK
+    fn mine_sharded<C, F>(
+        &self,
+        k: usize,
+        num_items: usize,
+        shard_ranges: C,
+        mine_chunk: F,
+    ) -> (HlhK, LevelCounters)
     where
         C: FnOnce(usize) -> Vec<Range<usize>>,
-        F: Fn(Range<usize>) -> HlhK + Sync,
+        F: Fn(Range<usize>) -> (HlhK, LevelCounters) + Sync,
     {
         let threads = self.config.threads.min(num_items).max(1);
         if threads == 1 {
@@ -252,7 +324,7 @@ impl ExactRun<'_> {
         let ranges = shard_ranges(threads);
         debug_assert_eq!(ranges.first().map(|r| r.start), Some(0));
         debug_assert_eq!(ranges.last().map(|r| r.end), Some(num_items));
-        let shards: Vec<HlhK> = std::thread::scope(|scope| {
+        let results: Vec<(HlhK, LevelCounters)> = std::thread::scope(|scope| {
             let mine_chunk = &mine_chunk;
             let handles: Vec<_> = ranges
                 .into_iter()
@@ -266,7 +338,15 @@ impl ExactRun<'_> {
                 .map(|h| h.join().expect("mining shard panicked"))
                 .collect()
         });
-        HlhK::merge_shards(k, shards)
+        let mut counters = LevelCounters::default();
+        let shards: Vec<HlhK> = results
+            .into_iter()
+            .map(|(shard, shard_counters)| {
+                counters.merge(shard_counters);
+                shard
+            })
+            .collect();
+        (HlhK::merge_shards(k, shards), counters)
     }
 
     /// Mines candidate 2-event groups and patterns (Section IV-D, 4.2.1),
@@ -274,7 +354,11 @@ impl ExactRun<'_> {
     /// Patterns relate *distinct* events: an event group is a set, matching
     /// the transactional view the APS-growth baseline mines — this is what
     /// makes the two engines output-equivalent.
-    fn mine_pairs(&self, hlh1: &Hlh1, f1: &[EventLabel]) -> HlhK {
+    ///
+    /// Unless the level is `terminal`, every classification verdict is also
+    /// recorded into the level's [`VerdictTable`](crate::hlh::VerdictTable)
+    /// so the k ≥ 3 loop can look relations up instead of re-classifying.
+    fn mine_pairs(&self, hlh1: &Hlh1, f1: &[EventLabel], terminal: bool) -> (HlhK, LevelCounters) {
         let n = f1.len();
         let num_pairs = n * n.saturating_sub(1) / 2;
         // A pair's work is bounded by its support intersection, which is at
@@ -298,7 +382,7 @@ impl ExactRun<'_> {
                 .collect()
         };
         self.mine_sharded(2, num_pairs, shard_ranges, |range| {
-            self.mine_pairs_chunk(hlh1, f1, range)
+            self.mine_pairs_chunk(hlh1, f1, range, terminal)
         })
     }
 
@@ -312,9 +396,25 @@ impl ExactRun<'_> {
     /// through the recorded intersection positions (no binary search per
     /// granule), the pattern is identified by a three-word stack key, and
     /// the binding is appended straight into the level's instance pool.
-    fn mine_pairs_chunk(&self, hlh1: &Hlh1, f1: &[EventLabel], range: Range<usize>) -> HlhK {
+    ///
+    /// Unless `terminal`, every cross-product cell's verdict — including the
+    /// "no relation" outcome — is appended to the verdict table in row-major
+    /// (`ei`-instance × `ej`-instance) order, giving the k ≥ 3 loop complete
+    /// coverage of every pair it can ever probe.
+    fn mine_pairs_chunk(
+        &self,
+        hlh1: &Hlh1,
+        f1: &[EventLabel],
+        range: Range<usize>,
+        terminal: bool,
+    ) -> (HlhK, LevelCounters) {
         let apriori = self.config.pruning.apriori_enabled();
-        let mut hlh2 = HlhK::new(2);
+        let record_verdicts = !terminal;
+        let mut hlh2 = if terminal {
+            HlhK::new_terminal(2)
+        } else {
+            HlhK::new(2)
+        };
         let mut scratch = Scratch::default();
         for (ei, ej) in pair_range(f1, range) {
             let entry_i = hlh1.entry(ei).expect("f1 labels come from HLH_1");
@@ -334,19 +434,32 @@ impl ExactRun<'_> {
             }
             let (enc_i, enc_j) = (encode_label(ei), encode_label(ej));
             let mut group_id: Option<GroupId> = None;
+            if record_verdicts {
+                hlh2.verdict_table_mut().begin_pair(ei, ej);
+            }
             for (m, &granule) in scratch.support.iter().enumerate() {
                 let instances_i = entry_i.instances_at_index(scratch.pos_a[m] as usize);
                 let instances_j = entry_j.instances_at_index(scratch.pos_b[m] as usize);
+                if record_verdicts {
+                    hlh2.verdict_table_mut().begin_granule(granule);
+                }
                 for a in instances_i.iter() {
                     for b in instances_j.iter() {
                         let in_order = chronological_order(&a.interval, &b.interval, 0u8, 1u8);
                         let (first, second) = if in_order { (a, b) } else { (b, a) };
-                        let Some(kind) = classify_relation(
+                        let verdict = classify_relation(
                             &first.interval,
                             &second.interval,
                             self.config.epsilon,
                             self.config.min_overlap,
-                        ) else {
+                        );
+                        if record_verdicts {
+                            hlh2.verdict_table_mut().push_verdict(
+                                verdict
+                                    .map_or(VERDICT_NONE, |kind| encode_verdict(kind, !in_order)),
+                            );
+                        }
+                        let Some(kind) = verdict else {
                             continue;
                         };
                         let triple = if in_order {
@@ -370,15 +483,22 @@ impl ExactRun<'_> {
                 }
             }
         }
-        hlh2
+        (hlh2, LevelCounters::default())
     }
 
     /// Mines candidate k-event groups and patterns for k ≥ 3
     /// (Section IV-D, 4.2.2): each candidate (k-1)-group of `prev` is
-    /// extended with a single event from `FilteredF_1`, relations with the
-    /// new event are verified on the stored instance bindings, and the
-    /// resulting candidate k-patterns are collected into a fresh `HLH_k`.
-    /// The (k-1)-group list is sharded across the configured threads.
+    /// extended with a single event, relations with the new event are
+    /// verified on the stored instance bindings, and the resulting candidate
+    /// k-patterns are collected into a fresh `HLH_k`. The (k-1)-group list
+    /// is sharded across the configured threads.
+    ///
+    /// With transitivity pruning on, `adjacency` must carry the level-2
+    /// relation matrix: the extension events of a group are then enumerated
+    /// from the AND of its members' rows (masked to `FilteredF_1`) instead
+    /// of scanning `FilteredF_1` and probing `has_relation_between` per
+    /// member.
+    #[allow(clippy::too_many_arguments)]
     fn mine_k_events(
         &self,
         hlh1: &Hlh1,
@@ -386,8 +506,15 @@ impl ExactRun<'_> {
         prev: &HlhK,
         hlh2: &HlhK,
         k: usize,
-    ) -> HlhK {
+        adjacency: Option<&RelationAdjacency>,
+        terminal: bool,
+    ) -> (HlhK, LevelCounters) {
         let transitivity = self.config.pruning.transitivity_enabled();
+        debug_assert_eq!(
+            transitivity,
+            adjacency.is_some(),
+            "the adjacency matrix exists exactly when transitivity pruning is on"
+        );
         let filtered_f1: Vec<EventLabel> = if transitivity {
             let participating = prev.participating_events();
             f1.iter()
@@ -397,6 +524,21 @@ impl ExactRun<'_> {
         } else {
             f1.to_vec()
         };
+        // FilteredF_1 as a bitset over the adjacency's interned label ids,
+        // AND-ed into every group's extension row. For k = 3 the mask is
+        // redundant (any event related to both members participates in a
+        // 2-pattern by definition), but for k >= 4 it is what keeps the
+        // enumeration identical to the scan-and-probe path.
+        let filtered_mask: Option<Vec<u64>> = adjacency.map(|adj| {
+            let mut mask = vec![0u64; adj.len().div_ceil(64)];
+            for &label in &filtered_f1 {
+                let id = adj
+                    .index_of(label)
+                    .expect("FilteredF_1 labels are candidates");
+                mask[id / 64] |= 1 << (id % 64);
+            }
+            mask
+        });
         let groups: Vec<&GroupEntry> = prev
             .groups()
             .into_iter()
@@ -418,7 +560,17 @@ impl ExactRun<'_> {
             balanced_ranges(&costs, threads)
         };
         self.mine_sharded(k, groups.len(), shard_ranges, |range| {
-            self.mine_k_events_chunk(hlh1, &filtered_f1, prev, hlh2, k, &groups[range])
+            self.mine_k_events_chunk(
+                hlh1,
+                &filtered_f1,
+                filtered_mask.as_deref(),
+                prev,
+                hlh2,
+                adjacency,
+                k,
+                &groups[range],
+                terminal,
+            )
         })
     }
 
@@ -433,28 +585,81 @@ impl ExactRun<'_> {
     /// binding is appended to the new level's pool without materialising an
     /// owned vector. A [`TemporalPattern`] is only constructed the first
     /// time its key appears.
+    ///
+    /// Relation verdicts between a binding member and an extension instance
+    /// are read from the level-2 verdict table: the pair handle is resolved
+    /// once per (group, `E_k`), the granule block once per granule, and the
+    /// member's row once per binding, so the per-cell cost is one byte load.
+    /// Cells the table does not cover fall back to the closed-form
+    /// classifier; in debug builds every hit is cross-checked against it.
+    #[allow(clippy::too_many_arguments)]
     fn mine_k_events_chunk(
         &self,
         hlh1: &Hlh1,
         filtered_f1: &[EventLabel],
+        filtered_mask: Option<&[u64]>,
         prev: &HlhK,
         hlh2: &HlhK,
+        adjacency: Option<&RelationAdjacency>,
         k: usize,
         groups: &[&GroupEntry],
-    ) -> HlhK {
+        terminal: bool,
+    ) -> (HlhK, LevelCounters) {
         let apriori = self.config.pruning.apriori_enabled();
-        let transitivity = self.config.pruning.transitivity_enabled();
         let new_index = u8::try_from(k - 1).expect("pattern length fits u8");
-        let mut hlhk = HlhK::new(k);
+        let verdicts = hlh2.verdict_table();
+        let mut hlhk = if terminal {
+            HlhK::new_terminal(k)
+        } else {
+            HlhK::new(k)
+        };
+        let mut counters = LevelCounters::default();
         let mut scratch = Scratch::default();
+        // Chunk-lived buffers of borrowed data (they hold references into
+        // the adjacency matrix, HLH_1 and the verdict table, so they cannot
+        // live in the owned `Scratch`); all reuse their capacity across
+        // candidates.
+        let mut member_rows: Vec<&[u64]> = Vec::new();
+        let mut member_entries: Vec<&EventEntry> = Vec::new();
+        let mut member_pairs: Vec<Option<PairVerdicts<'_>>> = Vec::new();
+        let mut member_blocks: Vec<Option<(&[u8], &[EventInstance])>> = Vec::new();
+        let mut binding_rows: Vec<Option<&[u8]>> = Vec::new();
         for &group_entry in groups {
             let group_events = &group_entry.events;
             let last = *group_events.last().expect("groups are non-empty");
-            for &ek in filtered_f1 {
-                if ek <= last {
-                    continue;
+            member_entries.clear();
+            for &member in group_events {
+                member_entries.push(hlh1.entry(member).expect("group events come from HLH_1"));
+            }
+            // ---- extension enumeration ----
+            scratch.ext.clear();
+            if let Some(adj) = adjacency {
+                // Transitivity pruning (Lemma 4) as one bitwise pass: the
+                // extension set is the AND of the members' neighbor rows,
+                // masked to FilteredF_1, walked beyond the last member.
+                member_rows.clear();
+                for &member in group_events {
+                    let id = adj.index_of(member).expect("group events are candidates");
+                    member_rows.push(adj.row(id));
                 }
-                let ek_entry = hlh1.entry(ek).expect("FilteredF_1 labels come from HLH_1");
+                let Scratch { row, ext, .. } = &mut scratch;
+                intersect_rows_into(row, &member_rows);
+                if let Some(mask) = filtered_mask {
+                    for (acc, &word) in row.iter_mut().zip(mask) {
+                        *acc &= word;
+                    }
+                }
+                let last_id = adj.index_of(last).expect("group events are candidates");
+                ext.extend(iter_set_bits(row, last_id + 1).map(|id| adj.label(id)));
+                let naive = filtered_f1.len() - filtered_f1.partition_point(|&e| e <= last);
+                counters.adjacency_pruned_candidates += naive - ext.len();
+            } else {
+                let from = filtered_f1.partition_point(|&e| e <= last);
+                scratch.ext.extend_from_slice(&filtered_f1[from..]);
+            }
+            for ext_idx in 0..scratch.ext.len() {
+                let ek = scratch.ext[ext_idx];
+                let ek_entry = hlh1.entry(ek).expect("extension labels come from HLH_1");
                 intersect_into(
                     &mut scratch.group_support,
                     &group_entry.support,
@@ -466,15 +671,6 @@ impl ExactRun<'_> {
                 if apriori && !self.config.is_candidate(scratch.group_support.len()) {
                     continue;
                 }
-                // Transitivity pruning (Lemma 4): every event of the group
-                // must already form a candidate relation with E_k in HLH_2.
-                if transitivity
-                    && !group_events
-                        .iter()
-                        .all(|&eprev| hlh2.has_relation_between(eprev, ek))
-                {
-                    continue;
-                }
                 let mut group_id: Option<GroupId> = None;
                 // Interning-key prefix shared by every pattern of this
                 // (group, E_k) combination: the packed new-group events.
@@ -484,6 +680,12 @@ impl ExactRun<'_> {
                     .extend(group_events.iter().copied().map(encode_label));
                 scratch.key.push(encode_label(ek));
                 let events_len = scratch.key.len();
+                // Verdict-table pair handles, one per member (every member
+                // label is smaller than E_k, matching the recorded order).
+                member_pairs.clear();
+                for &member in group_events {
+                    member_pairs.push(verdicts.pair(member, ek));
+                }
 
                 for &pid in &group_entry.patterns {
                     let pattern_entry = prev.pattern(pid);
@@ -511,9 +713,38 @@ impl ExactRun<'_> {
                         let granule = scratch.support[m];
                         let ek_instances = ek_entry.instances_at_index(scratch.pos_b[m] as usize);
                         debug_assert!(!ek_instances.is_empty(), "support implies instances");
+                        let cols = ek_instances.len();
+                        // Resolve each member's verdict block and HLH_1
+                        // instance slice once per granule.
+                        member_blocks.clear();
+                        for (idx, entry) in member_entries.iter().enumerate() {
+                            member_blocks.push(member_pairs[idx].and_then(|pair| {
+                                let block = pair.block(granule)?;
+                                let instances = entry.instances_at(granule);
+                                debug_assert_eq!(
+                                    block.len(),
+                                    instances.len() * cols,
+                                    "verdict blocks cover the full cross-product"
+                                );
+                                Some((block, instances))
+                            }));
+                        }
                         for &bid in pattern_entry.binding_ids_at_index(scratch.pos_a[m] as usize) {
                             let binding = prev.binding(bid);
-                            'instances: for ek_instance in ek_instances {
+                            // Resolve each member instance's verdict row for
+                            // this binding (instances per granule are few,
+                            // so the position scan is one or two compares).
+                            binding_rows.clear();
+                            for (idx, bound) in binding.iter().enumerate() {
+                                binding_rows.push(member_blocks[idx].and_then(
+                                    |(block, instances)| {
+                                        let row = instances.iter().position(|x| x == bound)?;
+                                        Some(&block[row * cols..(row + 1) * cols])
+                                    },
+                                ));
+                            }
+                            'instances: for (ek_idx, ek_instance) in ek_instances.iter().enumerate()
+                            {
                                 if binding.contains(ek_instance) {
                                     continue;
                                 }
@@ -521,28 +752,36 @@ impl ExactRun<'_> {
                                 scratch.key.truncate(base_len);
                                 for (idx, bound) in binding.iter().enumerate() {
                                     let idx_u8 = u8::try_from(idx).expect("pattern length fits u8");
-                                    let in_order = chronological_order(
-                                        &bound.interval,
-                                        &ek_instance.interval,
-                                        idx_u8,
-                                        new_index,
-                                    );
-                                    let triple = if in_order {
-                                        classify_relation(
-                                            &bound.interval,
-                                            &ek_instance.interval,
-                                            self.config.epsilon,
-                                            self.config.min_overlap,
-                                        )
-                                        .map(|r| RelationTriple::new(r, idx_u8, new_index))
-                                    } else {
-                                        classify_relation(
-                                            &ek_instance.interval,
-                                            &bound.interval,
-                                            self.config.epsilon,
-                                            self.config.min_overlap,
-                                        )
-                                        .map(|r| RelationTriple::new(r, new_index, idx_u8))
+                                    let triple = match binding_rows[idx] {
+                                        Some(row) => {
+                                            counters.classifier_calls_saved += 1;
+                                            let triple = decode_verdict(row[ek_idx]).map(
+                                                |(kind, swapped)| {
+                                                    if swapped {
+                                                        RelationTriple::new(kind, new_index, idx_u8)
+                                                    } else {
+                                                        RelationTriple::new(kind, idx_u8, new_index)
+                                                    }
+                                                },
+                                            );
+                                            debug_assert_eq!(
+                                                triple,
+                                                self.classify_instance_pair(
+                                                    bound,
+                                                    ek_instance,
+                                                    idx_u8,
+                                                    new_index
+                                                ),
+                                                "verdict table diverged from the classifier"
+                                            );
+                                            triple
+                                        }
+                                        None => self.classify_instance_pair(
+                                            bound,
+                                            ek_instance,
+                                            idx_u8,
+                                            new_index,
+                                        ),
                                     };
                                     match triple {
                                         Some(t) => {
@@ -580,7 +819,37 @@ impl ExactRun<'_> {
                 }
             }
         }
-        hlhk
+        (hlhk, counters)
+    }
+
+    /// The closed-form relation classification of one (binding-member,
+    /// extension-instance) pair — the verdict-table fallback and the
+    /// debug-build cross-check.
+    fn classify_instance_pair(
+        &self,
+        bound: &EventInstance,
+        ek_instance: &EventInstance,
+        idx: u8,
+        new_index: u8,
+    ) -> Option<RelationTriple> {
+        let in_order = chronological_order(&bound.interval, &ek_instance.interval, idx, new_index);
+        if in_order {
+            classify_relation(
+                &bound.interval,
+                &ek_instance.interval,
+                self.config.epsilon,
+                self.config.min_overlap,
+            )
+            .map(|r| RelationTriple::new(r, idx, new_index))
+        } else {
+            classify_relation(
+                &ek_instance.interval,
+                &bound.interval,
+                self.config.epsilon,
+                self.config.min_overlap,
+            )
+            .map(|r| RelationTriple::new(r, new_index, idx))
+        }
     }
 }
 
@@ -1070,11 +1339,16 @@ mod tests {
         let stats = report.stats();
         let level_sum: usize = stats.levels.iter().map(|l| l.footprint_bytes).sum();
         assert!(stats.peak_footprint_bytes > 0);
-        // hlh1 + all levels is the historical sum the old accounting
-        // reported; the live peak can never exceed it.
+        // hlh1 + the adjacency matrix + all levels is the historical sum the
+        // old accounting reported; the live peak can never exceed it. The
+        // adjacency matrix is bounded by one bit row plus one label per
+        // candidate event.
         let resolved = paper_config().resolve(dseq.num_granules()).unwrap();
         let hlh1 = Hlh1::build(&dseq, &resolved, true);
-        assert!(stats.peak_footprint_bytes <= hlh1.footprint_bytes() + level_sum);
+        let n = hlh1.len();
+        let adjacency_bound =
+            n * std::mem::size_of::<EventLabel>() + n * n.div_ceil(64) * std::mem::size_of::<u64>();
+        assert!(stats.peak_footprint_bytes <= hlh1.footprint_bytes() + level_sum + adjacency_bound);
         assert!(stats.peak_footprint_bytes >= hlh1.footprint_bytes());
     }
 

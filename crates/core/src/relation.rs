@@ -94,6 +94,41 @@ pub fn classify_relation(
     None
 }
 
+/// Packs one instance-pair classification outcome into a byte for the level-2
+/// verdict table: `0` encodes "no relation", otherwise the relation kind and
+/// whether the pair had to be *swapped* into chronological order (the second
+/// event's instance is the earlier one).
+#[inline]
+#[must_use]
+pub fn encode_verdict(kind: RelationKind, swapped: bool) -> u8 {
+    1 + (((kind as u8) << 1) | u8::from(swapped))
+}
+
+/// Byte of [`encode_verdict`] for "none of the three relations holds".
+pub const VERDICT_NONE: u8 = 0;
+
+/// Unpacks a byte of [`encode_verdict`]. `None` is the "no relation" verdict.
+///
+/// # Panics
+/// Panics on bytes outside the encoding domain (`0..=6`) — the table is only
+/// ever filled through [`encode_verdict`], so an out-of-domain byte is a
+/// construction bug.
+#[inline]
+#[must_use]
+pub fn decode_verdict(verdict: u8) -> Option<(RelationKind, bool)> {
+    if verdict == VERDICT_NONE {
+        return None;
+    }
+    let bits = verdict - 1;
+    let kind = match bits >> 1 {
+        0 => RelationKind::Follows,
+        1 => RelationKind::Contains,
+        2 => RelationKind::Overlaps,
+        _ => unreachable!("verdict byte {verdict} is outside the encoding domain"),
+    };
+    Some((kind, bits & 1 == 1))
+}
+
 /// Orders two instances chronologically: by start, then by *descending*
 /// duration (so a containing interval precedes the contained one when they
 /// share a start), then by the tie-break key. Returns `true` when the pair is
@@ -251,6 +286,21 @@ mod tests {
         // Identical intervals: tie-break key decides.
         assert!(chronological_order(&iv(1, 2), &iv(1, 2), 0, 1));
         assert!(!chronological_order(&iv(1, 2), &iv(1, 2), 1, 0));
+    }
+
+    #[test]
+    fn verdict_encoding_round_trips() {
+        assert_eq!(decode_verdict(VERDICT_NONE), None);
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in RelationKind::all() {
+            for swapped in [false, true] {
+                let byte = encode_verdict(kind, swapped);
+                assert!(byte != VERDICT_NONE);
+                assert!(seen.insert(byte), "verdict bytes must be distinct");
+                assert_eq!(decode_verdict(byte), Some((kind, swapped)));
+            }
+        }
+        assert_eq!(seen.len(), 6);
     }
 
     #[test]

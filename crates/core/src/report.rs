@@ -67,7 +67,8 @@ impl MinedPattern {
 }
 
 /// Per-level counters collected while mining (used to report the search-space
-/// reduction of the pruning techniques).
+/// reduction of the pruning techniques and the level-2 reuse of the k ≥ 3
+/// loop).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LevelStats {
     /// Pattern length `k` of the level.
@@ -80,6 +81,15 @@ pub struct LevelStats {
     pub frequent_patterns: usize,
     /// Approximate bytes held by `HLH_k` at the end of the level.
     pub footprint_bytes: usize,
+    /// `classify_relation` calls this level avoided by looking the verdict
+    /// up in the level-2 verdict table instead (always 0 at k = 2, where the
+    /// verdicts are produced).
+    pub classifier_calls_saved: usize,
+    /// (group, extension-event) combinations the level-2 adjacency matrix
+    /// pruned *before* any support intersection ran — work the naive
+    /// `FilteredF_1` scan would have started and then discarded (always 0 at
+    /// k = 2 and when transitivity pruning is off).
+    pub adjacency_pruned_candidates: usize,
 }
 
 /// Statistics of a mining run.
@@ -117,6 +127,23 @@ impl MiningStats {
     #[must_use]
     pub fn total_candidate_patterns(&self) -> usize {
         self.levels.iter().map(|l| l.candidate_patterns).sum()
+    }
+
+    /// Total `classify_relation` calls avoided through the level-2 verdict
+    /// table, across every k ≥ 3 level.
+    #[must_use]
+    pub fn total_classifier_calls_saved(&self) -> usize {
+        self.levels.iter().map(|l| l.classifier_calls_saved).sum()
+    }
+
+    /// Total (group, extension-event) combinations pruned by the adjacency
+    /// matrix before any support work, across every k ≥ 3 level.
+    #[must_use]
+    pub fn total_adjacency_pruned_candidates(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| l.adjacency_pruned_candidates)
+            .sum()
     }
 }
 
@@ -225,6 +252,7 @@ mod tests {
                     candidate_patterns: 6,
                     frequent_patterns: 4,
                     footprint_bytes: 100,
+                    ..LevelStats::default()
                 },
                 LevelStats {
                     k: 3,
@@ -232,12 +260,16 @@ mod tests {
                     candidate_patterns: 2,
                     frequent_patterns: 1,
                     footprint_bytes: 40,
+                    classifier_calls_saved: 12,
+                    adjacency_pruned_candidates: 7,
                 },
             ],
             ..MiningStats::default()
         };
         assert_eq!(stats.total_frequent_patterns(), 5);
         assert_eq!(stats.total_candidate_patterns(), 8);
+        assert_eq!(stats.total_classifier_calls_saved(), 12);
+        assert_eq!(stats.total_adjacency_pruned_candidates(), 7);
 
         let report = MiningReport::new(
             vec![MinedEvent {

@@ -16,27 +16,71 @@
 //! 4. the pattern's seasonal-occurrence count `seasons(P)` is the longest
 //!    chain of consecutive seasons whose pairwise distances lie inside
 //!    `distInterval` (Definition 3.15).
+//!
+//! # Span-based representation
+//!
+//! Every season is a *contiguous* sub-range of the sorted support set: a near
+//! support set is a maximal run, and the `distmin` trimming only ever drops a
+//! prefix of it. One shared walker exploits that to run the whole procedure
+//! allocation-free over index spans, computing the compliant-chain length
+//! incrementally as seasons are accepted. The miner's hot path calls
+//! the early-exit [`support_is_frequent`] (or the exact [`seasons_count`]) on
+//! every candidate and materialises a [`Seasons`] — a concatenated granule
+//! buffer plus one index span per season — only for the patterns that survive
+//! `minSeason`.
 
 use crate::config::ResolvedConfig;
 use stpm_timeseries::GranulePos;
 
-/// One season: the granules of a (trimmed) near support set that is dense
-/// enough.
-pub type Season = Vec<GranulePos>;
-
 /// The seasons of an event or pattern, together with the derived
 /// seasonal-occurrence count.
+///
+/// Seasons are stored span-based: one flat buffer holds the granules of every
+/// season back to back, and each season is an index range into it. Accessors
+/// hand out `&[GranulePos]` slices; nothing is re-allocated per call.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Seasons {
-    seasons: Vec<Season>,
+    /// The granules of every season, concatenated in chronological order.
+    granules: Vec<GranulePos>,
+    /// Half-open index ranges into `granules`, one per season.
+    spans: Vec<(u32, u32)>,
     chain_len: u64,
 }
 
 impl Seasons {
-    /// The seasons, in chronological order.
+    /// Number of seasons.
     #[must_use]
-    pub fn seasons(&self) -> &[Season] {
-        &self.seasons
+    pub fn num_seasons(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The granules of season `idx` (seasons are in chronological order).
+    ///
+    /// # Panics
+    /// Panics when `idx >= num_seasons()`.
+    #[must_use]
+    pub fn season(&self, idx: usize) -> &[GranulePos] {
+        let (start, end) = self.spans[idx];
+        &self.granules[start as usize..end as usize]
+    }
+
+    /// The seasons, in chronological order, as granule slices.
+    pub fn seasons(&self) -> impl ExactSizeIterator<Item = &[GranulePos]> + '_ {
+        self.spans
+            .iter()
+            .map(|&(start, end)| &self.granules[start as usize..end as usize])
+    }
+
+    /// The first season, if any.
+    #[must_use]
+    pub fn first_season(&self) -> Option<&[GranulePos]> {
+        self.spans.first().map(|_| self.season(0))
+    }
+
+    /// The last season, if any.
+    #[must_use]
+    pub fn last_season(&self) -> Option<&[GranulePos]> {
+        (!self.spans.is_empty()).then(|| self.season(self.spans.len() - 1))
     }
 
     /// `seasons(P)`: the longest chain of consecutive seasons whose pairwise
@@ -52,10 +96,11 @@ impl Seasons {
         self.chain_len >= min_season
     }
 
-    /// Density (granule count) of every season.
-    #[must_use]
-    pub fn densities(&self) -> Vec<u64> {
-        self.seasons.iter().map(|s| s.len() as u64).collect()
+    /// Density (granule count) of every season, allocation-free.
+    pub fn densities(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.spans
+            .iter()
+            .map(|&(start, end)| u64::from(end - start))
     }
 
     /// Distances between consecutive seasons (Definition 3.14's `dist`):
@@ -64,35 +109,114 @@ impl Seasons {
     /// season always starts after the previous one ends; the checked
     /// subtraction makes that invariant explicit instead of silently
     /// absorbing a violation the way `abs_diff` would.
-    #[must_use]
-    pub fn distances(&self) -> Vec<u64> {
-        self.seasons.windows(2).map(season_distance).collect()
+    ///
+    /// # Panics
+    /// Panics when two consecutive seasons are not chronologically ordered —
+    /// season extraction only ever produces ordered, disjoint seasons, so a
+    /// violation is a construction bug, not data to tolerate.
+    pub fn distances(&self) -> impl Iterator<Item = u64> + '_ {
+        self.spans.windows(2).map(|w| {
+            let prev_end = self.granules[w[0].1 as usize - 1];
+            let next_start = self.granules[w[1].0 as usize];
+            next_start
+                .checked_sub(prev_end)
+                .expect("seasons are chronologically ordered and disjoint")
+        })
     }
 }
 
-/// Extracts the seasons of a support set (described in the module docs).
+/// Walks the trimmed, dense-enough seasons of `support` as half-open index
+/// spans, reporting each through `on_season(start, end)` and returning the
+/// longest compliant chain length — the single allocation-free core behind
+/// [`find_seasons`], [`seasons_count`] and [`support_is_frequent`].
+///
+/// When `early_exit_at` is set, the walk stops as soon as the chain reaches
+/// that length (the returned value is then a lower bound, sufficient for the
+/// `>= minSeason` comparison of the frequency check).
+fn walk_season_spans<F: FnMut(usize, usize)>(
+    support: &[GranulePos],
+    config: &ResolvedConfig,
+    early_exit_at: Option<u64>,
+    mut on_season: F,
+) -> u64 {
+    let mut best = 0u64;
+    let mut current = 0u64;
+    // End granule of the previously *accepted* season (trimming and chain
+    // distances are both measured against it).
+    let mut prev_end: Option<GranulePos> = None;
+    let mut i = 0usize;
+    while i < support.len() {
+        if early_exit_at.is_some_and(|target| best >= target) {
+            return best;
+        }
+        // Maximal near support set: the run [i, j).
+        let mut j = i + 1;
+        while j < support.len() && support[j] - support[j - 1] <= config.max_period {
+            j += 1;
+        }
+        // distmin trimming: drop leading granules closer than distmin to the
+        // end of the previously accepted season.
+        let mut s = i;
+        if let Some(prev) = prev_end {
+            while s < j && support[s].saturating_sub(prev) < config.dist_min {
+                s += 1;
+            }
+        }
+        if (j - s) as u64 >= config.min_density {
+            current = match prev_end {
+                Some(prev) => {
+                    let dist = support[s] - prev;
+                    if dist >= config.dist_min && dist <= config.dist_max {
+                        current + 1
+                    } else {
+                        1
+                    }
+                }
+                None => 1,
+            };
+            best = best.max(current);
+            prev_end = Some(support[j - 1]);
+            on_season(s, j);
+        }
+        i = j;
+    }
+    best
+}
+
+/// Extracts the seasons of a support set (described in the module docs),
+/// materialising the span-based [`Seasons`]. The hot path should gate on
+/// [`support_is_frequent`] first and only materialise survivors.
 #[must_use]
 pub fn find_seasons(support: &[GranulePos], config: &ResolvedConfig) -> Seasons {
-    let near_sets = near_support_sets(support, config.max_period);
-    let mut seasons: Vec<Season> = Vec::new();
-    for near in near_sets {
-        let mut granules = near;
-        if let Some(prev) = seasons.last() {
-            let prev_end = *prev.last().expect("seasons are non-empty");
-            // Drop leading granules that would violate distmin w.r.t. the end
-            // of the previously accepted season.
-            let keep_from = granules
-                .iter()
-                .position(|g| g.saturating_sub(prev_end) >= config.dist_min)
-                .unwrap_or(granules.len());
-            granules.drain(..keep_from);
-        }
-        if granules.len() as u64 >= config.min_density {
-            seasons.push(granules);
-        }
+    let mut granules: Vec<GranulePos> = Vec::new();
+    let mut spans: Vec<(u32, u32)> = Vec::new();
+    let chain_len = walk_season_spans(support, config, None, |s, e| {
+        let start = u32::try_from(granules.len()).expect("season granules fit u32");
+        granules.extend_from_slice(&support[s..e]);
+        let end = u32::try_from(granules.len()).expect("season granules fit u32");
+        spans.push((start, end));
+    });
+    Seasons {
+        granules,
+        spans,
+        chain_len,
     }
-    let chain_len = longest_compliant_chain(&seasons, config.dist_min, config.dist_max);
-    Seasons { seasons, chain_len }
+}
+
+/// `seasons(P)` of a support set without materialising any season: the same
+/// walk as [`find_seasons`], granule comparisons and an O(1) chain state
+/// only.
+#[must_use]
+pub fn seasons_count(support: &[GranulePos], config: &ResolvedConfig) -> u64 {
+    walk_season_spans(support, config, None, |_, _| {})
+}
+
+/// Whether a support set passes the `minSeason` frequency check, with an
+/// early exit as soon as the compliant chain reaches `minSeason` — the
+/// allocation-free fast path the miner runs on every candidate.
+#[must_use]
+pub fn support_is_frequent(support: &[GranulePos], config: &ResolvedConfig) -> bool {
+    walk_season_spans(support, config, Some(config.min_season), |_, _| {}) >= config.min_season
 }
 
 /// Splits a sorted support set into its maximal near support sets: maximal
@@ -115,41 +239,6 @@ pub fn near_support_sets(support: &[GranulePos], max_period: u64) -> Vec<Vec<Gra
         sets.push(current);
     }
     sets
-}
-
-/// `dist` between two consecutive seasons (Definition 3.14): the gap from
-/// the end of the earlier season to the start of the later one.
-///
-/// # Panics
-/// Panics when the pair is not chronologically ordered — season extraction
-/// only ever produces ordered, non-overlapping seasons, so a violation is a
-/// construction bug, not data to tolerate.
-fn season_distance(pair: &[Season]) -> u64 {
-    let prev_end = *pair[0].last().expect("seasons are non-empty");
-    let next_start = *pair[1].first().expect("seasons are non-empty");
-    next_start
-        .checked_sub(prev_end)
-        .expect("seasons are chronologically ordered and disjoint")
-}
-
-/// Length of the longest run of consecutive seasons whose pairwise distances
-/// are inside `[dist_min, dist_max]`.
-fn longest_compliant_chain(seasons: &[Season], dist_min: u64, dist_max: u64) -> u64 {
-    if seasons.is_empty() {
-        return 0;
-    }
-    let mut best = 1u64;
-    let mut current = 1u64;
-    for w in seasons.windows(2) {
-        let dist = season_distance(w);
-        if dist >= dist_min && dist <= dist_max {
-            current += 1;
-        } else {
-            current = 1;
-        }
-        best = best.max(current);
-    }
-    best
 }
 
 /// Seasonality summary of a support set: season count plus the seasons
@@ -193,6 +282,22 @@ mod tests {
         .unwrap()
     }
 
+    /// Collects the seasons into owned vectors for structural assertions.
+    fn season_vecs(seasons: &Seasons) -> Vec<Vec<GranulePos>> {
+        seasons.seasons().map(<[GranulePos]>::to_vec).collect()
+    }
+
+    /// Asserts that the allocation-free fast paths agree with the
+    /// materialising extraction on `support`.
+    fn assert_fast_paths_agree(support: &[GranulePos], cfg: &ResolvedConfig) {
+        let seasons = find_seasons(support, cfg);
+        assert_eq!(seasons_count(support, cfg), seasons.count());
+        assert_eq!(
+            support_is_frequent(support, cfg),
+            seasons.is_frequent(cfg.min_season)
+        );
+    }
+
     #[test]
     fn near_support_sets_split_on_large_gaps() {
         // The paper's C:1 ≽ D:1 example: SUP = {1,2,3,7,8,11,12,14}, maxPeriod 2
@@ -217,16 +322,18 @@ mod tests {
         // maxPeriod = 2, minDensity = 3: two of the three near support sets
         // are dense enough.
         let cfg = config(2, 3, (1, 20), 2);
-        let seasons = find_seasons(&[1, 2, 3, 7, 8, 11, 12, 14], &cfg);
-        assert_eq!(seasons.seasons().len(), 2);
-        assert_eq!(seasons.seasons()[0], vec![1, 2, 3]);
-        assert_eq!(seasons.seasons()[1], vec![11, 12, 14]);
-        assert_eq!(seasons.densities(), vec![3, 3]);
+        let support = [1, 2, 3, 7, 8, 11, 12, 14];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.num_seasons(), 2);
+        assert_eq!(seasons.season(0), &[1, 2, 3]);
+        assert_eq!(seasons.season(1), &[11, 12, 14]);
+        assert_eq!(seasons.densities().collect::<Vec<_>>(), vec![3, 3]);
         // Distance between season 1 (ends at 3) and season 2 (starts at 11).
-        assert_eq!(seasons.distances(), vec![8]);
+        assert_eq!(seasons.distances().collect::<Vec<_>>(), vec![8]);
         assert_eq!(seasons.count(), 2);
         assert!(seasons.is_frequent(2));
         assert!(!seasons.is_frequent(3));
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
@@ -236,12 +343,14 @@ mod tests {
         // H9 must be trimmed from the second season because it is only 3
         // granules after the end of the first season.
         let cfg = config(2, 3, (4, 10), 2);
-        let seasons = find_seasons(&[1, 3, 4, 5, 6, 9, 10, 11, 13], &cfg);
-        assert_eq!(seasons.seasons().len(), 2);
-        assert_eq!(seasons.seasons()[0], vec![1, 3, 4, 5, 6]);
-        assert_eq!(seasons.seasons()[1], vec![10, 11, 13]);
+        let support = [1, 3, 4, 5, 6, 9, 10, 11, 13];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.num_seasons(), 2);
+        assert_eq!(seasons.season(0), &[1, 3, 4, 5, 6]);
+        assert_eq!(seasons.season(1), &[10, 11, 13]);
         assert_eq!(seasons.count(), 2);
         assert!(seasons.is_frequent(2));
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
@@ -250,19 +359,24 @@ mod tests {
         // event is not frequent for minSeason = 2 — the anti-monotonicity
         // counter-example of Section IV-B.
         let cfg = config(2, 3, (4, 10), 2);
-        let seasons = find_seasons(&[1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 13], &cfg);
-        assert_eq!(seasons.seasons().len(), 1);
+        let support = [1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 13];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(seasons.num_seasons(), 1);
         assert_eq!(seasons.count(), 1);
         assert!(!seasons.is_frequent(2));
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
     fn sparse_near_sets_are_not_seasons() {
         let cfg = config(2, 3, (1, 20), 2);
         let seasons = find_seasons(&[1, 2, 10, 11], &cfg);
-        assert!(seasons.seasons().is_empty());
+        assert_eq!(seasons.num_seasons(), 0);
         assert_eq!(seasons.count(), 0);
         assert!(!seasons.is_frequent(1));
+        assert!(seasons.first_season().is_none());
+        assert!(seasons.last_season().is_none());
+        assert_fast_paths_agree(&[1, 2, 10, 11], &cfg);
     }
 
     #[test]
@@ -272,8 +386,9 @@ mod tests {
         let cfg = config(1, 2, (2, 10), 2);
         let support = vec![1, 2, 8, 9, 60, 61];
         let seasons = find_seasons(&support, &cfg);
-        assert_eq!(seasons.seasons().len(), 3);
+        assert_eq!(seasons.num_seasons(), 3);
         assert_eq!(seasons.count(), 2);
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
@@ -282,8 +397,9 @@ mod tests {
         let cfg = config(1, 2, (2, 10), 2);
         let support = vec![1, 2, 60, 61, 70, 71, 80, 81];
         let seasons = find_seasons(&support, &cfg);
-        assert_eq!(seasons.seasons().len(), 4);
+        assert_eq!(seasons.num_seasons(), 4);
         assert_eq!(seasons.count(), 3);
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
@@ -293,8 +409,9 @@ mod tests {
         let cfg = config(1, 2, (10, 100), 1);
         let support = vec![1, 2, 5, 6];
         let seasons = find_seasons(&support, &cfg);
-        assert_eq!(seasons.seasons().len(), 1);
-        assert_eq!(seasons.seasons()[0], vec![1, 2]);
+        assert_eq!(seasons.num_seasons(), 1);
+        assert_eq!(seasons.season(0), &[1, 2]);
+        assert_fast_paths_agree(&support, &cfg);
     }
 
     #[test]
@@ -302,10 +419,12 @@ mod tests {
         let cfg = config(2, 2, (1, 10), 1);
         let seasons = find_seasons(&[], &cfg);
         assert_eq!(seasons.count(), 0);
-        assert!(seasons.seasons().is_empty());
-        assert!(seasons.distances().is_empty());
-        assert!(seasons.densities().is_empty());
+        assert_eq!(seasons.num_seasons(), 0);
+        assert_eq!(seasons.seasons().len(), 0);
+        assert_eq!(seasons.distances().count(), 0);
+        assert_eq!(seasons.densities().len(), 0);
         assert!(!seasons.is_frequent(1));
+        assert_fast_paths_agree(&[], &cfg);
     }
 
     #[test]
@@ -314,14 +433,18 @@ mod tests {
         // way.
         let cfg = config(2, 1, (1, 10), 1);
         let seasons = find_seasons(&[7], &cfg);
-        assert_eq!(seasons.seasons(), &[vec![7]]);
+        assert_eq!(season_vecs(&seasons), vec![vec![7]]);
         assert_eq!(seasons.count(), 1);
-        assert!(seasons.distances().is_empty());
+        assert_eq!(seasons.distances().count(), 0);
+        assert_eq!(seasons.first_season(), Some(&[7u64][..]));
+        assert_eq!(seasons.last_season(), Some(&[7u64][..]));
+        assert_fast_paths_agree(&[7], &cfg);
 
         let dense = config(2, 2, (1, 10), 1);
         let seasons = find_seasons(&[7], &dense);
-        assert!(seasons.seasons().is_empty());
+        assert_eq!(seasons.num_seasons(), 0);
         assert_eq!(seasons.count(), 0);
+        assert_fast_paths_agree(&[7], &dense);
     }
 
     #[test]
@@ -330,25 +453,47 @@ mod tests {
         // the end of the earlier season to the start of the later one.
         let cfg = config(2, 3, (1, 20), 2);
         let seasons = find_seasons(&[1, 2, 3, 7, 8, 11, 12, 14], &cfg);
-        assert_eq!(seasons.distances(), vec![8]);
+        assert_eq!(seasons.distances().collect::<Vec<_>>(), vec![8]);
         // Three seasons → two gaps, each a forward (non-negative) distance.
         let cfg = config(1, 2, (2, 100), 2);
         let seasons = find_seasons(&[1, 2, 8, 9, 60, 61], &cfg);
-        assert_eq!(seasons.distances(), vec![6, 51]);
+        assert_eq!(seasons.distances().collect::<Vec<_>>(), vec![6, 51]);
     }
 
     #[test]
     fn distmin_trimming_that_empties_a_near_set_skips_its_distance() {
         // Near sets {1,2}, {5,6}, {20,21} with distmin = 10: every granule of
         // {5,6} is closer than distmin to the end of season {1,2}, so the
-        // position() search finds nothing, the unwrap_or(len) branch drains
-        // the whole set, and the next distance is measured from {1,2} to
-        // {20,21}.
+        // trim consumes the whole near set and the next distance is measured
+        // from {1,2} to {20,21}.
         let cfg = config(1, 2, (10, 100), 1);
-        let seasons = find_seasons(&[1, 2, 5, 6, 20, 21], &cfg);
-        assert_eq!(seasons.seasons(), &[vec![1, 2], vec![20, 21]]);
-        assert_eq!(seasons.distances(), vec![18]);
+        let support = vec![1, 2, 5, 6, 20, 21];
+        let seasons = find_seasons(&support, &cfg);
+        assert_eq!(season_vecs(&seasons), vec![vec![1, 2], vec![20, 21]]);
+        assert_eq!(seasons.distances().collect::<Vec<_>>(), vec![18]);
         assert_eq!(seasons.count(), 2);
+        assert_fast_paths_agree(&support, &cfg);
+    }
+
+    #[test]
+    fn early_exit_fast_path_agrees_on_long_compliant_chains() {
+        // Ten compliant seasons; support_is_frequent may stop after two but
+        // must agree with the exact check for every minSeason.
+        let mut support = Vec::new();
+        for s in 0..10u64 {
+            let base = 1 + s * 10;
+            support.extend([base, base + 1, base + 2]);
+        }
+        for min_season in 1..12u64 {
+            let cfg = config(2, 3, (3, 20), min_season);
+            let seasons = find_seasons(&support, &cfg);
+            assert_eq!(seasons.count(), 10);
+            assert_eq!(
+                support_is_frequent(&support, &cfg),
+                seasons.is_frequent(min_season),
+                "minSeason {min_season}"
+            );
+        }
     }
 
     #[test]
@@ -356,6 +501,6 @@ mod tests {
         let cfg = config(2, 2, (1, 10), 1);
         let set = SeasonSet::derive(vec![1, 2, 3, 8, 9], &cfg);
         assert_eq!(set.support, vec![1, 2, 3, 8, 9]);
-        assert_eq!(set.seasons.seasons().len(), 2);
+        assert_eq!(set.seasons.num_seasons(), 2);
     }
 }

@@ -1,9 +1,15 @@
-//! Support sets (Definition 3.12) and the sorted-set primitives the miner
-//! relies on.
+//! Support sets (Definition 3.12) and the sorted-set / bitset primitives the
+//! miner relies on.
 //!
 //! A support set is the sorted list of granule positions (in `H`) where an
 //! event, an event group or a pattern occurs. Keeping them sorted makes the
 //! intersection used when growing event groups a linear merge.
+//!
+//! The bitset primitives ([`intersect_rows_into`], [`iter_set_bits`]) back
+//! the level-2 relation adjacency matrix of
+//! [`RelationAdjacency`](crate::hlh::RelationAdjacency): the extension set of
+//! a (k−1)-group is the bitwise AND of its members' neighbor rows, walked as
+//! set bits.
 
 use stpm_timeseries::GranulePos;
 
@@ -163,6 +169,51 @@ pub fn insert_sorted(set: &mut SupportSet, granule: GranulePos) {
     }
 }
 
+/// Bitwise-AND intersection of equal-length bitset rows into `out`, clearing
+/// it first. With no rows the output is empty; one row is copied verbatim.
+/// This is the one-pass replacement for probing `has_relation_between` per
+/// group member: the surviving bits of the AND are exactly the events related
+/// to *every* member.
+///
+/// # Panics
+/// Panics (in debug builds) when the rows differ in length.
+pub fn intersect_rows_into(out: &mut Vec<u64>, rows: &[&[u64]]) {
+    out.clear();
+    let Some((first, rest)) = rows.split_first() else {
+        return;
+    };
+    out.extend_from_slice(first);
+    for row in rest {
+        debug_assert_eq!(row.len(), out.len(), "bitset rows must share a length");
+        for (acc, &word) in out.iter_mut().zip(row.iter()) {
+            *acc &= word;
+        }
+    }
+}
+
+/// Iterates the indices of the set bits of a bitset, lowest first, starting
+/// at bit `from`. Bit `i` is bit `i % 64` of word `i / 64`.
+pub fn iter_set_bits(words: &[u64], from: usize) -> impl Iterator<Item = usize> + '_ {
+    let mut word_idx = from / 64;
+    let mut current = if word_idx < words.len() {
+        words[word_idx] & (!0u64 << (from % 64))
+    } else {
+        0
+    };
+    std::iter::from_fn(move || loop {
+        if current != 0 {
+            let bit = current.trailing_zeros() as usize;
+            current &= current - 1;
+            return Some(word_idx * 64 + bit);
+        }
+        word_idx += 1;
+        if word_idx >= words.len() {
+            return None;
+        }
+        current = words[word_idx];
+    })
+}
+
 /// Relative support of a support set in a database of `dseq_len` granules.
 #[must_use]
 pub fn relative_support(set: &[GranulePos], dseq_len: u64) -> f64 {
@@ -254,6 +305,29 @@ mod tests {
         insert_sorted(&mut set, 6);
         insert_sorted(&mut set, 3);
         assert_eq!(set, vec![3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn bitset_row_intersection_and_iteration() {
+        let a = [0b1011u64, u64::MAX];
+        let b = [0b1110u64, 1 << 63];
+        let mut out = Vec::new();
+        intersect_rows_into(&mut out, &[&a, &b]);
+        assert_eq!(out, vec![0b1010, 1 << 63]);
+        assert_eq!(iter_set_bits(&out, 0).collect::<Vec<_>>(), vec![1, 3, 127]);
+        assert_eq!(iter_set_bits(&out, 2).collect::<Vec<_>>(), vec![3, 127]);
+        assert_eq!(iter_set_bits(&out, 4).collect::<Vec<_>>(), vec![127]);
+        assert_eq!(iter_set_bits(&out, 128).count(), 0);
+        // Single row copies; empty row list clears.
+        intersect_rows_into(&mut out, &[&a]);
+        assert_eq!(out, a.to_vec());
+        intersect_rows_into(&mut out, &[]);
+        assert!(out.is_empty());
+        assert_eq!(iter_set_bits(&out, 0).count(), 0);
+        // A word-boundary start index must not mask the wrong word.
+        let c = [0u64, 0b101u64];
+        assert_eq!(iter_set_bits(&c, 64).collect::<Vec<_>>(), vec![64, 66]);
+        assert_eq!(iter_set_bits(&c, 65).collect::<Vec<_>>(), vec![66]);
     }
 
     #[test]

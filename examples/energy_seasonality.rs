@@ -53,8 +53,7 @@ fn main() {
     for pattern in ranked.iter().take(10) {
         let seasons = pattern.seasons();
         let first_season = seasons
-            .seasons()
-            .first()
+            .first_season()
             .map(|s| format!("H{}..H{}", s.first().unwrap(), s.last().unwrap()))
             .unwrap_or_default();
         println!(

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Compare a fresh `scaling --quick` run against the committed quick baseline.
+
+Usage:
+    check_scaling_regression.py BASELINE.json FRESH.json [--max-slowdown 1.25]
+
+Checks, in order of severity:
+
+1. **Pattern counts** must be identical at every sweep point (keyed by
+   (axis, series, sequences)). The miner's output is deterministic, so any
+   difference is a correctness regression, not noise.
+2. **Reuse counters**: at least one point must report
+   `classifier_calls_saved > 0` — the quick grid mines 3-event patterns, so
+   a zero everywhere means the level-2 reuse machinery came unwired.
+3. **Runtime**: the fresh total runtime must not exceed
+   `max(baseline_total * max_slowdown, baseline_total + ABS_SLACK_SECS)`.
+   Be honest about what this catches: the quick grid totals ~10ms, where
+   scheduler jitter and cross-machine differences alone exceed 25%, so the
+   noise floor dominates and only multi-x algorithmic blowups trip the
+   runtime gate. Pattern identity (check 1) is the strict signal; the
+   runtime gate is a backstop against order-of-magnitude regressions.
+
+Exit status is non-zero on the first failed check.
+"""
+
+import argparse
+import json
+import sys
+
+# Noise floor added on top of the relative budget: quick-grid points run in
+# single-digit milliseconds, where scheduler jitter alone exceeds 25%.
+ABS_SLACK_SECS = 0.02
+
+
+def load_points(path):
+    """Returns {(axis, series, sequences): point_dict} plus the file total."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    points = {}
+    total_runtime = 0.0
+    for sweep in doc["sweeps"]:
+        for point in sweep["points"]:
+            key = (sweep["axis"], point["series"], point["sequences"])
+            points[key] = point
+            total_runtime += point["runtime_secs"]
+    return points, total_runtime
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-slowdown", type=float, default=1.25)
+    args = parser.parse_args()
+
+    baseline, baseline_total = load_points(args.baseline)
+    fresh, fresh_total = load_points(args.fresh)
+
+    if set(baseline) != set(fresh):
+        missing = sorted(set(baseline) - set(fresh))
+        extra = sorted(set(fresh) - set(baseline))
+        sys.exit(f"FAIL: sweep grids differ (missing={missing}, extra={extra})")
+
+    for key, base_point in sorted(baseline.items()):
+        fresh_point = fresh[key]
+        if base_point["patterns"] != fresh_point["patterns"]:
+            sys.exit(
+                f"FAIL: pattern count diverged at {key}: "
+                f"baseline {base_point['patterns']} vs fresh {fresh_point['patterns']}"
+            )
+
+    if not any(p.get("classifier_calls_saved", 0) > 0 for p in fresh.values()):
+        sys.exit("FAIL: classifier_calls_saved is 0 everywhere — level-2 reuse is unwired")
+
+    budget = max(baseline_total * args.max_slowdown, baseline_total + ABS_SLACK_SECS)
+    verdict = "ok" if fresh_total <= budget else "FAIL"
+    print(
+        f"runtime total: baseline {baseline_total:.4f}s, fresh {fresh_total:.4f}s, "
+        f"budget {budget:.4f}s -> {verdict}"
+    )
+    if fresh_total > budget:
+        sys.exit(
+            f"FAIL: quick scaling runtime regressed beyond "
+            f"{args.max_slowdown:.2f}x (+{ABS_SLACK_SECS}s slack)"
+        )
+    print(f"ok: {len(fresh)} points, patterns identical, counters live")
+
+
+if __name__ == "__main__":
+    main()

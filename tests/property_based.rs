@@ -9,14 +9,21 @@
 //! ([`freqstpfts::datagen::SeededRng`]). Failures print the case seed so a
 //! case can be replayed exactly.
 
-use freqstpfts::core::season::{find_seasons, near_support_sets};
-use freqstpfts::core::support::{
-    insert_sorted, intersect, intersect_into, intersect_positions_into, union,
+use freqstpfts::core::hlh::{HlhK, RelationAdjacency};
+use freqstpfts::core::pattern::encode_pattern_key;
+use freqstpfts::core::season::{
+    find_seasons, near_support_sets, seasons_count, support_is_frequent,
 };
-use freqstpfts::core::{classify_relation, PruningMode, StpmConfig, StpmMiner, Threshold};
+use freqstpfts::core::support::{
+    insert_sorted, intersect, intersect_into, intersect_positions_into, intersect_rows_into,
+    iter_set_bits, union,
+};
+use freqstpfts::core::{
+    classify_relation, PruningMode, RelationKind, StpmConfig, StpmMiner, TemporalPattern, Threshold,
+};
 use freqstpfts::datagen::SeededRng;
 use freqstpfts::prelude::*;
-use freqstpfts::timeseries::Interval;
+use freqstpfts::timeseries::{EventInstance, Interval, SeriesId, SymbolId};
 use std::collections::BTreeSet;
 
 /// Number of random cases per lightweight property.
@@ -217,6 +224,170 @@ fn seasons_respect_density_and_count_bounds() {
         );
         let max_season = support.len() as f64 / min_density as f64;
         assert!((seasons.count() as f64) <= max_season + 1e-9, "seed {seed}");
+    }
+}
+
+/// The pre-span-representation season extraction, kept as the reference:
+/// materialise the near support sets, trim each against the previously
+/// accepted season, keep the dense ones, then scan the chain.
+fn reference_find_seasons(
+    support: &[u64],
+    config: &freqstpfts::core::ResolvedConfig,
+) -> (Vec<Vec<u64>>, u64) {
+    let mut seasons: Vec<Vec<u64>> = Vec::new();
+    for near in near_support_sets(support, config.max_period) {
+        let mut granules = near;
+        if let Some(prev) = seasons.last() {
+            let prev_end = *prev.last().expect("seasons are non-empty");
+            let keep_from = granules
+                .iter()
+                .position(|g| g.saturating_sub(prev_end) >= config.dist_min)
+                .unwrap_or(granules.len());
+            granules.drain(..keep_from);
+        }
+        if granules.len() as u64 >= config.min_density {
+            seasons.push(granules);
+        }
+    }
+    let chain = if seasons.is_empty() {
+        0
+    } else {
+        let mut best = 1u64;
+        let mut current = 1u64;
+        for w in seasons.windows(2) {
+            let dist = w[1].first().unwrap() - w[0].last().unwrap();
+            if dist >= config.dist_min && dist <= config.dist_max {
+                current += 1;
+            } else {
+                current = 1;
+            }
+            best = best.max(current);
+        }
+        best
+    };
+    (seasons, chain)
+}
+
+#[test]
+fn span_based_seasons_match_the_reference_materializer() {
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let support = random_support_set(&mut rng);
+        let max_period = 1 + rng.next_below(7);
+        let min_density = 1 + rng.next_below(5);
+        let min_season = 1 + rng.next_below(4);
+        let dist_min = 1 + rng.next_below(8);
+        let dist_max = dist_min + rng.next_below(40);
+        let config = resolved(max_period, min_density, (dist_min, dist_max), min_season);
+
+        let (ref_seasons, ref_chain) = reference_find_seasons(&support, &config);
+        let seasons = find_seasons(&support, &config);
+        let materialized: Vec<Vec<u64>> = seasons.seasons().map(<[u64]>::to_vec).collect();
+        assert_eq!(materialized, ref_seasons, "seed {seed}");
+        assert_eq!(seasons.count(), ref_chain, "seed {seed}");
+        assert_eq!(
+            seasons.densities().collect::<Vec<_>>(),
+            ref_seasons
+                .iter()
+                .map(|s| s.len() as u64)
+                .collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+        assert_eq!(
+            seasons.distances().collect::<Vec<_>>(),
+            ref_seasons
+                .windows(2)
+                .map(|w| w[1].first().unwrap() - w[0].last().unwrap())
+                .collect::<Vec<_>>(),
+            "seed {seed}"
+        );
+        // The allocation-free fast paths agree with the materialiser.
+        assert_eq!(seasons_count(&support, &config), ref_chain, "seed {seed}");
+        assert_eq!(
+            support_is_frequent(&support, &config),
+            ref_chain >= min_season,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn adjacency_bitset_enumeration_matches_the_naive_f1_scan() {
+    let label_at = |i: usize| EventLabel::new(SeriesId(i as u32), SymbolId(0));
+    for seed in 0..CASES / 2 {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        // Universes beyond 64 labels exercise multi-word rows.
+        let n = 4 + rng.next_below(90) as usize;
+        let labels: Vec<EventLabel> = (0..n).map(label_at).collect();
+        let mut hlh2 = HlhK::new(2);
+        for i in 0..n {
+            for j in i + 1..n {
+                let roll = rng.next_below(6);
+                if roll == 0 {
+                    // A related pair: group plus one candidate pattern.
+                    let group = hlh2.insert_group(vec![labels[i], labels[j]], vec![1]);
+                    let pattern =
+                        TemporalPattern::pair([labels[i], labels[j]], RelationKind::Follows, false);
+                    let key = encode_pattern_key(&pattern);
+                    let binding = [
+                        EventInstance::new(labels[i], Interval::new(1, 1)),
+                        EventInstance::new(labels[j], Interval::new(2, 2)),
+                    ];
+                    hlh2.add_pattern_occurrence(
+                        group,
+                        &key,
+                        || pattern.clone(),
+                        1,
+                        &binding[..1],
+                        binding[1],
+                    );
+                } else if roll == 1 {
+                    // A co-occurring pair that never classified: registered
+                    // group, empty pattern list — must contribute no edge.
+                    hlh2.insert_group(vec![labels[i], labels[j]], vec![1]);
+                }
+            }
+        }
+        let adjacency = RelationAdjacency::build(&hlh2, &labels);
+        // Pairwise agreement with the hash-probe lookup.
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                assert_eq!(
+                    adjacency.has_relation_between(i, j),
+                    hlh2.has_relation_between(labels[i], labels[j]),
+                    "seed {seed}, pair ({i}, {j})"
+                );
+            }
+        }
+        // Extension enumeration: the AND of the member rows walked beyond
+        // the last member equals the naive filter over the sorted labels.
+        let mut row = Vec::new();
+        for _ in 0..8 {
+            let member_count = 1 + rng.next_below(3) as usize;
+            let members: BTreeSet<usize> = (0..member_count)
+                .map(|_| rng.next_below(n as u64) as usize)
+                .collect();
+            let last = *members.iter().next_back().unwrap();
+            let naive: Vec<EventLabel> = labels
+                .iter()
+                .copied()
+                .filter(|&e| {
+                    e > labels[last]
+                        && members
+                            .iter()
+                            .all(|&m| hlh2.has_relation_between(labels[m], e))
+                })
+                .collect();
+            let member_rows: Vec<&[u64]> = members.iter().map(|&m| adjacency.row(m)).collect();
+            intersect_rows_into(&mut row, &member_rows);
+            let enumerated: Vec<EventLabel> = iter_set_bits(&row, last + 1)
+                .map(|id| adjacency.label(id))
+                .collect();
+            assert_eq!(enumerated, naive, "seed {seed}, members {members:?}");
+        }
     }
 }
 
