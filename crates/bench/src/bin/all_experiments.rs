@@ -75,4 +75,10 @@ fn main() {
     for t in scaling::tables(&scaling::collect(DatasetProfile::RenewableEnergy, &s)) {
         t.print();
     }
+    println!("### Streaming append vs full re-mine ###");
+    streaming::table(
+        DatasetProfile::RenewableEnergy,
+        &streaming::collect(DatasetProfile::RenewableEnergy, &s),
+    )
+    .print();
 }

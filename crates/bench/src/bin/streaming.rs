@@ -1,0 +1,23 @@
+//! Streaming (incremental) mining vs full batch re-mine: amortized append
+//! cost across arrival batch sizes, with batch/streaming pattern-set
+//! identity asserted at every checkpoint. Writes `BENCH_streaming.json`
+//! (`--quick` runs a smoke grid and writes `BENCH_streaming_quick.json`
+//! instead, so it can never clobber the checked-in full-run baseline).
+use stpm_bench::experiments::{streaming, BenchScale};
+use stpm_datagen::DatasetProfile;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, path) = if quick {
+        (BenchScale::quick(), "BENCH_streaming_quick.json")
+    } else {
+        (BenchScale::full(), "BENCH_streaming.json")
+    };
+
+    let profile = DatasetProfile::RenewableEnergy;
+    let points = streaming::collect(profile, &scale);
+    streaming::table(profile, &points).print();
+    let json = streaming::to_json(profile, &points);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}

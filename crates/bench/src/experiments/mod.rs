@@ -12,6 +12,7 @@ pub mod qualitative;
 pub mod runtime_memory;
 pub mod scalability;
 pub mod scaling;
+pub mod streaming;
 pub mod threads;
 
 use crate::params::scaled_dist_interval;

@@ -41,6 +41,11 @@ pub mod phases {
     pub const ITEMSETS: &str = "itemsets";
     /// Temporal-pattern extraction from itemsets (APS-growth phase 2).
     pub const EXTRACTION: &str = "extraction";
+    /// Incremental granule absorption (streaming miner, cumulative).
+    pub const APPEND: &str = "append";
+    /// Checkpoint emission: frequency gate + season materialisation
+    /// (streaming miner).
+    pub const EMIT: &str = "emit";
 }
 
 /// The input every [`MiningEngine`] mines: the symbolic database `D_SYB`, the

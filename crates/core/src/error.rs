@@ -20,6 +20,12 @@ pub enum Error {
     /// A data-transformation step performed by an engine (projection,
     /// sequence mapping) failed.
     Transform(stpm_timeseries::Error),
+    /// A streaming append violated the append contract (granules out of
+    /// order, or a batch that does not continue the absorbed prefix).
+    StreamAppend {
+        /// Human-readable description.
+        reason: String,
+    },
     /// An internal invariant was violated (indicates a bug, never expected).
     Internal {
         /// Human-readable description.
@@ -41,6 +47,7 @@ impl fmt::Display for Error {
             }
             Error::EmptyDatabase => write!(f, "the temporal sequence database is empty"),
             Error::Transform(e) => write!(f, "data transformation failed: {e}"),
+            Error::StreamAppend { reason } => write!(f, "streaming append rejected: {reason}"),
             Error::Internal { reason } => write!(f, "internal invariant violated: {reason}"),
         }
     }

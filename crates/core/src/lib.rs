@@ -89,6 +89,7 @@ pub mod pattern;
 pub mod relation;
 pub mod report;
 pub mod season;
+pub mod streaming;
 pub mod support;
 
 pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
@@ -98,5 +99,10 @@ pub use hlh::{GroupId, Hlh1, HlhK, PatternId, RelationAdjacency, VerdictTable};
 pub use miner::StpmMiner;
 pub use pattern::{RelationTriple, TemporalPattern};
 pub use relation::{classify_relation, RelationKind};
-pub use report::{LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats};
-pub use season::{find_seasons, seasons_count, support_is_frequent, SeasonSet, Seasons};
+pub use report::{
+    canonical_result_set, LevelStats, MinedEvent, MinedPattern, MiningReport, MiningStats,
+};
+pub use season::{
+    find_seasons, seasons_count, support_is_frequent, SeasonSet, SeasonTracker, Seasons,
+};
+pub use streaming::{StreamingMiner, STREAMING_ENGINE_NAME};

@@ -52,6 +52,19 @@
 //! * the last level of a run is mined *terminal* ([`HlhK::new_terminal`]):
 //!   nothing ever reads its bindings, so the binding pool — the bulk of a
 //!   level's footprint — is never populated.
+//!
+//! # Batch vs streaming
+//!
+//! `StpmMiner` is the *batch* engine: one immutable database in, one report
+//! out. Everything it derives is granule-local (an occurrence binds
+//! instances of a single granule), which is what the incremental
+//! [`StreamingMiner`](crate::streaming::StreamingMiner) exploits to absorb
+//! appended granules without re-mining history: supports only ever grow at
+//! the tail, and the season walk over them is resumable
+//! ([`SeasonTracker`](crate::season::SeasonTracker)). The streaming engine's
+//! checkpoints are exact w.r.t. a batch re-mine of the same prefix — the
+//! batch miner is both the reference implementation and the
+//! re-mine contender the streaming benchmarks compare against.
 
 use crate::config::{ResolvedConfig, StpmConfig};
 use crate::engine::{phases, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
@@ -907,8 +920,9 @@ fn pair_range(
 /// Cuts `costs.len()` work items into at most `threads` contiguous,
 /// non-empty ranges whose cumulative costs are as even as a greedy
 /// left-to-right walk can make them. Contiguity is what lets the per-shard
-/// results be merged back in order.
-fn balanced_ranges(costs: &[u64], threads: usize) -> Vec<Range<usize>> {
+/// results be merged back in order (also reused by the streaming miner to
+/// shard an appended granule batch).
+pub(crate) fn balanced_ranges(costs: &[u64], threads: usize) -> Vec<Range<usize>> {
     let total: u64 = costs.iter().sum();
     let mut ranges = Vec::with_capacity(threads);
     let mut start = 0usize;

@@ -71,6 +71,48 @@ pub fn encode_triple(triple: RelationTriple) -> u64 {
     ((triple.relation as u64) << 16) | (u64::from(triple.first) << 8) | u64::from(triple.second)
 }
 
+/// Inverse of [`encode_triple`].
+///
+/// # Panics
+/// Panics on a word outside the encoding domain — keys are only ever built
+/// through [`encode_triple`], so an undecodable word is a construction bug.
+#[inline]
+#[must_use]
+pub fn decode_triple(word: u64) -> RelationTriple {
+    let relation = match word >> 16 {
+        0 => RelationKind::Follows,
+        1 => RelationKind::Contains,
+        2 => RelationKind::Overlaps,
+        other => unreachable!("relation discriminant {other} is outside the encoding domain"),
+    };
+    RelationTriple {
+        relation,
+        first: ((word >> 8) & 0xFF) as u8,
+        second: (word & 0xFF) as u8,
+    }
+}
+
+/// Inverse of [`encode_pattern_key`] for a known event count `k`: rebuilds
+/// the pattern from its packed interning key. The streaming miner ships only
+/// keys between granule workers and the persistent store, reconstructing the
+/// pattern exactly once — when a key is globally new.
+#[must_use]
+pub fn decode_pattern_key(k: usize, key: &[u64]) -> TemporalPattern {
+    debug_assert_eq!(key.len(), k + k * (k - 1) / 2, "key length must match k");
+    let events: Vec<EventLabel> = key[..k]
+        .iter()
+        .map(|&w| EventLabel::from_packed(w))
+        .collect();
+    let triples: Vec<RelationTriple> = key[k..].iter().map(|&w| decode_triple(w)).collect();
+    let pattern = TemporalPattern::from_parts(events, triples);
+    debug_assert_eq!(
+        encode_pattern_key(&pattern),
+        key,
+        "interning keys store triples in canonical order"
+    );
+    pattern
+}
+
 /// Encodes a pattern into the compact interning key used by the pattern
 /// index of `HLH_k`: the packed events followed by the packed triples, in
 /// the pattern's canonical order.

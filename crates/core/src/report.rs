@@ -3,6 +3,7 @@
 use crate::pattern::TemporalPattern;
 use crate::season::Seasons;
 use crate::support::SupportSet;
+use std::collections::BTreeSet;
 use std::time::Duration;
 use stpm_timeseries::{EventLabel, EventRegistry};
 
@@ -64,6 +65,25 @@ impl MinedPattern {
             self.support.len()
         )
     }
+}
+
+/// Canonical, order-insensitive rendering of a mined result set: one string
+/// per event and per pattern, each carrying the pattern, its full support
+/// set and its seasons. Two mining runs are *identical* — the streaming
+/// engine's exactness contract — iff their canonical sets are equal; the
+/// streaming/batch equivalence tests and the streaming benchmark all compare
+/// through this one helper so the identity check cannot drift between them.
+#[must_use]
+pub fn canonical_result_set(events: &[MinedEvent], patterns: &[MinedPattern]) -> BTreeSet<String> {
+    events
+        .iter()
+        .map(|e| format!("{:?} {:?} {:?}", e.label, e.support, e.seasons))
+        .chain(
+            patterns
+                .iter()
+                .map(|p| format!("{:?} {:?} {:?}", p.pattern(), p.support(), p.seasons())),
+        )
+        .collect()
 }
 
 /// Per-level counters collected while mining (used to report the search-space

@@ -28,6 +28,20 @@
 //! every candidate and materialises a [`Seasons`] — a concatenated granule
 //! buffer plus one index span per season — only for the patterns that survive
 //! `minSeason`.
+//!
+//! # Tail extension (streaming)
+//!
+//! The walker is a left-to-right online algorithm: its entire state is the
+//! previously accepted season's end, the chain counters, and the still-open
+//! tail run. [`SeasonTracker`] reifies exactly that state so an append-only
+//! support set can *extend* its seasons instead of rebuilding them: pushing a
+//! new tail granule is O(1), and only the seasons touching the tail window
+//! can grow or split — everything already finalized (every span whose run was
+//! closed by a `maxPeriod` gap) is immutable. The streaming miner keeps one
+//! tracker per event and per candidate pattern; a
+//! [`snapshot`](SeasonTracker::snapshot) of a tracker is byte-identical to
+//! [`find_seasons`] over the full accumulated support, which is the invariant
+//! the streaming/batch equivalence tests pin down.
 
 use crate::config::ResolvedConfig;
 use stpm_timeseries::GranulePos;
@@ -181,6 +195,207 @@ fn walk_season_spans<F: FnMut(usize, usize)>(
         i = j;
     }
     best
+}
+
+/// The still-open tail run of a [`SeasonTracker`]: the maximal near support
+/// set the most recent granules belong to. It cannot be finalized until a
+/// `maxPeriod` gap closes it (or a snapshot treats the stream end as one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PendingRun {
+    /// Index (into the tracked support set) of the first granule kept after
+    /// the `distmin` trimming — `None` while every granule of the run so far
+    /// has been trimmed away.
+    kept_from: Option<u32>,
+    /// The granule at `kept_from` (the would-be season start).
+    first_kept: GranulePos,
+    /// The last granule of the run so far.
+    last: GranulePos,
+}
+
+/// Incremental season-extraction state over an *append-only* support set —
+/// the `walk_season_spans` walker with its loop state made persistent.
+///
+/// Push every support granule (with its index) in order; at any point the
+/// tracker can answer the frequency check in O(1) and materialise the exact
+/// [`Seasons`] of the accumulated support without re-walking it. Accepted
+/// seasons are stored as index spans into the caller's support vector, so the
+/// tracker never copies granules.
+///
+/// The tracker's transitions are pinned against the batch walker by property
+/// tests: for every prefix of every support set,
+/// `snapshot(support) == find_seasons(support)`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeasonTracker {
+    /// Accepted seasons as half-open index spans into the tracked support.
+    spans: Vec<(u32, u32)>,
+    /// Longest compliant chain over the accepted seasons.
+    best: u64,
+    /// Chain length ending at the most recently accepted season.
+    current: u64,
+    /// End granule of the most recently accepted season.
+    prev_end: Option<GranulePos>,
+    /// The still-open tail run.
+    pending: Option<PendingRun>,
+}
+
+impl SeasonTracker {
+    /// Replays a full support set through a fresh tracker — used when the
+    /// resolved seasonality thresholds change (fractional thresholds crossing
+    /// a granule-count boundary invalidate the incremental state).
+    #[must_use]
+    pub fn rebuild(support: &[GranulePos], config: &ResolvedConfig) -> Self {
+        let mut tracker = Self::default();
+        for (idx, &granule) in support.iter().enumerate() {
+            tracker.push(idx, granule, config);
+        }
+        tracker
+    }
+
+    /// Whether `granule` survives the `distmin` trimming against the end of
+    /// the previously accepted season.
+    fn keeps(&self, granule: GranulePos, config: &ResolvedConfig) -> bool {
+        self.prev_end
+            .is_none_or(|prev| granule.saturating_sub(prev) >= config.dist_min)
+    }
+
+    /// Closes a run whose last granule is `support[end_idx - 1]`, accepting
+    /// it as a season when its trimmed length reaches `minDensity` — the body
+    /// of the batch walker's per-run step.
+    fn finalize(&mut self, run: PendingRun, end_idx: u32, config: &ResolvedConfig) {
+        let Some(kept_from) = run.kept_from else {
+            return;
+        };
+        if u64::from(end_idx - kept_from) < config.min_density {
+            return;
+        }
+        self.current = match self.prev_end {
+            Some(prev) => {
+                let dist = run.first_kept - prev;
+                if dist >= config.dist_min && dist <= config.dist_max {
+                    self.current + 1
+                } else {
+                    1
+                }
+            }
+            None => 1,
+        };
+        self.best = self.best.max(self.current);
+        self.prev_end = Some(run.last);
+        self.spans.push((kept_from, end_idx));
+    }
+
+    /// Appends the support granule at index `idx` to the tracked set.
+    /// Granules must arrive in strictly increasing order, with `idx` equal to
+    /// the number of granules pushed so far.
+    ///
+    /// # Panics
+    /// Panics when the support set outgrows `u32` indices.
+    pub fn push(&mut self, idx: usize, granule: GranulePos, config: &ResolvedConfig) {
+        let idx = u32::try_from(idx).expect("support length fits u32");
+        let extends = self.pending.as_ref().is_some_and(|run| {
+            debug_assert!(run.last < granule, "support granules must ascend");
+            granule - run.last <= config.max_period
+        });
+        if extends {
+            // The extend path never changes prev_end, so the trimming
+            // decision can be made before the mutable borrow.
+            let keep = self.keeps(granule, config);
+            let run = self.pending.as_mut().expect("extends implies pending");
+            run.last = granule;
+            if run.kept_from.is_none() && keep {
+                run.kept_from = Some(idx);
+                run.first_kept = granule;
+            }
+        } else {
+            if let Some(run) = self.pending.take() {
+                self.finalize(run, idx, config);
+            }
+            // Trimming is checked after finalize: accepting the closed run
+            // may have moved prev_end.
+            let keep = self.keeps(granule, config);
+            self.pending = Some(PendingRun {
+                kept_from: keep.then_some(idx),
+                first_kept: granule,
+                last: granule,
+            });
+        }
+    }
+
+    /// The span and would-be chain length of the pending tail run if the
+    /// stream ended now, or `None` when the tail is not (yet) a season.
+    fn pending_span(&self, len: u32, config: &ResolvedConfig) -> Option<((u32, u32), u64)> {
+        let run = self.pending.as_ref()?;
+        let kept_from = run.kept_from?;
+        if u64::from(len - kept_from) < config.min_density {
+            return None;
+        }
+        let chain = match self.prev_end {
+            Some(prev) => {
+                let dist = run.first_kept - prev;
+                if dist >= config.dist_min && dist <= config.dist_max {
+                    self.current + 1
+                } else {
+                    1
+                }
+            }
+            None => 1,
+        };
+        Some(((kept_from, len), chain))
+    }
+
+    /// `seasons(P)` of the accumulated support — the exact value
+    /// [`seasons_count`] would return, in O(1).
+    #[must_use]
+    pub fn count(&self, support_len: usize, config: &ResolvedConfig) -> u64 {
+        let len = u32::try_from(support_len).expect("support length fits u32");
+        match self.pending_span(len, config) {
+            Some((_, chain)) => self.best.max(chain),
+            None => self.best,
+        }
+    }
+
+    /// Whether the accumulated support passes the `minSeason` frequency
+    /// check — the O(1) equivalent of [`support_is_frequent`].
+    #[must_use]
+    pub fn is_frequent(&self, support_len: usize, config: &ResolvedConfig) -> bool {
+        self.count(support_len, config) >= config.min_season
+    }
+
+    /// Materialises the exact [`Seasons`] of the accumulated support.
+    /// `support` must be the granules pushed so far, in push order.
+    #[must_use]
+    pub fn snapshot(&self, support: &[GranulePos], config: &ResolvedConfig) -> Seasons {
+        let len = u32::try_from(support.len()).expect("support length fits u32");
+        let pending = self.pending_span(len, config);
+        let chain_len = match pending {
+            Some((_, chain)) => self.best.max(chain),
+            None => self.best,
+        };
+        let span_count = self.spans.len() + usize::from(pending.is_some());
+        let mut granules = Vec::new();
+        let mut spans = Vec::with_capacity(span_count);
+        for &(s, e) in self
+            .spans
+            .iter()
+            .chain(pending.iter().map(|(span, _)| span))
+        {
+            let start = u32::try_from(granules.len()).expect("season granules fit u32");
+            granules.extend_from_slice(&support[s as usize..e as usize]);
+            let end = u32::try_from(granules.len()).expect("season granules fit u32");
+            spans.push((start, end));
+        }
+        Seasons {
+            granules,
+            spans,
+            chain_len,
+        }
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn footprint_bytes(&self) -> usize {
+        self.spans.len() * std::mem::size_of::<(u32, u32)>()
+    }
 }
 
 /// Extracts the seasons of a support set (described in the module docs),
@@ -494,6 +709,64 @@ mod tests {
                 "minSeason {min_season}"
             );
         }
+    }
+
+    /// Asserts that a tracker fed `support` granule by granule agrees with
+    /// the batch extraction at *every prefix*.
+    fn assert_tracker_matches_batch(support: &[GranulePos], cfg: &ResolvedConfig) {
+        let mut tracker = SeasonTracker::default();
+        for (idx, &granule) in support.iter().enumerate() {
+            tracker.push(idx, granule, cfg);
+            let prefix = &support[..=idx];
+            let batch = find_seasons(prefix, cfg);
+            assert_eq!(
+                tracker.snapshot(prefix, cfg),
+                batch,
+                "prefix {prefix:?} diverged"
+            );
+            assert_eq!(tracker.count(prefix.len(), cfg), batch.count());
+            assert_eq!(
+                tracker.is_frequent(prefix.len(), cfg),
+                batch.is_frequent(cfg.min_season)
+            );
+        }
+        assert_eq!(SeasonTracker::rebuild(support, cfg), tracker);
+    }
+
+    #[test]
+    fn tracker_matches_batch_on_the_paper_examples() {
+        assert_tracker_matches_batch(&[1, 2, 3, 7, 8, 11, 12, 14], &config(2, 3, (1, 20), 2));
+        // distmin trimming (H9 dropped from the second season).
+        assert_tracker_matches_batch(&[1, 3, 4, 5, 6, 9, 10, 11, 13], &config(2, 3, (4, 10), 2));
+        // A whole near set consumed by trimming.
+        assert_tracker_matches_batch(&[1, 2, 5, 6, 20, 21], &config(1, 2, (10, 100), 1));
+        // Chain break and restart.
+        assert_tracker_matches_batch(&[1, 2, 60, 61, 70, 71, 80, 81], &config(1, 2, (2, 10), 2));
+        // Empty and single-granule supports.
+        assert_tracker_matches_batch(&[], &config(2, 2, (1, 10), 1));
+        assert_tracker_matches_batch(&[7], &config(2, 1, (1, 10), 1));
+    }
+
+    #[test]
+    fn tracker_extends_a_tail_season_across_pushes() {
+        // The tail run grows from "not yet a season" to a season to a longer
+        // season as granules arrive — no rebuild, every snapshot exact.
+        let cfg = config(2, 3, (1, 20), 2);
+        let support = [1, 2, 3, 10, 11, 12, 13];
+        let mut tracker = SeasonTracker::default();
+        for (idx, &g) in support.iter().enumerate() {
+            tracker.push(idx, g, &cfg);
+        }
+        let seasons = tracker.snapshot(&support, &cfg);
+        assert_eq!(seasons.num_seasons(), 2);
+        assert_eq!(seasons.season(1), &[10, 11, 12, 13]);
+        assert_eq!(seasons.count(), 2);
+        // A far-away granule closes the tail season and opens a new run.
+        let support = [1, 2, 3, 10, 11, 12, 13, 40];
+        tracker.push(7, 40, &cfg);
+        let seasons = tracker.snapshot(&support, &cfg);
+        assert_eq!(seasons.num_seasons(), 2, "the lone tail granule is sparse");
+        assert_eq!(tracker.count(support.len(), &cfg), 2);
     }
 
     #[test]

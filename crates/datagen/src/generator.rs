@@ -40,6 +40,55 @@ impl GeneratedDataset {
     pub fn dseq(&self) -> TsResult<SequenceDatabase> {
         self.dsyb.to_sequence_database(self.mapping_factor)
     }
+
+    /// The batched-arrival view of the dataset: splits the symbolic database
+    /// into an initial window of `initial_granules` granules followed by
+    /// batches of `batch_granules` granules each (the trailing batch may be
+    /// shorter). Feeding the batches to a streaming miner in order
+    /// reconstructs the dataset exactly — this is the workload of the
+    /// streaming benchmarks and the streaming/batch equivalence tests.
+    ///
+    /// # Panics
+    /// Panics when `batch_granules` is zero.
+    #[must_use]
+    pub fn arrival_batches(
+        &self,
+        initial_granules: u64,
+        batch_granules: u64,
+    ) -> Vec<SymbolicDatabase> {
+        assert!(batch_granules > 0, "batches must hold at least one granule");
+        let m = self.mapping_factor;
+        let total = self.dsyb.len() as u64;
+        let slice = |from: u64, to: u64| {
+            let (from, to) = (from as usize, to as usize);
+            SymbolicDatabase::new(
+                self.dsyb
+                    .series()
+                    .iter()
+                    .map(|s| {
+                        SymbolicSeries::new(
+                            s.name().to_string(),
+                            s.symbols()[from..to].to_vec(),
+                            s.alphabet().clone(),
+                        )
+                    })
+                    .collect(),
+            )
+            .expect("a slice of a valid database is valid")
+        };
+        let mut batches = Vec::new();
+        let mut cursor = (initial_granules * m).min(total);
+        if cursor > 0 {
+            batches.push(slice(0, cursor));
+        }
+        let step = batch_granules * m;
+        while cursor < total {
+            let next = (cursor + step).min(total);
+            batches.push(slice(cursor, next));
+            cursor = next;
+        }
+        batches
+    }
 }
 
 /// Generates a dataset according to `spec`. Fully deterministic for a given
@@ -189,6 +238,28 @@ mod tests {
         let dseq = data.dseq().unwrap();
         assert_eq!(dseq.num_granules(), spec.num_sequences);
         assert_eq!(dseq.num_series(), 6);
+    }
+
+    #[test]
+    fn arrival_batches_reassemble_into_the_original_database() {
+        let data = generate(&small_spec());
+        // 320 granules at m = 4; initial window of 100 granules, then 60 per
+        // batch: 100 + 60·3 + 40 ⇒ 5 batches.
+        let batches = data.arrival_batches(100, 60);
+        assert_eq!(batches.len(), 5);
+        assert_eq!(batches[0].len() as u64, 100 * data.mapping_factor);
+        assert_eq!(batches[1].len() as u64, 60 * data.mapping_factor);
+        assert_eq!(
+            batches.last().unwrap().len() as u64,
+            40 * data.mapping_factor
+        );
+        let mut reassembled = batches[0].clone();
+        for batch in &batches[1..] {
+            reassembled.append_batch(batch).unwrap();
+        }
+        assert_eq!(reassembled, data.dsyb);
+        // An initial window larger than the dataset degenerates to one batch.
+        assert_eq!(data.arrival_batches(10_000, 60).len(), 1);
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub enum Error {
         /// Name that was looked up.
         name: String,
     },
+    /// An appended batch does not continue the database it is appended to
+    /// (different series set, alphabets, or an inconsistent granule count).
+    AppendMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -69,6 +75,7 @@ impl fmt::Display for Error {
                 )
             }
             Error::UnknownSeries { name } => write!(f, "unknown series `{name}`"),
+            Error::AppendMismatch { reason } => write!(f, "append rejected: {reason}"),
         }
     }
 }

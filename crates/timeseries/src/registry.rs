@@ -38,6 +38,15 @@ impl EventLabel {
     pub fn packed(&self) -> u64 {
         (u64::from(self.series.0) << 16) | u64::from(self.symbol.0)
     }
+
+    /// Inverse of [`EventLabel::packed`].
+    #[must_use]
+    pub fn from_packed(word: u64) -> Self {
+        Self {
+            series: SeriesId(u32::try_from(word >> 16).expect("packed labels fit 48 bits")),
+            symbol: SymbolId((word & 0xFFFF) as u16),
+        }
+    }
 }
 
 /// Maps [`EventLabel`]s to and from human-readable `series:symbol` names.

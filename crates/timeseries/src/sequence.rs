@@ -128,32 +128,9 @@ impl SequenceDatabase {
                 ),
             });
         }
-        let mut sequences = Vec::with_capacity(usize::try_from(num_granules).unwrap_or(0));
-        for g in 0..num_granules {
-            let base = g * m; // 0-based offset of the first instant of granule g+1
-            let mut instances = Vec::new();
-            for (sid, series) in db.series().iter().enumerate() {
-                let label_series = SeriesId(u32::try_from(sid).expect("series fits u32"));
-                let window = &series.symbols()[usize::try_from(base).expect("index fits usize")
-                    ..usize::try_from(base + m).expect("index fits usize")];
-                let mut run_start = 0usize;
-                while run_start < window.len() {
-                    let symbol = window[run_start];
-                    let mut run_end = run_start;
-                    while run_end + 1 < window.len() && window[run_end + 1] == symbol {
-                        run_end += 1;
-                    }
-                    let start_pos = base + run_start as u64 + 1;
-                    let end_pos = base + run_end as u64 + 1;
-                    instances.push(EventInstance::new(
-                        EventLabel::new(label_series, symbol),
-                        Interval::new(start_pos, end_pos),
-                    ));
-                    run_start = run_end + 1;
-                }
-            }
-            sequences.push(TemporalSequence::new(g + 1, instances));
-        }
+        let sequences = (0..num_granules)
+            .map(|g| build_granule_sequence(db, m, g))
+            .collect();
         Ok(Self {
             sequences,
             registry: db.registry().clone(),
@@ -257,6 +234,72 @@ impl SequenceDatabase {
             num_series: self.num_series,
         }
     }
+
+    /// Builds only the granules that `db` has grown since this database was
+    /// (last) built from it, appends them, and returns the newly appended
+    /// slice. Samples that do not yet fill a complete granule are left for a
+    /// later append — existing granules are never revisited, matching the
+    /// append-only contract of the streaming miner.
+    ///
+    /// # Errors
+    /// [`Error::AppendMismatch`] when `db` is not a grown version of the
+    /// database this one was built from (different registry or series count),
+    /// or when it shrank below the already-built granules.
+    pub fn append_from_symbolic(&mut self, db: &SymbolicDatabase) -> Result<&[TemporalSequence]> {
+        if db.num_series() != self.num_series || db.registry() != &self.registry {
+            return Err(Error::AppendMismatch {
+                reason: "the symbolic database's series set or registry diverged from the \
+                         sequence database's"
+                    .into(),
+            });
+        }
+        let built = self.sequences.len() as u64;
+        let total = db.len() as u64 / self.m;
+        if total < built {
+            return Err(Error::AppendMismatch {
+                reason: format!(
+                    "the symbolic database covers {total} granules but {built} were \
+                     already built"
+                ),
+            });
+        }
+        let from = self.sequences.len();
+        self.sequences
+            .extend((built..total).map(|g| build_granule_sequence(db, self.m, g)));
+        Ok(&self.sequences[from..])
+    }
+}
+
+/// Builds the temporal sequence of 0-based granule `g` of `db` under mapping
+/// factor `m`: within the granule's window, runs of identical symbols of each
+/// series become event instances (Definition 3.11). Shared by the full build
+/// ([`SequenceDatabase::from_symbolic`]) and the streaming append
+/// ([`SequenceDatabase::append_from_symbolic`]), so appended granules are
+/// bit-identical to batch-built ones.
+fn build_granule_sequence(db: &SymbolicDatabase, m: u64, g: u64) -> TemporalSequence {
+    let base = g * m; // 0-based offset of the first instant of granule g+1
+    let mut instances = Vec::new();
+    for (sid, series) in db.series().iter().enumerate() {
+        let label_series = SeriesId(u32::try_from(sid).expect("series fits u32"));
+        let window = &series.symbols()[usize::try_from(base).expect("index fits usize")
+            ..usize::try_from(base + m).expect("index fits usize")];
+        let mut run_start = 0usize;
+        while run_start < window.len() {
+            let symbol = window[run_start];
+            let mut run_end = run_start;
+            while run_end + 1 < window.len() && window[run_end + 1] == symbol {
+                run_end += 1;
+            }
+            let start_pos = base + run_start as u64 + 1;
+            let end_pos = base + run_end as u64 + 1;
+            instances.push(EventInstance::new(
+                EventLabel::new(label_series, symbol),
+                Interval::new(start_pos, end_pos),
+            ));
+            run_start = run_end + 1;
+        }
+    }
+    TemporalSequence::new(g + 1, instances)
 }
 
 #[cfg(test)]
@@ -345,6 +388,83 @@ mod tests {
         assert_eq!(dseq.total_instances(), 6);
         assert_eq!(dseq.distinct_events().len(), 2);
         assert_eq!(dseq.num_series(), 1);
+    }
+
+    #[test]
+    fn appended_granules_are_identical_to_batch_built_ones() {
+        // Build the full-table D_SEQ in one shot, then grow the same database
+        // incrementally in uneven symbolic batches: the sequences must be
+        // bit-identical at every step, with partial granules left pending.
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let full_bits = [("C", "110100110"), ("D", "100100111")];
+        let full = SymbolicDatabase::new(
+            full_bits
+                .iter()
+                .map(|(name, bits)| {
+                    let labels: Vec<&str> = bits
+                        .chars()
+                        .map(|c| if c == '1' { "1" } else { "0" })
+                        .collect();
+                    SymbolicSeries::from_labels(name, &labels, alphabet.clone()).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let reference = full.to_sequence_database(3).unwrap();
+
+        let slice = |from: usize, to: usize| {
+            SymbolicDatabase::new(
+                full.series()
+                    .iter()
+                    .map(|s| {
+                        SymbolicSeries::new(
+                            s.name().to_string(),
+                            s.symbols()[from..to].to_vec(),
+                            s.alphabet().clone(),
+                        )
+                    })
+                    .collect(),
+            )
+            .unwrap()
+        };
+        let mut growing = slice(0, 4); // one full granule + one pending instant
+        let mut dseq = growing.to_sequence_database(3).unwrap();
+        assert_eq!(dseq.num_granules(), 1);
+        growing.append_batch(&slice(4, 7)).unwrap(); // completes granule 2, starts 3
+        let appended = dseq.append_from_symbolic(&growing).unwrap();
+        assert_eq!(appended.len(), 1);
+        assert_eq!(appended[0], *reference.sequence_at(2).unwrap());
+        growing.append_batch(&slice(7, 9)).unwrap(); // completes granule 3
+        let appended = dseq.append_from_symbolic(&growing).unwrap();
+        assert_eq!(appended[0], *reference.sequence_at(3).unwrap());
+        assert_eq!(dseq.sequences(), reference.sequences());
+        // Appending with nothing new is a no-op.
+        assert!(dseq.append_from_symbolic(&growing).unwrap().is_empty());
+    }
+
+    #[test]
+    fn append_from_symbolic_rejects_mismatched_databases() {
+        let db = table2_c_prefix();
+        let mut dseq = db.to_sequence_database(3).unwrap();
+        // A database with a different series set is rejected.
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let other = SymbolicDatabase::new(vec![SymbolicSeries::from_labels(
+            "Z",
+            &["1", "0", "1"],
+            alphabet,
+        )
+        .unwrap()])
+        .unwrap();
+        assert!(matches!(
+            dseq.append_from_symbolic(&other),
+            Err(Error::AppendMismatch { .. })
+        ));
+        // A database that shrank below the built granules is rejected too.
+        let shrunk = db.truncated(3).unwrap();
+        assert!(matches!(
+            dseq.append_from_symbolic(&shrunk),
+            Err(Error::AppendMismatch { .. })
+        ));
     }
 
     #[test]

@@ -84,6 +84,12 @@ impl SymbolicSeries {
         counts.iter().map(|c| *c as f64 / n).collect()
     }
 
+    /// Appends encoded symbols at the tail of the series (streaming
+    /// arrivals).
+    pub fn append_symbols(&mut self, symbols: &[SymbolId]) {
+        self.symbols.extend_from_slice(symbols);
+    }
+
     /// Returns a copy truncated to the first `len` instants.
     #[must_use]
     pub fn truncated(&self, len: usize) -> Self {
@@ -254,6 +260,48 @@ impl SymbolicDatabase {
     pub fn truncated(&self, len: usize) -> Result<Self> {
         Self::new(self.series.iter().map(|s| s.truncated(len)).collect())
     }
+
+    /// Appends a batch of newly-arrived instants: `batch` must hold the same
+    /// series (same names, same order, same alphabets) over the new time
+    /// window. Only the new samples are touched — the existing encoding is
+    /// never revisited, which is what keeps streaming symbolization
+    /// prefix-stable for pointwise symbolizers.
+    ///
+    /// # Errors
+    /// [`Error::AppendMismatch`] when the batch's series set or alphabets
+    /// differ from this database's.
+    pub fn append_batch(&mut self, batch: &SymbolicDatabase) -> Result<()> {
+        if batch.num_series() != self.num_series() {
+            return Err(Error::AppendMismatch {
+                reason: format!(
+                    "batch has {} series, database has {}",
+                    batch.num_series(),
+                    self.num_series()
+                ),
+            });
+        }
+        for (mine, theirs) in self.series.iter().zip(batch.series()) {
+            if mine.name() != theirs.name() {
+                return Err(Error::AppendMismatch {
+                    reason: format!(
+                        "series order diverged: `{}` vs `{}`",
+                        mine.name(),
+                        theirs.name()
+                    ),
+                });
+            }
+            if mine.alphabet() != theirs.alphabet() {
+                return Err(Error::AppendMismatch {
+                    reason: format!("series `{}` changed its alphabet", mine.name()),
+                });
+            }
+        }
+        for (mine, theirs) in self.series.iter_mut().zip(batch.series()) {
+            mine.append_symbols(theirs.symbols());
+        }
+        self.len += batch.len();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +385,58 @@ mod tests {
         let t = db.truncated(2).unwrap();
         assert_eq!(t.len(), 2);
         assert!(db.truncated(0).is_err());
+    }
+
+    #[test]
+    fn append_batch_extends_every_series() {
+        let mut db =
+            SymbolicDatabase::new(vec![series("C", &[1, 0, 1]), series("D", &[0, 0, 1])]).unwrap();
+        let batch =
+            SymbolicDatabase::new(vec![series("C", &[0, 1]), series("D", &[1, 1])]).unwrap();
+        db.append_batch(&batch).unwrap();
+        assert_eq!(db.len(), 5);
+        assert_eq!(db.series()[0].symbols().len(), 5);
+        assert_eq!(db.series()[0].symbols()[3], SymbolId(0));
+        assert_eq!(db.series()[1].symbols()[4], SymbolId(1));
+        // The appended database equals the one built in one shot.
+        let full = SymbolicDatabase::new(vec![
+            series("C", &[1, 0, 1, 0, 1]),
+            series("D", &[0, 0, 1, 1, 1]),
+        ])
+        .unwrap();
+        assert_eq!(db, full);
+    }
+
+    #[test]
+    fn append_batch_rejects_mismatched_batches() {
+        let mut db =
+            SymbolicDatabase::new(vec![series("C", &[1, 0, 1]), series("D", &[0, 0, 1])]).unwrap();
+        // Wrong series count.
+        let wrong_count = SymbolicDatabase::new(vec![series("C", &[1])]).unwrap();
+        assert!(matches!(
+            db.append_batch(&wrong_count),
+            Err(Error::AppendMismatch { .. })
+        ));
+        // Wrong series order/name.
+        let wrong_order =
+            SymbolicDatabase::new(vec![series("D", &[1]), series("C", &[1])]).unwrap();
+        assert!(matches!(
+            db.append_batch(&wrong_order),
+            Err(Error::AppendMismatch { .. })
+        ));
+        // Changed alphabet.
+        let fat_alphabet = Alphabet::from_strs(&["0", "1", "2"]).unwrap();
+        let changed = SymbolicDatabase::new(vec![
+            SymbolicSeries::new("C".into(), vec![SymbolId(2)], fat_alphabet.clone()),
+            SymbolicSeries::new("D".into(), vec![SymbolId(0)], fat_alphabet),
+        ])
+        .unwrap();
+        assert!(matches!(
+            db.append_batch(&changed),
+            Err(Error::AppendMismatch { .. })
+        ));
+        // The failed appends left the database untouched.
+        assert_eq!(db.len(), 3);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Streaming mining: absorb appliance readings as they arrive and keep the
+//! frequent seasonal patterns continuously up to date — no re-mining of
+//! history.
+//!
+//! Run with: `cargo run --example streaming_monitor`
+//!
+//! The example replays the paper's running example (Table II) as a live
+//! feed: readings arrive one day (one 15-minute granule = 3 samples) at a
+//! time, each append is absorbed in time proportional to the new data, and
+//! every checkpoint report is exactly what a batch re-mine of everything
+//! received so far would produce.
+
+use freqstpfts::prelude::*;
+
+fn main() {
+    let bits_to_values = |bits: &str| -> Vec<f64> {
+        bits.chars()
+            .map(|c| if c == '1' { 1.2 } else { 0.0 })
+            .collect()
+    };
+    let feed: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "Cooker",
+            bits_to_values("110100110000000000111111000000100110000110"),
+        ),
+        (
+            "DishWasher",
+            bits_to_values("100100110110000000111111000000100100110110"),
+        ),
+        (
+            "FoodProcessor",
+            bits_to_values("001011001001111000000000111111001001001001"),
+        ),
+        (
+            "Microwave",
+            bits_to_values("111100111110111111000111111111111000111000"),
+        ),
+        (
+            "Nespresso",
+            bits_to_values("110111111110111111000000111111111111111000"),
+        ),
+    ];
+
+    let config = StpmConfig {
+        max_period: Threshold::Absolute(2),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (3, 10),
+        min_season: 2,
+        max_pattern_len: 3,
+        ..StpmConfig::default()
+    };
+
+    // The streaming pipeline reuses the batch builder verbatim.
+    let mut stream = Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.1, "Off", "On"))
+        .mapping_factor(3)
+        .thresholds(config)
+        .into_streaming();
+
+    // Samples arrive in six-sample chunks (two granules per append).
+    let total = feed[0].1.len();
+    let chunk = 6;
+    let mut from = 0;
+    while from < total {
+        let to = (from + chunk).min(total);
+        let batch: Vec<TimeSeries> = feed
+            .iter()
+            .map(|(name, values)| TimeSeries::new(*name, values[from..to].to_vec()))
+            .collect();
+        let report = stream.append(&batch).expect("the feed is well-formed");
+        println!(
+            "absorbed samples {from:>2}..{to:<2} — {} granules, {} frequent seasonal patterns",
+            stream.num_granules(),
+            report.total_patterns(),
+        );
+        from = to;
+    }
+
+    let report = stream.checkpoint().expect("granules were absorbed");
+    println!("\nFrequent seasonal temporal patterns after the full feed:");
+    for pattern in report.patterns() {
+        println!("  {}", pattern.display(report.registry()));
+    }
+}

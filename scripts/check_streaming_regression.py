@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a fresh `streaming --quick` run against the committed baseline.
+
+Usage:
+    check_streaming_regression.py BASELINE.json FRESH.json [--max-slowdown 1.25]
+
+Checks, in order of severity:
+
+1. **Exactness**: every fresh point must report
+   `identical_checkpoints == checkpoints`. The experiment itself panics on a
+   batch/streaming divergence, so a fresh file that exists at all usually
+   passes — this guards against the assertion being edited away.
+2. **Pattern counts** must match the baseline at every batch size (keyed by
+   `batch_granules`). Mining is deterministic; any difference is a
+   correctness regression of either engine, not noise.
+3. **Dead counters**: every point needs `checkpoints > 0` and `granules > 0`,
+   and at least one point must report `patterns_final > 0` — zeros everywhere
+   mean the streaming engine came unwired.
+4. **Amortized-append speedup**: the largest batch size must keep its
+   amortized append at least 2x cheaper than the amortized full re-mine —
+   the headline guarantee of the incremental engine. Both sides of the ratio
+   move together under machine noise, so this gate is stable where absolute
+   runtimes are not.
+5. **Runtime**: the fresh total append time must not exceed
+   `max(baseline_total * max_slowdown, baseline_total + ABS_SLACK_SECS)`.
+   As with the scaling gate, quick-grid totals sit in the milliseconds where
+   scheduler jitter dominates; the noise floor means only multi-x blowups
+   trip this check, with checks 1-4 carrying the strict signal.
+
+Exit status is non-zero on the first failed check.
+"""
+
+import argparse
+import json
+import sys
+
+# Noise floor added on top of the relative budget: quick-grid appends run in
+# single-digit milliseconds, where scheduler jitter alone exceeds 25%.
+ABS_SLACK_SECS = 0.02
+
+# The acceptance bar for the incremental engine on the largest quick config.
+MIN_SPEEDUP = 2.0
+
+
+def load_points(path):
+    """Returns {batch_granules: point_dict} plus the total append time."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    points = {}
+    append_total = 0.0
+    for point in doc["points"]:
+        points[point["batch_granules"]] = point
+        append_total += point["append_total_secs"]
+    return points, append_total
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-slowdown", type=float, default=1.25)
+    args = parser.parse_args()
+
+    baseline, baseline_total = load_points(args.baseline)
+    fresh, fresh_total = load_points(args.fresh)
+
+    if set(baseline) != set(fresh):
+        missing = sorted(set(baseline) - set(fresh))
+        extra = sorted(set(fresh) - set(baseline))
+        sys.exit(f"FAIL: batch-size grids differ (missing={missing}, extra={extra})")
+
+    for batch, point in sorted(fresh.items()):
+        if point["identical_checkpoints"] != point["checkpoints"]:
+            sys.exit(
+                f"FAIL: batch size {batch}: only {point['identical_checkpoints']} of "
+                f"{point['checkpoints']} checkpoints matched the batch re-mine"
+            )
+        if point["checkpoints"] <= 0 or point["granules"] <= 0:
+            sys.exit(f"FAIL: batch size {batch}: dead checkpoint/granule counters")
+        base_point = baseline[batch]
+        if point["patterns_final"] != base_point["patterns_final"]:
+            sys.exit(
+                f"FAIL: pattern count diverged at batch size {batch}: "
+                f"baseline {base_point['patterns_final']} vs fresh {point['patterns_final']}"
+            )
+
+    if not any(p["patterns_final"] > 0 for p in fresh.values()):
+        sys.exit("FAIL: patterns_final is 0 everywhere — the streaming engine is unwired")
+
+    largest = fresh[max(fresh)]
+    if largest["speedup"] < MIN_SPEEDUP:
+        sys.exit(
+            f"FAIL: amortized append speedup {largest['speedup']:.2f}x at batch size "
+            f"{max(fresh)} fell below the {MIN_SPEEDUP:.1f}x bar"
+        )
+
+    budget = max(baseline_total * args.max_slowdown, baseline_total + ABS_SLACK_SECS)
+    verdict = "ok" if fresh_total <= budget else "FAIL"
+    print(
+        f"append total: baseline {baseline_total:.4f}s, fresh {fresh_total:.4f}s, "
+        f"budget {budget:.4f}s -> {verdict}"
+    )
+    if fresh_total > budget:
+        sys.exit(
+            f"FAIL: quick streaming append regressed beyond "
+            f"{args.max_slowdown:.2f}x (+{ABS_SLACK_SECS}s slack)"
+        )
+    print(
+        f"ok: {len(fresh)} batch sizes, all checkpoints exact, patterns identical, "
+        f"largest-config speedup {largest['speedup']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -51,18 +51,20 @@ pub use stpm_timeseries as timeseries;
 
 use stpm_approx::AStpmMiner;
 use stpm_baseline::ApsGrowth;
-use stpm_core::{EngineReport, MiningEngine, MiningInput, MiningReport, StpmConfig, StpmMiner};
+use stpm_core::{
+    EngineReport, MiningEngine, MiningInput, MiningReport, StpmConfig, StpmMiner, StreamingMiner,
+};
 use stpm_timeseries::{SequenceDatabase, SymbolicDatabase, Symbolizer, TimeSeries};
 
 /// The most commonly used items of the whole workspace, importable with a
 /// single `use freqstpfts::prelude::*`.
 pub mod prelude {
-    pub use crate::{Engine, Pipeline, PipelineError, PipelineOutcome};
+    pub use crate::{Engine, Pipeline, PipelineError, PipelineOutcome, StreamingPipeline};
     pub use stpm_approx::AStpmMiner;
     pub use stpm_baseline::ApsGrowth;
     pub use stpm_core::{
         accuracy, EngineReport, MinedPattern, MiningEngine, MiningInput, MiningReport, PruningMode,
-        RelationKind, StpmConfig, StpmMiner, TemporalPattern, Threshold,
+        RelationKind, StpmConfig, StpmMiner, StreamingMiner, TemporalPattern, Threshold,
     };
     pub use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
     pub use stpm_timeseries::{
@@ -290,6 +292,25 @@ impl Pipeline {
         })
     }
 
+    /// Converts the configured pipeline into a [`StreamingPipeline`] that
+    /// absorbs raw-sample batches incrementally instead of mining one fixed
+    /// database — the builder (symbolizer, mapping factor, thresholds,
+    /// threads) is reused as-is. The streaming engine is the exact miner;
+    /// an [`Engine`] selection made on the builder is ignored.
+    #[must_use]
+    pub fn into_streaming(self) -> StreamingPipeline {
+        let mut config = self.config;
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
+        StreamingPipeline {
+            symbolizer: self.symbolizer,
+            mapping_factor: self.mapping_factor,
+            config,
+            state: None,
+        }
+    }
+
     fn mine_symbolic(
         &self,
         dsyb: &SymbolicDatabase,
@@ -307,6 +328,213 @@ impl Pipeline {
             .mine_with(&input, &config)
             .map_err(PipelineError::Mining)?;
         Ok((dseq, report))
+    }
+}
+
+/// The accumulated state of a [`StreamingPipeline`] once the first batch has
+/// arrived: the growing databases plus the incremental miner over them.
+struct StreamState {
+    dsyb: SymbolicDatabase,
+    dseq: SequenceDatabase,
+    miner: StreamingMiner,
+}
+
+/// The streaming counterpart of [`Pipeline`]: raw samples arrive in batches,
+/// are symbolized once (only the new samples), folded into the growing
+/// `D_SYB`/`D_SEQ`, and absorbed by the incremental
+/// [`StreamingMiner`] — every [`append`](StreamingPipeline::append) returns a
+/// checkpoint report that is exactly what a batch re-mine of the full prefix
+/// would report.
+///
+/// Built from a configured [`Pipeline`] via [`Pipeline::into_streaming`]:
+///
+/// ```
+/// use freqstpfts::prelude::*;
+///
+/// let config = StpmConfig {
+///     max_period: Threshold::Absolute(2),
+///     min_density: Threshold::Absolute(2),
+///     dist_interval: (1, 10),
+///     min_season: 1,
+///     ..StpmConfig::default()
+/// };
+/// let mut stream = Pipeline::builder()
+///     .symbolizer(ThresholdSymbolizer::binary(0.5, "Off", "On"))
+///     .mapping_factor(3)
+///     .thresholds(config)
+///     .into_streaming();
+/// // Day one: six samples (two granules).
+/// stream.append(&[
+///     TimeSeries::new("Cooker", vec![1.8, 1.2, 0.0, 1.1, 0.0, 0.0]),
+///     TimeSeries::new("Dishes", vec![2.0, 0.0, 0.0, 1.4, 0.0, 0.0]),
+/// ]).unwrap();
+/// // Day two: six more — only these are symbolized and mined.
+/// let report = stream.append(&[
+///     TimeSeries::new("Cooker", vec![1.3, 1.4, 0.0, 0.0, 0.0, 0.0]),
+///     TimeSeries::new("Dishes", vec![1.2, 1.5, 0.0, 1.2, 1.1, 0.0]),
+/// ]).unwrap();
+/// assert_eq!(stream.num_granules(), 4);
+/// assert!(report.total_patterns() > 0);
+/// ```
+///
+/// Exactness across appends requires a *pointwise* symbolizer (one whose
+/// encoding of a sample does not depend on later samples —
+/// [`ThresholdSymbolizer`](stpm_timeseries::ThresholdSymbolizer), or any
+/// symbolizer fitted once up front). Data-dependent symbolizers refitted per
+/// batch would re-encode history differently than a batch run.
+pub struct StreamingPipeline {
+    symbolizer: Option<Box<dyn Symbolizer>>,
+    mapping_factor: u64,
+    config: StpmConfig,
+    state: Option<StreamState>,
+}
+
+impl std::fmt::Debug for StreamingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingPipeline")
+            .field("symbolizer", &self.symbolizer.is_some())
+            .field("mapping_factor", &self.mapping_factor)
+            .field("config", &self.config)
+            .field("num_granules", &self.num_granules())
+            .finish()
+    }
+}
+
+impl StreamingPipeline {
+    /// Symbolizes a batch of raw samples with the configured symbolizer and
+    /// absorbs it. Each [`TimeSeries`] carries the *new* samples of one
+    /// series (same names and order on every call).
+    ///
+    /// # Errors
+    /// [`PipelineError::MissingSymbolizer`] without a symbolizer; otherwise
+    /// as [`StreamingPipeline::append_symbolic`].
+    pub fn append(&mut self, batch: &[TimeSeries]) -> Result<EngineReport, PipelineError> {
+        let symbolizer = self
+            .symbolizer
+            .as_deref()
+            .ok_or(PipelineError::MissingSymbolizer)?;
+        let symbolic: Result<Vec<_>, _> = batch.iter().map(|s| symbolizer.symbolize(s)).collect();
+        let dsyb = SymbolicDatabase::new(symbolic.map_err(PipelineError::Transform)?)
+            .map_err(PipelineError::Transform)?;
+        self.append_symbolic(&dsyb)
+    }
+
+    /// Absorbs a batch of already-symbolized samples and returns the
+    /// checkpoint report of the grown prefix. Samples that do not fill a
+    /// complete granule stay pending until a later append completes them.
+    ///
+    /// # Errors
+    /// Transform errors when the batch does not continue the absorbed series
+    /// set; mining errors from the incremental engine.
+    pub fn append_symbolic(
+        &mut self,
+        batch: &SymbolicDatabase,
+    ) -> Result<EngineReport, PipelineError> {
+        if self.mapping_factor == 0 {
+            return Err(PipelineError::Transform(
+                stpm_timeseries::Error::InvalidGranularity {
+                    reason: "the sequence-mapping factor m must be at least 1".into(),
+                },
+            ));
+        }
+        match &mut self.state {
+            None => {
+                let dsyb = batch.clone();
+                let dseq = SequenceDatabase::from_sequences(
+                    Vec::new(),
+                    dsyb.registry().clone(),
+                    self.mapping_factor,
+                    dsyb.num_series(),
+                );
+                let miner = StreamingMiner::new(&self.config, dsyb.registry())
+                    .map_err(PipelineError::Mining)?;
+                self.state = Some(StreamState { dsyb, dseq, miner });
+            }
+            Some(state) => {
+                state
+                    .dsyb
+                    .append_batch(batch)
+                    .map_err(PipelineError::Transform)?;
+            }
+        }
+        let state = self.state.as_mut().expect("state was just initialised");
+        let appended = state
+            .dseq
+            .append_from_symbolic(&state.dsyb)
+            .map_err(PipelineError::Transform)?;
+        state
+            .miner
+            .append_batch(appended)
+            .map_err(PipelineError::Mining)?;
+        self.checkpoint()
+    }
+
+    /// Emits the checkpoint report of everything absorbed so far without
+    /// appending anything. Before the first *complete* granule the report is
+    /// simply empty (zero granules, no patterns) — an append whose samples
+    /// all stay pending is a success, not an error, so callers never retry
+    /// (and thereby duplicate) a batch that was absorbed.
+    ///
+    /// # Errors
+    /// Mining errors from the incremental engine.
+    pub fn checkpoint(&self) -> Result<EngineReport, PipelineError> {
+        match &self.state {
+            Some(state) if state.miner.num_granules() > 0 => {
+                state.miner.checkpoint().map_err(PipelineError::Mining)
+            }
+            state => {
+                // Nothing mined yet: an empty report over whatever registry
+                // is known so far.
+                let registry = state
+                    .as_ref()
+                    .map(|s| s.dsyb.registry().clone())
+                    .unwrap_or_default();
+                let total_series = registry.num_series();
+                let pruning = stpm_core::PruningSummary {
+                    kept_series: (0..total_series)
+                        .map(|i| timeseries::SeriesId(u32::try_from(i).expect("series fits u32")))
+                        .collect(),
+                    total_series,
+                    total_events: registry.num_events(),
+                    ..stpm_core::PruningSummary::default()
+                };
+                Ok(EngineReport::new(
+                    stpm_core::STREAMING_ENGINE_NAME,
+                    MiningReport::default(),
+                    registry,
+                    Vec::new(),
+                    pruning,
+                    0,
+                ))
+            }
+        }
+    }
+
+    /// Number of complete granules absorbed so far.
+    #[must_use]
+    pub fn num_granules(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.miner.num_granules())
+    }
+
+    /// Raw instants received that do not yet fill a complete granule.
+    #[must_use]
+    pub fn pending_instants(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.dsyb.len() as u64 % self.mapping_factor.max(1))
+    }
+
+    /// The accumulated symbolic database, once the first batch has arrived.
+    #[must_use]
+    pub fn dsyb(&self) -> Option<&SymbolicDatabase> {
+        self.state.as_ref().map(|s| &s.dsyb)
+    }
+
+    /// The accumulated temporal sequence database, once the first batch has
+    /// arrived.
+    #[must_use]
+    pub fn dseq(&self) -> Option<&SequenceDatabase> {
+        self.state.as_ref().map(|s| &s.dseq)
     }
 }
 
@@ -504,6 +732,111 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PipelineError::Mining(_)));
         assert!(err.to_string().contains("mining"));
+    }
+
+    #[test]
+    fn streaming_pipeline_matches_the_batch_pipeline() {
+        // Feed the quickstart series in three uneven batches (the second one
+        // leaves a partial granule pending); the final checkpoint must agree
+        // with the one-shot batch pipeline on the same data.
+        let series = sample_series();
+        let batch_outcome = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .run(&series)
+            .unwrap();
+
+        let mut stream = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .into_streaming();
+        let chunk = |from: usize, to: usize| -> Vec<TimeSeries> {
+            series
+                .iter()
+                .map(|s| TimeSeries::new(s.name(), s.values()[from..to].to_vec()))
+                .collect()
+        };
+        stream.append(&chunk(0, 4)).unwrap();
+        assert_eq!(stream.num_granules(), 1);
+        assert_eq!(stream.pending_instants(), 1);
+        stream.append(&chunk(4, 7)).unwrap();
+        let report = stream.append(&chunk(7, 9)).unwrap();
+        assert_eq!(stream.num_granules(), 3);
+        assert_eq!(stream.pending_instants(), 0);
+        assert_eq!(report.pattern_set(), batch_outcome.report.pattern_set());
+        assert_eq!(
+            stream.dseq().unwrap().sequences(),
+            batch_outcome.dseq.sequences()
+        );
+        assert_eq!(stream.dsyb().unwrap().len(), 9);
+        // A checkpoint without an append reproduces the same output.
+        let again = stream.checkpoint().unwrap();
+        assert_eq!(again.pattern_set(), report.pattern_set());
+    }
+
+    #[test]
+    fn appends_that_complete_no_granule_succeed_without_duplicating_samples() {
+        // Two samples per append at mapping factor 3: the first append
+        // completes no granule and must succeed (empty report) — returning
+        // an error there would invite callers to retry an already-absorbed
+        // batch and corrupt the series. Three such appends = 6 samples =
+        // 2 granules, identical to the one-shot run.
+        let series = sample_series();
+        let chunk = |from: usize, to: usize| -> Vec<TimeSeries> {
+            series
+                .iter()
+                .map(|s| TimeSeries::new(s.name(), s.values()[from..to].to_vec()))
+                .collect()
+        };
+        let mut stream = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .into_streaming();
+        let pending = stream.append(&chunk(0, 2)).unwrap();
+        assert_eq!(pending.total_patterns(), 0);
+        assert_eq!(stream.num_granules(), 0);
+        assert_eq!(stream.pending_instants(), 2);
+        stream.append(&chunk(2, 4)).unwrap();
+        let report = stream.append(&chunk(4, 6)).unwrap();
+        assert_eq!(stream.num_granules(), 2);
+        let batch = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .run(&chunk(0, 6))
+            .unwrap();
+        assert_eq!(report.pattern_set(), batch.report.pattern_set());
+    }
+
+    #[test]
+    fn streaming_pipeline_rejects_misuse() {
+        let mut no_symbolizer = Pipeline::builder()
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .into_streaming();
+        assert_eq!(
+            no_symbolizer.append(&sample_series()).unwrap_err(),
+            PipelineError::MissingSymbolizer
+        );
+        let empty = no_symbolizer.checkpoint().unwrap();
+        assert_eq!(empty.total_patterns(), 0);
+        assert_eq!(empty.stats().num_granules, 0);
+        assert_eq!(no_symbolizer.num_granules(), 0);
+
+        // A batch whose series set diverges from the first one is rejected.
+        let mut stream = Pipeline::builder()
+            .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+            .mapping_factor(3)
+            .thresholds(sample_config())
+            .into_streaming();
+        stream.append(&sample_series()).unwrap();
+        let err = stream
+            .append(&[TimeSeries::new("Z", vec![1.0, 0.0])])
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Transform(_)));
     }
 
     #[test]

@@ -312,6 +312,50 @@ fn span_based_seasons_match_the_reference_materializer() {
 }
 
 #[test]
+fn season_tracker_matches_the_batch_walker_on_every_prefix() {
+    // The streaming miner's per-pattern season state must agree with the
+    // batch season extraction at *every* prefix of an append-only support
+    // set — this is the invariant streaming/batch exactness rests on.
+    use freqstpfts::core::season::SeasonTracker;
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let support = random_support_set(&mut rng);
+        let max_period = 1 + rng.next_below(7);
+        let min_density = 1 + rng.next_below(5);
+        let min_season = 1 + rng.next_below(4);
+        let dist_min = 1 + rng.next_below(8);
+        let dist_max = dist_min + rng.next_below(40);
+        let config = resolved(max_period, min_density, (dist_min, dist_max), min_season);
+        let mut tracker = SeasonTracker::default();
+        for (idx, &granule) in support.iter().enumerate() {
+            tracker.push(idx, granule, &config);
+            let prefix = &support[..=idx];
+            assert_eq!(
+                tracker.snapshot(prefix, &config),
+                find_seasons(prefix, &config),
+                "seed {seed}, prefix {prefix:?}"
+            );
+            assert_eq!(
+                tracker.count(prefix.len(), &config),
+                seasons_count(prefix, &config),
+                "seed {seed}"
+            );
+            assert_eq!(
+                tracker.is_frequent(prefix.len(), &config),
+                support_is_frequent(prefix, &config),
+                "seed {seed}"
+            );
+        }
+        // Rebuilding from the full support reproduces the incremental state.
+        assert_eq!(
+            SeasonTracker::rebuild(&support, &config),
+            tracker,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
 fn adjacency_bitset_enumeration_matches_the_naive_f1_scan() {
     let label_at = |i: usize| EventLabel::new(SeriesId(i as u32), SymbolId(0));
     for seed in 0..CASES / 2 {
