@@ -81,4 +81,10 @@ fn main() {
         &streaming::collect(DatasetProfile::RenewableEnergy, &s),
     )
     .print();
+    println!("### Recovery from snapshot vs full re-mine ###");
+    recovery::table(
+        DatasetProfile::RenewableEnergy,
+        &recovery::collect(DatasetProfile::RenewableEnergy, &s),
+    )
+    .print();
 }

@@ -1,0 +1,23 @@
+//! Crash recovery: restoring streaming state from a snapshot (plus a WAL
+//! tail replay) vs a full batch re-mine, with recovered/batch pattern-set
+//! identity asserted at every crash position. Writes `BENCH_recovery.json`
+//! (`--quick` runs a smoke grid and writes `BENCH_recovery_quick.json`
+//! instead, so it can never clobber the checked-in full-run baseline).
+use stpm_bench::experiments::{recovery, BenchScale};
+use stpm_datagen::DatasetProfile;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, path) = if quick {
+        (BenchScale::quick(), "BENCH_recovery_quick.json")
+    } else {
+        (BenchScale::full(), "BENCH_recovery.json")
+    };
+
+    let profile = DatasetProfile::RenewableEnergy;
+    let points = recovery::collect(profile, &scale);
+    recovery::table(profile, &points).print();
+    let json = recovery::to_json(profile, &points);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}

@@ -9,6 +9,7 @@ pub mod epsilon;
 pub mod pattern_counts;
 pub mod pruning_ratio;
 pub mod qualitative;
+pub mod recovery;
 pub mod runtime_memory;
 pub mod scalability;
 pub mod scaling;

@@ -1,0 +1,273 @@
+//! Crash-recovery experiment: restoring a [`StreamingMiner`] from a
+//! snapshot (plus replaying the granules that arrived after it) vs
+//! rebuilding the same state with a full batch re-mine.
+//!
+//! The sweep varies the *tail* — how many granules arrived after the last
+//! snapshot and therefore have to be replayed on recovery, exactly the work
+//! a write-ahead log hands back after a crash. A tail of zero is the pure
+//! restore cost. At every point the recovered pattern set (patterns,
+//! supports, seasons) is asserted identical to the batch re-mine of the
+//! full prefix, so a surviving JSON file certifies that recovery is exact.
+
+use super::{config_for, BenchScale};
+use crate::table::TextTable;
+use std::time::{Duration, Instant};
+use stpm_core::{canonical_result_set as canonical, StpmMiner, StreamingMiner};
+use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
+
+/// One measured crash position of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPoint {
+    /// Granules absorbed after the snapshot — the WAL tail replayed on
+    /// recovery.
+    pub tail_granules: u64,
+    /// Total granules of the recovered prefix.
+    pub granules: u64,
+    /// Distinct events of the recovered prefix.
+    pub events: usize,
+    /// Size of the snapshot, in bytes.
+    pub snapshot_bytes: usize,
+    /// Wall-clock time to serialise the snapshot.
+    pub snapshot_write: Duration,
+    /// Wall-clock time of the recovery path: restore the snapshot and
+    /// replay the WAL tail, leaving a miner ready to absorb the next batch.
+    pub recovery: Duration,
+    /// Wall-clock time of the alternative a snapshot-less service pays to
+    /// reach the same resumable state: rebuild `D_SEQ` and re-mine the full
+    /// history through a fresh [`StreamingMiner`].
+    pub remine: Duration,
+    /// Whether the recovered pattern set was identical to the batch
+    /// re-mine (the experiment asserts this).
+    pub identical: bool,
+    /// Frequent patterns (events + k-event patterns) after recovery.
+    pub patterns: usize,
+}
+
+impl RecoveryPoint {
+    /// How many times cheaper recovering is than re-mining from scratch.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let recovery = self.recovery.as_secs_f64();
+        if recovery > 0.0 {
+            self.remine.as_secs_f64() / recovery
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// WAL-tail sizes of the sweep (granules appended after the snapshot),
+/// pure restore first.
+#[must_use]
+pub fn tail_sizes(scale: &BenchScale) -> Vec<u64> {
+    if scale.quick_grid {
+        vec![0, 10]
+    } else {
+        vec![0, 60, 120]
+    }
+}
+
+/// The dataset the crash interrupts: the quick grid matches the other smoke
+/// runs, the full grid matches the largest single-threaded streaming
+/// configuration (8 series × 720 granules).
+fn recovery_spec(profile: DatasetProfile, scale: &BenchScale) -> DatasetSpec {
+    if scale.quick_grid {
+        scale.apply(DatasetSpec::real(profile))
+    } else {
+        DatasetSpec::real(profile).scaled_to(8, 720)
+    }
+}
+
+/// Measures one crash position.
+///
+/// # Panics
+/// Panics when the recovered pattern set diverges from the batch re-mine —
+/// exactness is the point of the experiment.
+fn measure_point(profile: DatasetProfile, scale: &BenchScale, tail_granules: u64) -> RecoveryPoint {
+    let spec = recovery_spec(profile, scale);
+    let data = generate(&spec);
+    let mut config = config_for(profile, 0.006, 0.0075, 2);
+    config.max_pattern_len = 3;
+    let config = config.with_threads(1);
+    let dseq = data.dseq().expect("generated data maps to sequences");
+    let total = dseq.num_granules();
+    let cut = total.saturating_sub(tail_granules) as usize;
+
+    // The interrupted run: stream the prefix, snapshot, absorb the tail
+    // (which, in a deployment, the WAL holds), then "crash".
+    let mut miner =
+        StreamingMiner::new(&config, dseq.registry()).expect("benchmark configuration is valid");
+    miner
+        .append_batch(&dseq.sequences()[..cut])
+        .expect("append stays in order");
+    let snapshot_start = Instant::now();
+    let mut snapshot = Vec::new();
+    miner
+        .snapshot(&mut snapshot)
+        .expect("serialising to a Vec cannot fail");
+    let snapshot_write = snapshot_start.elapsed();
+    drop(miner);
+
+    // Recovery path: restore the snapshot and replay the WAL tail. The
+    // miner is then ready to absorb the next arrival — checkpoint emission
+    // is on-demand output work both paths price identically, so it stays
+    // outside the timed regions.
+    let recovery_start = Instant::now();
+    let mut restored =
+        StreamingMiner::restore(&mut &snapshot[..]).expect("the snapshot was just written");
+    restored
+        .append_batch(&dseq.sequences()[cut..])
+        .expect("the tail continues the snapshot");
+    let recovery = recovery_start.elapsed();
+
+    // The alternative a snapshot-less service pays to reach the same
+    // resumable state: rebuild `D_SEQ` from the symbolic history and replay
+    // every granule through a fresh streaming miner.
+    let remine_start = Instant::now();
+    let full_dseq = data
+        .dsyb
+        .to_sequence_database(data.mapping_factor)
+        .expect("the prefix holds at least one granule");
+    let mut remined = StreamingMiner::new(&config, full_dseq.registry())
+        .expect("benchmark configuration is valid");
+    remined
+        .append_batch(full_dseq.sequences())
+        .expect("append stays in order");
+    let remine = remine_start.elapsed();
+
+    // Exactness: both paths, and the batch engine, agree on the full prefix.
+    let report = restored.checkpoint().expect("a granule has been absorbed");
+    let replayed = remined.checkpoint().expect("a granule has been absorbed");
+    let batch =
+        StpmMiner::mine_sequences(&full_dseq, &config).expect("benchmark configuration is valid");
+    let recovered_set = canonical(report.events(), report.patterns());
+    assert_eq!(
+        recovered_set,
+        canonical(replayed.events(), replayed.patterns()),
+        "recovery with a {tail_granules}-granule tail diverged from the streaming re-mine"
+    );
+    assert_eq!(
+        recovered_set,
+        canonical(batch.events(), batch.patterns()),
+        "recovery with a {tail_granules}-granule tail diverged from the batch re-mine"
+    );
+    RecoveryPoint {
+        tail_granules,
+        granules: total,
+        events: dseq.distinct_events().len(),
+        snapshot_bytes: snapshot.len(),
+        snapshot_write,
+        recovery,
+        remine,
+        identical: true,
+        patterns: report.total_patterns(),
+    }
+}
+
+/// Runs the crash-position sweep for one profile.
+#[must_use]
+pub fn collect(profile: DatasetProfile, scale: &BenchScale) -> Vec<RecoveryPoint> {
+    tail_sizes(scale)
+        .into_iter()
+        .map(|tail| measure_point(profile, scale, tail))
+        .collect()
+}
+
+/// Renders the sweep as a table.
+#[must_use]
+pub fn table(profile: DatasetProfile, points: &[RecoveryPoint]) -> TextTable {
+    let mut table = TextTable::new(
+        &format!(
+            "Recovery from snapshot + WAL tail vs full re-mine on {} (exact)",
+            profile.short_name()
+        ),
+        &[
+            "tail granules",
+            "snapshot (KiB)",
+            "write (ms)",
+            "recover (ms)",
+            "re-mine (ms)",
+            "speedup",
+            "patterns",
+        ],
+    );
+    for point in points {
+        table.add_row(vec![
+            point.tail_granules.to_string(),
+            format!("{:.1}", point.snapshot_bytes as f64 / 1024.0),
+            format!("{:.3}", point.snapshot_write.as_secs_f64() * 1e3),
+            format!("{:.3}", point.recovery.as_secs_f64() * 1e3),
+            format!("{:.3}", point.remine.as_secs_f64() * 1e3),
+            format!("{:.2}x", point.speedup()),
+            point.patterns.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Serialises the sweep as a JSON document (hand-rolled: the workspace is
+/// dependency-free).
+#[must_use]
+pub fn to_json(profile: DatasetProfile, points: &[RecoveryPoint]) -> String {
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"tail_granules\":{},\"granules\":{},\"events\":{},\
+                 \"snapshot_bytes\":{},\"snapshot_write_secs\":{:.6},\
+                 \"recovery_secs\":{:.6},\"remine_secs\":{:.6},\
+                 \"speedup\":{:.3},\"identical\":{},\"patterns\":{}}}",
+                p.tail_granules,
+                p.granules,
+                p.events,
+                p.snapshot_bytes,
+                p.snapshot_write.as_secs_f64(),
+                p.recovery.as_secs_f64(),
+                p.remine.as_secs_f64(),
+                p.speedup(),
+                p.identical,
+                p.patterns
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"recovery\",\"threads\":1,\"profile\":\"{}\",\"points\":[{}]}}\n",
+        profile.short_name(),
+        rendered.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_recovers_exactly_at_every_crash_position() {
+        let points = collect(DatasetProfile::Influenza, &BenchScale::quick());
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert!(point.identical, "recovery diverged");
+            assert!(point.snapshot_bytes > 0, "snapshot came out empty");
+            assert!(point.patterns > 0, "mining came unwired");
+            assert!(point.granules > 0);
+            assert!(point.speedup().is_finite() || point.recovery.is_zero());
+        }
+        assert_eq!(points[0].tail_granules, 0);
+        assert!(points[1].tail_granules > 0);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let points = collect(DatasetProfile::Influenza, &BenchScale::quick());
+        let json = to_json(DatasetProfile::Influenza, &points);
+        assert!(json.starts_with("{\"experiment\":\"recovery\""));
+        assert!(json.contains("\"tail_granules\":"));
+        assert!(json.contains("\"recovery_secs\":"));
+        assert!(json.contains("\"speedup\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",]") && !json.contains(",}"));
+        let rendered = table(DatasetProfile::Influenza, &points);
+        let _ = rendered;
+    }
+}

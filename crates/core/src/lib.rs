@@ -89,6 +89,7 @@ pub mod pattern;
 pub mod relation;
 pub mod report;
 pub mod season;
+pub mod snapshot;
 pub mod streaming;
 pub mod support;
 
@@ -105,4 +106,5 @@ pub use report::{
 pub use season::{
     find_seasons, seasons_count, support_is_frequent, SeasonSet, SeasonTracker, Seasons,
 };
+pub use snapshot::{CheckpointMeta, WalContents, SNAPSHOT_VERSION, WAL_VERSION};
 pub use streaming::{StreamingMiner, STREAMING_ENGINE_NAME};

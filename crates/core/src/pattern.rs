@@ -76,20 +76,38 @@ pub fn encode_triple(triple: RelationTriple) -> u64 {
 /// # Panics
 /// Panics on a word outside the encoding domain — keys are only ever built
 /// through [`encode_triple`], so an undecodable word is a construction bug.
+/// For *untrusted* words (snapshot restore), use [`try_decode_triple`].
 #[inline]
 #[must_use]
 pub fn decode_triple(word: u64) -> RelationTriple {
+    try_decode_triple(word)
+        .unwrap_or_else(|| unreachable!("word {word:#x} is outside the triple encoding domain"))
+}
+
+/// Checked inverse of [`encode_triple`]: returns `None` on a word outside the
+/// encoding domain (unknown relation discriminant, or an index pair that is
+/// not a valid oriented pair) instead of panicking. This is the entry point
+/// for words read from untrusted bytes — snapshot and WAL restore validate
+/// every key word through it so corrupt data surfaces as a typed error.
+#[inline]
+#[must_use]
+pub fn try_decode_triple(word: u64) -> Option<RelationTriple> {
     let relation = match word >> 16 {
         0 => RelationKind::Follows,
         1 => RelationKind::Contains,
         2 => RelationKind::Overlaps,
-        other => unreachable!("relation discriminant {other} is outside the encoding domain"),
+        _ => return None,
     };
-    RelationTriple {
-        relation,
-        first: ((word >> 8) & 0xFF) as u8,
-        second: (word & 0xFF) as u8,
+    let first = ((word >> 8) & 0xFF) as u8;
+    let second = (word & 0xFF) as u8;
+    if first == second {
+        return None;
     }
+    Some(RelationTriple {
+        relation,
+        first,
+        second,
+    })
 }
 
 /// Inverse of [`encode_pattern_key`] for a known event count `k`: rebuilds
@@ -434,6 +452,23 @@ mod tests {
         incremental.extend(base.triples().iter().copied().map(encode_triple));
         incremental.extend(new_triples.iter().copied().map(encode_triple));
         assert_eq!(incremental, encode_pattern_key(&extended));
+    }
+
+    #[test]
+    fn try_decode_triple_round_trips_and_rejects_garbage() {
+        for kind in [
+            RelationKind::Follows,
+            RelationKind::Contains,
+            RelationKind::Overlaps,
+        ] {
+            let t = RelationTriple::new(kind, 1, 2);
+            assert_eq!(try_decode_triple(encode_triple(t)), Some(t));
+        }
+        // Unknown relation discriminant.
+        assert_eq!(try_decode_triple(3 << 16), None);
+        assert_eq!(try_decode_triple(u64::MAX), None);
+        // A self-relating index pair never comes out of encode_triple.
+        assert_eq!(try_decode_triple(0x0101), None);
     }
 
     #[test]

@@ -41,7 +41,12 @@
 //! tracker per event and per candidate pattern; a
 //! [`snapshot`](SeasonTracker::snapshot) of a tracker is byte-identical to
 //! [`find_seasons`] over the full accumulated support, which is the invariant
-//! the streaming/batch equivalence tests pin down.
+//! the streaming/batch equivalence tests pin down. Because the whole walker
+//! state is those few plain fields, a tracker is also trivially durable: the
+//! [`snapshot`](crate::snapshot) persistence subsystem serializes it verbatim
+//! and restores it bit-for-bit, and [`SeasonTracker::rebuild`] doubles as the
+//! exactness fallback when a restore changes the resolved seasonality
+//! thresholds.
 
 use crate::config::ResolvedConfig;
 use stpm_timeseries::GranulePos;
@@ -201,15 +206,15 @@ fn walk_season_spans<F: FnMut(usize, usize)>(
 /// set the most recent granules belong to. It cannot be finalized until a
 /// `maxPeriod` gap closes it (or a snapshot treats the stream end as one).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct PendingRun {
+pub(crate) struct PendingRun {
     /// Index (into the tracked support set) of the first granule kept after
     /// the `distmin` trimming — `None` while every granule of the run so far
     /// has been trimmed away.
-    kept_from: Option<u32>,
+    pub(crate) kept_from: Option<u32>,
     /// The granule at `kept_from` (the would-be season start).
-    first_kept: GranulePos,
+    pub(crate) first_kept: GranulePos,
     /// The last granule of the run so far.
-    last: GranulePos,
+    pub(crate) last: GranulePos,
 }
 
 /// Incremental season-extraction state over an *append-only* support set —
@@ -224,18 +229,22 @@ struct PendingRun {
 /// The tracker's transitions are pinned against the batch walker by property
 /// tests: for every prefix of every support set,
 /// `snapshot(support) == find_seasons(support)`.
+///
+/// The fields are crate-visible so the [`snapshot`](crate::snapshot)
+/// persistence subsystem can serialize a tracker's loop state verbatim and
+/// reconstruct it bit-for-bit on restore.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SeasonTracker {
     /// Accepted seasons as half-open index spans into the tracked support.
-    spans: Vec<(u32, u32)>,
+    pub(crate) spans: Vec<(u32, u32)>,
     /// Longest compliant chain over the accepted seasons.
-    best: u64,
+    pub(crate) best: u64,
     /// Chain length ending at the most recently accepted season.
-    current: u64,
+    pub(crate) current: u64,
     /// End granule of the most recently accepted season.
-    prev_end: Option<GranulePos>,
+    pub(crate) prev_end: Option<GranulePos>,
     /// The still-open tail run.
-    pending: Option<PendingRun>,
+    pub(crate) pending: Option<PendingRun>,
 }
 
 impl SeasonTracker {

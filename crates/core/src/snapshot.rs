@@ -1,0 +1,1511 @@
+//! Durable snapshots and write-ahead logging for the streaming miner.
+//!
+//! This module turns a [`StreamingMiner`] into something a long-running
+//! service can evict, rehydrate and crash-recover: the full persistent state
+//! — event supports, the interned pattern arenas keyed by the packed-u64
+//! encodings of [`crate::pattern`], and every [`SeasonTracker`]'s loop state
+//! — serializes to a versioned, length-prefixed binary format with
+//! per-section CRCs, and a write-ahead log batches the granule appends that
+//! arrive between snapshots so a crash loses nothing durable.
+//!
+//! # Snapshot format (version 1)
+//!
+//! All integers are **little-endian**, fixed width. A snapshot is:
+//!
+//! ```text
+//! header   := magic "STPMSNAP" (8 bytes) · version u32 · kind u32
+//! section  := tag u32 · len u64 · payload (len bytes) · crc32(payload) u32
+//! ```
+//!
+//! A miner snapshot (`kind = 1`) holds, in strict order: one `CONFIG`
+//! section, one `REGISTRY` section, one `STATE` section, one `EVENTS`
+//! section, then `maxPatternLen − 1` `LEVEL` sections (k = 2, 3, …).
+//! Trailing bytes after the last section are rejected. The CRC is the
+//! standard IEEE CRC-32 (polynomial `0xEDB88320`).
+//!
+//! Derived state is *not* serialized: the per-level pattern index and group
+//! set are rebuilt from the interning keys, and the resolved configuration is
+//! re-resolved against the restored granule count. Wall-clock timing counters
+//! are observability-only and reset to zero on restore — this is what makes
+//! `snapshot → restore → append` *byte-identical* to an uninterrupted run.
+//!
+//! # WAL format (version 1)
+//!
+//! ```text
+//! wal      := magic "STPMWAL1" (8 bytes) · version u32 · record*
+//! record   := len u64 · crc32(payload) u32 · payload (len bytes)
+//! ```
+//!
+//! Record payloads are opaque to this module (the facade stores symbolized
+//! granule batches). [`wal_read`] recovers the longest durable prefix: it
+//! stops at the first truncated or corrupt record and reports how many bytes
+//! were durable, so a crash mid-write costs at most the interrupted record.
+//!
+//! # Recovery contract
+//!
+//! * Restoring from corrupt bytes (truncated, bit-flipped, structurally
+//!   invalid) **never panics** — it returns [`Error::SnapshotCorrupt`] (or
+//!   [`Error::SnapshotVersion`] for a future format version).
+//! * Parameters that shaped the absorbed state itself — ε, `d_o`,
+//!   `maxPatternLen` — cannot change across a restore;
+//!   [`StreamingMiner::restore_with`] rejects such requests with
+//!   [`Error::SnapshotConfigMismatch`]. Seasonality thresholds (`maxPeriod`,
+//!   `minDensity`, `distInterval`, `minSeason`) *can* change: every tracker
+//!   is replayed from its stored support under the new thresholds, the same
+//!   exactness fallback the miner uses when a fractional threshold crosses a
+//!   granule-count boundary.
+
+use crate::config::{PruningMode, StpmConfig, Threshold};
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+use crate::pattern::{encode_pattern_key, try_decode_triple, TemporalPattern};
+use crate::season::{PendingRun, SeasonTracker};
+use crate::streaming::{StreamEventEntry, StreamLevel, StreamPatternEntry, StreamingMiner};
+use crate::support::SupportSet;
+use std::io::{Read, Write};
+use std::time::Duration;
+use stpm_timeseries::{EventLabel, EventRegistry, SeriesId, SymbolId};
+
+/// Magic bytes opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STPMSNAP";
+/// Newest snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+/// Header `kind` of a [`StreamingMiner`] snapshot.
+pub const KIND_MINER: u32 = 1;
+/// Header `kind` of a facade pipeline snapshot (which embeds a miner
+/// snapshot; the facade owns its section layout).
+pub const KIND_PIPELINE: u32 = 2;
+/// Magic bytes opening every write-ahead log.
+pub const WAL_MAGIC: [u8; 8] = *b"STPMWAL1";
+/// Newest WAL format version this build reads and writes.
+pub const WAL_VERSION: u32 = 1;
+
+const SEC_CONFIG: u32 = 1;
+const SEC_REGISTRY: u32 = 2;
+const SEC_STATE: u32 = 3;
+const SEC_EVENTS: u32 = 4;
+const SEC_LEVEL: u32 = 5;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE)
+// ---------------------------------------------------------------------------
+
+// Slicing-by-8 tables: `TABLES[0]` is the classic byte-at-a-time table,
+// `TABLES[t][i]` advances the CRC of byte `i` by `t` further zero bytes, so
+// eight input bytes fold into the state with eight independent lookups.
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+static CRC32_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+/// IEEE CRC-32 (the checksum of zip/PNG/Ethernet) over `bytes`.
+///
+/// Uses slicing-by-8 so checksumming is far from the bottleneck when
+/// snapshots grow to megabytes; the result is bit-identical to the
+/// byte-at-a-time definition.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = &CRC32_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+fn corrupt(reason: impl Into<String>) -> Error {
+    Error::SnapshotCorrupt {
+        reason: reason.into(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian byte cursor primitives
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte buffer — the encoding half of the wire
+/// format. Public so the facade encodes its own sections and WAL payloads
+/// with the same primitives.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern, little-endian.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string (`u32` byte length + bytes).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(u32::try_from(s.len()).expect("string fits u32"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The bytes written so far.
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian cursor over untrusted bytes — the decoding
+/// half of the wire format. Every overrun surfaces as
+/// [`Error::SnapshotCorrupt`] naming the section and offset; nothing panics.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps `buf`; `context` names the section in error messages.
+    #[must_use]
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn fail(&self, detail: impl std::fmt::Display) -> Error {
+        corrupt(format!("{} (offset {}): {detail}", self.context, self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(self.fail(format_args!("needed {n} bytes but only {remaining} remain")));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn take_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f64` from its little-endian IEEE-754 bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn take_str(&mut self) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.fail("string is not valid UTF-8"))
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Asserts the reader consumed its buffer exactly.
+    pub fn finish(self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(self.fail(format_args!("{} trailing bytes", self.buf.len() - self.pos)));
+        }
+        Ok(())
+    }
+}
+
+/// Caps a length-prefix-driven pre-allocation by what the input could
+/// possibly hold, so a corrupt count cannot trigger a huge allocation.
+fn capped(count: u32, remaining: usize, elem_size: usize) -> usize {
+    (count as usize).min(remaining / elem_size + 1)
+}
+
+// ---------------------------------------------------------------------------
+// Header and section framing
+// ---------------------------------------------------------------------------
+
+/// Writes the 16-byte snapshot header (magic, version, kind) to `out`.
+pub fn write_header(out: &mut Vec<u8>, kind: u32) {
+    out.extend_from_slice(&SNAPSHOT_MAGIC);
+    out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&kind.to_le_bytes());
+}
+
+/// Validates the snapshot header and returns the body after it.
+///
+/// # Errors
+/// [`Error::SnapshotCorrupt`] on a short or foreign header or a `kind`
+/// mismatch; [`Error::SnapshotVersion`] on an unknown format version.
+pub fn parse_header(bytes: &[u8], expected_kind: u32) -> Result<&[u8]> {
+    if bytes.len() < 16 {
+        return Err(corrupt(format!(
+            "header truncated: {} bytes, need 16",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(corrupt("magic bytes do not spell STPMSNAP"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    if version != SNAPSHOT_VERSION {
+        return Err(Error::SnapshotVersion {
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let kind = u32::from_le_bytes(bytes[12..16].try_into().expect("len 4"));
+    if kind != expected_kind {
+        return Err(corrupt(format!(
+            "snapshot kind {kind} where kind {expected_kind} was expected"
+        )));
+    }
+    Ok(&bytes[16..])
+}
+
+/// Appends one framed section (`tag`, length, payload, CRC) to `out`.
+pub fn write_section(out: &mut Vec<u8>, tag: u32, payload: &[u8]) {
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// Reads the next framed section from `cursor`, checking its tag and CRC,
+/// and advances `cursor` past it.
+///
+/// # Errors
+/// [`Error::SnapshotCorrupt`] on truncation, a tag mismatch, an impossible
+/// length or a CRC failure.
+pub fn read_section<'a>(cursor: &mut &'a [u8], expected_tag: u32) -> Result<&'a [u8]> {
+    let buf = *cursor;
+    if buf.len() < 12 {
+        return Err(corrupt(format!(
+            "section header truncated: {} bytes, need 12",
+            buf.len()
+        )));
+    }
+    let tag = u32::from_le_bytes(buf[..4].try_into().expect("len 4"));
+    if tag != expected_tag {
+        return Err(corrupt(format!(
+            "section tag {tag} where tag {expected_tag} was expected"
+        )));
+    }
+    let len = u64::from_le_bytes(buf[4..12].try_into().expect("len 8"));
+    let rest = &buf[12..];
+    if (rest.len() as u64) < len.saturating_add(4) {
+        return Err(corrupt(format!(
+            "section {tag} claims {len} payload bytes but only {} remain",
+            rest.len()
+        )));
+    }
+    let len = usize::try_from(len).map_err(|_| corrupt("section length exceeds address space"))?;
+    let payload = &rest[..len];
+    let stored = u32::from_le_bytes(rest[len..len + 4].try_into().expect("len 4"));
+    let actual = crc32(payload);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "section {tag} CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    *cursor = &rest[len + 4..];
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Wire encodings of the miner's parts
+// ---------------------------------------------------------------------------
+
+fn write_threshold(w: &mut ByteWriter, t: Threshold) {
+    match t {
+        Threshold::Absolute(v) => {
+            w.put_u8(0);
+            w.put_u64(v);
+        }
+        Threshold::Fraction(f) => {
+            w.put_u8(1);
+            w.put_f64(f);
+        }
+    }
+}
+
+fn read_threshold(r: &mut ByteReader<'_>) -> Result<Threshold> {
+    match r.take_u8()? {
+        0 => Ok(Threshold::Absolute(r.take_u64()?)),
+        1 => Ok(Threshold::Fraction(r.take_f64()?)),
+        tag => Err(r.fail(format_args!("unknown threshold tag {tag}"))),
+    }
+}
+
+fn encode_config(config: &StpmConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_threshold(&mut w, config.max_period);
+    write_threshold(&mut w, config.min_density);
+    w.put_u64(config.dist_interval.0);
+    w.put_u64(config.dist_interval.1);
+    w.put_u64(config.min_season);
+    w.put_u64(config.epsilon);
+    w.put_u64(config.min_overlap);
+    w.put_u64(config.max_pattern_len as u64);
+    w.put_u8(match config.pruning {
+        PruningMode::NoPrune => 0,
+        PruningMode::Apriori => 1,
+        PruningMode::Transitivity => 2,
+        PruningMode::All => 3,
+    });
+    w.put_u64(config.threads as u64);
+    w.into_bytes()
+}
+
+fn decode_config(payload: &[u8]) -> Result<StpmConfig> {
+    let mut r = ByteReader::new(payload, "config section");
+    let max_period = read_threshold(&mut r)?;
+    let min_density = read_threshold(&mut r)?;
+    let dist_interval = (r.take_u64()?, r.take_u64()?);
+    let min_season = r.take_u64()?;
+    let epsilon = r.take_u64()?;
+    let min_overlap = r.take_u64()?;
+    let max_pattern_len = r.take_u64()?;
+    if !(1..=256).contains(&max_pattern_len) {
+        return Err(r.fail(format_args!(
+            "maxPatternLen {max_pattern_len} is outside 1..=256"
+        )));
+    }
+    let pruning = match r.take_u8()? {
+        0 => PruningMode::NoPrune,
+        1 => PruningMode::Apriori,
+        2 => PruningMode::Transitivity,
+        3 => PruningMode::All,
+        tag => return Err(r.fail(format_args!("unknown pruning mode tag {tag}"))),
+    };
+    let threads = usize::try_from(r.take_u64()?)
+        .map_err(|_| corrupt("config section: thread count exceeds address space"))?;
+    r.finish()?;
+    let config = StpmConfig {
+        max_period,
+        min_density,
+        dist_interval,
+        min_season,
+        epsilon,
+        min_overlap,
+        max_pattern_len: max_pattern_len as usize,
+        pruning,
+        threads,
+    };
+    // Surfaces structurally-valid-but-out-of-domain values (e.g. a fraction
+    // beyond [0, 1]) as a typed error before any state is rebuilt.
+    config.resolve(1)?;
+    Ok(config)
+}
+
+fn encode_registry(registry: &EventRegistry) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let num_series = u32::try_from(registry.num_series()).expect("series count fits u32");
+    w.put_u32(num_series);
+    for sid in 0..num_series {
+        let id = SeriesId(sid);
+        w.put_str(registry.series_name(id).expect("series id in range"));
+        let alphabet = registry.alphabet(id).expect("series id in range");
+        w.put_u32(u32::try_from(alphabet.len()).expect("alphabet fits u32"));
+        for label in alphabet {
+            w.put_str(label);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_registry(payload: &[u8]) -> Result<EventRegistry> {
+    let mut r = ByteReader::new(payload, "registry section");
+    let num_series = r.take_u32()?;
+    let mut registry = EventRegistry::new();
+    for expected in 0..num_series {
+        let name = r.take_str()?;
+        let alphabet_len = r.take_u32()?;
+        if alphabet_len > 1 << 16 {
+            return Err(r.fail(format_args!(
+                "alphabet of {alphabet_len} symbols exceeds the u16 symbol space"
+            )));
+        }
+        let mut alphabet = Vec::with_capacity(capped(alphabet_len, r.remaining(), 4));
+        for _ in 0..alphabet_len {
+            alphabet.push(r.take_str()?);
+        }
+        let id = registry.register_series(&name, &alphabet);
+        if id.0 != expected {
+            return Err(r.fail(format_args!("duplicate series name `{name}`")));
+        }
+    }
+    r.finish()?;
+    Ok(registry)
+}
+
+fn write_support(w: &mut ByteWriter, support: &SupportSet) {
+    w.put_u32(u32::try_from(support.len()).expect("support fits u32"));
+    for &granule in support {
+        w.put_u64(granule);
+    }
+}
+
+fn read_support(r: &mut ByteReader<'_>, num_granules: u64) -> Result<SupportSet> {
+    let count = r.take_u32()?;
+    if u64::from(count) > num_granules {
+        return Err(r.fail(format_args!(
+            "support of {count} granules exceeds the {num_granules} absorbed"
+        )));
+    }
+    let mut support = Vec::with_capacity(capped(count, r.remaining(), 8));
+    let mut prev = 0u64;
+    for _ in 0..count {
+        let granule = r.take_u64()?;
+        if granule <= prev || granule > num_granules {
+            return Err(r.fail(format_args!(
+                "support granule {granule} after {prev} violates strict order in 1..={num_granules}"
+            )));
+        }
+        support.push(granule);
+        prev = granule;
+    }
+    Ok(support)
+}
+
+fn write_tracker(w: &mut ByteWriter, tracker: &SeasonTracker) {
+    w.put_u32(u32::try_from(tracker.spans.len()).expect("spans fit u32"));
+    for &(start, end) in &tracker.spans {
+        w.put_u32(start);
+        w.put_u32(end);
+    }
+    w.put_u64(tracker.best);
+    w.put_u64(tracker.current);
+    match tracker.prev_end {
+        None => w.put_u8(0),
+        Some(granule) => {
+            w.put_u8(1);
+            w.put_u64(granule);
+        }
+    }
+    match tracker.pending {
+        None => w.put_u8(0),
+        Some(run) => {
+            w.put_u8(1);
+            match run.kept_from {
+                None => w.put_u8(0),
+                Some(idx) => {
+                    w.put_u8(1);
+                    w.put_u32(idx);
+                }
+            }
+            w.put_u64(run.first_kept);
+            w.put_u64(run.last);
+        }
+    }
+}
+
+fn read_tracker(r: &mut ByteReader<'_>, support_len: u32) -> Result<SeasonTracker> {
+    let span_count = r.take_u32()?;
+    if span_count > support_len {
+        return Err(r.fail(format_args!(
+            "{span_count} season spans over a support of {support_len}"
+        )));
+    }
+    let mut spans = Vec::with_capacity(capped(span_count, r.remaining(), 8));
+    let mut prev_end = 0u32;
+    for _ in 0..span_count {
+        let start = r.take_u32()?;
+        let end = r.take_u32()?;
+        if start < prev_end || start >= end || end > support_len {
+            return Err(r.fail(format_args!(
+                "season span [{start}, {end}) after {prev_end} is not an increasing \
+                 in-bounds span"
+            )));
+        }
+        spans.push((start, end));
+        prev_end = end;
+    }
+    let best = r.take_u64()?;
+    let current = r.take_u64()?;
+    let prev_end = match r.take_u8()? {
+        0 => None,
+        1 => Some(r.take_u64()?),
+        tag => return Err(r.fail(format_args!("unknown prev-end tag {tag}"))),
+    };
+    let pending = match r.take_u8()? {
+        0 => None,
+        1 => {
+            let kept_from = match r.take_u8()? {
+                0 => None,
+                1 => {
+                    let idx = r.take_u32()?;
+                    if idx >= support_len {
+                        return Err(r.fail(format_args!(
+                            "pending-run index {idx} out of bounds for a support of {support_len}"
+                        )));
+                    }
+                    Some(idx)
+                }
+                tag => return Err(r.fail(format_args!("unknown kept-from tag {tag}"))),
+            };
+            Some(PendingRun {
+                kept_from,
+                first_kept: r.take_u64()?,
+                last: r.take_u64()?,
+            })
+        }
+        tag => return Err(r.fail(format_args!("unknown pending-run tag {tag}"))),
+    };
+    Ok(SeasonTracker {
+        spans,
+        best,
+        current,
+        prev_end,
+        pending,
+    })
+}
+
+fn encode_events(miner: &StreamingMiner) -> Vec<u8> {
+    // The event map iterates in hash order; sort by packed label so snapshot
+    // bytes are a pure function of the state.
+    let mut entries: Vec<(u64, &StreamEventEntry)> = miner
+        .events
+        .iter()
+        .map(|(label, entry)| (label.packed(), entry))
+        .collect();
+    entries.sort_unstable_by_key(|&(packed, _)| packed);
+    let mut w = ByteWriter::new();
+    w.put_u32(u32::try_from(entries.len()).expect("event count fits u32"));
+    for (packed, entry) in entries {
+        w.put_u64(packed);
+        write_support(&mut w, &entry.support);
+        write_tracker(&mut w, &entry.tracker);
+    }
+    w.into_bytes()
+}
+
+fn read_label(r: &ByteReader<'_>, word: u64, registry: &EventRegistry) -> Result<EventLabel> {
+    if word >> 48 != 0 {
+        return Err(r.fail(format_args!(
+            "label word {word:#x} overflows the 48-bit packing"
+        )));
+    }
+    let series = (word >> 16) as u32;
+    let symbol = (word & 0xFFFF) as u16;
+    let alphabet_len = registry
+        .alphabet(SeriesId(series))
+        .map(<[String]>::len)
+        .ok_or_else(|| {
+            r.fail(format_args!(
+                "label references series {series} but only {} are registered",
+                registry.num_series()
+            ))
+        })?;
+    if usize::from(symbol) >= alphabet_len {
+        return Err(r.fail(format_args!(
+            "label references symbol {symbol} but series {series} has {alphabet_len} symbols"
+        )));
+    }
+    Ok(EventLabel::new(SeriesId(series), SymbolId(symbol)))
+}
+
+fn decode_events(
+    payload: &[u8],
+    registry: &EventRegistry,
+    num_granules: u64,
+) -> Result<FxHashMap<EventLabel, StreamEventEntry>> {
+    let mut r = ByteReader::new(payload, "events section");
+    let count = r.take_u32()?;
+    let mut events = FxHashMap::default();
+    events.reserve(capped(count, r.remaining(), 16));
+    let mut prev_packed: Option<u64> = None;
+    for _ in 0..count {
+        let packed = r.take_u64()?;
+        if prev_packed.is_some_and(|prev| packed <= prev) {
+            return Err(r.fail(format_args!(
+                "event label {packed:#x} is not strictly increasing"
+            )));
+        }
+        prev_packed = Some(packed);
+        let label = read_label(&r, packed, registry)?;
+        let support = read_support(&mut r, num_granules)?;
+        let tracker = read_tracker(&mut r, u32::try_from(support.len()).expect("fits u32"))?;
+        events.insert(label, StreamEventEntry { support, tracker });
+    }
+    r.finish()?;
+    Ok(events)
+}
+
+fn encode_level(level: &StreamLevel) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(level.k as u64);
+    w.put_u32(u32::try_from(level.entries.len()).expect("patterns fit u32"));
+    for entry in &level.entries {
+        // The interning key fully encodes the pattern; its length is fixed
+        // by k, so no per-entry length prefix is needed.
+        for word in encode_pattern_key(&entry.pattern) {
+            w.put_u64(word);
+        }
+        write_support(&mut w, &entry.support);
+        write_tracker(&mut w, &entry.tracker);
+    }
+    w.into_bytes()
+}
+
+fn decode_level(
+    payload: &[u8],
+    k: usize,
+    registry: &EventRegistry,
+    num_granules: u64,
+) -> Result<StreamLevel> {
+    let mut r = ByteReader::new(payload, "level section");
+    let stored_k = r.take_u64()?;
+    if stored_k != k as u64 {
+        return Err(r.fail(format_args!(
+            "level k = {stored_k} where k = {k} was expected"
+        )));
+    }
+    let count = r.take_u32()?;
+    let key_len = k + k * (k - 1) / 2;
+    let mut level = StreamLevel::new(k);
+    level
+        .entries
+        .reserve(capped(count, r.remaining(), key_len * 8));
+    for _ in 0..count {
+        let mut key = Vec::with_capacity(key_len);
+        for _ in 0..key_len {
+            key.push(r.take_u64()?);
+        }
+        let events: Vec<EventLabel> = key[..k]
+            .iter()
+            .map(|&word| read_label(&r, word, registry))
+            .collect::<Result<_>>()?;
+        let triples = key[k..]
+            .iter()
+            .map(|&word| {
+                let triple = try_decode_triple(word).ok_or_else(|| {
+                    r.fail(format_args!("key word {word:#x} is not a relation triple"))
+                })?;
+                if usize::from(triple.first.max(triple.second)) >= k {
+                    return Err(r.fail(format_args!(
+                        "triple indexes event {} of a {k}-pattern",
+                        triple.first.max(triple.second)
+                    )));
+                }
+                Ok(triple)
+            })
+            .collect::<Result<_>>()?;
+        let pattern = TemporalPattern::from_parts(events, triples);
+        if encode_pattern_key(&pattern) != key {
+            return Err(r.fail("pattern key is not in canonical order"));
+        }
+        let support = read_support(&mut r, num_granules)?;
+        let tracker = read_tracker(&mut r, u32::try_from(support.len()).expect("fits u32"))?;
+        let idx = u32::try_from(level.entries.len()).expect("patterns fit u32");
+        if !level.groups.contains(&key[..k]) {
+            level.groups.insert(key[..k].into());
+        }
+        if level.index.insert(key.into_boxed_slice(), idx).is_some() {
+            return Err(r.fail("duplicate pattern key"));
+        }
+        level.entries.push(StreamPatternEntry {
+            pattern,
+            support,
+            tracker,
+        });
+    }
+    r.finish()?;
+    Ok(level)
+}
+
+// ---------------------------------------------------------------------------
+// Whole-miner encode / decode
+// ---------------------------------------------------------------------------
+
+fn encode_miner(miner: &StreamingMiner) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_header(&mut out, KIND_MINER);
+    write_section(&mut out, SEC_CONFIG, &encode_config(&miner.config));
+    write_section(&mut out, SEC_REGISTRY, &encode_registry(&miner.registry));
+    let mut state = ByteWriter::new();
+    state.put_u64(miner.num_granules);
+    state.put_u64(miner.batches_absorbed);
+    state.put_u64(miner.checkpoint_id);
+    write_section(&mut out, SEC_STATE, state.bytes());
+    write_section(&mut out, SEC_EVENTS, &encode_events(miner));
+    for level in &miner.levels {
+        write_section(&mut out, SEC_LEVEL, &encode_level(level));
+    }
+    out
+}
+
+fn effective_config(stored: &StpmConfig, requested: Option<&StpmConfig>) -> Result<StpmConfig> {
+    let Some(req) = requested else {
+        return Ok(stored.clone());
+    };
+    if req.epsilon != stored.epsilon {
+        return Err(Error::SnapshotConfigMismatch {
+            parameter: "epsilon",
+            reason: format!(
+                "snapshot was absorbed with ε = {}, restore requested ε = {} — the relation \
+                 classification baked into the interned patterns cannot be replayed",
+                stored.epsilon, req.epsilon
+            ),
+        });
+    }
+    if req.min_overlap.max(1) != stored.min_overlap.max(1) {
+        return Err(Error::SnapshotConfigMismatch {
+            parameter: "minOverlap",
+            reason: format!(
+                "snapshot was absorbed with d_o = {}, restore requested d_o = {} — overlap \
+                 verdicts baked into the interned patterns cannot be replayed",
+                stored.min_overlap.max(1),
+                req.min_overlap.max(1)
+            ),
+        });
+    }
+    if req.max_pattern_len != stored.max_pattern_len {
+        return Err(Error::SnapshotConfigMismatch {
+            parameter: "maxPatternLen",
+            reason: format!(
+                "snapshot holds levels up to k = {}, restore requested up to k = {}",
+                stored.max_pattern_len, req.max_pattern_len
+            ),
+        });
+    }
+    Ok(req.clone())
+}
+
+fn decode_miner(bytes: &[u8], requested: Option<&StpmConfig>) -> Result<StreamingMiner> {
+    let mut cursor = parse_header(bytes, KIND_MINER)?;
+    let stored_config = decode_config(read_section(&mut cursor, SEC_CONFIG)?)?;
+    let registry = decode_registry(read_section(&mut cursor, SEC_REGISTRY)?)?;
+    let state = read_section(&mut cursor, SEC_STATE)?;
+    let mut r = ByteReader::new(state, "state section");
+    let num_granules = r.take_u64()?;
+    let batches_absorbed = r.take_u64()?;
+    let checkpoint_id = r.take_u64()?;
+    r.finish()?;
+    let config = effective_config(&stored_config, requested)?;
+    config.resolve(1)?;
+    let resolved = if num_granules > 0 {
+        Some(config.resolve(num_granules)?)
+    } else {
+        None
+    };
+    let events = decode_events(
+        read_section(&mut cursor, SEC_EVENTS)?,
+        &registry,
+        num_granules,
+    )?;
+    let mut levels = Vec::with_capacity(config.max_pattern_len.saturating_sub(1));
+    for k in 2..=config.max_pattern_len {
+        levels.push(decode_level(
+            read_section(&mut cursor, SEC_LEVEL)?,
+            k,
+            &registry,
+            num_granules,
+        )?);
+    }
+    if !cursor.is_empty() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last section",
+            cursor.len()
+        )));
+    }
+    let mut miner = StreamingMiner {
+        config,
+        registry,
+        resolved,
+        num_granules,
+        events,
+        levels,
+        append_time: Duration::ZERO,
+        batches_absorbed,
+        checkpoint_id,
+        granules_at_snapshot: num_granules,
+    };
+    // A restore may legally request different *seasonality* thresholds than
+    // the snapshot was taken under; replay every tracker from its stored
+    // support — the same exactness fallback as a fractional threshold
+    // crossing a granule-count boundary mid-stream.
+    if let (Some(new), true) = (miner.resolved, requested.is_some()) {
+        let old = stored_config.resolve(num_granules)?;
+        let seasonal_changed = old.max_period != new.max_period
+            || old.min_density != new.min_density
+            || old.dist_min != new.dist_min
+            || old.dist_max != new.dist_max;
+        if seasonal_changed {
+            for entry in miner.events.values_mut() {
+                entry.tracker = SeasonTracker::rebuild(&entry.support, &new);
+            }
+            for level in &mut miner.levels {
+                for entry in &mut level.entries {
+                    entry.tracker = SeasonTracker::rebuild(&entry.support, &new);
+                }
+            }
+        }
+    }
+    Ok(miner)
+}
+
+// ---------------------------------------------------------------------------
+// Public miner API
+// ---------------------------------------------------------------------------
+
+/// Observability summary of a miner's durable-state position — what has been
+/// absorbed, what has been snapshotted, and what a crash without a WAL would
+/// lose. Obtained from [`StreamingMiner::checkpoint_meta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointMeta {
+    /// Id of the most recent snapshot taken of this state (0 = none yet).
+    pub checkpoint_id: u64,
+    /// Granules absorbed into the state so far.
+    pub granules_absorbed: u64,
+    /// Distinct patterns interned across every level.
+    pub patterns_interned: u64,
+    /// Granules absorbed since the most recent snapshot.
+    pub pending_granules: u64,
+}
+
+impl StreamingMiner {
+    /// Serializes the full persistent state to `out` as one version-1
+    /// snapshot, bumping the checkpoint id first so the written state (and a
+    /// miner restored from it) continues the id sequence. After a successful
+    /// snapshot, [`StreamingMiner::pending_granules`] is zero.
+    ///
+    /// # Errors
+    /// [`Error::SnapshotIo`] when the writer fails.
+    pub fn snapshot(&mut self, out: &mut impl Write) -> Result<()> {
+        self.checkpoint_id += 1;
+        self.granules_at_snapshot = self.num_granules;
+        let bytes = encode_miner(self);
+        out.write_all(&bytes).map_err(|e| Error::snapshot_io(&e))
+    }
+
+    /// Restores a miner from a snapshot produced by
+    /// [`StreamingMiner::snapshot`], under the configuration stored in it.
+    /// Wall-clock timing counters restart at zero; everything else — and
+    /// every byte of every later snapshot — is identical to the miner the
+    /// snapshot was taken from.
+    ///
+    /// # Errors
+    /// [`Error::SnapshotIo`] when the reader fails; [`Error::SnapshotVersion`]
+    /// for a future format version; [`Error::SnapshotCorrupt`] for truncated,
+    /// bit-flipped or structurally invalid bytes (this function never
+    /// panics on corrupt input).
+    pub fn restore(input: &mut impl Read) -> Result<Self> {
+        let mut bytes = Vec::new();
+        input
+            .read_to_end(&mut bytes)
+            .map_err(|e| Error::snapshot_io(&e))?;
+        decode_miner(&bytes, None)
+    }
+
+    /// Restores a miner from a snapshot under a *requested* configuration
+    /// instead of the stored one. Parameters that shaped the absorbed state
+    /// (ε, `d_o`, `maxPatternLen`) must match; seasonality thresholds may
+    /// differ, in which case every season tracker is replayed from its
+    /// stored support under the new thresholds.
+    ///
+    /// # Errors
+    /// As [`StreamingMiner::restore`], plus
+    /// [`Error::SnapshotConfigMismatch`] for an incompatible request.
+    pub fn restore_with(config: &StpmConfig, input: &mut impl Read) -> Result<Self> {
+        let mut bytes = Vec::new();
+        input
+            .read_to_end(&mut bytes)
+            .map_err(|e| Error::snapshot_io(&e))?;
+        decode_miner(&bytes, Some(config))
+    }
+
+    /// The miner's durable-state position: checkpoint id, granules absorbed,
+    /// patterns interned, and granules pending since the last snapshot.
+    #[must_use]
+    pub fn checkpoint_meta(&self) -> CheckpointMeta {
+        CheckpointMeta {
+            checkpoint_id: self.checkpoint_id,
+            granules_absorbed: self.num_granules,
+            patterns_interned: self.patterns_interned(),
+            pending_granules: self.pending_granules(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+/// The 12-byte WAL file header (magic + version).
+#[must_use]
+pub fn wal_header() -> [u8; 12] {
+    let mut header = [0u8; 12];
+    header[..8].copy_from_slice(&WAL_MAGIC);
+    header[8..].copy_from_slice(&WAL_VERSION.to_le_bytes());
+    header
+}
+
+/// Frames one opaque `payload` as a WAL record (length, CRC, payload).
+#[must_use]
+pub fn wal_encode_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(12 + payload.len());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// The durable prefix of a write-ahead log, as recovered by [`wal_read`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalContents {
+    /// The payloads of every intact record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte length of the durable prefix (header + intact records) —
+    /// truncate the log file to this length to drop a torn tail.
+    pub durable_len: u64,
+    /// Whether the whole input was durable (`false` when a torn or corrupt
+    /// tail was dropped).
+    pub clean: bool,
+}
+
+/// Reads a write-ahead log, recovering the longest durable prefix. An empty
+/// input is a valid empty log. A torn or corrupt tail (the expected result
+/// of a crash mid-append) is *not* an error: reading stops there, `clean`
+/// is `false`, and `durable_len` says how much to keep.
+///
+/// # Errors
+/// [`Error::SnapshotCorrupt`] when the header itself is damaged (the file is
+/// not a WAL); [`Error::SnapshotVersion`] for a future WAL version.
+pub fn wal_read(bytes: &[u8]) -> Result<WalContents> {
+    if bytes.is_empty() {
+        return Ok(WalContents {
+            records: Vec::new(),
+            durable_len: 0,
+            clean: true,
+        });
+    }
+    if bytes.len() < 12 {
+        return Err(corrupt(format!(
+            "WAL header truncated: {} bytes, need 12",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != WAL_MAGIC {
+        return Err(corrupt("WAL magic bytes do not spell STPMWAL1"));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    if version != WAL_VERSION {
+        return Err(Error::SnapshotVersion {
+            found: version,
+            supported: WAL_VERSION,
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = 12usize;
+    let mut clean = true;
+    let mut durable = pos;
+    while pos < bytes.len() {
+        if bytes.len() - pos < 12 {
+            clean = false;
+            break;
+        }
+        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
+        let stored = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len 4"));
+        let Ok(len) = usize::try_from(len) else {
+            clean = false;
+            break;
+        };
+        if bytes.len() - pos - 12 < len {
+            clean = false;
+            break;
+        }
+        let payload = &bytes[pos + 12..pos + 12 + len];
+        if crc32(payload) != stored {
+            clean = false;
+            break;
+        }
+        records.push(payload.to_vec());
+        pos += 12 + len;
+        durable = pos;
+    }
+    Ok(WalContents {
+        records,
+        durable_len: durable as u64,
+        clean,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stpm_timeseries::{Alphabet, SymbolicDatabase, SymbolicSeries};
+
+    fn sample_dseq() -> stpm_timeseries::SequenceDatabase {
+        let alphabet = Alphabet::from_strs(&["0", "1"]).unwrap();
+        let c = SymbolicSeries::from_labels(
+            "C",
+            &[
+                "1", "1", "0", "1", "0", "0", "1", "1", "0", "0", "0", "0", "1", "1", "0", "1",
+                "0", "1", "1", "1", "0", "0", "1", "0",
+            ],
+            alphabet.clone(),
+        )
+        .unwrap();
+        let d = SymbolicSeries::from_labels(
+            "D",
+            &[
+                "1", "0", "0", "1", "0", "0", "1", "1", "0", "1", "1", "0", "1", "0", "0", "0",
+                "1", "1", "1", "0", "0", "1", "1", "0",
+            ],
+            alphabet,
+        )
+        .unwrap();
+        let dsyb = SymbolicDatabase::new(vec![c, d]).unwrap();
+        dsyb.to_sequence_database(3).unwrap()
+    }
+
+    fn sample_config() -> StpmConfig {
+        StpmConfig {
+            max_period: Threshold::Absolute(2),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (1, 10),
+            min_season: 1,
+            ..StpmConfig::default()
+        }
+    }
+
+    fn mined_miner() -> StreamingMiner {
+        let dseq = sample_dseq();
+        let config = sample_config();
+        let mut miner = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        miner.append_batch(dseq.sequences()).unwrap();
+        miner
+    }
+
+    fn snapshot_bytes(miner: &mut StreamingMiner) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        miner.snapshot(&mut bytes).unwrap();
+        bytes
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_test_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sliced_crc32_agrees_with_the_bytewise_definition_at_every_length() {
+        fn bytewise(bytes: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc = (crc >> 8) ^ CRC32_TABLES[0][((crc ^ u32::from(b)) & 0xFF) as usize];
+            }
+            crc ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..257u32)
+            .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "length {len}");
+        }
+    }
+
+    #[test]
+    fn byte_writer_and_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(1000);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_f64(0.005);
+        w.put_str("hello κόσμε");
+        let mut r = ByteReader::new(w.bytes(), "test");
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u16().unwrap(), 1000);
+        assert_eq!(r.take_u32().unwrap(), 70_000);
+        assert_eq!(r.take_u64().unwrap(), 1 << 40);
+        assert_eq!(r.take_f64().unwrap(), 0.005);
+        assert_eq!(r.take_str().unwrap(), "hello κόσμε");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_overruns_are_typed_errors() {
+        let mut r = ByteReader::new(&[1, 2, 3], "tiny");
+        assert!(matches!(r.take_u64(), Err(Error::SnapshotCorrupt { .. })));
+        let mut r = ByteReader::new(&[0xFF, 0xFF, 0xFF, 0xFF], "str");
+        assert!(r.take_str().is_err());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_byte_identically() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+        let mut restored = StreamingMiner::restore(&mut &bytes[..]).unwrap();
+        assert_eq!(restored.num_granules(), miner.num_granules());
+        assert_eq!(restored.patterns_interned(), miner.patterns_interned());
+        assert_eq!(restored.checkpoint_meta(), miner.checkpoint_meta());
+        // Both sides take their next snapshot: the bytes must be identical.
+        assert_eq!(snapshot_bytes(&mut miner), snapshot_bytes(&mut restored));
+        // And the reports they mine are identical.
+        let a = miner.checkpoint().unwrap();
+        let b = restored.checkpoint().unwrap();
+        assert_eq!(a.total_patterns(), b.total_patterns());
+    }
+
+    #[test]
+    fn restore_then_append_matches_uninterrupted_run() {
+        let dseq = sample_dseq();
+        let config = sample_config();
+        let mut uninterrupted = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        uninterrupted.append_batch(&dseq.sequences()[..3]).unwrap();
+        let snap = snapshot_bytes(&mut uninterrupted);
+        uninterrupted.append_batch(&dseq.sequences()[3..]).unwrap();
+
+        let mut recovered = StreamingMiner::restore(&mut &snap[..]).unwrap();
+        recovered.append_batch(&dseq.sequences()[3..]).unwrap();
+
+        assert_eq!(
+            snapshot_bytes(&mut uninterrupted),
+            snapshot_bytes(&mut recovered)
+        );
+    }
+
+    #[test]
+    fn checkpoint_meta_tracks_pending_granules() {
+        let dseq = sample_dseq();
+        let config = sample_config();
+        let mut miner = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        miner.append_batch(&dseq.sequences()[..3]).unwrap();
+        let meta = miner.checkpoint_meta();
+        assert_eq!(meta.checkpoint_id, 0);
+        assert_eq!(meta.granules_absorbed, 3);
+        assert_eq!(meta.pending_granules, 3);
+        let _ = snapshot_bytes(&mut miner);
+        let meta = miner.checkpoint_meta();
+        assert_eq!(meta.checkpoint_id, 1);
+        assert_eq!(meta.pending_granules, 0);
+        miner.append_batch(&dseq.sequences()[3..5]).unwrap();
+        assert_eq!(miner.checkpoint_meta().pending_granules, 2);
+    }
+
+    #[test]
+    fn empty_miner_round_trips() {
+        let dseq = sample_dseq();
+        let config = sample_config();
+        let mut miner = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        let bytes = snapshot_bytes(&mut miner);
+        let mut restored = StreamingMiner::restore(&mut &bytes[..]).unwrap();
+        assert_eq!(restored.num_granules(), 0);
+        restored.append_batch(dseq.sequences()).unwrap();
+        let mut direct = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        direct.append_batch(dseq.sequences()).unwrap();
+        let _ = snapshot_bytes(&mut direct); // align checkpoint ids (1 each)
+        assert_eq!(snapshot_bytes(&mut restored), snapshot_bytes(&mut direct));
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+        for len in 0..bytes.len() {
+            let result = StreamingMiner::restore(&mut &bytes[..len]);
+            assert!(
+                matches!(
+                    result,
+                    Err(Error::SnapshotCorrupt { .. } | Error::SnapshotVersion { .. })
+                ),
+                "truncation to {len}/{} bytes must fail with a typed error",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+        for offset in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[offset] ^= 1 << (offset % 8);
+            let result = StreamingMiner::restore(&mut &flipped[..]);
+            assert!(
+                result.is_err(),
+                "flipping bit {} of byte {offset} must be detected",
+                offset % 8
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_headers_are_typed_errors() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            StreamingMiner::restore(&mut &wrong_magic[..]),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+
+        let mut future_version = bytes.clone();
+        future_version[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            StreamingMiner::restore(&mut &future_version[..]),
+            Err(Error::SnapshotVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            })
+        ));
+
+        let mut wrong_kind = bytes;
+        wrong_kind[12..16].copy_from_slice(&KIND_PIPELINE.to_le_bytes());
+        assert!(matches!(
+            StreamingMiner::restore(&mut &wrong_kind[..]),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut miner = mined_miner();
+        let mut bytes = snapshot_bytes(&mut miner);
+        bytes.push(0);
+        assert!(matches!(
+            StreamingMiner::restore(&mut &bytes[..]),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn restore_with_rejects_shape_changing_config() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+
+        let mut epsilon = sample_config();
+        epsilon.epsilon += 1;
+        assert!(matches!(
+            StreamingMiner::restore_with(&epsilon, &mut &bytes[..]),
+            Err(Error::SnapshotConfigMismatch {
+                parameter: "epsilon",
+                ..
+            })
+        ));
+
+        let mut overlap = sample_config();
+        overlap.min_overlap = 5;
+        assert!(matches!(
+            StreamingMiner::restore_with(&overlap, &mut &bytes[..]),
+            Err(Error::SnapshotConfigMismatch {
+                parameter: "minOverlap",
+                ..
+            })
+        ));
+
+        let mut len = sample_config();
+        len.max_pattern_len = 2;
+        assert!(matches!(
+            StreamingMiner::restore_with(&len, &mut &bytes[..]),
+            Err(Error::SnapshotConfigMismatch {
+                parameter: "maxPatternLen",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn restore_with_matching_config_is_identical_to_plain_restore() {
+        let mut miner = mined_miner();
+        let bytes = snapshot_bytes(&mut miner);
+        let mut a = StreamingMiner::restore(&mut &bytes[..]).unwrap();
+        let mut b = StreamingMiner::restore_with(&sample_config(), &mut &bytes[..]).unwrap();
+        assert_eq!(snapshot_bytes(&mut a), snapshot_bytes(&mut b));
+    }
+
+    #[test]
+    fn restore_with_replays_trackers_on_seasonal_change() {
+        let dseq = sample_dseq();
+        let mut miner = StreamingMiner::new(&sample_config(), dseq.registry()).unwrap();
+        miner.append_batch(dseq.sequences()).unwrap();
+        let bytes = snapshot_bytes(&mut miner);
+
+        let mut relaxed = sample_config();
+        relaxed.max_period = Threshold::Absolute(3);
+        relaxed.min_density = Threshold::Absolute(3);
+        let restored = StreamingMiner::restore_with(&relaxed, &mut &bytes[..]).unwrap();
+
+        // A fresh miner run entirely under the relaxed thresholds must agree.
+        let mut direct = StreamingMiner::new(&relaxed, dseq.registry()).unwrap();
+        direct.append_batch(dseq.sequences()).unwrap();
+        let a = restored.checkpoint().unwrap();
+        let b = direct.checkpoint().unwrap();
+        assert_eq!(a.total_patterns(), b.total_patterns());
+        assert_eq!(
+            crate::report::canonical_result_set(a.report().events(), a.report().patterns()),
+            crate::report::canonical_result_set(b.report().events(), b.report().patterns())
+        );
+    }
+
+    #[test]
+    fn wal_round_trips_and_recovers_the_durable_prefix() {
+        let mut wal: Vec<u8> = wal_header().to_vec();
+        let payloads: [&[u8]; 3] = [b"first", b"", b"third record"];
+        for p in payloads {
+            wal.extend_from_slice(&wal_encode_record(p));
+        }
+        let contents = wal_read(&wal).unwrap();
+        assert!(contents.clean);
+        assert_eq!(contents.durable_len, wal.len() as u64);
+        assert_eq!(contents.records.len(), 3);
+        assert_eq!(contents.records[0], b"first");
+        assert_eq!(contents.records[2], b"third record");
+
+        // A torn tail (crash mid-append) keeps the durable prefix.
+        let torn = &wal[..wal.len() - 3];
+        let contents = wal_read(torn).unwrap();
+        assert!(!contents.clean);
+        assert_eq!(contents.records.len(), 2);
+        let keep = usize::try_from(contents.durable_len).unwrap();
+        assert!(wal_read(&torn[..keep]).unwrap().clean);
+
+        // A corrupt byte inside a record drops it and everything after.
+        let mut flipped = wal.clone();
+        let second_record_payload = 12 + 12 + 5 + 12; // header + rec1 + rec2 frame
+        flipped[second_record_payload + 1] ^= 0x40; // inside record 3's frame
+        let contents = wal_read(&flipped).unwrap();
+        assert!(!contents.clean);
+        assert!(contents.records.len() < 3);
+
+        // Empty input is a valid empty log; header-only too.
+        assert!(wal_read(&[]).unwrap().clean);
+        let header_only = wal_header();
+        let contents = wal_read(&header_only).unwrap();
+        assert!(contents.clean);
+        assert_eq!(contents.durable_len, 12);
+    }
+
+    #[test]
+    fn wal_header_damage_is_a_typed_error() {
+        assert!(matches!(
+            wal_read(b"short"),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+        let mut bad_magic = wal_header();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            wal_read(&bad_magic),
+            Err(Error::SnapshotCorrupt { .. })
+        ));
+        let mut future = wal_header();
+        future[8..12].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            wal_read(&future),
+            Err(Error::SnapshotVersion {
+                found: 7,
+                supported: WAL_VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn wal_truncations_and_bit_flips_never_panic() {
+        let mut wal: Vec<u8> = wal_header().to_vec();
+        wal.extend_from_slice(&wal_encode_record(b"alpha"));
+        wal.extend_from_slice(&wal_encode_record(b"beta"));
+        for len in 0..wal.len() {
+            let _ = wal_read(&wal[..len]); // must not panic
+        }
+        for offset in 0..wal.len() {
+            let mut flipped = wal.clone();
+            flipped[offset] ^= 1 << (offset % 8);
+            let _ = wal_read(&flipped); // must not panic
+        }
+    }
+}

@@ -45,6 +45,18 @@
 //! `threads > 1` workers; the per-granule harvests are merged back in granule
 //! order, which makes the parallel state — and therefore every later
 //! checkpoint — byte-identical to the sequential one.
+//!
+//! # Durability
+//!
+//! The persistent state is a closed set of plain values — supports, interned
+//! pattern keys, tracker loop states — with no instance pool, binding pool or
+//! verdict table, so it serializes compactly. The [`snapshot`](crate::snapshot)
+//! subsystem persists it behind [`StreamingMiner::snapshot`] /
+//! [`StreamingMiner::restore`]; a restored miner is indistinguishable from
+//! one that never left memory (the equivalence is property-tested at every
+//! checkpoint), and [`StreamingMiner::pending_granules`] /
+//! [`StreamingMiner::checkpoint_meta`] expose how much un-snapshotted state a
+//! crash would lose.
 
 use crate::config::{ResolvedConfig, StpmConfig};
 use crate::engine::{phases, EngineReport, PhaseTiming, PruningSummary};
@@ -68,11 +80,12 @@ use stpm_timeseries::{
 pub const STREAMING_ENGINE_NAME: &str = "S-STPM";
 
 /// Per-event persistent state: the accumulated support set plus the
-/// incremental season-walker state over it.
+/// incremental season-walker state over it. Crate-visible so the
+/// [`snapshot`](crate::snapshot) subsystem can serialize it.
 #[derive(Debug, Clone, Default)]
-struct StreamEventEntry {
-    support: SupportSet,
-    tracker: SeasonTracker,
+pub(crate) struct StreamEventEntry {
+    pub(crate) support: SupportSet,
+    pub(crate) tracker: SeasonTracker,
 }
 
 /// Per-pattern persistent state. The pattern itself is stored exactly once
@@ -80,25 +93,25 @@ struct StreamEventEntry {
 /// *not* retained (they are only needed while the granule that produced them
 /// is being extended).
 #[derive(Debug, Clone)]
-struct StreamPatternEntry {
-    pattern: crate::pattern::TemporalPattern,
-    support: SupportSet,
-    tracker: SeasonTracker,
+pub(crate) struct StreamPatternEntry {
+    pub(crate) pattern: crate::pattern::TemporalPattern,
+    pub(crate) support: SupportSet,
+    pub(crate) tracker: SeasonTracker,
 }
 
 /// One persistent pattern level (k ≥ 2): an interned pattern arena plus the
 /// distinct event groups seen, for reporting parity with the batch stats.
 #[derive(Debug, Clone)]
-struct StreamLevel {
-    k: usize,
-    index: FxHashMap<Box<[u64]>, u32>,
-    entries: Vec<StreamPatternEntry>,
+pub(crate) struct StreamLevel {
+    pub(crate) k: usize,
+    pub(crate) index: FxHashMap<Box<[u64]>, u32>,
+    pub(crate) entries: Vec<StreamPatternEntry>,
     /// Distinct event groups (packed label prefixes) with ≥ 1 pattern.
-    groups: FxHashSet<Box<[u64]>>,
+    pub(crate) groups: FxHashSet<Box<[u64]>>,
 }
 
 impl StreamLevel {
-    fn new(k: usize) -> Self {
+    pub(crate) fn new(k: usize) -> Self {
         Self {
             k,
             index: FxHashMap::default(),
@@ -386,19 +399,26 @@ fn mine_granule(seq: &TemporalSequence, config: &ResolvedConfig) -> GranuleHarve
 /// ```
 #[derive(Debug, Clone)]
 pub struct StreamingMiner {
-    config: StpmConfig,
-    registry: EventRegistry,
+    pub(crate) config: StpmConfig,
+    pub(crate) registry: EventRegistry,
     /// The configuration resolved against the current granule count
     /// (`None` until the first non-empty append).
-    resolved: Option<ResolvedConfig>,
-    num_granules: u64,
-    events: FxHashMap<EventLabel, StreamEventEntry>,
+    pub(crate) resolved: Option<ResolvedConfig>,
+    pub(crate) num_granules: u64,
+    pub(crate) events: FxHashMap<EventLabel, StreamEventEntry>,
     /// One persistent level per k in `2..=max_pattern_len`.
-    levels: Vec<StreamLevel>,
+    pub(crate) levels: Vec<StreamLevel>,
     /// Cumulative wall-clock time spent absorbing granules.
-    append_time: Duration,
+    pub(crate) append_time: Duration,
     /// Number of `append*` calls absorbed (for reporting).
-    batches_absorbed: u64,
+    pub(crate) batches_absorbed: u64,
+    /// Id of the most recent durable snapshot taken of this state (0 = no
+    /// snapshot yet). Bumped by [`StreamingMiner::snapshot`] and persisted,
+    /// so a restored miner continues the id sequence.
+    pub(crate) checkpoint_id: u64,
+    /// Granule count at the most recent snapshot — the baseline
+    /// [`StreamingMiner::pending_granules`] measures against.
+    pub(crate) granules_at_snapshot: u64,
 }
 
 impl StreamingMiner {
@@ -422,6 +442,8 @@ impl StreamingMiner {
             levels,
             append_time: Duration::ZERO,
             batches_absorbed: 0,
+            checkpoint_id: 0,
+            granules_at_snapshot: 0,
         })
     }
 
@@ -429,6 +451,22 @@ impl StreamingMiner {
     #[must_use]
     pub fn num_granules(&self) -> u64 {
         self.num_granules
+    }
+
+    /// Total number of distinct patterns interned across every level (the
+    /// size of the persistent candidate universe, frequent or not).
+    #[must_use]
+    pub fn patterns_interned(&self) -> u64 {
+        self.levels.iter().map(|l| l.entries.len() as u64).sum()
+    }
+
+    /// Granules absorbed since the most recent [`snapshot`] — the state a
+    /// crash would lose without a write-ahead log.
+    ///
+    /// [`snapshot`]: StreamingMiner::snapshot
+    #[must_use]
+    pub fn pending_granules(&self) -> u64 {
+        self.num_granules - self.granules_at_snapshot
     }
 
     /// The registry the reports render against.

@@ -28,9 +28,17 @@ points=$(grep -o '"batch_granules":' BENCH_streaming_quick.json | wc -l)
 echo "streaming batch-size points: $points"
 test "$points" -ge 2
 
+echo "== recovery smoke =="
+cargo run --release -p stpm-bench --bin recovery -- --quick
+python3 -m json.tool BENCH_recovery_quick.json > /dev/null
+points=$(grep -o '"tail_granules":' BENCH_recovery_quick.json | wc -l)
+echo "recovery crash-position points: $points"
+test "$points" -ge 2
+
 echo "== checked-in full-run baselines stay parseable =="
 python3 -m json.tool BENCH_scaling.json > /dev/null
 python3 -m json.tool BENCH_streaming.json > /dev/null
+python3 -m json.tool BENCH_recovery.json > /dev/null
 
 echo "== scaling regression gate =="
 python3 scripts/check_scaling_regression.py \
@@ -40,6 +48,11 @@ python3 scripts/check_scaling_regression.py \
 echo "== streaming regression gate =="
 python3 scripts/check_streaming_regression.py \
   BENCH_streaming_quick_baseline.json BENCH_streaming_quick.json \
+  --max-slowdown 1.25
+
+echo "== recovery regression gate =="
+python3 scripts/check_recovery_regression.py \
+  BENCH_recovery_quick_baseline.json BENCH_recovery_quick.json \
   --max-slowdown 1.25
 
 echo "bench smoke: all gates passed"

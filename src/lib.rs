@@ -51,20 +51,26 @@ pub use stpm_timeseries as timeseries;
 
 use stpm_approx::AStpmMiner;
 use stpm_baseline::ApsGrowth;
+use stpm_core::snapshot::{self, ByteReader, ByteWriter, CheckpointMeta};
 use stpm_core::{
     EngineReport, MiningEngine, MiningInput, MiningReport, StpmConfig, StpmMiner, StreamingMiner,
 };
-use stpm_timeseries::{SequenceDatabase, SymbolicDatabase, Symbolizer, TimeSeries};
+use stpm_timeseries::{
+    Alphabet, SequenceDatabase, SymbolId, SymbolicDatabase, SymbolicSeries, Symbolizer, TimeSeries,
+};
 
 /// The most commonly used items of the whole workspace, importable with a
 /// single `use freqstpfts::prelude::*`.
 pub mod prelude {
-    pub use crate::{Engine, Pipeline, PipelineError, PipelineOutcome, StreamingPipeline};
+    pub use crate::{
+        Engine, Pipeline, PipelineError, PipelineOutcome, RecoveryReport, StreamingPipeline,
+    };
     pub use stpm_approx::AStpmMiner;
     pub use stpm_baseline::ApsGrowth;
     pub use stpm_core::{
-        accuracy, EngineReport, MinedPattern, MiningEngine, MiningInput, MiningReport, PruningMode,
-        RelationKind, StpmConfig, StpmMiner, StreamingMiner, TemporalPattern, Threshold,
+        accuracy, CheckpointMeta, EngineReport, MinedPattern, MiningEngine, MiningInput,
+        MiningReport, PruningMode, RelationKind, StpmConfig, StpmMiner, StreamingMiner,
+        TemporalPattern, Threshold,
     };
     pub use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
     pub use stpm_timeseries::{
@@ -131,6 +137,10 @@ pub enum PipelineError {
     Transform(stpm_timeseries::Error),
     /// The mining phase failed.
     Mining(stpm_core::Error),
+    /// Snapshot, write-ahead-log or recovery handling failed — a typed
+    /// [`stpm_core::Error`] snapshot variant (corruption, version, config
+    /// mismatch or I/O).
+    Persistence(stpm_core::Error),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -143,6 +153,7 @@ impl std::fmt::Display for PipelineError {
             ),
             PipelineError::Transform(e) => write!(f, "data transformation failed: {e}"),
             PipelineError::Mining(e) => write!(f, "mining failed: {e}"),
+            PipelineError::Persistence(e) => write!(f, "persistence failed: {e}"),
         }
     }
 }
@@ -308,6 +319,7 @@ impl Pipeline {
             mapping_factor: self.mapping_factor,
             config,
             state: None,
+            wal: None,
         }
     }
 
@@ -387,6 +399,14 @@ pub struct StreamingPipeline {
     mapping_factor: u64,
     config: StpmConfig,
     state: Option<StreamState>,
+    wal: Option<WalHandle>,
+}
+
+/// An attached write-ahead log: the open file plus its path (kept so
+/// recovery-time truncation can reopen it).
+struct WalHandle {
+    file: std::fs::File,
+    path: std::path::PathBuf,
 }
 
 impl std::fmt::Debug for StreamingPipeline {
@@ -396,6 +416,10 @@ impl std::fmt::Debug for StreamingPipeline {
             .field("mapping_factor", &self.mapping_factor)
             .field("config", &self.config)
             .field("num_granules", &self.num_granules())
+            .field(
+                "wal",
+                &self.wal.as_ref().map(|w| w.path.display().to_string()),
+            )
             .finish()
     }
 }
@@ -423,13 +447,21 @@ impl StreamingPipeline {
     /// checkpoint report of the grown prefix. Samples that do not fill a
     /// complete granule stay pending until a later append completes them.
     ///
+    /// With a write-ahead log attached ([`StreamingPipeline::attach_wal`]),
+    /// the batch is additionally appended to the log and synced to disk
+    /// before this method returns, so a crash before the next snapshot
+    /// loses nothing durable.
+    ///
     /// # Errors
     /// Transform errors when the batch does not continue the absorbed series
-    /// set; mining errors from the incremental engine.
+    /// set; mining errors from the incremental engine;
+    /// [`PipelineError::Persistence`] when WAL logging fails (the batch *is*
+    /// absorbed in memory, but its durability is not guaranteed).
     pub fn append_symbolic(
         &mut self,
         batch: &SymbolicDatabase,
     ) -> Result<EngineReport, PipelineError> {
+        let start_instants = self.state.as_ref().map_or(0, |s| s.dsyb.len() as u64);
         if self.mapping_factor == 0 {
             return Err(PipelineError::Transform(
                 stpm_timeseries::Error::InvalidGranularity {
@@ -466,6 +498,14 @@ impl StreamingPipeline {
             .miner
             .append_batch(appended)
             .map_err(PipelineError::Mining)?;
+        if let Some(wal) = &mut self.wal {
+            use std::io::Write as _;
+            let record = snapshot::wal_encode_record(&encode_symbolic_batch(start_instants, batch));
+            wal.file
+                .write_all(&record)
+                .and_then(|()| wal.file.sync_data())
+                .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        }
         self.checkpoint()
     }
 
@@ -536,6 +576,396 @@ impl StreamingPipeline {
     pub fn dseq(&self) -> Option<&SequenceDatabase> {
         self.state.as_ref().map(|s| &s.dseq)
     }
+
+    /// Granules absorbed since the most recent snapshot — the state a crash
+    /// would lose without a write-ahead log. Zero before the first batch.
+    #[must_use]
+    pub fn pending_granules(&self) -> u64 {
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.miner.pending_granules())
+    }
+
+    /// The durable-state position of the underlying miner: checkpoint id,
+    /// granules absorbed, patterns interned, granules pending since the last
+    /// snapshot. All-zero before the first batch. Reading it never forces a
+    /// mine.
+    #[must_use]
+    pub fn checkpoint_meta(&self) -> CheckpointMeta {
+        self.state.as_ref().map_or(
+            CheckpointMeta {
+                checkpoint_id: 0,
+                granules_absorbed: 0,
+                patterns_interned: 0,
+                pending_granules: 0,
+            },
+            |s| s.miner.checkpoint_meta(),
+        )
+    }
+}
+
+/// What [`StreamingPipeline::recover`] reconstructed on startup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Granules restored from the snapshot (before WAL replay).
+    pub restored_granules: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_records: u64,
+    /// Whether the WAL was fully durable (`false` when a torn tail — the
+    /// expected result of a crash mid-append — was dropped).
+    pub wal_was_clean: bool,
+}
+
+/// Facade-level section tags of a pipeline snapshot (`kind = 2`): the
+/// pipeline parameters, the symbolic database, and an embedded miner
+/// snapshot.
+const SEC_PIPE: u32 = 0x10;
+const SEC_DSYB: u32 = 0x11;
+const SEC_MINER: u32 = 0x12;
+
+impl StreamingPipeline {
+    /// Serializes the pipeline's full durable state — mapping factor,
+    /// symbolic database and the embedded miner snapshot — to `out`, and
+    /// truncates the attached write-ahead log (if any) back to its header:
+    /// everything the log held is now covered by the snapshot.
+    ///
+    /// The symbolizer is *not* serialized (symbolizers are arbitrary user
+    /// code); the restoring side configures it through the builder exactly as
+    /// on first startup.
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] on write or WAL-truncation failures.
+    pub fn snapshot_to(&mut self, out: &mut impl std::io::Write) -> Result<(), PipelineError> {
+        let mut bytes = Vec::new();
+        snapshot::write_header(&mut bytes, snapshot::KIND_PIPELINE);
+        let mut pipe = ByteWriter::new();
+        pipe.put_u64(self.mapping_factor);
+        pipe.put_u8(u8::from(self.state.is_some()));
+        snapshot::write_section(&mut bytes, SEC_PIPE, pipe.bytes());
+        if let Some(state) = &mut self.state {
+            snapshot::write_section(&mut bytes, SEC_DSYB, &encode_dsyb(&state.dsyb));
+            let mut miner_bytes = Vec::new();
+            state
+                .miner
+                .snapshot(&mut miner_bytes)
+                .map_err(PipelineError::Persistence)?;
+            snapshot::write_section(&mut bytes, SEC_MINER, &miner_bytes);
+        }
+        out.write_all(&bytes)
+            .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        self.reset_wal()
+    }
+
+    /// Replaces this pipeline's state with one restored from a snapshot
+    /// produced by [`StreamingPipeline::snapshot_to`]. The pipeline's own
+    /// configuration is re-validated against the snapshot: the mapping factor
+    /// and the state-shaping mining parameters (ε, `d_o`, `maxPatternLen`)
+    /// must match, while seasonality thresholds may differ (season trackers
+    /// are then replayed under the new thresholds).
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] wrapping the typed snapshot errors:
+    /// corruption, a future format version, or a configuration mismatch.
+    pub fn restore_from(&mut self, input: &mut impl std::io::Read) -> Result<(), PipelineError> {
+        let mut bytes = Vec::new();
+        input
+            .read_to_end(&mut bytes)
+            .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        self.state = decode_pipeline_state(&bytes, self.mapping_factor, &self.config)?;
+        Ok(())
+    }
+
+    /// Attaches a write-ahead log at `path` (created with its header if
+    /// missing or empty): every subsequent [`append`] /
+    /// [`append_symbolic`] is logged and synced to disk before returning, so
+    /// [`recover`] can replay batches that arrived after the last snapshot.
+    ///
+    /// [`append`]: StreamingPipeline::append
+    /// [`append_symbolic`]: StreamingPipeline::append_symbolic
+    /// [`recover`]: StreamingPipeline::recover
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] on I/O failures.
+    pub fn attach_wal(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PipelineError> {
+        use std::io::Write as _;
+        let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| io(&e))?;
+        if file.metadata().map_err(|e| io(&e))?.len() == 0 {
+            file.write_all(&snapshot::wal_header())
+                .map_err(|e| io(&e))?;
+            file.sync_data().map_err(|e| io(&e))?;
+        }
+        self.wal = Some(WalHandle { file, path });
+        Ok(())
+    }
+
+    /// Crash recovery on startup: restores the snapshot at `snapshot_path`
+    /// (if given and present), replays every durable write-ahead-log record
+    /// beyond it, truncates any torn WAL tail, and attaches the WAL for
+    /// future appends. A missing snapshot or WAL file is not an error — the
+    /// pipeline then simply starts empty (with a fresh WAL), which makes this
+    /// method the unconditional first call of a recovering daemon.
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] on corrupt snapshots, corrupt WAL
+    /// headers, configuration mismatches or I/O failures;
+    /// [`PipelineError::Transform`] / [`PipelineError::Mining`] when a
+    /// replayed batch fails to absorb.
+    pub fn recover(
+        &mut self,
+        snapshot_path: Option<&std::path::Path>,
+        wal_path: &std::path::Path,
+    ) -> Result<RecoveryReport, PipelineError> {
+        let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+        self.state = None;
+        self.wal = None;
+        if let Some(path) = snapshot_path {
+            match std::fs::read(path) {
+                Ok(bytes) => {
+                    self.state = decode_pipeline_state(&bytes, self.mapping_factor, &self.config)?;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io(&e)),
+            }
+        }
+        let restored_granules = self.num_granules();
+        let wal_bytes = match std::fs::read(wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io(&e)),
+        };
+        let contents = snapshot::wal_read(&wal_bytes).map_err(PipelineError::Persistence)?;
+        let mut replayed_records = 0u64;
+        for record in &contents.records {
+            let (start, batch) =
+                decode_symbolic_batch(record).map_err(PipelineError::Persistence)?;
+            let current = self.state.as_ref().map_or(0, |s| s.dsyb.len() as u64);
+            if start + batch.len() as u64 <= current {
+                // The snapshot already covers this record (it was written
+                // before the snapshot that a crash then prevented from
+                // truncating the log).
+                continue;
+            }
+            if start != current {
+                return Err(PipelineError::Persistence(
+                    stpm_core::Error::SnapshotCorrupt {
+                        reason: format!(
+                            "WAL record starts at instant {start} but {current} instants are \
+                         reconstructed — the log does not continue the snapshot"
+                        ),
+                    },
+                ));
+            }
+            self.append_symbolic(&batch)?;
+            replayed_records += 1;
+        }
+        if !contents.clean {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(wal_path)
+                .map_err(|e| io(&e))?;
+            file.set_len(contents.durable_len).map_err(|e| io(&e))?;
+            file.sync_data().map_err(|e| io(&e))?;
+        }
+        self.attach_wal(wal_path)?;
+        Ok(RecoveryReport {
+            restored_granules,
+            replayed_records,
+            wal_was_clean: contents.clean,
+        })
+    }
+
+    /// Truncates the attached WAL back to its header (used after a snapshot
+    /// absorbed everything the log held).
+    fn reset_wal(&mut self) -> Result<(), PipelineError> {
+        if let Some(wal) = &mut self.wal {
+            let io =
+                |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+            wal.file
+                .set_len(snapshot::wal_header().len() as u64)
+                .map_err(|e| io(&e))?;
+            wal.file.sync_data().map_err(|e| io(&e))?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes the symbolic database for the `DSYB` snapshot section: per series,
+/// its name, alphabet and full symbol vector.
+fn encode_dsyb(dsyb: &SymbolicDatabase) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(u32::try_from(dsyb.num_series()).expect("series count fits u32"));
+    for series in dsyb.series() {
+        write_symbolic_series(&mut w, series);
+    }
+    w.into_bytes()
+}
+
+fn write_symbolic_series(w: &mut ByteWriter, series: &SymbolicSeries) {
+    w.put_str(series.name());
+    let labels = series.alphabet().labels();
+    w.put_u32(u32::try_from(labels.len()).expect("alphabet fits u32"));
+    for label in labels {
+        w.put_str(label);
+    }
+    w.put_u64(series.symbols().len() as u64);
+    for &symbol in series.symbols() {
+        w.put_u16(symbol.0);
+    }
+}
+
+fn read_symbolic_series(r: &mut ByteReader<'_>) -> Result<SymbolicSeries, stpm_core::Error> {
+    let corrupt = |reason: String| stpm_core::Error::SnapshotCorrupt { reason };
+    let name = r.take_str()?;
+    let label_count = r.take_u32()?;
+    if label_count > 1 << 16 {
+        return Err(corrupt(format!(
+            "alphabet of {label_count} symbols exceeds the u16 symbol space"
+        )));
+    }
+    let mut labels = Vec::new();
+    for _ in 0..label_count {
+        labels.push(r.take_str()?);
+    }
+    let alphabet = Alphabet::new(labels)
+        .map_err(|e| corrupt(format!("series `{name}` carries an invalid alphabet: {e}")))?;
+    let symbol_count = r.take_u64()?;
+    let symbol_count = usize::try_from(symbol_count)
+        .map_err(|_| corrupt("symbol count exceeds address space".into()))?;
+    let mut symbols = Vec::with_capacity(symbol_count.min(r.remaining() / 2 + 1));
+    for _ in 0..symbol_count {
+        let symbol = r.take_u16()?;
+        if u32::from(symbol) >= label_count {
+            return Err(corrupt(format!(
+                "series `{name}` references symbol {symbol} outside its {label_count}-symbol \
+                 alphabet"
+            )));
+        }
+        symbols.push(SymbolId(symbol));
+    }
+    Ok(SymbolicSeries::new(name, symbols, alphabet))
+}
+
+fn decode_dsyb(payload: &[u8]) -> Result<SymbolicDatabase, stpm_core::Error> {
+    let mut r = ByteReader::new(payload, "symbolic-database section");
+    let num_series = r.take_u32()?;
+    let mut series = Vec::new();
+    for _ in 0..num_series {
+        series.push(read_symbolic_series(&mut r)?);
+    }
+    r.finish()?;
+    SymbolicDatabase::new(series).map_err(|e| stpm_core::Error::SnapshotCorrupt {
+        reason: format!("symbolic database failed validation: {e}"),
+    })
+}
+
+/// Encodes one appended symbolic batch as a self-contained WAL record
+/// payload: the instant count the stream held before the batch, then the
+/// batch itself.
+fn encode_symbolic_batch(start_instants: u64, batch: &SymbolicDatabase) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(start_instants);
+    w.put_u32(u32::try_from(batch.num_series()).expect("series count fits u32"));
+    for series in batch.series() {
+        write_symbolic_series(&mut w, series);
+    }
+    w.into_bytes()
+}
+
+fn decode_symbolic_batch(payload: &[u8]) -> Result<(u64, SymbolicDatabase), stpm_core::Error> {
+    let mut r = ByteReader::new(payload, "WAL batch record");
+    let start_instants = r.take_u64()?;
+    let num_series = r.take_u32()?;
+    let mut series = Vec::new();
+    for _ in 0..num_series {
+        series.push(read_symbolic_series(&mut r)?);
+    }
+    r.finish()?;
+    let batch = SymbolicDatabase::new(series).map_err(|e| stpm_core::Error::SnapshotCorrupt {
+        reason: format!("WAL batch failed validation: {e}"),
+    })?;
+    Ok((start_instants, batch))
+}
+
+/// Decodes a full pipeline snapshot, re-validating the restoring pipeline's
+/// configuration against it.
+fn decode_pipeline_state(
+    bytes: &[u8],
+    mapping_factor: u64,
+    config: &StpmConfig,
+) -> Result<Option<StreamState>, PipelineError> {
+    let per = PipelineError::Persistence;
+    let mut cursor = snapshot::parse_header(bytes, snapshot::KIND_PIPELINE).map_err(per)?;
+    let pipe = snapshot::read_section(&mut cursor, SEC_PIPE).map_err(per)?;
+    let mut r = ByteReader::new(pipe, "pipeline section");
+    let stored_m = r.take_u64().map_err(per)?;
+    if stored_m != mapping_factor {
+        return Err(per(stpm_core::Error::SnapshotConfigMismatch {
+            parameter: "mappingFactor",
+            reason: format!(
+                "snapshot maps {stored_m} instants per granule, this pipeline maps \
+                 {mapping_factor} — granule boundaries cannot be replayed"
+            ),
+        }));
+    }
+    let has_state = match r.take_u8().map_err(per)? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(per(stpm_core::Error::SnapshotCorrupt {
+                reason: format!("pipeline section: unknown has-state tag {tag}"),
+            }))
+        }
+    };
+    r.finish().map_err(per)?;
+    let corrupt =
+        |reason: String| PipelineError::Persistence(stpm_core::Error::SnapshotCorrupt { reason });
+    if !has_state {
+        if !cursor.is_empty() {
+            return Err(corrupt(format!(
+                "{} trailing bytes after an empty pipeline snapshot",
+                cursor.len()
+            )));
+        }
+        return Ok(None);
+    }
+    let dsyb =
+        decode_dsyb(snapshot::read_section(&mut cursor, SEC_DSYB).map_err(per)?).map_err(per)?;
+    let miner_bytes = snapshot::read_section(&mut cursor, SEC_MINER).map_err(per)?;
+    if !cursor.is_empty() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after the last section",
+            cursor.len()
+        )));
+    }
+    let miner = StreamingMiner::restore_with(config, &mut &miner_bytes[..]).map_err(per)?;
+    if miner.registry() != dsyb.registry() {
+        return Err(corrupt(
+            "the miner's event registry diverges from the symbolic database's".into(),
+        ));
+    }
+    let mut dseq = SequenceDatabase::from_sequences(
+        Vec::new(),
+        dsyb.registry().clone(),
+        mapping_factor,
+        dsyb.num_series(),
+    );
+    dseq.append_from_symbolic(&dsyb)
+        .map_err(PipelineError::Transform)?;
+    if miner.num_granules() != dseq.num_granules() {
+        return Err(corrupt(format!(
+            "the miner absorbed {} granules but the symbolic database maps to {}",
+            miner.num_granules(),
+            dseq.num_granules()
+        )));
+    }
+    Ok(Some(StreamState { dsyb, dseq, miner }))
 }
 
 /// Everything the legacy single-engine pipeline produced.

@@ -1,0 +1,505 @@
+//! Snapshot persistence and crash recovery: restoring a [`StreamingMiner`]
+//! or [`StreamingPipeline`] from durable bytes must be *exact* — byte-for-
+//! byte identical to never having stopped — and feeding either one corrupt
+//! bytes must produce a typed error, never a panic.
+//!
+//! As elsewhere in the workspace, properties are checked over a
+//! deterministic stream of pseudo-random cases drawn from the seedable RNG
+//! (no crates.io access), with the case seed printed on failure.
+
+use freqstpfts::core::canonical_result_set as canonical;
+use freqstpfts::core::snapshot;
+use freqstpfts::datagen::SeededRng;
+use freqstpfts::prelude::*;
+use std::path::PathBuf;
+
+fn snapshot_bytes(miner: &mut StreamingMiner) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    miner.snapshot(&mut bytes).unwrap();
+    bytes
+}
+
+/// A fresh scratch directory under the system temp dir, wiped on entry so
+/// reruns never see stale files.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stpm_snapshot_recovery_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Cuts `0..total` into random consecutive non-empty batches.
+fn random_boundaries(rng: &mut SeededRng, total: usize) -> Vec<(usize, usize)> {
+    let mut boundaries = Vec::new();
+    let mut cursor = 0usize;
+    while cursor < total {
+        let step = 1 + rng.next_below(30) as usize;
+        let next = (cursor + step).min(total);
+        boundaries.push((cursor, next));
+        cursor = next;
+    }
+    boundaries
+}
+
+#[test]
+fn snapshot_restore_append_is_byte_identical_at_every_checkpoint() {
+    // The uninterrupted run snapshots at every batch boundary; then, for
+    // every checkpoint k, a second miner is restored from snapshot k and
+    // replays the remaining batches, snapshotting at the same boundaries.
+    // Every one of its snapshots must be byte-identical to the
+    // uninterrupted run's — over random databases, random snapshot points,
+    // absolute and fractional thresholds, and thread counts.
+    for case in 0..6u64 {
+        let mut rng = SeededRng::seed_from_u64(4200 + case);
+        let profile = if case % 2 == 0 {
+            DatasetProfile::Influenza
+        } else {
+            DatasetProfile::SmartCity
+        };
+        let spec = profile_spec(profile, &mut rng);
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        let fractional = case % 3 == 0;
+        let config = StpmConfig {
+            max_period: if fractional {
+                Threshold::Fraction(0.03 + 0.01 * (case as f64))
+            } else {
+                Threshold::Absolute(2 + rng.next_below(3))
+            },
+            min_density: if fractional {
+                Threshold::Fraction(0.02)
+            } else {
+                Threshold::Absolute(2)
+            },
+            dist_interval: (2 + rng.next_below(3), 40 + rng.next_below(30)),
+            min_season: 1 + rng.next_below(2),
+            max_pattern_len: 2 + (case % 2) as usize,
+            ..StpmConfig::default()
+        }
+        .with_threads(if case % 2 == 0 { 1 } else { 3 });
+        let boundaries = random_boundaries(&mut rng, dseq.sequences().len());
+
+        let mut uninterrupted = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        let mut checkpoints = Vec::new();
+        for &(from, to) in &boundaries {
+            uninterrupted
+                .append_batch(&dseq.sequences()[from..to])
+                .unwrap();
+            checkpoints.push(snapshot_bytes(&mut uninterrupted));
+        }
+
+        for (k, bytes) in checkpoints.iter().enumerate() {
+            let mut resumed = StreamingMiner::restore(&mut &bytes[..]).unwrap();
+            for (later, &(from, to)) in boundaries.iter().enumerate().skip(k + 1) {
+                resumed.append_batch(&dseq.sequences()[from..to]).unwrap();
+                assert_eq!(
+                    snapshot_bytes(&mut resumed),
+                    checkpoints[later],
+                    "case {case}: restore at checkpoint {k} diverged at checkpoint {later}"
+                );
+            }
+        }
+
+        // And the final state is exactly what a batch mine reports.
+        let report = uninterrupted.checkpoint().unwrap();
+        let batch = StpmMiner::mine_sequences(&dseq, &config).unwrap();
+        assert_eq!(
+            canonical(report.events(), report.patterns()),
+            canonical(batch.events(), batch.patterns()),
+            "case {case}: final checkpoint diverged from the batch mine"
+        );
+    }
+}
+
+fn profile_spec(profile: DatasetProfile, rng: &mut SeededRng) -> DatasetSpec {
+    DatasetSpec::real(profile)
+        .scaled_to(4 + rng.next_below(2) as usize, 80 + rng.next_below(40))
+        .with_seed(rng.next_below(1000))
+}
+
+fn sample_series(samples: usize) -> Vec<TimeSeries> {
+    // Deterministic pseudo-seasonal on/off series, long enough to split into
+    // many raw-sample batches.
+    let mut rng = SeededRng::seed_from_u64(99);
+    ["Cooker", "Dishes", "Heater"]
+        .iter()
+        .map(|name| {
+            let values = (0..samples)
+                .map(|i| {
+                    let seasonal = (i / 6) % 3 == 0;
+                    if seasonal || rng.next_below(8) == 0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            TimeSeries::new(*name, values)
+        })
+        .collect()
+}
+
+fn chunk(series: &[TimeSeries], from: usize, to: usize) -> Vec<TimeSeries> {
+    series
+        .iter()
+        .map(|s| TimeSeries::new(s.name(), s.values()[from..to].to_vec()))
+        .collect()
+}
+
+fn stream_builder() -> Pipeline {
+    Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+        .mapping_factor(3)
+        .thresholds(StpmConfig {
+            max_period: Threshold::Absolute(3),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (2, 40),
+            min_season: 1,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        })
+}
+
+#[test]
+fn pipeline_snapshot_round_trips_and_resumes_exactly() {
+    let series = sample_series(90);
+    let mut original = stream_builder().into_streaming();
+    original.append(&chunk(&series, 0, 45)).unwrap();
+
+    let mut bytes = Vec::new();
+    original.snapshot_to(&mut bytes).unwrap();
+    assert_eq!(original.pending_granules(), 0);
+    assert_eq!(original.checkpoint_meta().checkpoint_id, 1);
+
+    let mut resumed = stream_builder().into_streaming();
+    resumed.restore_from(&mut &bytes[..]).unwrap();
+    assert_eq!(resumed.num_granules(), original.num_granules());
+    assert_eq!(resumed.dseq().unwrap(), original.dseq().unwrap());
+    assert_eq!(resumed.checkpoint_meta(), original.checkpoint_meta());
+
+    // Both sides absorb the same tail — reports and databases stay equal.
+    let a = original.append(&chunk(&series, 45, 90)).unwrap();
+    let b = resumed.append(&chunk(&series, 45, 90)).unwrap();
+    assert_eq!(a.events(), b.events());
+    assert_eq!(a.patterns(), b.patterns());
+    assert_eq!(original.dseq().unwrap(), resumed.dseq().unwrap());
+    assert_eq!(original.pending_granules(), resumed.pending_granules());
+}
+
+#[test]
+fn empty_pipeline_snapshot_round_trips() {
+    let mut empty = stream_builder().into_streaming();
+    let mut bytes = Vec::new();
+    empty.snapshot_to(&mut bytes).unwrap();
+    let mut restored = stream_builder().into_streaming();
+    restored.restore_from(&mut &bytes[..]).unwrap();
+    assert_eq!(restored.num_granules(), 0);
+    assert_eq!(restored.checkpoint_meta().granules_absorbed, 0);
+    let series = sample_series(9);
+    restored.append(&chunk(&series, 0, 9)).unwrap();
+    assert_eq!(restored.num_granules(), 3);
+}
+
+#[test]
+fn crash_between_snapshots_loses_nothing_with_a_wal() {
+    let dir = scratch_dir("wal_recovery");
+    let snap_path = dir.join("state.snap");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(90);
+
+    // Session one: snapshot after the first batch, then two more logged
+    // appends, then "crash" (drop without snapshotting).
+    let mut session_one = stream_builder().into_streaming();
+    session_one.attach_wal(&wal_path).unwrap();
+    session_one.append(&chunk(&series, 0, 30)).unwrap();
+    let mut snap_file = std::fs::File::create(&snap_path).unwrap();
+    session_one.snapshot_to(&mut snap_file).unwrap();
+    session_one.append(&chunk(&series, 30, 60)).unwrap();
+    session_one.append(&chunk(&series, 60, 90)).unwrap();
+    let final_report = session_one.checkpoint().unwrap();
+    assert_eq!(session_one.pending_granules(), 20);
+    drop(session_one);
+
+    // Session two: recover = restore snapshot + replay the two WAL records.
+    let mut session_two = stream_builder().into_streaming();
+    let recovery = session_two.recover(Some(&snap_path), &wal_path).unwrap();
+    assert_eq!(recovery.restored_granules, 10);
+    assert_eq!(recovery.replayed_records, 2);
+    assert!(recovery.wal_was_clean);
+    assert_eq!(session_two.num_granules(), 30);
+    let recovered_report = session_two.checkpoint().unwrap();
+    assert_eq!(recovered_report.events(), final_report.events());
+    assert_eq!(recovered_report.patterns(), final_report.patterns());
+
+    // The recovered session keeps logging: a third session recovers its
+    // post-recovery appends too.
+    let more = sample_series(108);
+    session_two.append(&chunk(&more, 90, 108)).unwrap();
+    let expected = session_two.checkpoint().unwrap();
+    drop(session_two);
+    let mut session_three = stream_builder().into_streaming();
+    let recovery = session_three.recover(Some(&snap_path), &wal_path).unwrap();
+    // Replayed records are not re-logged (the WAL already holds them), so
+    // the log now holds the two pre-crash batches plus the new one.
+    assert_eq!(recovery.replayed_records, 3);
+    assert_eq!(session_three.num_granules(), 36);
+    let report = session_three.checkpoint().unwrap();
+    assert_eq!(report.patterns(), expected.patterns());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_wal_tail_is_dropped_and_the_durable_prefix_recovers() {
+    let dir = scratch_dir("torn_tail");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(90);
+
+    let mut writer = stream_builder().into_streaming();
+    writer.attach_wal(&wal_path).unwrap();
+    writer.append(&chunk(&series, 0, 30)).unwrap();
+    writer.append(&chunk(&series, 30, 60)).unwrap();
+    writer.append(&chunk(&series, 60, 90)).unwrap();
+    drop(writer);
+
+    // Simulate a crash mid-append: chop bytes off the last record.
+    let full = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &full[..full.len() - 7]).unwrap();
+
+    let mut recovered = stream_builder().into_streaming();
+    let recovery = recovered.recover(None, &wal_path).unwrap();
+    assert!(!recovery.wal_was_clean);
+    assert_eq!(recovery.restored_granules, 0);
+    assert_eq!(recovery.replayed_records, 2);
+    assert_eq!(recovered.num_granules(), 20);
+
+    // The durable prefix is exactly the first two batches.
+    let mut direct = stream_builder().into_streaming();
+    direct.append(&chunk(&series, 0, 60)).unwrap();
+    let a = recovered.checkpoint().unwrap();
+    let b = direct.checkpoint().unwrap();
+    assert_eq!(a.events(), b.events());
+    assert_eq!(a.patterns(), b.patterns());
+
+    // The torn tail was truncated away: a re-recovery sees a clean log, and
+    // new appends extend it.
+    recovered.append(&chunk(&series, 60, 90)).unwrap();
+    let mut again = stream_builder().into_streaming();
+    let recovery = again.recover(None, &wal_path).unwrap();
+    assert!(recovery.wal_was_clean);
+    assert_eq!(again.num_granules(), 30);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_from_nothing_starts_empty_and_creates_the_wal() {
+    let dir = scratch_dir("from_nothing");
+    let mut pipeline = stream_builder().into_streaming();
+    let recovery = pipeline
+        .recover(Some(&dir.join("missing.snap")), &dir.join("fresh.wal"))
+        .unwrap();
+    assert_eq!(
+        recovery,
+        RecoveryReport {
+            restored_granules: 0,
+            replayed_records: 0,
+            wal_was_clean: true,
+        }
+    );
+    let series = sample_series(30);
+    pipeline.append(&chunk(&series, 0, 30)).unwrap();
+    assert!(dir.join("fresh.wal").is_file());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_pipeline_snapshot_truncation_is_a_typed_error() {
+    let series = sample_series(45);
+    let mut original = stream_builder().into_streaming();
+    original.append(&chunk(&series, 0, 45)).unwrap();
+    let mut bytes = Vec::new();
+    original.snapshot_to(&mut bytes).unwrap();
+
+    for len in 0..bytes.len() {
+        let mut target = stream_builder().into_streaming();
+        let err = target
+            .restore_from(&mut &bytes[..len])
+            .expect_err("truncated snapshot must not restore");
+        assert!(
+            matches!(err, PipelineError::Persistence(_)),
+            "truncation to {len} bytes produced {err:?}"
+        );
+    }
+}
+
+#[test]
+fn random_bit_flips_in_a_pipeline_snapshot_never_panic() {
+    let series = sample_series(45);
+    let mut original = stream_builder().into_streaming();
+    original.append(&chunk(&series, 0, 45)).unwrap();
+    let mut bytes = Vec::new();
+    original.snapshot_to(&mut bytes).unwrap();
+
+    let mut rng = SeededRng::seed_from_u64(77);
+    for flip in 0..300 {
+        let offset = rng.next_below(bytes.len() as u64) as usize;
+        let bit = rng.next_below(8) as u8;
+        let mut corrupt = bytes.clone();
+        corrupt[offset] ^= 1 << bit;
+        let mut target = stream_builder().into_streaming();
+        let result = target.restore_from(&mut &corrupt[..]);
+        assert!(
+            result.is_err(),
+            "flip {flip}: bit {bit} of byte {offset} went undetected"
+        );
+    }
+}
+
+#[test]
+fn wal_bit_flips_recover_the_durable_prefix_or_error_but_never_panic() {
+    let dir = scratch_dir("wal_flips");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(60);
+    let mut writer = stream_builder().into_streaming();
+    writer.attach_wal(&wal_path).unwrap();
+    writer.append(&chunk(&series, 0, 30)).unwrap();
+    writer.append(&chunk(&series, 30, 60)).unwrap();
+    drop(writer);
+    let pristine = std::fs::read(&wal_path).unwrap();
+
+    let mut rng = SeededRng::seed_from_u64(78);
+    for _ in 0..150 {
+        let offset = rng.next_below(pristine.len() as u64) as usize;
+        let mut corrupt = pristine.clone();
+        corrupt[offset] ^= 1 << (offset % 8);
+        std::fs::write(&wal_path, &corrupt).unwrap();
+        let mut pipeline = stream_builder().into_streaming();
+        // Either the header is damaged (typed error) or a record is dropped
+        // (clean recovery of the prefix); both are acceptable — panicking or
+        // silently absorbing corrupt data is not.
+        match pipeline.recover(None, &wal_path) {
+            Ok(recovery) => assert!(recovery.replayed_records <= 2),
+            Err(err) => assert!(matches!(err, PipelineError::Persistence(_))),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn config_mismatches_surface_as_typed_errors() {
+    let series = sample_series(45);
+    let mut original = stream_builder().into_streaming();
+    original.append(&chunk(&series, 0, 45)).unwrap();
+    let mut bytes = Vec::new();
+    original.snapshot_to(&mut bytes).unwrap();
+
+    // A different mapping factor re-shapes every granule: rejected.
+    let mut other_m = Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+        .mapping_factor(5)
+        .thresholds(StpmConfig {
+            max_period: Threshold::Absolute(3),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (2, 40),
+            min_season: 1,
+            max_pattern_len: 2,
+            ..StpmConfig::default()
+        })
+        .into_streaming();
+    let err = other_m.restore_from(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(
+        err,
+        PipelineError::Persistence(freqstpfts::core::Error::SnapshotConfigMismatch {
+            parameter: "mappingFactor",
+            ..
+        })
+    ));
+
+    // A different ε re-shapes the interned relations: rejected.
+    let mut config = StpmConfig {
+        max_period: Threshold::Absolute(3),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (2, 40),
+        min_season: 1,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    };
+    config.epsilon += 1;
+    let mut other_eps = Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+        .mapping_factor(3)
+        .thresholds(config)
+        .into_streaming();
+    let err = other_eps.restore_from(&mut &bytes[..]).unwrap_err();
+    assert!(matches!(
+        err,
+        PipelineError::Persistence(freqstpfts::core::Error::SnapshotConfigMismatch {
+            parameter: "epsilon",
+            ..
+        })
+    ));
+}
+
+#[test]
+fn seasonal_threshold_changes_replay_trackers_on_restore() {
+    // Restoring under relaxed seasonality thresholds is legal — the restored
+    // state must equal a fresh run entirely under the new thresholds.
+    let mut rng = SeededRng::seed_from_u64(4321);
+    let spec = profile_spec(DatasetProfile::RenewableEnergy, &mut rng);
+    let data = generate(&spec);
+    let dseq = data.dseq().unwrap();
+    let strict = StpmConfig {
+        max_period: Threshold::Absolute(2),
+        min_density: Threshold::Absolute(3),
+        dist_interval: (3, 50),
+        min_season: 2,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    };
+    let mut miner = StreamingMiner::new(&strict, dseq.registry()).unwrap();
+    miner.append_batch(dseq.sequences()).unwrap();
+    let bytes = snapshot_bytes(&mut miner);
+
+    let relaxed = StpmConfig {
+        max_period: Threshold::Absolute(4),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (2, 70),
+        min_season: 1,
+        ..strict.clone()
+    };
+    let restored = StreamingMiner::restore_with(&relaxed, &mut &bytes[..]).unwrap();
+    let report = restored.checkpoint().unwrap();
+    let batch = StpmMiner::mine_sequences(&dseq, &relaxed).unwrap();
+    assert_eq!(
+        canonical(report.events(), report.patterns()),
+        canonical(batch.events(), batch.patterns())
+    );
+}
+
+#[test]
+fn future_format_versions_are_rejected_with_the_version_error() {
+    let series = sample_series(45);
+    let mut original = stream_builder().into_streaming();
+    original.append(&chunk(&series, 0, 45)).unwrap();
+    let mut bytes = Vec::new();
+    original.snapshot_to(&mut bytes).unwrap();
+    bytes[8..12].copy_from_slice(&2025u32.to_le_bytes());
+    let mut target = stream_builder().into_streaming();
+    assert!(matches!(
+        target.restore_from(&mut &bytes[..]),
+        Err(PipelineError::Persistence(
+            freqstpfts::core::Error::SnapshotVersion { found: 2025, .. }
+        ))
+    ));
+    // Same contract for the WAL.
+    let mut wal = snapshot::wal_header().to_vec();
+    wal[8..12].copy_from_slice(&2025u32.to_le_bytes());
+    assert!(matches!(
+        snapshot::wal_read(&wal),
+        Err(freqstpfts::core::Error::SnapshotVersion { found: 2025, .. })
+    ));
+}
