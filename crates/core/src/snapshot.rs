@@ -807,7 +807,7 @@ fn decode_level(
 // Whole-miner encode / decode
 // ---------------------------------------------------------------------------
 
-fn encode_miner(miner: &StreamingMiner) -> Vec<u8> {
+fn encode_miner(miner: &StreamingMiner, checkpoint_id: u64) -> Vec<u8> {
     let mut out = Vec::new();
     write_header(&mut out, KIND_MINER);
     write_section(&mut out, SEC_CONFIG, &encode_config(&miner.config));
@@ -815,7 +815,7 @@ fn encode_miner(miner: &StreamingMiner) -> Vec<u8> {
     let mut state = ByteWriter::new();
     state.put_u64(miner.num_granules);
     state.put_u64(miner.batches_absorbed);
-    state.put_u64(miner.checkpoint_id);
+    state.put_u64(checkpoint_id);
     write_section(&mut out, SEC_STATE, state.bytes());
     write_section(&mut out, SEC_EVENTS, &encode_events(miner));
     for level in &miner.levels {
@@ -955,17 +955,43 @@ pub struct CheckpointMeta {
 
 impl StreamingMiner {
     /// Serializes the full persistent state to `out` as one version-1
-    /// snapshot, bumping the checkpoint id first so the written state (and a
-    /// miner restored from it) continues the id sequence. After a successful
-    /// snapshot, [`StreamingMiner::pending_granules`] is zero.
+    /// snapshot carrying the *next* checkpoint id, so the written state (and
+    /// a miner restored from it) continues the id sequence. The id bump and
+    /// the pending-granule watermark are committed only once the writer
+    /// accepted every byte: after a successful snapshot
+    /// [`StreamingMiner::pending_granules`] is zero, while after a failed one
+    /// [`StreamingMiner::checkpoint_meta`] still reports the truth (nothing
+    /// was persisted), so a caller gating re-snapshots on `pending_granules`
+    /// retries instead of skipping.
     ///
     /// # Errors
     /// [`Error::SnapshotIo`] when the writer fails.
     pub fn snapshot(&mut self, out: &mut impl Write) -> Result<()> {
+        out.write_all(&self.encode_snapshot())
+            .map_err(|e| Error::snapshot_io(&e))?;
+        self.mark_snapshot_durable();
+        Ok(())
+    }
+
+    /// Encodes the state exactly as [`StreamingMiner::snapshot`] would —
+    /// under the next checkpoint id — without committing that id. Pair with
+    /// [`StreamingMiner::mark_snapshot_durable`] once the bytes have
+    /// verifiably reached durable storage; callers that write to fallible or
+    /// non-durable sinks use this split so an I/O failure between the two
+    /// calls leaves the checkpoint accounting untouched.
+    #[must_use]
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        encode_miner(self, self.checkpoint_id + 1)
+    }
+
+    /// Commits the checkpoint bump of the most recent
+    /// [`StreamingMiner::encode_snapshot`]: the checkpoint id advances and
+    /// [`StreamingMiner::pending_granules`] drops to zero. Call only after
+    /// the encoded bytes are durable — committing earlier makes a crash
+    /// window invisible to `pending_granules`-driven re-snapshot logic.
+    pub fn mark_snapshot_durable(&mut self) {
         self.checkpoint_id += 1;
         self.granules_at_snapshot = self.num_granules;
-        let bytes = encode_miner(self);
-        out.write_all(&bytes).map_err(|e| Error::snapshot_io(&e))
     }
 
     /// Restores a miner from a snapshot produced by
@@ -1273,6 +1299,33 @@ mod tests {
         assert_eq!(meta.pending_granules, 0);
         miner.append_batch(&dseq.sequences()[3..5]).unwrap();
         assert_eq!(miner.checkpoint_meta().pending_granules, 2);
+    }
+
+    #[test]
+    fn a_failed_snapshot_write_leaves_the_checkpoint_accounting_untouched() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut miner = mined_miner();
+        let before = miner.checkpoint_meta();
+        assert!(before.pending_granules > 0);
+        let err = miner.snapshot(&mut FailingWriter).unwrap_err();
+        assert!(matches!(err, Error::SnapshotIo { .. }));
+        // Nothing was persisted, so nothing may claim to be: a caller gating
+        // re-snapshots on `pending_granules` must see the truth and retry.
+        assert_eq!(miner.checkpoint_meta(), before);
+        // The retry produces exactly what a never-failed first snapshot
+        // would have.
+        let retried = snapshot_bytes(&mut miner);
+        let mut clean = mined_miner();
+        assert_eq!(retried, snapshot_bytes(&mut clean));
+        assert_eq!(miner.checkpoint_meta().checkpoint_id, 1);
     }
 
     #[test]

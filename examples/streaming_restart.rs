@@ -89,14 +89,16 @@ fn first_process(readings: &[(&str, Vec<f64>)], snap_path: &Path, wal_path: &Pat
     stream.attach_wal(wal_path).expect("the WAL is writable");
 
     // Absorb the first half of the feed, then snapshot — e.g. a graceful
-    // shutdown, a periodic checkpoint timer, or an eviction.
+    // shutdown, a periodic checkpoint timer, or an eviction. `snapshot_to`
+    // writes a temp file, fsyncs, renames over the target and only then
+    // truncates the WAL, so a crash at any instant leaves either the old
+    // snapshot + a WAL that covers the difference, or the new snapshot.
     stream
         .append(&batch(readings, 0, 18))
         .expect("the feed is well-formed");
-    let mut out = std::fs::File::create(snap_path).expect("the snapshot is writable");
     stream
-        .snapshot_to(&mut out)
-        .expect("serialisation succeeds");
+        .snapshot_to(snap_path)
+        .expect("the snapshot is writable");
     println!(
         "[monitor #1] snapshot at {} granules ({} patterns interned)",
         stream.num_granules(),

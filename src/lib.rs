@@ -462,6 +462,24 @@ impl StreamingPipeline {
         batch: &SymbolicDatabase,
     ) -> Result<EngineReport, PipelineError> {
         let start_instants = self.state.as_ref().map_or(0, |s| s.dsyb.len() as u64);
+        self.absorb_symbolic(batch)?;
+        if let Some(wal) = &mut self.wal {
+            use std::io::Write as _;
+            let record = snapshot::wal_encode_record(&encode_symbolic_batch(start_instants, batch));
+            wal.file
+                .write_all(&record)
+                .and_then(|()| wal.file.sync_data())
+                .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        }
+        self.checkpoint()
+    }
+
+    /// Folds a symbolized batch into the in-memory state (databases + miner)
+    /// without WAL logging and without emitting a checkpoint report — the
+    /// shared core of [`StreamingPipeline::append_symbolic`] and WAL replay,
+    /// where mining a full report per replayed record would make recovery
+    /// cost records × report size instead of one absorb per record.
+    fn absorb_symbolic(&mut self, batch: &SymbolicDatabase) -> Result<(), PipelineError> {
         if self.mapping_factor == 0 {
             return Err(PipelineError::Transform(
                 stpm_timeseries::Error::InvalidGranularity {
@@ -498,15 +516,7 @@ impl StreamingPipeline {
             .miner
             .append_batch(appended)
             .map_err(PipelineError::Mining)?;
-        if let Some(wal) = &mut self.wal {
-            use std::io::Write as _;
-            let record = snapshot::wal_encode_record(&encode_symbolic_batch(start_instants, batch));
-            wal.file
-                .write_all(&record)
-                .and_then(|()| wal.file.sync_data())
-                .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
-        }
-        self.checkpoint()
+        Ok(())
     }
 
     /// Emits the checkpoint report of everything absorbed so far without
@@ -625,35 +635,109 @@ const SEC_MINER: u32 = 0x12;
 
 impl StreamingPipeline {
     /// Serializes the pipeline's full durable state — mapping factor,
-    /// symbolic database and the embedded miner snapshot — to `out`, and
-    /// truncates the attached write-ahead log (if any) back to its header:
-    /// everything the log held is now covered by the snapshot.
+    /// symbolic database and the embedded miner snapshot — to the file at
+    /// `path` **atomically and durably**, then truncates the attached
+    /// write-ahead log (if any) back to its header: everything the log held
+    /// is now covered by the snapshot.
+    ///
+    /// The bytes are written to a temporary sibling file, fsynced, renamed
+    /// over `path`, and the parent directory is fsynced — so at every instant
+    /// `path` holds either the complete previous snapshot or the complete new
+    /// one, and the WAL is only truncated *after* the new snapshot is
+    /// durable. A crash anywhere inside this method therefore loses nothing:
+    /// recovery finds an intact snapshot plus a WAL that still covers
+    /// whatever that snapshot does not.
     ///
     /// The symbolizer is *not* serialized (symbolizers are arbitrary user
     /// code); the restoring side configures it through the builder exactly as
-    /// on first startup.
+    /// on first startup. To snapshot into something other than a file, see
+    /// [`StreamingPipeline::snapshot_to_writer`].
     ///
     /// # Errors
-    /// [`PipelineError::Persistence`] on write or WAL-truncation failures.
-    pub fn snapshot_to(&mut self, out: &mut impl std::io::Write) -> Result<(), PipelineError> {
+    /// [`PipelineError::Persistence`] on write, sync, rename or
+    /// WAL-truncation failures. On error the checkpoint accounting
+    /// ([`pending_granules`](StreamingPipeline::pending_granules),
+    /// [`checkpoint_meta`](StreamingPipeline::checkpoint_meta)) is unchanged
+    /// and the WAL is left untouched, so the failed snapshot can simply be
+    /// retried.
+    pub fn snapshot_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PipelineError> {
+        use std::io::Write as _;
+        let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+        let path = path.as_ref();
+        let bytes = self.encode_snapshot();
+        let mut tmp_name = path
+            .file_name()
+            .map(std::ffi::OsString::from)
+            .unwrap_or_else(|| "snapshot".into());
+        tmp_name.push(".tmp");
+        let tmp = path.with_file_name(tmp_name);
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io(&e))?;
+        let written = file
+            .write_all(&bytes)
+            .and_then(|()| file.sync_all())
+            .and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(io(&e));
+        }
+        // Make the rename itself durable before declaring the old WAL
+        // contents covered.
+        if let Some(parent) = path.parent() {
+            let parent = if parent.as_os_str().is_empty() {
+                std::path::Path::new(".")
+            } else {
+                parent
+            };
+            std::fs::File::open(parent)
+                .and_then(|dir| dir.sync_all())
+                .map_err(|e| io(&e))?;
+        }
+        if let Some(state) = &mut self.state {
+            state.miner.mark_snapshot_durable();
+        }
+        self.reset_wal()
+    }
+
+    /// Serializes the same snapshot as [`StreamingPipeline::snapshot_to`] to
+    /// an arbitrary writer — for callers persisting to object stores,
+    /// sockets, or test buffers. Unlike `snapshot_to`, this does **not**
+    /// truncate the write-ahead log: a generic writer gives no durability
+    /// point, so the caller must make the bytes durable itself and only then
+    /// call [`StreamingPipeline::reset_wal`]. Truncating earlier re-opens
+    /// the crash window this subsystem exists to close.
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] when the writer fails; the checkpoint
+    /// accounting is then unchanged.
+    pub fn snapshot_to_writer(
+        &mut self,
+        out: &mut impl std::io::Write,
+    ) -> Result<(), PipelineError> {
+        let bytes = self.encode_snapshot();
+        out.write_all(&bytes)
+            .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        if let Some(state) = &mut self.state {
+            state.miner.mark_snapshot_durable();
+        }
+        Ok(())
+    }
+
+    /// Encodes the full pipeline snapshot without committing the miner's
+    /// checkpoint bump (the embedded miner section carries the *next*
+    /// checkpoint id; callers commit via `mark_snapshot_durable` once the
+    /// bytes landed).
+    fn encode_snapshot(&self) -> Vec<u8> {
         let mut bytes = Vec::new();
         snapshot::write_header(&mut bytes, snapshot::KIND_PIPELINE);
         let mut pipe = ByteWriter::new();
         pipe.put_u64(self.mapping_factor);
         pipe.put_u8(u8::from(self.state.is_some()));
         snapshot::write_section(&mut bytes, SEC_PIPE, pipe.bytes());
-        if let Some(state) = &mut self.state {
+        if let Some(state) = &self.state {
             snapshot::write_section(&mut bytes, SEC_DSYB, &encode_dsyb(&state.dsyb));
-            let mut miner_bytes = Vec::new();
-            state
-                .miner
-                .snapshot(&mut miner_bytes)
-                .map_err(PipelineError::Persistence)?;
-            snapshot::write_section(&mut bytes, SEC_MINER, &miner_bytes);
+            snapshot::write_section(&mut bytes, SEC_MINER, &state.miner.encode_snapshot());
         }
-        out.write_all(&bytes)
-            .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
-        self.reset_wal()
+        bytes
     }
 
     /// Replaces this pipeline's state with one restored from a snapshot
@@ -680,14 +764,23 @@ impl StreamingPipeline {
     /// [`append_symbolic`] is logged and synced to disk before returning, so
     /// [`recover`] can replay batches that arrived after the last snapshot.
     ///
+    /// An existing file is validated before anything is appended after it:
+    /// a file that is not a WAL is rejected, and a torn tail (the remains of
+    /// a crash mid-append) is truncated to the longest durable prefix —
+    /// records appended after a torn record would be forever unreachable to
+    /// replay. Note that attaching does *not* replay the log into this
+    /// pipeline; [`recover`] is the supported way to adopt a WAL whose
+    /// records are not already reflected in the in-memory state.
+    ///
     /// [`append`]: StreamingPipeline::append
     /// [`append_symbolic`]: StreamingPipeline::append_symbolic
     /// [`recover`]: StreamingPipeline::recover
     ///
     /// # Errors
-    /// [`PipelineError::Persistence`] on I/O failures.
+    /// [`PipelineError::Persistence`] on I/O failures or when `path` holds a
+    /// file whose header is not a supported WAL header.
     pub fn attach_wal(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PipelineError> {
-        use std::io::Write as _;
+        use std::io::{Read as _, Write as _};
         let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
         let path = path.as_ref().to_path_buf();
         let mut file = std::fs::OpenOptions::new()
@@ -696,10 +789,18 @@ impl StreamingPipeline {
             .create(true)
             .open(&path)
             .map_err(|e| io(&e))?;
-        if file.metadata().map_err(|e| io(&e))?.len() == 0 {
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| io(&e))?;
+        if bytes.is_empty() {
             file.write_all(&snapshot::wal_header())
                 .map_err(|e| io(&e))?;
             file.sync_data().map_err(|e| io(&e))?;
+        } else {
+            let contents = snapshot::wal_read(&bytes).map_err(PipelineError::Persistence)?;
+            if !contents.clean {
+                file.set_len(contents.durable_len).map_err(|e| io(&e))?;
+                file.sync_data().map_err(|e| io(&e))?;
+            }
         }
         self.wal = Some(WalHandle { file, path });
         Ok(())
@@ -762,16 +863,11 @@ impl StreamingPipeline {
                     },
                 ));
             }
-            self.append_symbolic(&batch)?;
+            // Absorb without a per-record checkpoint mine: recovery only
+            // needs the final state, and [`attach_wal`] below truncates any
+            // torn tail before new appends land.
+            self.absorb_symbolic(&batch)?;
             replayed_records += 1;
-        }
-        if !contents.clean {
-            let file = std::fs::OpenOptions::new()
-                .write(true)
-                .open(wal_path)
-                .map_err(|e| io(&e))?;
-            file.set_len(contents.durable_len).map_err(|e| io(&e))?;
-            file.sync_data().map_err(|e| io(&e))?;
         }
         self.attach_wal(wal_path)?;
         Ok(RecoveryReport {
@@ -781,9 +877,17 @@ impl StreamingPipeline {
         })
     }
 
-    /// Truncates the attached WAL back to its header (used after a snapshot
-    /// absorbed everything the log held).
-    fn reset_wal(&mut self) -> Result<(), PipelineError> {
+    /// Truncates the attached WAL (if any) back to its header — declares
+    /// that everything the log held is durably covered elsewhere.
+    /// [`StreamingPipeline::snapshot_to`] calls this automatically once its
+    /// snapshot file is durable; callers of
+    /// [`StreamingPipeline::snapshot_to_writer`] call it themselves, *after*
+    /// their sink has made the snapshot bytes durable. A no-op without an
+    /// attached WAL.
+    ///
+    /// # Errors
+    /// [`PipelineError::Persistence`] on truncation or sync failures.
+    pub fn reset_wal(&mut self) -> Result<(), PipelineError> {
         if let Some(wal) = &mut self.wal {
             let io =
                 |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));

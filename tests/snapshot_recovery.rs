@@ -170,7 +170,7 @@ fn pipeline_snapshot_round_trips_and_resumes_exactly() {
     original.append(&chunk(&series, 0, 45)).unwrap();
 
     let mut bytes = Vec::new();
-    original.snapshot_to(&mut bytes).unwrap();
+    original.snapshot_to_writer(&mut bytes).unwrap();
     assert_eq!(original.pending_granules(), 0);
     assert_eq!(original.checkpoint_meta().checkpoint_id, 1);
 
@@ -193,7 +193,7 @@ fn pipeline_snapshot_round_trips_and_resumes_exactly() {
 fn empty_pipeline_snapshot_round_trips() {
     let mut empty = stream_builder().into_streaming();
     let mut bytes = Vec::new();
-    empty.snapshot_to(&mut bytes).unwrap();
+    empty.snapshot_to_writer(&mut bytes).unwrap();
     let mut restored = stream_builder().into_streaming();
     restored.restore_from(&mut &bytes[..]).unwrap();
     assert_eq!(restored.num_granules(), 0);
@@ -215,8 +215,7 @@ fn crash_between_snapshots_loses_nothing_with_a_wal() {
     let mut session_one = stream_builder().into_streaming();
     session_one.attach_wal(&wal_path).unwrap();
     session_one.append(&chunk(&series, 0, 30)).unwrap();
-    let mut snap_file = std::fs::File::create(&snap_path).unwrap();
-    session_one.snapshot_to(&mut snap_file).unwrap();
+    session_one.snapshot_to(&snap_path).unwrap();
     session_one.append(&chunk(&series, 30, 60)).unwrap();
     session_one.append(&chunk(&series, 60, 90)).unwrap();
     let final_report = session_one.checkpoint().unwrap();
@@ -296,6 +295,108 @@ fn a_torn_wal_tail_is_dropped_and_the_durable_prefix_recovers() {
 }
 
 #[test]
+fn attach_wal_truncates_a_torn_tail_before_new_appends() {
+    // A crash mid-append leaves a torn record; a session that reconstructs
+    // the durable prefix itself and then attaches the WAL directly must not
+    // append after the torn bytes — records there would be unreachable to
+    // every later recovery.
+    let dir = scratch_dir("attach_torn");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(60);
+    let mut writer = stream_builder().into_streaming();
+    writer.attach_wal(&wal_path).unwrap();
+    writer.append(&chunk(&series, 0, 30)).unwrap();
+    writer.append(&chunk(&series, 30, 60)).unwrap();
+    drop(writer);
+    let full = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &full[..full.len() - 5]).unwrap();
+
+    let mut session = stream_builder().into_streaming();
+    session.append(&chunk(&series, 0, 30)).unwrap();
+    session.attach_wal(&wal_path).unwrap();
+    session.append(&chunk(&series, 30, 60)).unwrap();
+    drop(session);
+
+    // Both batches are reachable: the torn record was cut before the append.
+    let mut recovered = stream_builder().into_streaming();
+    let recovery = recovered.recover(None, &wal_path).unwrap();
+    assert!(recovery.wal_was_clean);
+    assert_eq!(recovery.replayed_records, 2);
+    assert_eq!(recovered.num_granules(), 20);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn attach_wal_rejects_a_file_that_is_not_a_wal() {
+    let dir = scratch_dir("attach_foreign");
+    let path = dir.join("not_a_wal.bin");
+    std::fs::write(&path, b"definitely not a WAL header").unwrap();
+    let mut pipeline = stream_builder().into_streaming();
+    let err = pipeline.attach_wal(&path).unwrap_err();
+    assert!(matches!(err, PipelineError::Persistence(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_failed_snapshot_to_keeps_the_wal_and_the_pending_accounting() {
+    let dir = scratch_dir("failed_snapshot");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(60);
+    let mut stream = stream_builder().into_streaming();
+    stream.attach_wal(&wal_path).unwrap();
+    stream.append(&chunk(&series, 0, 30)).unwrap();
+    stream.append(&chunk(&series, 30, 60)).unwrap();
+    let before = stream.checkpoint_meta();
+    assert_eq!(before.pending_granules, 20);
+
+    // The target's parent directory does not exist: nothing can become
+    // durable, so nothing may claim to be.
+    let missing = dir.join("no_such_dir").join("state.snap");
+    let err = stream.snapshot_to(&missing).unwrap_err();
+    assert!(matches!(err, PipelineError::Persistence(_)));
+    assert_eq!(stream.checkpoint_meta(), before);
+    drop(stream);
+
+    // The WAL was not truncated: a recovery still replays every batch.
+    let mut recovered = stream_builder().into_streaming();
+    let recovery = recovered.recover(None, &wal_path).unwrap();
+    assert_eq!(recovery.replayed_records, 2);
+    assert_eq!(recovered.num_granules(), 20);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_to_leaves_no_temp_file_and_truncates_the_wal() {
+    let dir = scratch_dir("atomic_snapshot");
+    let snap_path = dir.join("state.snap");
+    let wal_path = dir.join("state.wal");
+    let series = sample_series(30);
+    let mut stream = stream_builder().into_streaming();
+    stream.attach_wal(&wal_path).unwrap();
+    stream.append(&chunk(&series, 0, 30)).unwrap();
+    let header_len = snapshot::wal_header().len() as u64;
+    assert!(std::fs::metadata(&wal_path).unwrap().len() > header_len);
+    stream.snapshot_to(&snap_path).unwrap();
+    assert_eq!(stream.pending_granules(), 0);
+    assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), header_len);
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name())
+        .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let mut restored = stream_builder().into_streaming();
+    restored
+        .restore_from(&mut std::fs::File::open(&snap_path).unwrap())
+        .unwrap();
+    assert_eq!(restored.num_granules(), 10);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn recovery_from_nothing_starts_empty_and_creates_the_wal() {
     let dir = scratch_dir("from_nothing");
     let mut pipeline = stream_builder().into_streaming();
@@ -322,7 +423,7 @@ fn every_pipeline_snapshot_truncation_is_a_typed_error() {
     let mut original = stream_builder().into_streaming();
     original.append(&chunk(&series, 0, 45)).unwrap();
     let mut bytes = Vec::new();
-    original.snapshot_to(&mut bytes).unwrap();
+    original.snapshot_to_writer(&mut bytes).unwrap();
 
     for len in 0..bytes.len() {
         let mut target = stream_builder().into_streaming();
@@ -342,7 +443,7 @@ fn random_bit_flips_in_a_pipeline_snapshot_never_panic() {
     let mut original = stream_builder().into_streaming();
     original.append(&chunk(&series, 0, 45)).unwrap();
     let mut bytes = Vec::new();
-    original.snapshot_to(&mut bytes).unwrap();
+    original.snapshot_to_writer(&mut bytes).unwrap();
 
     let mut rng = SeededRng::seed_from_u64(77);
     for flip in 0..300 {
@@ -395,7 +496,7 @@ fn config_mismatches_surface_as_typed_errors() {
     let mut original = stream_builder().into_streaming();
     original.append(&chunk(&series, 0, 45)).unwrap();
     let mut bytes = Vec::new();
-    original.snapshot_to(&mut bytes).unwrap();
+    original.snapshot_to_writer(&mut bytes).unwrap();
 
     // A different mapping factor re-shapes every granule: rejected.
     let mut other_m = Pipeline::builder()
@@ -486,7 +587,7 @@ fn future_format_versions_are_rejected_with_the_version_error() {
     let mut original = stream_builder().into_streaming();
     original.append(&chunk(&series, 0, 45)).unwrap();
     let mut bytes = Vec::new();
-    original.snapshot_to(&mut bytes).unwrap();
+    original.snapshot_to_writer(&mut bytes).unwrap();
     bytes[8..12].copy_from_slice(&2025u32.to_le_bytes());
     let mut target = stream_builder().into_streaming();
     assert!(matches!(
