@@ -48,6 +48,7 @@
 //! assert!(report.pruning().kept_series.len() <= 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bound;

@@ -26,6 +26,7 @@
 //! [`MiningEngine`](stpm_core::MiningEngine) trait and reports through the
 //! unified [`EngineReport`](stpm_core::EngineReport).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adapter;

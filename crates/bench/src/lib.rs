@@ -23,6 +23,7 @@
 //! sizes. Relative results — who wins and by roughly what factor — are the
 //! quantities `EXPERIMENTS.md` tracks.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

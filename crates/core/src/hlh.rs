@@ -42,6 +42,20 @@
 //! last level of a run is never extended, so its instance bindings are never
 //! read — a terminal level keeps supports and patterns but skips the binding
 //! pool entirely, which is where the bulk of a level's footprint lives.
+//!
+//! # Validation & hot-path discipline
+//!
+//! The accessors above lean on layout invariants — monotone in-bounds CSR
+//! offsets, index maps consistent with their arenas, exact pool slot
+//! arithmetic — that [`Hlh1::validate`], [`HlhK::validate`] and
+//! [`VerdictTable::validate`] check exhaustively (see the
+//! [`invariants`](crate::invariants) module; the miner runs them at every
+//! level boundary under `debug_assertions` or the `strict-invariants`
+//! feature). The per-occurrence entry points (`instances_at_index`,
+//! `binding_ids_at`, `push_verdict`, `add_pattern_occurrence`, …) are
+//! marked `// lint: hot-path`: the project lint pass rejects any allocating
+//! construct added to them, keeping occurrence inserts bump-appends and
+//! granule reads two offset lookups.
 
 use crate::config::ResolvedConfig;
 use crate::fxhash::FxHashMap;
@@ -104,6 +118,7 @@ impl EventEntry {
     /// lookup used when the caller already knows the granule's position in
     /// the support set (e.g. from an indexed intersection).
     #[must_use]
+    // lint: hot-path
     pub fn instances_at_index(&self, idx: usize) -> &[EventInstance] {
         let start = self.starts[idx] as usize;
         let end = self
@@ -151,6 +166,7 @@ impl Hlh1 {
         if candidates_only {
             events.retain(|_, entry| config.is_candidate(entry.support.len()));
         }
+        // lint:allow(determinism): collected labels are sorted on the next line
         let mut labels: Vec<EventLabel> = events.keys().copied().collect();
         labels.sort_unstable();
         Self { events, labels }
@@ -201,7 +217,7 @@ impl Hlh1 {
         self.labels.len() * std::mem::size_of::<EventLabel>()
             + self
                 .events
-                .values()
+                .values() // lint:allow(determinism): commutative sum, order-insensitive
                 .map(|entry| {
                     std::mem::size_of::<EventLabel>()
                         + std::mem::size_of::<EventEntry>()
@@ -239,6 +255,7 @@ impl PatternEntry {
     /// each id to its instance slice with [`HlhK::binding`]. Empty on a
     /// terminal level, which records no bindings.
     #[must_use]
+    // lint: hot-path
     pub fn binding_ids_at_index(&self, idx: usize) -> &[u32] {
         if self.granule_starts.is_empty() {
             return &[];
@@ -254,6 +271,7 @@ impl PatternEntry {
     /// The binding ids of one granule (empty when the granule does not
     /// support the pattern).
     #[must_use]
+    // lint: hot-path
     pub fn binding_ids_at(&self, granule: GranulePos) -> &[u32] {
         match self.support.binary_search(&granule) {
             Ok(idx) => self.binding_ids_at_index(idx),
@@ -361,6 +379,7 @@ impl RelationAdjacency {
 
     /// The neighbor row of label id `id`.
     #[must_use]
+    // lint: hot-path
     pub fn row(&self, id: usize) -> &[u64] {
         &self.bits[id * self.words_per_row..][..self.words_per_row]
     }
@@ -368,6 +387,7 @@ impl RelationAdjacency {
     /// Whether a candidate 2-pattern relates the labels with ids `i` and `j`
     /// — the transitivity lookup as a single bit test.
     #[must_use]
+    // lint: hot-path
     pub fn has_relation_between(&self, i: usize, j: usize) -> bool {
         self.bits[i * self.words_per_row + j / 64] & (1 << (j % 64)) != 0
     }
@@ -434,6 +454,7 @@ impl VerdictTable {
     }
 
     /// Appends one verdict byte to the current block (row-major cell order).
+    // lint: hot-path
     pub fn push_verdict(&mut self, verdict: u8) {
         self.verdicts.push(verdict);
     }
@@ -441,6 +462,7 @@ impl VerdictTable {
     /// The recorded verdicts of one label pair (order-insensitive), if the
     /// pair was processed at level 2.
     #[must_use]
+    // lint: hot-path
     pub fn pair(&self, a: EventLabel, b: EventLabel) -> Option<PairVerdicts<'_>> {
         let &slot = self.pair_index.get(&Self::pair_key(a, b))?;
         let start = self.pair_starts[slot as usize] as usize;
@@ -514,6 +536,7 @@ impl<'a> PairVerdicts<'a> {
     /// `cols` is the second (larger-label) event's instance count in the
     /// granule.
     #[must_use]
+    // lint: hot-path
     pub fn block(&self, granule: GranulePos) -> Option<&'a [u8]> {
         let granules = &self.table.granules[self.start..self.end];
         let idx = self.start + granules.binary_search(&granule).ok()?;
@@ -607,8 +630,8 @@ impl HlhK {
         &mut self.verdicts
     }
 
-    fn encode_group(events: &[EventLabel]) -> Box<[u64]> {
-        events.iter().copied().map(encode_label).collect()
+    fn encode_group(members: &[EventLabel]) -> Box<[u64]> {
+        members.iter().copied().map(encode_label).collect()
     }
 
     /// Registers a candidate k-event group with its support set and returns
@@ -652,6 +675,7 @@ impl HlhK {
 
     /// The instance slice of one binding id.
     #[must_use]
+    // lint: hot-path
     pub fn binding(&self, id: u32) -> &[EventInstance] {
         &self.pool[id as usize * self.k..][..self.k]
     }
@@ -677,6 +701,7 @@ impl HlhK {
     ///
     /// Occurrences of one pattern must arrive in non-decreasing granule
     /// order (level mining scans granules in order per candidate).
+    // lint: hot-path
     pub fn add_pattern_occurrence<F>(
         &mut self,
         group: GroupId,
@@ -702,8 +727,11 @@ impl HlhK {
                 );
                 self.patterns.push(PatternEntry {
                     pattern,
+                    // lint:allow(hot-path-alloc): first-occurrence arm
                     support: Vec::new(),
+                    // lint:allow(hot-path-alloc): first-occurrence arm
                     granule_starts: Vec::new(),
+                    // lint:allow(hot-path-alloc): first-occurrence arm
                     bindings: Vec::new(),
                 });
                 self.pattern_index.insert(key.into(), id);
@@ -953,8 +981,8 @@ impl HlhK {
             .sum();
         let index_bytes: usize = self
             .group_index
-            .keys()
-            .chain(self.pattern_index.keys())
+            .keys() // lint:allow(determinism): commutative sum, order-insensitive
+            .chain(self.pattern_index.keys()) // lint:allow(determinism): same commutative sum
             .map(|key| key.len() * std::mem::size_of::<u64>())
             .sum();
         group_bytes
@@ -962,6 +990,352 @@ impl HlhK {
             + index_bytes
             + self.pool.len() * std::mem::size_of::<EventInstance>()
             + self.verdicts.footprint_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation (see the `invariants` module). The walks below check
+// every layout invariant the accessors rely on without bounds checks of
+// their own design — CSR offsets monotone and in bounds, index maps
+// consistent with their arenas, pool slot arithmetic exact. Validation
+// outcome is order-insensitive, so iterating the hash indexes is sound.
+// ---------------------------------------------------------------------------
+
+use crate::invariants::{invariant, InvariantViolation};
+
+fn ascends(values: &[GranulePos]) -> bool {
+    values.windows(2).all(|w| w[0] < w[1])
+}
+
+impl Hlh1 {
+    /// Validates the structural invariants of the table: the cached label
+    /// list is sorted and mirrors the key set, every support set ascends
+    /// strictly, and every CSR instance-offset array is monotone, in bounds
+    /// and aligned with its support set.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "Hlh1";
+        invariant!(
+            S,
+            self.labels.windows(2).all(|w| w[0] < w[1]),
+            "cached label list is not strictly sorted"
+        );
+        invariant!(
+            S,
+            self.labels.len() == self.events.len(),
+            "label cache has {} labels but the table has {} entries",
+            self.labels.len(),
+            self.events.len()
+        );
+        for &label in &self.labels {
+            let Some(entry) = self.events.get(&label) else {
+                return Err(InvariantViolation::new(
+                    S,
+                    format!("cached label {label:?} has no table entry"),
+                ));
+            };
+            invariant!(
+                S,
+                ascends(&entry.support),
+                "support of {label:?} is not strictly ascending"
+            );
+            invariant!(
+                S,
+                entry.starts.len() == entry.support.len(),
+                "entry of {label:?} has {} granule offsets for {} supporting granules",
+                entry.starts.len(),
+                entry.support.len()
+            );
+            invariant!(
+                S,
+                entry.starts.first().is_none_or(|&s| s == 0),
+                "instance offsets of {label:?} do not start at 0"
+            );
+            invariant!(
+                S,
+                entry.starts.windows(2).all(|w| w[0] < w[1]),
+                "instance offsets of {label:?} are not strictly ascending (every granule run is non-empty)"
+            );
+            invariant!(
+                S,
+                entry
+                    .starts
+                    .last()
+                    .is_none_or(|&s| (s as usize) < entry.instances.len()),
+                "instance offsets of {label:?} point past the instance pool"
+            );
+            invariant!(
+                S,
+                entry.support.is_empty() == entry.instances.is_empty(),
+                "entry of {label:?} has granules without instances (or vice versa)"
+            );
+        }
+        Ok(())
+    }
+}
+
+impl VerdictTable {
+    /// Validates the block shape of the table: the pair index is a
+    /// permutation of the pair slots, the pair→granule and granule→byte
+    /// offset arrays are monotone and in bounds, and granules ascend
+    /// strictly within each pair.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "VerdictTable";
+        invariant!(
+            S,
+            self.pair_index.len() == self.pair_starts.len(),
+            "pair index has {} keys for {} pair slots",
+            self.pair_index.len(),
+            self.pair_starts.len()
+        );
+        let mut seen = vec![false; self.pair_starts.len()];
+        // lint:allow(determinism): order-insensitive validation conjunction
+        for &slot in self.pair_index.values() {
+            invariant!(
+                S,
+                (slot as usize) < self.pair_starts.len(),
+                "pair slot {slot} out of range"
+            );
+            invariant!(
+                S,
+                !std::mem::replace(&mut seen[slot as usize], true),
+                "pair slot {slot} indexed twice"
+            );
+        }
+        invariant!(
+            S,
+            self.pair_starts.windows(2).all(|w| w[0] <= w[1]),
+            "pair→granule offsets are not monotone"
+        );
+        invariant!(
+            S,
+            self.pair_starts
+                .last()
+                .is_none_or(|&s| (s as usize) <= self.granules.len()),
+            "pair→granule offsets point past the granule slots"
+        );
+        invariant!(
+            S,
+            self.block_starts.len() == self.granules.len(),
+            "{} verdict blocks for {} granule slots",
+            self.block_starts.len(),
+            self.granules.len()
+        );
+        invariant!(
+            S,
+            self.block_starts.windows(2).all(|w| w[0] <= w[1]),
+            "granule→byte offsets are not monotone"
+        );
+        invariant!(
+            S,
+            self.block_starts
+                .last()
+                .is_none_or(|&s| (s as usize) <= self.verdicts.len()),
+            "granule→byte offsets point past the verdict bytes"
+        );
+        for (slot, &start) in self.pair_starts.iter().enumerate() {
+            let end = self
+                .pair_starts
+                .get(slot + 1)
+                .map_or(self.granules.len(), |&s| s as usize);
+            invariant!(
+                S,
+                ascends(&self.granules[start as usize..end]),
+                "granules of pair slot {slot} are not strictly ascending"
+            );
+        }
+        Ok(())
+    }
+}
+
+impl HlhK {
+    /// Validates the structural invariants of the level: arena/index
+    /// consistency for groups and patterns (each index is a permutation of
+    /// its arena, and every key re-encodes its entry), strictly ascending
+    /// support sets, monotone in-bounds binding CSR offsets, exact pool slot
+    /// arithmetic, and the [`VerdictTable`] block shape.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "HlhK";
+        invariant!(S, self.k >= 2, "level arity {} below 2", self.k);
+        self.validate_groups()?;
+        self.validate_patterns()?;
+        invariant!(
+            S,
+            self.pool.len().is_multiple_of(self.k),
+            "pool length {} is not a multiple of k={}",
+            self.pool.len(),
+            self.k
+        );
+        invariant!(
+            S,
+            self.record_bindings || self.pool.is_empty(),
+            "terminal level carries {} pool slots",
+            self.pool.len()
+        );
+        self.verdicts.validate()
+    }
+
+    fn validate_groups(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "HlhK";
+        invariant!(
+            S,
+            self.group_index.len() == self.groups.len(),
+            "group index has {} keys for {} arena entries",
+            self.group_index.len(),
+            self.groups.len()
+        );
+        let mut seen = vec![false; self.groups.len()];
+        // lint:allow(determinism): order-insensitive validation conjunction
+        for (key, &id) in &self.group_index {
+            let Some(group) = self.groups.get(id.0 as usize) else {
+                return Err(InvariantViolation::new(
+                    S,
+                    format!("group id {} out of range", id.0),
+                ));
+            };
+            invariant!(
+                S,
+                !std::mem::replace(&mut seen[id.0 as usize], true),
+                "group id {} indexed twice",
+                id.0
+            );
+            invariant!(
+                S,
+                Self::encode_group(&group.events) == *key,
+                "group index key does not re-encode group {}",
+                id.0
+            );
+        }
+        for (idx, group) in self.groups.iter().enumerate() {
+            invariant!(
+                S,
+                group.events.len() == self.k,
+                "group {idx} has {} events at level k={}",
+                group.events.len(),
+                self.k
+            );
+            invariant!(
+                S,
+                group.events.windows(2).all(|w| w[0] < w[1]),
+                "events of group {idx} are not canonically sorted"
+            );
+            invariant!(
+                S,
+                ascends(&group.support),
+                "support of group {idx} is not strictly ascending"
+            );
+            for &pid in &group.patterns {
+                let Some(entry) = self.patterns.get(pid.0 as usize) else {
+                    return Err(InvariantViolation::new(
+                        S,
+                        format!("group {idx} lists pattern id {} out of range", pid.0),
+                    ));
+                };
+                invariant!(
+                    S,
+                    entry.pattern.events() == group.events.as_slice(),
+                    "pattern {} listed under group {idx} has different events",
+                    pid.0
+                );
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_patterns(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "HlhK";
+        invariant!(
+            S,
+            self.pattern_index.len() == self.patterns.len(),
+            "pattern index has {} keys for {} arena entries",
+            self.pattern_index.len(),
+            self.patterns.len()
+        );
+        let mut seen = vec![false; self.patterns.len()];
+        // lint:allow(determinism): order-insensitive validation conjunction
+        for (key, &id) in &self.pattern_index {
+            let Some(entry) = self.patterns.get(id.0 as usize) else {
+                return Err(InvariantViolation::new(
+                    S,
+                    format!("pattern id {} out of range", id.0),
+                ));
+            };
+            invariant!(
+                S,
+                !std::mem::replace(&mut seen[id.0 as usize], true),
+                "pattern id {} indexed twice",
+                id.0
+            );
+            invariant!(
+                S,
+                encode_pattern_key(&entry.pattern) == **key,
+                "pattern index key does not re-encode pattern {}",
+                id.0
+            );
+        }
+        let num_bindings = self.pool.len().checked_div(self.k).unwrap_or(0);
+        for (idx, entry) in self.patterns.iter().enumerate() {
+            invariant!(
+                S,
+                ascends(&entry.support),
+                "support of pattern {idx} is not strictly ascending"
+            );
+            if !self.record_bindings {
+                invariant!(
+                    S,
+                    entry.granule_starts.is_empty() && entry.bindings.is_empty(),
+                    "terminal level records bindings for pattern {idx}"
+                );
+                continue;
+            }
+            invariant!(
+                S,
+                entry.granule_starts.len() == entry.support.len(),
+                "pattern {idx} has {} binding offsets for {} supporting granules",
+                entry.granule_starts.len(),
+                entry.support.len()
+            );
+            invariant!(
+                S,
+                entry.granule_starts.first().is_none_or(|&s| s == 0),
+                "binding offsets of pattern {idx} do not start at 0"
+            );
+            invariant!(
+                S,
+                entry.granule_starts.windows(2).all(|w| w[0] < w[1]),
+                "binding offsets of pattern {idx} are not strictly ascending"
+            );
+            invariant!(
+                S,
+                entry
+                    .granule_starts
+                    .last()
+                    .is_none_or(|&s| (s as usize) < entry.bindings.len()),
+                "binding offsets of pattern {idx} point past the binding list"
+            );
+            invariant!(
+                S,
+                entry.bindings.windows(2).all(|w| w[0] < w[1]),
+                "binding ids of pattern {idx} are not strictly ascending"
+            );
+            invariant!(
+                S,
+                entry
+                    .bindings
+                    .last()
+                    .is_none_or(|&b| (b as usize) < num_bindings),
+                "pattern {idx} binds pool slots past the pool end"
+            );
+        }
+        Ok(())
     }
 }
 

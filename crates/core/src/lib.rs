@@ -77,6 +77,7 @@
 //! assert!(report.total_patterns() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
@@ -84,6 +85,7 @@ pub mod engine;
 pub mod error;
 pub mod fxhash;
 pub mod hlh;
+pub mod invariants;
 pub mod miner;
 pub mod pattern;
 pub mod relation;
@@ -97,6 +99,7 @@ pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
 pub use engine::{accuracy, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 pub use error::{Error, Result};
 pub use hlh::{GroupId, Hlh1, HlhK, PatternId, RelationAdjacency, VerdictTable};
+pub use invariants::InvariantViolation;
 pub use miner::StpmMiner;
 pub use pattern::{RelationTriple, TemporalPattern};
 pub use relation::{classify_relation, RelationKind};

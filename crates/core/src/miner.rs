@@ -202,6 +202,7 @@ impl ExactRun<'_> {
         // -------- Step 2.1: frequent seasonal single events --------
         let single_start = Instant::now();
         let hlh1 = Hlh1::build(self.dseq, &self.config, apriori);
+        crate::invariants::debug_validate!(hlh1.validate());
         let mut events_out = Vec::new();
         for &label in hlh1.labels() {
             let entry = hlh1.entry(label).expect("label comes from the table");
@@ -248,6 +249,7 @@ impl ExactRun<'_> {
             if apriori {
                 hlhk.retain_candidates(&self.config);
             }
+            crate::invariants::debug_validate!(hlhk.validate());
             if k == 2 && !terminal && self.config.pruning.transitivity_enabled() {
                 // Built after retain_candidates so the bit matrix matches
                 // exactly what has_relation_between would answer at k >= 3.
@@ -838,6 +840,7 @@ impl ExactRun<'_> {
     /// The closed-form relation classification of one (binding-member,
     /// extension-instance) pair — the verdict-table fallback and the
     /// debug-build cross-check.
+    // lint: hot-path
     fn classify_instance_pair(
         &self,
         bound: &EventInstance,
@@ -868,6 +871,7 @@ impl ExactRun<'_> {
 
 /// Flat triangular index of the first pair of row `row` (the number of pairs
 /// in rows `0..row` of an `n`-event triangle).
+// lint: hot-path
 fn pair_offset(n: usize, row: usize) -> usize {
     row * n - row * (row + 1) / 2
 }
@@ -876,6 +880,7 @@ fn pair_offset(n: usize, row: usize) -> usize {
 /// triangular indices fall in `range`, in the row-major order the sequential
 /// miner enumerates them — without materializing the full pair list. The
 /// flat index of pair `(i, j)` is [`pair_offset`]`(n, i) + (j - i - 1)`.
+// lint: hot-path
 fn pair_range(
     f1: &[EventLabel],
     range: Range<usize>,

@@ -152,6 +152,7 @@ impl Seasons {
 /// When `early_exit_at` is set, the walk stops as soon as the chain reaches
 /// that length (the returned value is then a lower bound, sufficient for the
 /// `>= minSeason` comparison of the frequency check).
+// lint: hot-path
 fn walk_season_spans<F: FnMut(usize, usize)>(
     support: &[GranulePos],
     config: &ResolvedConfig,
@@ -262,6 +263,7 @@ impl SeasonTracker {
 
     /// Whether `granule` survives the `distmin` trimming against the end of
     /// the previously accepted season.
+    // lint: hot-path
     fn keeps(&self, granule: GranulePos, config: &ResolvedConfig) -> bool {
         self.prev_end
             .is_none_or(|prev| granule.saturating_sub(prev) >= config.dist_min)
@@ -299,6 +301,7 @@ impl SeasonTracker {
     ///
     /// # Panics
     /// Panics when the support set outgrows `u32` indices.
+    // lint: hot-path
     pub fn push(&mut self, idx: usize, granule: GranulePos, config: &ResolvedConfig) {
         let idx = u32::try_from(idx).expect("support length fits u32");
         let extends = self.pending.as_ref().is_some_and(|run| {
@@ -332,6 +335,7 @@ impl SeasonTracker {
 
     /// The span and would-be chain length of the pending tail run if the
     /// stream ended now, or `None` when the tail is not (yet) a season.
+    // lint: hot-path
     fn pending_span(&self, len: u32, config: &ResolvedConfig) -> Option<((u32, u32), u64)> {
         let run = self.pending.as_ref()?;
         let kept_from = run.kept_from?;
@@ -355,6 +359,7 @@ impl SeasonTracker {
     /// `seasons(P)` of the accumulated support — the exact value
     /// [`seasons_count`] would return, in O(1).
     #[must_use]
+    // lint: hot-path
     pub fn count(&self, support_len: usize, config: &ResolvedConfig) -> u64 {
         let len = u32::try_from(support_len).expect("support length fits u32");
         match self.pending_span(len, config) {
@@ -366,6 +371,7 @@ impl SeasonTracker {
     /// Whether the accumulated support passes the `minSeason` frequency
     /// check — the O(1) equivalent of [`support_is_frequent`].
     #[must_use]
+    // lint: hot-path
     pub fn is_frequent(&self, support_len: usize, config: &ResolvedConfig) -> bool {
         self.count(support_len, config) >= config.min_season
     }
@@ -420,17 +426,20 @@ pub fn find_seasons(support: &[GranulePos], config: &ResolvedConfig) -> Seasons 
         let end = u32::try_from(granules.len()).expect("season granules fit u32");
         spans.push((start, end));
     });
-    Seasons {
+    let seasons = Seasons {
         granules,
         spans,
         chain_len,
-    }
+    };
+    crate::invariants::debug_validate!(seasons.validate());
+    seasons
 }
 
 /// `seasons(P)` of a support set without materialising any season: the same
 /// walk as [`find_seasons`], granule comparisons and an O(1) chain state
 /// only.
 #[must_use]
+// lint: hot-path
 pub fn seasons_count(support: &[GranulePos], config: &ResolvedConfig) -> u64 {
     walk_season_spans(support, config, None, |_, _| {})
 }
@@ -439,6 +448,7 @@ pub fn seasons_count(support: &[GranulePos], config: &ResolvedConfig) -> u64 {
 /// early exit as soon as the compliant chain reaches `minSeason` — the
 /// allocation-free fast path the miner runs on every candidate.
 #[must_use]
+// lint: hot-path
 pub fn support_is_frequent(support: &[GranulePos], config: &ResolvedConfig) -> bool {
     walk_season_spans(support, config, Some(config.min_season), |_, _| {}) >= config.min_season
 }
@@ -481,6 +491,94 @@ impl SeasonSet {
     pub fn derive(support: Vec<GranulePos>, config: &ResolvedConfig) -> Self {
         let seasons = find_seasons(&support, config);
         Self { support, seasons }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation (see the `invariants` module).
+// ---------------------------------------------------------------------------
+
+use crate::invariants::{invariant, InvariantViolation};
+
+impl Seasons {
+    /// Validates the span layout: spans tile the granule buffer contiguously
+    /// from 0, every season is non-empty, granules ascend strictly across
+    /// the whole buffer (seasons are chronological and disjoint), and the
+    /// compliant chain cannot exceed the season count.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(&self) -> Result<(), InvariantViolation> {
+        const S: &str = "Seasons";
+        let mut expected_start = 0u32;
+        for (idx, &(start, end)) in self.spans.iter().enumerate() {
+            invariant!(
+                S,
+                start == expected_start,
+                "season {idx} starts at {start}, expected {expected_start} (spans must tile the buffer)"
+            );
+            invariant!(S, start < end, "season {idx} is empty");
+            expected_start = end;
+        }
+        invariant!(
+            S,
+            expected_start as usize == self.granules.len(),
+            "spans cover {expected_start} granules, buffer holds {}",
+            self.granules.len()
+        );
+        invariant!(
+            S,
+            self.granules.windows(2).all(|w| w[0] < w[1]),
+            "season granules are not strictly ascending"
+        );
+        invariant!(
+            S,
+            self.chain_len <= self.spans.len() as u64,
+            "compliant chain {} longer than the {} seasons",
+            self.chain_len,
+            self.spans.len()
+        );
+        Ok(())
+    }
+}
+
+impl SeasonTracker {
+    /// Cross-checks the incremental state against a fresh replay of
+    /// `support` (the granules pushed so far, in push order): the tracker's
+    /// loop state must be bit-identical to what [`SeasonTracker::rebuild`]
+    /// derives, and its accepted spans must be monotone and in bounds.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(
+        &self,
+        support: &[GranulePos],
+        config: &ResolvedConfig,
+    ) -> Result<(), InvariantViolation> {
+        const S: &str = "SeasonTracker";
+        let len = support.len();
+        let mut prev_end = 0u32;
+        for (idx, &(start, end)) in self.spans.iter().enumerate() {
+            invariant!(
+                S,
+                start >= prev_end,
+                "accepted span {idx} overlaps its predecessor"
+            );
+            invariant!(S, start < end, "accepted span {idx} is empty");
+            invariant!(
+                S,
+                end as usize <= len,
+                "accepted span {idx} ends past the {len}-granule support"
+            );
+            prev_end = end;
+        }
+        let replayed = Self::rebuild(support, config);
+        invariant!(
+            S,
+            *self == replayed,
+            "incremental state diverges from a fresh replay of the {len}-granule support"
+        );
+        Ok(())
     }
 }
 

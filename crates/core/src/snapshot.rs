@@ -54,6 +54,24 @@
 //!   is replayed from its stored support under the new thresholds, the same
 //!   exactness fallback the miner uses when a fractional threshold crosses a
 //!   granule-count boundary.
+//!
+//! # Format freeze & decode hygiene
+//!
+//! Two contracts of this module are machine-checked by the project lint
+//! pass (`cargo run -p stpm-lint`):
+//!
+//! * **`wire-format-freeze`** — the magic, version and section/kind tag
+//!   constants below are frozen against the committed
+//!   `snapshot_format.lock` at the workspace root. Changing a tag's value
+//!   (or adding/removing one) without bumping [`SNAPSHOT_VERSION`] /
+//!   [`WAL_VERSION`] is a lint error; after a deliberate bump the lock is
+//!   regenerated with `cargo run -p stpm-lint -- --write-format-lock`.
+//! * **`no-panic-decode`** — every decode-path function in this module
+//!   (`take_*`, `parse_*`, `read_*`, `decode_*`, [`wal_read`], the restore
+//!   entry points) must stay free of `unwrap`/`expect`/panicking macros and
+//!   raw slice indexing, so arbitrary input bytes can only ever produce a
+//!   typed [`Error::SnapshotCorrupt`], never a panic. [`ByteReader`]'s
+//!   bounds-checked cursor is the only way decode code touches the buffer.
 
 use crate::config::{PruningMode, StpmConfig, Threshold};
 use crate::error::{Error, Result};
@@ -248,33 +266,51 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let remaining = self.buf.len() - self.pos;
-        if remaining < n {
-            return Err(self.fail(format_args!("needed {n} bytes but only {remaining} remain")));
+        let slice = self
+            .pos
+            .checked_add(n)
+            .and_then(|end| self.buf.get(self.pos..end));
+        match slice {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => {
+                let remaining = self.buf.len().saturating_sub(self.pos);
+                Err(self.fail(format_args!("needed {n} bytes but only {remaining} remain")))
+            }
         }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
+    }
+
+    /// Reads exactly `N` bytes into an array. The length mismatch arm is
+    /// unreachable (`take` returned an `N`-byte slice) but kept as a typed
+    /// error so no decode path can panic.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let bytes = self.take(N)?;
+        bytes
+            .try_into()
+            .map_err(|_| self.fail("internal length mismatch"))
     }
 
     /// Reads one byte.
     pub fn take_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
     }
 
     /// Reads a little-endian `u16`.
     pub fn take_u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u32`.
     pub fn take_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn take_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` from its little-endian IEEE-754 bit pattern.
@@ -292,7 +328,12 @@ impl<'a> ByteReader<'a> {
     /// Bytes not yet consumed.
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// The unconsumed tail of the buffer (empty once exhausted).
+    fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
     }
 
     /// Asserts the reader consumed its buffer exactly.
@@ -333,23 +374,25 @@ pub fn parse_header(bytes: &[u8], expected_kind: u32) -> Result<&[u8]> {
             bytes.len()
         )));
     }
-    if bytes[..8] != SNAPSHOT_MAGIC {
+    let mut r = ByteReader::new(bytes, "snapshot header");
+    let magic: [u8; 8] = r.take_array()?;
+    if magic != SNAPSHOT_MAGIC {
         return Err(corrupt("magic bytes do not spell STPMSNAP"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    let version = r.take_u32()?;
     if version != SNAPSHOT_VERSION {
         return Err(Error::SnapshotVersion {
             found: version,
             supported: SNAPSHOT_VERSION,
         });
     }
-    let kind = u32::from_le_bytes(bytes[12..16].try_into().expect("len 4"));
+    let kind = r.take_u32()?;
     if kind != expected_kind {
         return Err(corrupt(format!(
             "snapshot kind {kind} where kind {expected_kind} was expected"
         )));
     }
-    Ok(&bytes[16..])
+    Ok(r.rest())
 }
 
 /// Appends one framed section (`tag`, length, payload, CRC) to `out`.
@@ -374,30 +417,30 @@ pub fn read_section<'a>(cursor: &mut &'a [u8], expected_tag: u32) -> Result<&'a 
             buf.len()
         )));
     }
-    let tag = u32::from_le_bytes(buf[..4].try_into().expect("len 4"));
+    let mut r = ByteReader::new(buf, "section header");
+    let tag = r.take_u32()?;
     if tag != expected_tag {
         return Err(corrupt(format!(
             "section tag {tag} where tag {expected_tag} was expected"
         )));
     }
-    let len = u64::from_le_bytes(buf[4..12].try_into().expect("len 8"));
-    let rest = &buf[12..];
-    if (rest.len() as u64) < len.saturating_add(4) {
+    let len = r.take_u64()?;
+    if (r.remaining() as u64) < len.saturating_add(4) {
         return Err(corrupt(format!(
             "section {tag} claims {len} payload bytes but only {} remain",
-            rest.len()
+            r.remaining()
         )));
     }
     let len = usize::try_from(len).map_err(|_| corrupt("section length exceeds address space"))?;
-    let payload = &rest[..len];
-    let stored = u32::from_le_bytes(rest[len..len + 4].try_into().expect("len 4"));
+    let payload = r.take(len)?;
+    let stored = r.take_u32()?;
     let actual = crc32(payload);
     if stored != actual {
         return Err(corrupt(format!(
             "section {tag} CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
         )));
     }
-    *cursor = &rest[len + 4..];
+    *cursor = r.rest();
     Ok(payload)
 }
 
@@ -655,7 +698,7 @@ fn encode_events(miner: &StreamingMiner) -> Vec<u8> {
     // bytes are a pure function of the state.
     let mut entries: Vec<(u64, &StreamEventEntry)> = miner
         .events
-        .iter()
+        .iter() // lint:allow(determinism): sorted by packed label two lines down before any byte is written
         .map(|(label, entry)| (label.packed(), entry))
         .collect();
     entries.sort_unstable_by_key(|&(packed, _)| packed);
@@ -714,7 +757,9 @@ fn decode_events(
         prev_packed = Some(packed);
         let label = read_label(&r, packed, registry)?;
         let support = read_support(&mut r, num_granules)?;
-        let tracker = read_tracker(&mut r, u32::try_from(support.len()).expect("fits u32"))?;
+        let support_len =
+            u32::try_from(support.len()).map_err(|_| r.fail("support length overflows u32"))?;
+        let tracker = read_tracker(&mut r, support_len)?;
         events.insert(label, StreamEventEntry { support, tracker });
     }
     r.finish()?;
@@ -761,11 +806,14 @@ fn decode_level(
         for _ in 0..key_len {
             key.push(r.take_u64()?);
         }
-        let events: Vec<EventLabel> = key[..k]
+        // `key` has exactly `key_len = k + k(k-1)/2` words, so this split
+        // cannot fail; `split_at` keeps the decode path free of raw indexing.
+        let (event_words, triple_words) = key.split_at(k);
+        let events: Vec<EventLabel> = event_words
             .iter()
             .map(|&word| read_label(&r, word, registry))
             .collect::<Result<_>>()?;
-        let triples = key[k..]
+        let triples = triple_words
             .iter()
             .map(|&word| {
                 let triple = try_decode_triple(word).ok_or_else(|| {
@@ -785,10 +833,13 @@ fn decode_level(
             return Err(r.fail("pattern key is not in canonical order"));
         }
         let support = read_support(&mut r, num_granules)?;
-        let tracker = read_tracker(&mut r, u32::try_from(support.len()).expect("fits u32"))?;
-        let idx = u32::try_from(level.entries.len()).expect("patterns fit u32");
-        if !level.groups.contains(&key[..k]) {
-            level.groups.insert(key[..k].into());
+        let support_len =
+            u32::try_from(support.len()).map_err(|_| r.fail("support length overflows u32"))?;
+        let tracker = read_tracker(&mut r, support_len)?;
+        let idx = u32::try_from(level.entries.len())
+            .map_err(|_| r.fail("pattern count overflows u32"))?;
+        if !level.groups.contains(event_words) {
+            level.groups.insert(event_words.into());
         }
         if level.index.insert(key.into_boxed_slice(), idx).is_some() {
             return Err(r.fail("duplicate pattern key"));
@@ -921,6 +972,7 @@ fn decode_miner(bytes: &[u8], requested: Option<&StpmConfig>) -> Result<Streamin
             || old.dist_min != new.dist_min
             || old.dist_max != new.dist_max;
         if seasonal_changed {
+            // lint:allow(determinism): per-entry rebuild is independent of visit order
             for entry in miner.events.values_mut() {
                 entry.tracker = SeasonTracker::rebuild(&entry.support, &new);
             }
@@ -1101,43 +1153,46 @@ pub fn wal_read(bytes: &[u8]) -> Result<WalContents> {
             bytes.len()
         )));
     }
-    if bytes[..8] != WAL_MAGIC {
+    let mut r = ByteReader::new(bytes, "WAL header");
+    let magic: [u8; 8] = r.take_array()?;
+    if magic != WAL_MAGIC {
         return Err(corrupt("WAL magic bytes do not spell STPMWAL1"));
     }
-    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("len 4"));
+    let version = r.take_u32()?;
     if version != WAL_VERSION {
         return Err(Error::SnapshotVersion {
             found: version,
             supported: WAL_VERSION,
         });
     }
+    // Past the header, any parse failure is a torn tail, not an error: the
+    // durable prefix ends at the last record that read back whole.
     let mut records = Vec::new();
-    let mut pos = 12usize;
     let mut clean = true;
-    let mut durable = pos;
-    while pos < bytes.len() {
-        if bytes.len() - pos < 12 {
+    let mut durable = r.pos;
+    while r.remaining() > 0 {
+        let Ok(len) = r.take_u64() else {
             clean = false;
             break;
-        }
-        let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
-        let stored = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().expect("len 4"));
+        };
+        let Ok(stored) = r.take_u32() else {
+            clean = false;
+            break;
+        };
         let Ok(len) = usize::try_from(len) else {
             clean = false;
             break;
         };
-        if bytes.len() - pos - 12 < len {
+        let Ok(payload) = r.take(len) else {
             clean = false;
             break;
-        }
-        let payload = &bytes[pos + 12..pos + 12 + len];
+        };
         if crc32(payload) != stored {
             clean = false;
             break;
         }
         records.push(payload.to_vec());
-        pos += 12 + len;
-        durable = pos;
+        durable = r.pos;
     }
     Ok(WalContents {
         records,

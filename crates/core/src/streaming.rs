@@ -135,8 +135,8 @@ impl StreamLevel {
             .sum();
         let index_bytes: usize = self
             .index
-            .keys()
-            .chain(self.groups.iter())
+            .keys() // lint:allow(determinism): commutative sum, order-insensitive
+            .chain(self.groups.iter()) // lint:allow(determinism): same commutative sum
             .map(|key| key.len() * std::mem::size_of::<u64>())
             .sum();
         entry_bytes + index_bytes
@@ -482,7 +482,7 @@ impl StreamingMiner {
     pub fn footprint_bytes(&self) -> usize {
         let event_bytes: usize = self
             .events
-            .values()
+            .values() // lint:allow(determinism): commutative sum, order-insensitive
             .map(|e| {
                 std::mem::size_of::<EventLabel>()
                     + e.support.len() * std::mem::size_of::<GranulePos>()
@@ -510,6 +510,7 @@ impl StreamingMiner {
                 || old.dist_min != resolved.dist_min
                 || old.dist_max != resolved.dist_max;
             if seasonal_changed {
+                // lint:allow(determinism): per-entry rebuild is independent of visit order
                 for entry in self.events.values_mut() {
                     entry.tracker = SeasonTracker::rebuild(&entry.support, &resolved);
                 }
@@ -528,6 +529,7 @@ impl StreamingMiner {
     /// arrive in granule order; within a harvest, patterns are applied in
     /// discovery order — this is what makes parallel appends byte-identical
     /// to sequential ones.
+    // lint: hot-path
     fn apply_harvest(&mut self, harvest: GranuleHarvest, config: &ResolvedConfig) {
         let granule = harvest.granule;
         for label in harvest.labels {
@@ -551,6 +553,7 @@ impl StreamingMiner {
                         level.index.insert(key.into_boxed_slice(), idx);
                         level.entries.push(StreamPatternEntry {
                             pattern,
+                            // lint:allow(hot-path-alloc): first-occurrence arm
                             support: Vec::new(),
                             tracker: SeasonTracker::default(),
                         });
@@ -597,6 +600,7 @@ impl StreamingMiner {
         self.num_granules += batch.len() as u64;
         self.batches_absorbed += 1;
         self.append_time += start.elapsed();
+        crate::invariants::debug_validate!(self.validate());
         Ok(())
     }
 
@@ -674,9 +678,11 @@ impl StreamingMiner {
     /// # Errors
     /// [`Error::EmptyDatabase`] when no granule has been absorbed yet.
     pub fn checkpoint(&self) -> Result<EngineReport> {
+        crate::invariants::debug_validate!(self.validate());
         let resolved = self.resolved.ok_or(Error::EmptyDatabase)?;
         let emit_start = Instant::now();
 
+        // lint:allow(determinism): collected labels are sorted on the next line
         let mut labels: Vec<EventLabel> = self.events.keys().copied().collect();
         labels.sort_unstable();
         let mut candidate_events = 0usize;
@@ -756,6 +762,117 @@ impl StreamingMiner {
             pruning,
             footprint,
         ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural validation (see the `invariants` module).
+// ---------------------------------------------------------------------------
+
+use crate::invariants::{invariant, InvariantViolation};
+use crate::pattern::encode_pattern_key;
+
+impl StreamingMiner {
+    /// Validates the persistent streaming state: every support set ascends
+    /// strictly and stays within the absorbed granule range, every level's
+    /// pattern index is a permutation of its arena with keys that re-encode
+    /// their patterns, and every incremental [`SeasonTracker`] is
+    /// bit-identical to a fresh replay of its accumulated support.
+    ///
+    /// # Errors
+    /// The first [`InvariantViolation`] found, if any.
+    pub fn validate(&self) -> std::result::Result<(), InvariantViolation> {
+        const S: &str = "StreamingMiner";
+        invariant!(
+            S,
+            self.resolved.is_some() || self.num_granules == 0,
+            "absorbed {} granules without a resolved configuration",
+            self.num_granules
+        );
+        // lint:allow(determinism): validation is an order-insensitive conjunction
+        for (&label, entry) in &self.events {
+            self.validate_candidate(
+                S,
+                &format!("event {label:?}"),
+                &entry.support,
+                &entry.tracker,
+            )?;
+        }
+        for (idx, level) in self.levels.iter().enumerate() {
+            let k = idx + 2;
+            invariant!(S, level.k == k, "level slot {idx} holds k={}", level.k);
+            invariant!(
+                S,
+                level.index.len() == level.entries.len(),
+                "level k={k} index has {} keys for {} entries",
+                level.index.len(),
+                level.entries.len()
+            );
+            let mut seen = vec![false; level.entries.len()];
+            for (key, &id) in &level.index {
+                let Some(entry) = level.entries.get(id as usize) else {
+                    return Err(InvariantViolation::new(
+                        S,
+                        format!("level k={k} pattern id {id} out of range"),
+                    ));
+                };
+                invariant!(
+                    S,
+                    !std::mem::replace(&mut seen[id as usize], true),
+                    "level k={k} pattern id {id} indexed twice"
+                );
+                invariant!(
+                    S,
+                    encode_pattern_key(&entry.pattern) == **key,
+                    "level k={k} index key does not re-encode pattern {id}"
+                );
+            }
+            for group in &level.groups {
+                invariant!(
+                    S,
+                    group.len() == k,
+                    "level k={k} group key has {} packed labels",
+                    group.len()
+                );
+            }
+            for (id, entry) in level.entries.iter().enumerate() {
+                self.validate_candidate(
+                    S,
+                    &format!("level k={k} pattern {id}"),
+                    &entry.support,
+                    &entry.tracker,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_candidate(
+        &self,
+        structure: &'static str,
+        what: &str,
+        support: &[GranulePos],
+        tracker: &SeasonTracker,
+    ) -> std::result::Result<(), InvariantViolation> {
+        invariant!(
+            structure,
+            support.windows(2).all(|w| w[0] < w[1]),
+            "support of {what} is not strictly ascending"
+        );
+        invariant!(
+            structure,
+            support.last().is_none_or(|&g| g <= self.num_granules),
+            "support of {what} reaches past the absorbed prefix"
+        );
+        if let Some(resolved) = &self.resolved {
+            tracker.validate(support, resolved).map_err(|violation| {
+                InvariantViolation::new(
+                    structure,
+                    format!("tracker of {what}: {}", violation.detail),
+                )
+            })?;
+        }
+        Ok(())
     }
 }
 

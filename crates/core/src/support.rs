@@ -25,6 +25,7 @@ const GALLOP_RATIO: usize = 32;
 /// First index `>= lo` whose value is not less than `target`, found by
 /// galloping: probe at exponentially growing offsets, then binary-search the
 /// bracketed window. `O(log distance)` instead of `O(distance)`.
+// lint: hot-path
 #[inline]
 fn gallop(haystack: &[GranulePos], lo: usize, target: GranulePos) -> usize {
     let mut base = lo;
@@ -42,6 +43,7 @@ fn gallop(haystack: &[GranulePos], lo: usize, target: GranulePos) -> usize {
 /// When one side is at least [`GALLOP_RATIO`] times longer, the shorter side
 /// is walked and the longer side is advanced by galloping; otherwise a
 /// linear merge runs.
+// lint: hot-path
 #[inline]
 fn intersect_with<F: FnMut(GranulePos, usize, usize)>(
     a: &[GranulePos],
@@ -96,6 +98,7 @@ pub fn intersect(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
 /// through. When one side is at least `GALLOP_RATIO` (32) times longer than
 /// the other, the shorter side is walked and the longer side is advanced by
 /// galloping; otherwise a linear merge runs.
+// lint: hot-path
 pub fn intersect_into(out: &mut SupportSet, a: &[GranulePos], b: &[GranulePos]) {
     out.clear();
     intersect_with(a, b, |x, _, _| out.push(x));
@@ -108,6 +111,7 @@ pub fn intersect_into(out: &mut SupportSet, a: &[GranulePos], b: &[GranulePos]) 
 /// `HLH_1`, binding slices in `HLH_k`) with plain offset lookups instead of
 /// one binary search per matched granule. Galloping kicks in on skewed
 /// sizes exactly as in [`intersect_into`].
+// lint: hot-path
 pub fn intersect_positions_into(
     a: &[GranulePos],
     b: &[GranulePos],
@@ -156,6 +160,7 @@ pub fn union(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
 /// Inserts a granule keeping the set sorted and duplicate-free. Appending in
 /// increasing order (the common case during the single database scan) is
 /// O(1).
+// lint: hot-path
 pub fn insert_sorted(set: &mut SupportSet, granule: GranulePos) {
     match set.last() {
         None => set.push(granule),
@@ -177,6 +182,7 @@ pub fn insert_sorted(set: &mut SupportSet, granule: GranulePos) {
 ///
 /// # Panics
 /// Panics (in debug builds) when the rows differ in length.
+// lint: hot-path
 pub fn intersect_rows_into(out: &mut Vec<u64>, rows: &[&[u64]]) {
     out.clear();
     let Some((first, rest)) = rows.split_first() else {
@@ -193,6 +199,7 @@ pub fn intersect_rows_into(out: &mut Vec<u64>, rows: &[&[u64]]) {
 
 /// Iterates the indices of the set bits of a bitset, lowest first, starting
 /// at bit `from`. Bit `i` is bit `i % 64` of word `i / 64`.
+// lint: hot-path
 pub fn iter_set_bits(words: &[u64], from: usize) -> impl Iterator<Item = usize> + '_ {
     let mut word_idx = from / 64;
     let mut current = if word_idx < words.len() {

@@ -29,6 +29,7 @@
 //! assert_eq!(dseq.num_granules(), 200);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;

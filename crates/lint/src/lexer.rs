@@ -1,0 +1,459 @@
+//! A small hand-rolled Rust token scanner.
+//!
+//! The workspace is dependency-free, so `stpm-lint` cannot use `syn` or
+//! `proc-macro2`. This lexer implements just enough of the Rust lexical
+//! grammar for invariant linting: identifiers, punctuation, all literal
+//! forms that can hide `//`/`[`/`"` from a naive scanner (strings, raw
+//! strings, byte strings, chars vs. lifetimes), and both comment styles.
+//! Every token carries a 1-based line and column so rule diagnostics can
+//! point at the exact offending source position.
+//!
+//! The scanner is intentionally *not* a full lexer — it does not classify
+//! keywords, split compound operators, or validate numeric suffixes. Rules
+//! operate on identifier/punct sequences, which this representation makes
+//! easy to match.
+
+/// The coarse kind of a scanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// A string literal of any form (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (integer or float, any radix).
+    Num,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One scanned token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text exactly as written (punct tokens are one char).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based source column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+}
+
+/// A comment with its source position; line comments keep the text after
+/// `//`, block comments the text between `/*` and `*/`.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment body (delimiters stripped, not trimmed).
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// True for `/* … */`, false for `// …`.
+    pub block: bool,
+}
+
+/// The result of scanning a source file: code tokens and comments,
+/// each in source order.
+#[derive(Debug, Default)]
+pub struct LexOutput {
+    /// All non-comment tokens.
+    pub tokens: Vec<Token>,
+    /// All comments (doc comments included — they are comments lexically).
+    pub comments: Vec<Comment>,
+}
+
+/// Scans `source` into tokens and comments.
+///
+/// The scanner never fails: unterminated literals or comments simply run to
+/// the end of input, which is the forgiving behaviour a linter wants when
+/// pointed at a file that does not compile.
+#[must_use]
+pub fn lex(source: &str) -> LexOutput {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: LexOutput,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: LexOutput::default(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.src.get(self.pos + offset).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters. Multi-byte
+    /// UTF-8 continuation bytes do not advance the column, so columns count
+    /// characters, matching what editors display.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if b & 0xC0 != 0x80 {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> LexOutput {
+        while let Some(b) = self.peek() {
+            let (line, col) = (self.line, self.col);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line, col),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(line, col, 1),
+                b'b' if self.peek_at(1) == Some(b'"') => {
+                    self.bump();
+                    self.string(line, col);
+                }
+                b'b' if self.peek_at(1) == Some(b'r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.raw_string(line, col, 1);
+                }
+                b'b' if self.peek_at(1) == Some(b'\'') => {
+                    self.bump();
+                    self.char_literal(line, col);
+                }
+                b'\'' => self.quote(line, col),
+                _ if b.is_ascii_digit() => self.number(line, col),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(line, col),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, (b as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `//`
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            block: false,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // consume `/*`
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'/' && self.peek_at(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if b == b'*' && self.peek_at(1) == Some(b'/') {
+                depth -= 1;
+                end = self.pos;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+                end = self.pos;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            block: true,
+        });
+    }
+
+    fn string(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == b'"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// True when the bytes at `offset` (relative to an `r` already seen at
+    /// `offset - 1`) look like the `#…"` opener of a raw string.
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = offset;
+        while self.peek_at(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek_at(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self, line: u32, col: u32, r_len: usize) {
+        let start = self.pos;
+        for _ in 0..r_len {
+            self.bump(); // the `r`
+        }
+        let mut hashes = 0usize;
+        while self.peek() == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'scan: while let Some(b) = self.peek() {
+            self.bump();
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some(b'#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Str, text, line, col);
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'a'` (char literal) at a `'`.
+    fn quote(&mut self, line: u32, col: u32) {
+        let next = self.peek_at(1);
+        let after = self.peek_at(2);
+        let is_lifetime = match next {
+            Some(b) if b == b'_' || b.is_ascii_alphabetic() => after != Some(b'\''),
+            _ => false,
+        };
+        if is_lifetime {
+            let start = self.pos;
+            self.bump(); // `'`
+            while let Some(b) = self.peek() {
+                if b == b'_' || b.is_ascii_alphanumeric() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokenKind::Lifetime, text, line, col);
+        } else {
+            self.char_literal(line, col);
+        }
+    }
+
+    fn char_literal(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        self.bump(); // opening `'`
+        while let Some(b) = self.peek() {
+            if b == b'\\' {
+                self.bump();
+                self.bump();
+            } else if b == b'\'' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Char, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            // A digit continues the number; so does a `.` followed by a
+            // digit (`1..x` is a range, not a float).
+            let continues = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek_at(1).is_some_and(|n| n.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Num, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // Raw identifier prefix `r#ident` (raw strings were ruled out above).
+        if self.peek() == Some(b'r')
+            && self.peek_at(1) == Some(b'#')
+            && self
+                .peek_at(2)
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphabetic())
+        {
+            self.bump();
+            self.bump();
+        }
+        while let Some(b) = self.peek() {
+            if b == b'_' || b.is_ascii_alphanumeric() || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokenKind::Ident, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("fn foo(x: u32) -> u32 { x + 0x1F }");
+        assert_eq!(toks[0], (TokenKind::Ident, "fn".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "foo".into()));
+        assert!(toks.contains(&(TokenKind::Num, "0x1F".into())));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let out = lex("// first\nlet x = 1; // trailing\n/* block\nspans */");
+        assert_eq!(out.comments.len(), 3);
+        assert_eq!(out.comments[0].line, 1);
+        assert_eq!(out.comments[0].text, " first");
+        assert_eq!(out.comments[1].line, 2);
+        assert!(out.comments[2].block);
+        assert_eq!(out.comments[2].line, 3);
+    }
+
+    #[test]
+    fn strings_hide_comment_markers() {
+        let out = lex(r#"let s = "not // a comment"; // real"#);
+        assert_eq!(out.comments.len(), 1);
+        assert_eq!(out.comments[0].text, " real");
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let out = lex(r###"let a = r#"raw "inner" text"#; let b = b"bytes"; let c = br#"x"#;"###);
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert_eq!(out.comments.len(), 0);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let out = lex("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        let lifetimes: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let out = lex("/* outer /* inner */ still outer */ fn after() {}");
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let out = lex("a\n  b");
+        assert_eq!((out.tokens[0].line, out.tokens[0].col), (1, 1));
+        assert_eq!((out.tokens[1].line, out.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let toks = kinds("1.5 + 1..2");
+        assert_eq!(toks[0], (TokenKind::Num, "1.5".into()));
+        assert!(toks.contains(&(TokenKind::Num, "1".into())));
+        assert!(toks.contains(&(TokenKind::Num, "2".into())));
+    }
+}

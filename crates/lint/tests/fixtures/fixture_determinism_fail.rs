@@ -1,0 +1,12 @@
+// Fixture: iterating a hash map in an output-producing module must be
+// flagged (hash order is nondeterministic).
+
+use std::collections::HashMap;
+
+pub fn report(counts: &HashMap<u64, u64>) -> u64 {
+    let mut out = 0;
+    for v in counts.values() {
+        out += v;
+    }
+    out
+}

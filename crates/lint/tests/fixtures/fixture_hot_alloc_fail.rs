@@ -1,0 +1,7 @@
+// Fixture: an allocation inside a `lint: hot-path` function must be flagged.
+
+// lint: hot-path
+pub fn intersect_fast(a: &[u64], b: &[u64]) -> usize {
+    let scratch: Vec<u64> = Vec::new();
+    a.len() + b.len() + scratch.len()
+}

@@ -1,0 +1,22 @@
+// Fixture: a clean hot-path function, plus a justified suppression on a
+// cold first-occurrence arm, must produce no diagnostics.
+
+// lint: hot-path
+pub fn gallop(haystack: &[u64], needle: u64) -> usize {
+    let mut step = 1usize;
+    let mut pos = 0usize;
+    while pos + step < haystack.len() && haystack[pos + step] < needle {
+        pos += step;
+        step *= 2;
+    }
+    pos
+}
+
+// lint: hot-path
+pub fn push_entry(entries: &mut Vec<u64>, value: u64) {
+    if value == 0 {
+        // lint:allow(hot-path-alloc): first-occurrence arm
+        entries.extend(Vec::with_capacity(4));
+    }
+    entries.push(value);
+}

@@ -1,0 +1,9 @@
+// Fixture: panicking constructs and raw indexing inside a decode function
+// of a wire-format module must be flagged.
+
+pub fn decode_header(buf: &[u8]) -> u32 {
+    let first = buf[0];
+    let rest: [u8; 4] = buf[1..5].try_into().unwrap();
+    assert!(first == 1, "bad version");
+    u32::from_le_bytes(rest)
+}

@@ -1,0 +1,12 @@
+// Fixture: a decode function that surfaces corruption as a typed error
+// (no panics, no raw indexing) must produce no diagnostics.
+
+pub fn decode_header(buf: &[u8]) -> Result<u32, String> {
+    let bytes = buf
+        .get(1..5)
+        .ok_or_else(|| String::from("truncated header"))?;
+    let rest: [u8; 4] = bytes
+        .try_into()
+        .map_err(|_| String::from("internal length mismatch"))?;
+    Ok(u32::from_le_bytes(rest))
+}

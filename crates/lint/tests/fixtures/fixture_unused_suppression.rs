@@ -1,0 +1,6 @@
+// Fixture: a suppression that matches no diagnostic must itself be flagged.
+
+pub fn harmless() -> u64 {
+    // lint:allow(hot-path-alloc): nothing here actually allocates
+    41 + 1
+}

@@ -38,6 +38,7 @@
 //! assert_eq!(dseq.num_granules(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

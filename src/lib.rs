@@ -41,6 +41,7 @@
 //! assert!(outcome.report.total_patterns() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use stpm_approx as approx;
@@ -667,8 +668,7 @@ impl StreamingPipeline {
         let bytes = self.encode_snapshot();
         let mut tmp_name = path
             .file_name()
-            .map(std::ffi::OsString::from)
-            .unwrap_or_else(|| "snapshot".into());
+            .map_or_else(|| "snapshot".into(), std::ffi::OsString::from);
         tmp_name.push(".tmp");
         let tmp = path.with_file_name(tmp_name);
         let mut file = std::fs::File::create(&tmp).map_err(|e| io(&e))?;

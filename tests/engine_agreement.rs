@@ -65,6 +65,7 @@ fn set_of<'a>(sets: &'a [(&'static str, BTreeSet<String>)], name: &str) -> &'a B
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: cross-engine mining runs
 fn exact_and_baseline_produce_identical_pattern_sets() {
     for profile in [DatasetProfile::Influenza, DatasetProfile::SmartCity] {
         for seed in [1u64, 7, 23] {
@@ -85,6 +86,7 @@ fn exact_and_baseline_produce_identical_pattern_sets() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: cross-engine mining runs
 fn approximate_output_is_a_subset_of_the_exact_output() {
     for profile in [DatasetProfile::Influenza, DatasetProfile::HandFootMouth] {
         for seed in [1u64, 7, 23] {
@@ -102,6 +104,7 @@ fn approximate_output_is_a_subset_of_the_exact_output() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: cross-engine mining runs
 fn zero_mu_approximate_engine_degenerates_to_exact() {
     let spec = DatasetSpec::real(DatasetProfile::RenewableEnergy)
         .scaled_to(6, 200)

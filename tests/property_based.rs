@@ -312,6 +312,7 @@ fn span_based_seasons_match_the_reference_materializer() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: dataset-scale loop
 fn season_tracker_matches_the_batch_walker_on_every_prefix() {
     // The streaming miner's per-pattern season state must agree with the
     // batch season extraction at *every* prefix of an append-only support
@@ -356,6 +357,7 @@ fn season_tracker_matches_the_batch_walker_on_every_prefix() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: dataset-scale loop
 fn adjacency_bitset_enumeration_matches_the_naive_f1_scan() {
     let label_at = |i: usize| EventLabel::new(SeriesId(i as u32), SymbolId(0));
     for seed in 0..CASES / 2 {
@@ -532,6 +534,7 @@ fn mu_threshold_is_monotone_in_event_probability() {
 // Mining whole random databases is more expensive; fewer cases.
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: dataset-scale loop
 fn pruning_never_changes_the_mined_output() {
     for case in 0..12u64 {
         let mut rng = SeededRng::seed_from_u64(case);
@@ -565,6 +568,7 @@ fn pruning_never_changes_the_mined_output() {
 }
 
 #[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: dataset-scale loop
 fn every_reported_pattern_satisfies_the_seasonality_constraints() {
     for case in 0..12u64 {
         let mut rng = SeededRng::seed_from_u64(case);
@@ -610,4 +614,78 @@ fn every_reported_pattern_satisfies_the_seasonality_constraints() {
             }
         }
     }
+}
+
+#[test]
+#[cfg_attr(miri, ignore)] // interpreter-slow: dataset-scale loop
+fn structural_validators_accept_randomized_mining_state() {
+    // The `invariants` validators must accept every state the miners
+    // actually construct: batch HLH_1 tables, materialised seasons,
+    // incrementally-pushed season trackers, and streaming state after
+    // arbitrary batch splits. (The gated call sites inside the miners run
+    // the same checks under debug_assertions; calling them here keeps the
+    // validators exercised even in release property runs.)
+    use freqstpfts::core::season::SeasonTracker;
+    use freqstpfts::core::{Hlh1, StreamingMiner};
+    for case in 0..8u64 {
+        let mut rng = SeededRng::seed_from_u64(case);
+        let spec = DatasetSpec::real(DatasetProfile::Influenza)
+            .scaled_to(4, 90)
+            .with_seed(rng.next_below(1000));
+        let data = generate(&spec);
+        let dseq = data.dseq().unwrap();
+        let config = StpmConfig {
+            max_period: Threshold::Absolute(3 + rng.next_below(3)),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (2, 50),
+            min_season: 1 + rng.next_below(2),
+            max_pattern_len: 3,
+            ..StpmConfig::default()
+        };
+        let resolved = config.resolve(dseq.num_granules()).unwrap();
+
+        let hlh1 = Hlh1::build(&dseq, &resolved, true);
+        hlh1.validate()
+            .unwrap_or_else(|violation| panic!("case {case}: {violation}"));
+        for &label in hlh1.labels() {
+            let entry = hlh1.entry(label).unwrap();
+            find_seasons(&entry.support, &resolved)
+                .validate()
+                .unwrap_or_else(|violation| panic!("case {case}: {violation}"));
+            let tracker = SeasonTracker::rebuild(&entry.support, &resolved);
+            tracker
+                .validate(&entry.support, &resolved)
+                .unwrap_or_else(|violation| panic!("case {case}: {violation}"));
+        }
+
+        // Streaming state stays valid across every batch boundary.
+        let mut miner = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        let mut from = 0usize;
+        while from < dseq.sequences().len() {
+            let to = (from + 1 + rng.next_below(9) as usize).min(dseq.sequences().len());
+            miner.append_batch(&dseq.sequences()[from..to]).unwrap();
+            miner
+                .validate()
+                .unwrap_or_else(|violation| panic!("case {case}: {violation}"));
+            from = to;
+        }
+        miner.checkpoint().unwrap();
+    }
+}
+
+#[test]
+fn validators_reject_a_corrupted_tracker() {
+    // Sanity: the cross-check actually detects divergence, it does not
+    // vacuously accept. A tracker replayed over a *different* support must
+    // be rejected by the replay cross-check.
+    use freqstpfts::core::season::SeasonTracker;
+    let config = resolved(3, 2, (2, 40), 1);
+    let support: Vec<u64> = vec![1, 2, 3, 10, 11, 12];
+    let tracker = SeasonTracker::rebuild(&support, &config);
+    tracker.validate(&support, &config).unwrap();
+    let other: Vec<u64> = vec![1, 2, 3, 4, 5, 6];
+    assert!(
+        tracker.validate(&other, &config).is_err(),
+        "tracker accepted a support it was never fed"
+    );
 }
