@@ -83,6 +83,7 @@
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod fxhash;
 pub mod hlh;
 pub mod invariants;
@@ -98,6 +99,9 @@ pub mod support;
 pub use config::{PruningMode, ResolvedConfig, StpmConfig, Threshold};
 pub use engine::{accuracy, EngineReport, MiningEngine, MiningInput, PhaseTiming, PruningSummary};
 pub use error::{Error, Result};
+pub use fault::{
+    failpoints, Failpoint, FaultyFs, MemoryBudget, RealFs, RetryPolicy, StorageBackend, StorageFile,
+};
 pub use hlh::{GroupId, Hlh1, HlhK, PatternId, RelationAdjacency, VerdictTable};
 pub use invariants::InvariantViolation;
 pub use miner::StpmMiner;

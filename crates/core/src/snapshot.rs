@@ -1003,6 +1003,12 @@ pub struct CheckpointMeta {
     pub patterns_interned: u64,
     /// Granules absorbed since the most recent snapshot.
     pub pending_granules: u64,
+    /// Transient I/O retries absorbed by the persistence layer so far.
+    ///
+    /// Always zero for a bare miner (which performs no I/O of its own);
+    /// the streaming pipeline overlays its retry counter here. Not part of
+    /// the wire format — the counter restarts at zero after a restore.
+    pub io_retries: u64,
 }
 
 impl StreamingMiner {
@@ -1091,7 +1097,44 @@ impl StreamingMiner {
             granules_absorbed: self.num_granules,
             patterns_interned: self.patterns_interned(),
             pending_granules: self.pending_granules(),
+            io_retries: 0,
         }
+    }
+
+    /// Encodes the state for a *spill* — an eviction of the live miner to a
+    /// cold file under a memory budget — carrying the **current** checkpoint
+    /// id, unlike [`StreamingMiner::encode_snapshot`] which carries the next
+    /// one. A spill is a cache of live memory, not a checkpoint: it must not
+    /// advance the id sequence or touch the pending-granule watermark, or a
+    /// later real snapshot would disagree byte-for-byte with an
+    /// unconstrained run.
+    #[must_use]
+    pub fn encode_spill(&self) -> Vec<u8> {
+        encode_miner(self, self.checkpoint_id)
+    }
+
+    /// Rebuilds a miner from [`StreamingMiner::encode_spill`] bytes,
+    /// restoring the pending-granule watermark that a plain restore resets
+    /// (a restored *snapshot* has nothing pending by definition; a
+    /// rehydrated *spill* still owes `pending_granules` to the next real
+    /// snapshot).
+    ///
+    /// # Errors
+    /// As [`StreamingMiner::restore_with`], plus [`Error::SnapshotCorrupt`]
+    /// when `pending_granules` exceeds the absorbed granule count.
+    pub fn rehydrate(config: &StpmConfig, bytes: &[u8], pending_granules: u64) -> Result<Self> {
+        let mut miner = decode_miner(bytes, Some(config))?;
+        if pending_granules > miner.num_granules {
+            return Err(Error::SnapshotCorrupt {
+                reason: format!(
+                    "spill metadata claims {pending_granules} pending granules but the spill \
+                     holds only {}",
+                    miner.num_granules
+                ),
+            });
+        }
+        miner.granules_at_snapshot = miner.num_granules - pending_granules;
+        Ok(miner)
     }
 }
 
@@ -1381,6 +1424,38 @@ mod tests {
         let mut clean = mined_miner();
         assert_eq!(retried, snapshot_bytes(&mut clean));
         assert_eq!(miner.checkpoint_meta().checkpoint_id, 1);
+    }
+
+    #[test]
+    fn spill_rehydrate_preserves_checkpoint_accounting_and_snapshot_bytes() {
+        let dseq = sample_dseq();
+        let config = sample_config();
+        let mut unconstrained = StreamingMiner::new(&config, dseq.registry()).unwrap();
+        unconstrained.append_batch(&dseq.sequences()[..3]).unwrap();
+        let _ = snapshot_bytes(&mut unconstrained);
+        unconstrained.append_batch(&dseq.sequences()[3..5]).unwrap();
+        let meta = unconstrained.checkpoint_meta();
+        assert_eq!((meta.checkpoint_id, meta.pending_granules), (1, 2));
+
+        // Spill mid-stream: the cold bytes carry the *current* id, and
+        // rehydration restores the pending watermark exactly.
+        let spill = unconstrained.encode_spill();
+        let mut rehydrated =
+            StreamingMiner::rehydrate(&config, &spill, meta.pending_granules).unwrap();
+        assert_eq!(rehydrated.checkpoint_meta(), meta);
+
+        // Both sides finish the stream; the next real snapshot must be
+        // byte-identical, or a budget-constrained run would diverge.
+        unconstrained.append_batch(&dseq.sequences()[5..]).unwrap();
+        rehydrated.append_batch(&dseq.sequences()[5..]).unwrap();
+        assert_eq!(
+            snapshot_bytes(&mut unconstrained),
+            snapshot_bytes(&mut rehydrated)
+        );
+
+        // A spill claiming more pending granules than it holds is corrupt.
+        let err = StreamingMiner::rehydrate(&config, &spill, 1_000).unwrap_err();
+        assert!(matches!(err, Error::SnapshotCorrupt { .. }));
     }
 
     #[test]

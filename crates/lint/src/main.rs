@@ -26,8 +26,8 @@ fn main() -> ExitCode {
                     "stpm-lint: project-invariant static analysis\n\n\
                      USAGE:\n  stpm-lint [--write-format-lock]\n\n\
                      Checks every crates/**/src/*.rs file against the project rules\n\
-                     (hot-path-alloc, no-panic-decode, determinism, wire-format-freeze)\n\
-                     and the snapshot wire format against snapshot_format.lock."
+                     (hot-path-alloc, no-panic-decode, determinism, wire-format-freeze,\n\
+                     durable-io) and the snapshot wire format against snapshot_format.lock."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -58,7 +58,7 @@ fn main() -> ExitCode {
     if diags.is_empty() {
         println!(
             "stpm-lint: {} source files clean (hot-path-alloc, no-panic-decode, \
-             determinism, wire-format-freeze)",
+             determinism, wire-format-freeze, durable-io)",
             stpm_lint::collect_sources(&root).len()
         );
         ExitCode::SUCCESS

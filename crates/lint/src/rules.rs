@@ -1,6 +1,6 @@
 //! The rule engine: project-invariant checks over the token stream.
 //!
-//! Four named rules are enforced (see the README "Correctness tooling"
+//! Five named rules are enforced (see the README "Correctness tooling"
 //! section for the policy):
 //!
 //! * `hot-path-alloc` — no allocating constructs inside functions marked
@@ -12,6 +12,10 @@
 //! * `wire-format-freeze` — the snapshot wire-format constants must match
 //!   the committed `snapshot_format.lock`; tag changes require a version
 //!   bump, version bumps require a lock refresh.
+//! * `durable-io` — inside functions marked `// lint: durable`, every
+//!   write must reach an `sync_all`/`sync_data` before the file is renamed
+//!   into place or truncated, and before a `checkpoint` acknowledges the
+//!   data as durable.
 //!
 //! Any diagnostic can be suppressed with a justified
 //! `// lint:allow(rule): <why>` comment on the offending line or the line
@@ -53,6 +57,12 @@ const OUTPUT_MODULE_FILES: &[&str] = &[
     "snapshot.rs",
     "report.rs",
 ];
+
+/// Base names of the modules whose durable-write paths carry
+/// `// lint: durable` markers (today: the facade persistence layer in
+/// `src/lib.rs`). As with hot-path markers, a marker elsewhere is reported
+/// so the list stays deliberate.
+const DURABLE_FILES: &[&str] = &["lib.rs"];
 
 /// Function-name shapes that make a `snapshot.rs` function a *decode*
 /// function (it consumes untrusted bytes and must return typed errors).
@@ -138,7 +148,8 @@ struct Suppression {
     used: bool,
 }
 
-/// A parsed `// lint: hot-path` marker awaiting its function.
+/// A parsed `// lint: hot-path` or `// lint: durable` marker awaiting its
+/// function.
 #[derive(Debug)]
 struct HotMarker {
     line: u32,
@@ -151,6 +162,10 @@ struct FnFrame {
     name: String,
     hot: bool,
     decode: bool,
+    durable: bool,
+    /// `durable-io` write-state: `true` between a `write`/`write_all` call
+    /// and the `sync_all`/`sync_data` that commits it.
+    dirty: bool,
 }
 
 /// What the brace stack holds: a function body or an anonymous block
@@ -180,6 +195,7 @@ struct Engine<'a> {
     comments: &'a [Comment],
     suppressions: Vec<Suppression>,
     hot_markers: Vec<HotMarker>,
+    durable_markers: Vec<HotMarker>,
     skipped: Vec<(usize, usize)>,
     map_idents: Vec<String>,
     diags: Vec<Diagnostic>,
@@ -194,6 +210,7 @@ impl<'a> Engine<'a> {
             comments: &lexed.comments,
             suppressions: Vec::new(),
             hot_markers: Vec::new(),
+            durable_markers: Vec::new(),
             skipped: Vec::new(),
             map_idents: Vec::new(),
             diags: Vec::new(),
@@ -273,6 +290,25 @@ impl<'a> Engine<'a> {
                         message: format!(
                             "`lint: hot-path` marker in `{}`, which is not a registered \
                              hot-path module — extend HOT_PATH_FILES in stpm-lint deliberately",
+                            self.base
+                        ),
+                    });
+                }
+            } else if text == "lint: durable" {
+                self.durable_markers.push(HotMarker {
+                    line: c.line,
+                    consumed: false,
+                });
+                if !DURABLE_FILES.contains(&self.base) && !self.base.starts_with("fixture_") {
+                    self.diags.push(Diagnostic {
+                        file: self.file.to_string(),
+                        line: c.line,
+                        col: 1,
+                        rule: "durable-io",
+                        message: format!(
+                            "`lint: durable` marker in `{}`, which is not a registered \
+                             durable-write module — extend DURABLE_FILES in stpm-lint \
+                             deliberately",
                             self.base
                         ),
                     });
@@ -423,8 +459,15 @@ impl<'a> Engine<'a> {
             if tok.is_ident("fn") && i + 1 < t.len() && t[i + 1].kind == TokenKind::Ident {
                 let name = t[i + 1].text.clone();
                 let hot = self.take_hot_marker(tok.line);
+                let durable = self.take_durable_marker(tok.line);
                 let decode = wire_file && Self::is_decode_fn(&name);
-                pending_fn = Some(FnFrame { name, hot, decode });
+                pending_fn = Some(FnFrame {
+                    name,
+                    hot,
+                    decode,
+                    durable,
+                    dirty: false,
+                });
                 sig_depth = 0;
             } else if tok.is_punct('{') {
                 match pending_fn.take() {
@@ -467,6 +510,9 @@ impl<'a> Engine<'a> {
                 self.check_map_iteration(i);
             }
 
+            // --- durable-io: fsync-before-publish in marked functions ---
+            self.check_durable_io(i, &mut stack);
+
             // --- determinism: wall clock in wire-format code ---
             if wire_file
                 && tok.kind == TokenKind::Ident
@@ -493,6 +539,73 @@ impl<'a> Engine<'a> {
             }
         }
         false
+    }
+
+    fn take_durable_marker(&mut self, fn_line: u32) -> bool {
+        for m in &mut self.durable_markers {
+            if !m.consumed && m.line < fn_line {
+                m.consumed = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The `durable-io` state machine, applied to the innermost enclosing
+    /// `// lint: durable` function (closures and blocks inherit it, matching
+    /// how retry closures wrap the actual I/O). A `write`/`write_all` marks
+    /// the frame dirty; `sync_all`/`sync_data` commits it; while dirty, a
+    /// `rename` (publish), `set_len` (truncate) or `checkpoint`
+    /// (acknowledgment) is flagged. The walk is lexical, so branch-local
+    /// syncs satisfy later branches — the rule is a tripwire for reordered
+    /// I/O, not a path-sensitive prover; suppress with a justification where
+    /// control flow makes a lexically-dirty publish sound.
+    fn check_durable_io(&mut self, i: usize, stack: &mut [Scope]) {
+        let t = self.tokens;
+        let tok = &t[i];
+        if tok.kind != TokenKind::Ident || !t.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            return;
+        }
+        let Some(frame) = stack.iter_mut().rev().find_map(|s| match s {
+            Scope::Function(f) if f.durable => Some(f),
+            _ => None,
+        }) else {
+            return;
+        };
+        let method = i >= 1 && t[i - 1].is_punct('.');
+        match tok.text.as_str() {
+            "write" | "write_all" if method => frame.dirty = true,
+            "sync_all" | "sync_data" if method => frame.dirty = false,
+            "rename" if frame.dirty => {
+                self.emit(
+                    tok,
+                    "durable-io",
+                    "`rename` publishes bytes that were never synced — a `lint: durable` \
+                     function must `sync_all` every write before renaming the file into place"
+                        .into(),
+                );
+            }
+            "set_len" if method && frame.dirty => {
+                self.emit(
+                    tok,
+                    "durable-io",
+                    "`set_len` truncates over an unsynced write — a `lint: durable` function \
+                     must `sync_all` every write before truncating"
+                        .into(),
+                );
+            }
+            "checkpoint" if method && frame.dirty => {
+                self.emit(
+                    tok,
+                    "durable-io",
+                    "`checkpoint` acknowledges granules whose write-ahead-log append was \
+                     never synced — a `lint: durable` function must `sync_all` the WAL \
+                     before acknowledging the batch"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
     }
 
     fn is_decode_fn(name: &str) -> bool {
@@ -714,6 +827,21 @@ impl<'a> Engine<'a> {
                 col: 1,
                 rule: "hot-path-alloc",
                 message: "`lint: hot-path` marker is not followed by a function".into(),
+            });
+        }
+        let unconsumed_durable: Vec<u32> = self
+            .durable_markers
+            .iter()
+            .filter(|m| !m.consumed)
+            .map(|m| m.line)
+            .collect();
+        for line in unconsumed_durable {
+            self.diags.push(Diagnostic {
+                file: self.file.to_string(),
+                line,
+                col: 1,
+                rule: "durable-io",
+                message: "`lint: durable` marker is not followed by a function".into(),
             });
         }
     }

@@ -106,6 +106,43 @@ fn hash_map_iteration_outside_output_modules_passes() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn unsynced_publish_truncate_and_ack_are_flagged() {
+    let source = include_str!("fixtures/fixture_durable_fail.rs");
+    let rules = rules_hit("src/lib.rs", source);
+    assert_eq!(rules, ["durable-io"]);
+    let diags = lint_source("src/lib.rs", source);
+    assert_eq!(diags.len(), 3, "{diags:?}");
+    assert!(diags[0].message.contains("rename"), "{}", diags[0].message);
+    assert!(diags[1].message.contains("set_len"), "{}", diags[1].message);
+    assert!(
+        diags[2].message.contains("checkpoint"),
+        "{}",
+        diags[2].message
+    );
+}
+
+#[test]
+fn synced_publish_with_justified_suppression_passes() {
+    let source = include_str!("fixtures/fixture_durable_pass.rs");
+    let diags = lint_source("src/lib.rs", source);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn durable_marker_outside_registered_files_is_rejected() {
+    // Same closed-list policy as hot-path markers: durability contracts are
+    // declared per-module, not sprinkled ad hoc.
+    let source = include_str!("fixtures/fixture_durable_pass.rs");
+    let diags = lint_source("crates/core/src/config.rs", source);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "durable-io" && d.message.contains("DURABLE_FILES")),
+        "{diags:?}"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // wire-format-freeze: the lock round-trips, and every drift case resolves
 // the way the rule promises.

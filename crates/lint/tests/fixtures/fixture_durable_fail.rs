@@ -1,0 +1,27 @@
+// Fixture: durable-io — a `lint: durable` function that publishes
+// (rename), truncates (set_len) or acknowledges (checkpoint) over a write
+// that never reached sync_all must be flagged once per site.
+
+use std::io::Write;
+
+// lint: durable
+pub fn publish_unsynced(dir: &std::path::Path) -> std::io::Result<()> {
+    let tmp = dir.join("snap.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(b"payload")?;
+    std::fs::rename(&tmp, dir.join("snap"))?;
+    Ok(())
+}
+
+// lint: durable
+pub fn truncate_unsynced(file: &mut std::fs::File, base: u64) -> std::io::Result<()> {
+    file.write_all(b"record")?;
+    file.set_len(base)?;
+    file.sync_all()
+}
+
+// lint: durable
+pub fn acknowledge_unsynced(file: &mut std::fs::File, miner: &mut Miner) -> Report {
+    file.write_all(b"record").ok();
+    miner.checkpoint()
+}

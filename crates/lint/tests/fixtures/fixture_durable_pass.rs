@@ -1,0 +1,33 @@
+// Fixture: durable-io — sync-before-publish ordering, retry closures that
+// inherit the enclosing frame, and a justified suppression for a deliberate
+// truncate-the-torn-write site must produce no diagnostics.
+
+use std::io::Write;
+
+// lint: durable
+pub fn publish_synced(dir: &std::path::Path) -> std::io::Result<()> {
+    let tmp = dir.join("snap.tmp");
+    let mut file = std::fs::File::create(&tmp)?;
+    file.write_all(b"payload")?;
+    file.sync_all()?;
+    std::fs::rename(&tmp, dir.join("snap"))?;
+    Ok(())
+}
+
+// lint: durable
+pub fn retry_append(file: &mut std::fs::File, base: u64) -> std::io::Result<()> {
+    file.write_all(b"record")?;
+    // lint:allow(durable-io): the truncation discards the torn write itself
+    file.set_len(base)?;
+    file.write_all(b"record")?;
+    file.sync_all()
+}
+
+// lint: durable
+pub fn closure_inherits(file: &mut std::fs::File) -> std::io::Result<()> {
+    let mut attempt = || {
+        file.write_all(b"record")?;
+        file.sync_all()
+    };
+    attempt()
+}

@@ -10,6 +10,35 @@
 //! then dies without a clean shutdown. The second process calls
 //! [`StreamingPipeline::recover`], which restores the snapshot and replays
 //! the WAL tail — and continues the feed as if nothing had happened.
+//!
+//! # Crash-recovery runbook
+//!
+//! What to do (and what to expect) when a streaming monitor dies:
+//!
+//! 1. **Restart with the same builder.** Thresholds and the mapping factor
+//!    must match the snapshot (`recover` verifies them and returns a typed
+//!    `SnapshotConfigMismatch` otherwise); the symbolizer is configured by
+//!    hand because it is never serialised.
+//! 2. **Call `recover(Some(snapshot), wal)` unconditionally.** A missing or
+//!    empty snapshot file and a missing WAL are *not* errors — first boot
+//!    and post-crash restart share this one startup call. The returned
+//!    [`RecoveryReport`] says what happened: `restored_granules` from the
+//!    snapshot, `replayed_records` from the WAL, `wal_was_clean = false`
+//!    when a torn tail (crash mid-append) was truncated away, and
+//!    `io_retries` when transient I/O faults had to be retried.
+//! 3. **Trust the acknowledgment contract.** Every `append` that returned
+//!    `Ok` before the crash is in the recovered state — appends are fsynced
+//!    into the WAL before they return. A batch that was mid-append when the
+//!    process died was never acknowledged and simply is not there.
+//! 4. **Do not clean up by hand.** Leftover `*.tmp` snapshot siblings are
+//!    removed by the snapshot path itself; torn WAL tails are truncated on
+//!    attach. If recovery reports a typed corruption error, keep the files
+//!    for inspection — nothing will panic or overwrite them.
+//! 5. **Under memory pressure, budget instead of restarting.** With
+//!    [`StreamingPipeline::set_memory_budget`] the miner spills to a cold
+//!    file between appends and rehydrates on demand; checkpoints are
+//!    byte-identical to an unbudgeted run, so the budget can be added or
+//!    removed at any restart.
 
 use freqstpfts::prelude::*;
 use std::path::Path;
@@ -124,16 +153,31 @@ fn first_process(readings: &[(&str, Vec<f64>)], snap_path: &Path, wal_path: &Pat
 /// finish the feed.
 fn second_process(readings: &[(&str, Vec<f64>)], snap_path: &Path, wal_path: &Path) {
     let mut stream = pipeline();
+    // Transient I/O hiccups (EINTR/EAGAIN-class) are retried with bounded,
+    // deterministically-jittered backoff; the default policy is already on,
+    // this simply makes the choice explicit.
+    stream.set_retry_policy(RetryPolicy::default());
     let recovery = stream
         .recover(Some(snap_path), wal_path)
         .expect("the snapshot and WAL are intact");
     println!(
-        "[monitor #2] recovered {} granules from the snapshot + {} WAL record(s) -> {} granules",
+        "[monitor #2] recovered {} granules from the snapshot + {} WAL record(s) \
+         -> {} granules ({} transient I/O retr{})",
         recovery.restored_granules,
         recovery.replayed_records,
         stream.num_granules(),
+        recovery.io_retries,
+        if recovery.io_retries == 1 { "y" } else { "ies" },
     );
     assert_eq!(stream.num_granules(), 10, "the crash lost nothing");
+
+    // This monitor is memory-constrained: between appends the miner state
+    // is spilled to a cold file and rehydrated on demand. Checkpoints stay
+    // byte-identical to an unbudgeted run, so this changes economics, not
+    // results. (A 1-byte budget spills after every append — a real
+    // deployment would size this to its container limit.)
+    let spill_path = wal_path.with_file_name("monitor.spill");
+    stream.set_memory_budget(MemoryBudget::bytes(1), &spill_path);
 
     // Business as usual: the feed continues where the crash cut it off.
     stream

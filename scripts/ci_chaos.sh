@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Chaos gate: the deterministic fault-injection sweep. Crashes the
+# persistence stack at every registered failpoint and requires recovery to
+# be byte-identical with zero acknowledged-granule loss, plus the
+# budget-spill identity and torn-tail scenarios.
+#
+# CI's analysis job executes this exact script, so a local
+# `scripts/ci_chaos.sh` reproduces the chaos gate bit for bit. Everything
+# runs against the in-memory FaultyFs — no real files, fully deterministic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== chaos recovery sweep (fault injection at every failpoint) =="
+cargo test --release -q --test chaos_recovery
+
+echo "chaos gate: recovery is byte-identical at every failpoint"

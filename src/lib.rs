@@ -52,6 +52,7 @@ pub use stpm_timeseries as timeseries;
 
 use stpm_approx::AStpmMiner;
 use stpm_baseline::ApsGrowth;
+use stpm_core::fault::{failpoints, MemoryBudget, RealFs, RetryPolicy, StorageBackend};
 use stpm_core::snapshot::{self, ByteReader, ByteWriter, CheckpointMeta};
 use stpm_core::{
     EngineReport, MiningEngine, MiningInput, MiningReport, StpmConfig, StpmMiner, StreamingMiner,
@@ -69,9 +70,9 @@ pub mod prelude {
     pub use stpm_approx::AStpmMiner;
     pub use stpm_baseline::ApsGrowth;
     pub use stpm_core::{
-        accuracy, CheckpointMeta, EngineReport, MinedPattern, MiningEngine, MiningInput,
-        MiningReport, PruningMode, RelationKind, StpmConfig, StpmMiner, StreamingMiner,
-        TemporalPattern, Threshold,
+        accuracy, failpoints, CheckpointMeta, EngineReport, FaultyFs, MemoryBudget, MinedPattern,
+        MiningEngine, MiningInput, MiningReport, PruningMode, RealFs, RelationKind, RetryPolicy,
+        StorageBackend, StpmConfig, StpmMiner, StreamingMiner, TemporalPattern, Threshold,
     };
     pub use stpm_datagen::{generate, DatasetProfile, DatasetSpec};
     pub use stpm_timeseries::{
@@ -321,6 +322,11 @@ impl Pipeline {
             config,
             state: None,
             wal: None,
+            storage: Box::new(RealFs),
+            retry: RetryPolicy::default(),
+            budget: None,
+            spill_path: None,
+            io_retries: 0,
         }
     }
 
@@ -349,7 +355,36 @@ impl Pipeline {
 struct StreamState {
     dsyb: SymbolicDatabase,
     dseq: SequenceDatabase,
-    miner: StreamingMiner,
+    miner: MinerSlot,
+}
+
+/// Where the incremental miner currently lives: in memory, or spilled to a
+/// cold file because a [`MemoryBudget`] was exceeded. The raw databases
+/// (`dsyb`/`dseq`) always stay in memory — the budget targets the miner's
+/// pattern arenas and season trackers, which dominate the footprint.
+enum MinerSlot {
+    /// The miner is live in memory (boxed: the miner dwarfs the spilled
+    /// variant, and moving the slot should not copy the arenas).
+    Live(Box<StreamingMiner>),
+    /// The miner was spilled; only its checkpoint position is retained.
+    Spilled(SpilledMiner),
+}
+
+/// What remains in memory of a spilled miner: the checkpoint position the
+/// cold file was written under, used to answer observability queries without
+/// rehydrating and to restore the pending-granule watermark on rehydration.
+struct SpilledMiner {
+    meta: CheckpointMeta,
+}
+
+impl MinerSlot {
+    /// The miner's checkpoint position, served from memory in both states.
+    fn meta(&self) -> CheckpointMeta {
+        match self {
+            MinerSlot::Live(miner) => miner.checkpoint_meta(),
+            MinerSlot::Spilled(spilled) => spilled.meta,
+        }
+    }
 }
 
 /// The streaming counterpart of [`Pipeline`]: raw samples arrive in batches,
@@ -401,13 +436,32 @@ pub struct StreamingPipeline {
     config: StpmConfig,
     state: Option<StreamState>,
     wal: Option<WalHandle>,
+    /// Every filesystem operation of the persistence path goes through this
+    /// backend — [`RealFs`] in production, a fault-injecting
+    /// [`FaultyFs`](stpm_core::FaultyFs) under test.
+    storage: Box<dyn StorageBackend>,
+    /// Applied to WAL appends, snapshot writes and recovery reads.
+    retry: RetryPolicy,
+    /// Optional cap on the live miner footprint; exceeding it spills the
+    /// miner to `spill_path`.
+    budget: Option<MemoryBudget>,
+    /// Where a budget-exceeding miner is spilled. Always `Some` when
+    /// `budget` is.
+    spill_path: Option<std::path::PathBuf>,
+    /// Transient I/O retries absorbed so far (surfaced through
+    /// [`StreamingPipeline::checkpoint_meta`] and [`RecoveryReport`]).
+    io_retries: u64,
 }
 
-/// An attached write-ahead log: the open file plus its path (kept so
-/// recovery-time truncation can reopen it).
+/// An attached write-ahead log: the open file, its path (kept so
+/// recovery-time truncation can reopen it), and the durable length appends
+/// continue from — tracked so a torn retried append can first truncate away
+/// its own partial write, keeping every successfully acknowledged record
+/// reachable to `wal_read`'s longest-durable-prefix scan.
 struct WalHandle {
-    file: std::fs::File,
+    file: Box<dyn stpm_core::StorageFile>,
     path: std::path::PathBuf,
+    len: u64,
 }
 
 impl std::fmt::Debug for StreamingPipeline {
@@ -421,6 +475,8 @@ impl std::fmt::Debug for StreamingPipeline {
                 "wal",
                 &self.wal.as_ref().map(|w| w.path.display().to_string()),
             )
+            .field("budget", &self.budget)
+            .field("io_retries", &self.io_retries)
             .finish()
     }
 }
@@ -456,23 +512,40 @@ impl StreamingPipeline {
     /// # Errors
     /// Transform errors when the batch does not continue the absorbed series
     /// set; mining errors from the incremental engine;
-    /// [`PipelineError::Persistence`] when WAL logging fails (the batch *is*
-    /// absorbed in memory, but its durability is not guaranteed).
+    /// [`PipelineError::Persistence`] when WAL logging fails after retries
+    /// (the batch *is* absorbed in memory, but its durability is not
+    /// guaranteed) or when a memory budget was exceeded and the spill
+    /// itself failed ([`stpm_core::Error::BudgetExceeded`]; the batch is
+    /// absorbed and durable, only the eviction fell through).
+    // lint: durable
     pub fn append_symbolic(
         &mut self,
         batch: &SymbolicDatabase,
     ) -> Result<EngineReport, PipelineError> {
         let start_instants = self.state.as_ref().map_or(0, |s| s.dsyb.len() as u64);
         self.absorb_symbolic(batch)?;
-        if let Some(wal) = &mut self.wal {
-            use std::io::Write as _;
+        if let Some(wal) = self.wal.as_mut() {
             let record = snapshot::wal_encode_record(&encode_symbolic_batch(start_instants, batch));
-            wal.file
-                .write_all(&record)
-                .and_then(|()| wal.file.sync_data())
-                .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+            let retry = self.retry;
+            let mut retries = 0_u64;
+            let base_len = wal.len;
+            let appended = retry.run(failpoints::WAL_APPEND, &mut retries, || {
+                // Truncate first: a torn previous attempt left garbage after
+                // `base_len`, and records written after garbage would be
+                // unreachable to replay.
+                wal.file.set_len(failpoints::WAL_APPEND, base_len)?;
+                wal.file.write_all(failpoints::WAL_APPEND, &record)?;
+                wal.file.sync_all(failpoints::WAL_APPEND_SYNC)
+            });
+            self.io_retries += retries;
+            appended.map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+            wal.len = base_len + record.len() as u64;
         }
-        self.checkpoint()
+        // The batch is durable (or no durability was requested): it may now
+        // be acknowledged with a checkpoint report.
+        let report = self.checkpoint()?;
+        self.enforce_budget()?;
+        Ok(report)
     }
 
     /// Folds a symbolized batch into the in-memory state (databases + miner)
@@ -488,6 +561,8 @@ impl StreamingPipeline {
                 },
             ));
         }
+        // A spilled miner must be back in memory before it can absorb.
+        self.ensure_live()?;
         match &mut self.state {
             None => {
                 let dsyb = batch.clone();
@@ -499,7 +574,11 @@ impl StreamingPipeline {
                 );
                 let miner = StreamingMiner::new(&self.config, dsyb.registry())
                     .map_err(PipelineError::Mining)?;
-                self.state = Some(StreamState { dsyb, dseq, miner });
+                self.state = Some(StreamState {
+                    dsyb,
+                    dseq,
+                    miner: MinerSlot::Live(Box::new(miner)),
+                });
             }
             Some(state) => {
                 state
@@ -513,11 +592,93 @@ impl StreamingPipeline {
             .dseq
             .append_from_symbolic(&state.dsyb)
             .map_err(PipelineError::Transform)?;
-        state
-            .miner
+        let MinerSlot::Live(miner) = &mut state.miner else {
+            unreachable!("ensure_live rehydrated the miner above");
+        };
+        miner
             .append_batch(appended)
             .map_err(PipelineError::Mining)?;
         Ok(())
+    }
+
+    /// Rehydrates a spilled miner from its cold file, restoring the
+    /// pending-granule watermark the spill was taken under. A no-op when the
+    /// miner is live (the common case — this is the degraded path's cost).
+    fn ensure_live(&mut self) -> Result<(), PipelineError> {
+        let Some(state) = &mut self.state else {
+            return Ok(());
+        };
+        let MinerSlot::Spilled(spilled) = &state.miner else {
+            return Ok(());
+        };
+        let meta = spilled.meta;
+        let path = self
+            .spill_path
+            .clone()
+            .ok_or_else(|| internal_error("a miner is spilled but no spill path is configured"))?;
+        let retry = self.retry;
+        let mut retries = 0_u64;
+        let bytes = retry.run(failpoints::BUDGET_REHYDRATE_READ, &mut retries, || {
+            self.storage.read(failpoints::BUDGET_REHYDRATE_READ, &path)
+        });
+        self.io_retries += retries;
+        let bytes =
+            bytes.map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        let miner = StreamingMiner::rehydrate(&self.config, &bytes, meta.pending_granules)
+            .map_err(PipelineError::Persistence)?;
+        let state = self.state.as_mut().expect("state presence checked above");
+        state.miner = MinerSlot::Live(Box::new(miner));
+        Ok(())
+    }
+
+    /// Spills the live miner to the configured cold file when its footprint
+    /// exceeds the memory budget. Called after every acknowledged append;
+    /// a no-op without a budget or while under it.
+    fn enforce_budget(&mut self) -> Result<(), PipelineError> {
+        let Some(budget) = self.budget else {
+            return Ok(());
+        };
+        let Some(state) = &mut self.state else {
+            return Ok(());
+        };
+        let MinerSlot::Live(miner) = &state.miner else {
+            return Ok(());
+        };
+        let live_bytes = miner.footprint_bytes() as u64;
+        if !budget.is_exceeded_by(live_bytes) {
+            return Ok(());
+        }
+        let path = self
+            .spill_path
+            .clone()
+            .ok_or_else(|| internal_error("a memory budget is set but no spill path is"))?;
+        let bytes = miner.encode_spill();
+        let meta = miner.checkpoint_meta();
+        let retry = self.retry;
+        let mut retries = 0_u64;
+        let written = retry.run(failpoints::BUDGET_SPILL_WRITE, &mut retries, || {
+            let mut file = self.storage.create(failpoints::BUDGET_SPILL_WRITE, &path)?;
+            file.write_all(failpoints::BUDGET_SPILL_WRITE, &bytes)
+        });
+        self.io_retries += retries;
+        match written {
+            Ok(()) => {
+                // Only now may the live miner be dropped.
+                let state = self.state.as_mut().expect("state presence checked above");
+                state.miner = MinerSlot::Spilled(SpilledMiner { meta });
+                Ok(())
+            }
+            // Graceful degradation has a typed failure mode of its own: the
+            // miner stays live (nothing is lost), and the caller learns the
+            // budget could not be honoured.
+            Err(e) => Err(PipelineError::Persistence(
+                stpm_core::Error::BudgetExceeded {
+                    live_bytes,
+                    budget_bytes: budget.max_live_bytes(),
+                    reason: e.to_string(),
+                },
+            )),
+        }
     }
 
     /// Emits the checkpoint report of everything absorbed so far without
@@ -530,8 +691,19 @@ impl StreamingPipeline {
     /// Mining errors from the incremental engine.
     pub fn checkpoint(&self) -> Result<EngineReport, PipelineError> {
         match &self.state {
-            Some(state) if state.miner.num_granules() > 0 => {
-                state.miner.checkpoint().map_err(PipelineError::Mining)
+            Some(StreamState {
+                miner: MinerSlot::Live(miner),
+                ..
+            }) if miner.num_granules() > 0 => miner.checkpoint().map_err(PipelineError::Mining),
+            Some(StreamState {
+                miner: MinerSlot::Spilled(spilled),
+                ..
+            }) if spilled.meta.granules_absorbed > 0 => {
+                // Reporting on a spilled miner rehydrates a transient copy;
+                // the persistent slot stays cold. Identical bytes in, so the
+                // report is identical to an unconstrained run's.
+                let miner = self.read_spilled(spilled)?;
+                miner.checkpoint().map_err(PipelineError::Mining)
             }
             state => {
                 // Nothing mined yet: an empty report over whatever registry
@@ -561,10 +733,32 @@ impl StreamingPipeline {
         }
     }
 
+    /// Reads and decodes the spill file of a spilled miner without touching
+    /// the pipeline's slot — shared by read-only reporting (`checkpoint`)
+    /// which must not mutate, unlike `ensure_live`. Retry bookkeeping is
+    /// local (a `&self` reader cannot update the pipeline counter).
+    fn read_spilled(&self, spilled: &SpilledMiner) -> Result<StreamingMiner, PipelineError> {
+        let path = self
+            .spill_path
+            .as_deref()
+            .ok_or_else(|| internal_error("a miner is spilled but no spill path is configured"))?;
+        let mut retries = 0_u64;
+        let bytes = self
+            .retry
+            .run(failpoints::BUDGET_REHYDRATE_READ, &mut retries, || {
+                self.storage.read(failpoints::BUDGET_REHYDRATE_READ, path)
+            })
+            .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
+        StreamingMiner::rehydrate(&self.config, &bytes, spilled.meta.pending_granules)
+            .map_err(PipelineError::Persistence)
+    }
+
     /// Number of complete granules absorbed so far.
     #[must_use]
     pub fn num_granules(&self) -> u64 {
-        self.state.as_ref().map_or(0, |s| s.miner.num_granules())
+        self.state
+            .as_ref()
+            .map_or(0, |s| s.miner.meta().granules_absorbed)
     }
 
     /// Raw instants received that do not yet fill a complete granule.
@@ -594,24 +788,71 @@ impl StreamingPipeline {
     pub fn pending_granules(&self) -> u64 {
         self.state
             .as_ref()
-            .map_or(0, |s| s.miner.pending_granules())
+            .map_or(0, |s| s.miner.meta().pending_granules)
     }
 
     /// The durable-state position of the underlying miner: checkpoint id,
     /// granules absorbed, patterns interned, granules pending since the last
-    /// snapshot. All-zero before the first batch. Reading it never forces a
-    /// mine.
+    /// snapshot, and transient I/O retries absorbed by this pipeline.
+    /// All-zero before the first batch. Reading it never forces a mine.
     #[must_use]
     pub fn checkpoint_meta(&self) -> CheckpointMeta {
-        self.state.as_ref().map_or(
+        let mut meta = self.state.as_ref().map_or(
             CheckpointMeta {
                 checkpoint_id: 0,
                 granules_absorbed: 0,
                 patterns_interned: 0,
                 pending_granules: 0,
+                io_retries: 0,
             },
-            |s| s.miner.checkpoint_meta(),
-        )
+            |s| s.miner.meta(),
+        );
+        meta.io_retries = self.io_retries;
+        meta
+    }
+
+    /// Transient I/O retries absorbed by the persistence layer so far (WAL
+    /// appends, snapshot writes, recovery and spill reads). A growing value
+    /// under a healthy workload signals a degrading disk before it turns
+    /// into permanent failures.
+    #[must_use]
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Replaces the storage backend every subsequent persistence operation
+    /// goes through. [`RealFs`] by default; tests inject a
+    /// [`FaultyFs`](stpm_core::FaultyFs) here. Call before
+    /// [`attach_wal`](StreamingPipeline::attach_wal) — an already attached
+    /// WAL keeps the handle it was opened with.
+    pub fn set_storage(&mut self, storage: impl StorageBackend + 'static) {
+        self.storage = Box::new(storage);
+    }
+
+    /// Replaces the retry policy applied to WAL appends, snapshot writes
+    /// and recovery reads. The default retries transient errors twice with
+    /// 1 ms exponential backoff; [`RetryPolicy::none`] disables retrying.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// Caps the live miner footprint at `budget`, spilling the miner to
+    /// `spill_path` whenever an acknowledged append leaves it over the cap.
+    /// The spill file is a process-lifetime cache, not durable state —
+    /// crash recovery goes through the snapshot and WAL as always.
+    pub fn set_memory_budget(
+        &mut self,
+        budget: MemoryBudget,
+        spill_path: impl AsRef<std::path::Path>,
+    ) {
+        self.budget = Some(budget);
+        self.spill_path = Some(spill_path.as_ref().to_path_buf());
+    }
+
+    /// Removes the memory budget. A currently spilled miner stays spilled
+    /// until the next append rehydrates it.
+    pub fn clear_memory_budget(&mut self) {
+        self.budget = None;
     }
 }
 
@@ -625,6 +866,8 @@ pub struct RecoveryReport {
     /// Whether the WAL was fully durable (`false` when a torn tail — the
     /// expected result of a crash mid-append — was dropped).
     pub wal_was_clean: bool,
+    /// Transient I/O retries absorbed while reading the snapshot and WAL.
+    pub io_retries: u64,
 }
 
 /// Facade-level section tags of a pipeline snapshot (`kind = 2`): the
@@ -661,39 +904,55 @@ impl StreamingPipeline {
     /// [`checkpoint_meta`](StreamingPipeline::checkpoint_meta)) is unchanged
     /// and the WAL is left untouched, so the failed snapshot can simply be
     /// retried.
+    // lint: durable
     pub fn snapshot_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PipelineError> {
-        use std::io::Write as _;
         let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+        self.ensure_live()?;
         let path = path.as_ref();
-        let bytes = self.encode_snapshot();
+        let bytes = self.encode_snapshot()?;
         let mut tmp_name = path
             .file_name()
             .map_or_else(|| "snapshot".into(), std::ffi::OsString::from);
         tmp_name.push(".tmp");
         let tmp = path.with_file_name(tmp_name);
-        let mut file = std::fs::File::create(&tmp).map_err(|e| io(&e))?;
-        let written = file
-            .write_all(&bytes)
-            .and_then(|()| file.sync_all())
-            .and_then(|()| std::fs::rename(&tmp, path));
+        let retry = self.retry;
+        let mut retries = 0_u64;
+        let written = retry
+            .run(failpoints::SNAPSHOT_WRITE, &mut retries, || {
+                // Each attempt recreates (truncates) the tmp sibling, so a
+                // torn previous attempt cannot leak into this one.
+                let mut file = self.storage.create(failpoints::SNAPSHOT_CREATE_TMP, &tmp)?;
+                file.write_all(failpoints::SNAPSHOT_WRITE, &bytes)?;
+                file.sync_all(failpoints::SNAPSHOT_SYNC)
+            })
+            .and_then(|()| {
+                retry.run(failpoints::SNAPSHOT_RENAME, &mut retries, || {
+                    self.storage.rename(failpoints::SNAPSHOT_RENAME, &tmp, path)
+                })
+            })
+            .and_then(|()| {
+                // Make the rename itself durable before declaring the old
+                // WAL contents covered.
+                match parent_dir(path) {
+                    Some(parent) => self.storage.sync_dir(failpoints::SNAPSHOT_DIR_SYNC, parent),
+                    None => Ok(()),
+                }
+            });
+        self.io_retries += retries;
         if let Err(e) = written {
-            let _ = std::fs::remove_file(&tmp);
+            // Never leave the tmp sibling behind: a retry loop around a
+            // failing snapshot must not accumulate orphans.
+            let _ = self
+                .storage
+                .remove_file(failpoints::SNAPSHOT_REMOVE_TMP, &tmp);
             return Err(io(&e));
         }
-        // Make the rename itself durable before declaring the old WAL
-        // contents covered.
-        if let Some(parent) = path.parent() {
-            let parent = if parent.as_os_str().is_empty() {
-                std::path::Path::new(".")
-            } else {
-                parent
-            };
-            std::fs::File::open(parent)
-                .and_then(|dir| dir.sync_all())
-                .map_err(|e| io(&e))?;
-        }
-        if let Some(state) = &mut self.state {
-            state.miner.mark_snapshot_durable();
+        if let Some(StreamState {
+            miner: MinerSlot::Live(miner),
+            ..
+        }) = &mut self.state
+        {
+            miner.mark_snapshot_durable();
         }
         self.reset_wal()
     }
@@ -713,11 +972,20 @@ impl StreamingPipeline {
         &mut self,
         out: &mut impl std::io::Write,
     ) -> Result<(), PipelineError> {
-        let bytes = self.encode_snapshot();
-        out.write_all(&bytes)
+        self.ensure_live()?;
+        let bytes = self.encode_snapshot()?;
+        // The probe gives fault plans a hook on this path even though the
+        // writer itself is caller-supplied and outside the backend.
+        self.storage
+            .failpoint(failpoints::WRITER_WRITE)
+            .and_then(|()| out.write_all(&bytes))
             .map_err(|e| PipelineError::Persistence(stpm_core::Error::snapshot_io(&e)))?;
-        if let Some(state) = &mut self.state {
-            state.miner.mark_snapshot_durable();
+        if let Some(StreamState {
+            miner: MinerSlot::Live(miner),
+            ..
+        }) = &mut self.state
+        {
+            miner.mark_snapshot_durable();
         }
         Ok(())
     }
@@ -725,8 +993,9 @@ impl StreamingPipeline {
     /// Encodes the full pipeline snapshot without committing the miner's
     /// checkpoint bump (the embedded miner section carries the *next*
     /// checkpoint id; callers commit via `mark_snapshot_durable` once the
-    /// bytes landed).
-    fn encode_snapshot(&self) -> Vec<u8> {
+    /// bytes landed). Callers `ensure_live` first — a spilled miner cannot
+    /// be encoded from its metadata alone.
+    fn encode_snapshot(&self) -> Result<Vec<u8>, PipelineError> {
         let mut bytes = Vec::new();
         snapshot::write_header(&mut bytes, snapshot::KIND_PIPELINE);
         let mut pipe = ByteWriter::new();
@@ -734,10 +1003,15 @@ impl StreamingPipeline {
         pipe.put_u8(u8::from(self.state.is_some()));
         snapshot::write_section(&mut bytes, SEC_PIPE, pipe.bytes());
         if let Some(state) = &self.state {
+            let MinerSlot::Live(miner) = &state.miner else {
+                return Err(internal_error(
+                    "cannot encode a snapshot of a spilled miner — rehydrate first",
+                ));
+            };
             snapshot::write_section(&mut bytes, SEC_DSYB, &encode_dsyb(&state.dsyb));
-            snapshot::write_section(&mut bytes, SEC_MINER, &state.miner.encode_snapshot());
+            snapshot::write_section(&mut bytes, SEC_MINER, &miner.encode_snapshot());
         }
-        bytes
+        Ok(bytes)
     }
 
     /// Replaces this pipeline's state with one restored from a snapshot
@@ -779,39 +1053,55 @@ impl StreamingPipeline {
     /// # Errors
     /// [`PipelineError::Persistence`] on I/O failures or when `path` holds a
     /// file whose header is not a supported WAL header.
+    // lint: durable
     pub fn attach_wal(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), PipelineError> {
-        use std::io::{Read as _, Write as _};
         let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
         let path = path.as_ref().to_path_buf();
-        let mut file = std::fs::OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)
+        let mut file = self
+            .storage
+            .open_append(failpoints::WAL_OPEN, &path)
             .map_err(|e| io(&e))?;
         let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes).map_err(|e| io(&e))?;
-        if bytes.is_empty() {
-            file.write_all(&snapshot::wal_header())
+        file.read_to_end(failpoints::WAL_READ, &mut bytes)
+            .map_err(|e| io(&e))?;
+        let len = if bytes.is_empty() {
+            file.write_all(failpoints::WAL_WRITE_HEADER, &snapshot::wal_header())
                 .map_err(|e| io(&e))?;
-            file.sync_data().map_err(|e| io(&e))?;
+            file.sync_all(failpoints::WAL_HEADER_SYNC)
+                .map_err(|e| io(&e))?;
+            // The header is durable, but the *name* of a freshly created WAL
+            // is not until its directory entry is — without this, a crash
+            // after the first acknowledged append could lose the whole log.
+            if let Some(parent) = parent_dir(&path) {
+                self.storage
+                    .sync_dir(failpoints::WAL_DIR_SYNC, parent)
+                    .map_err(|e| io(&e))?;
+            }
+            snapshot::wal_header().len() as u64
         } else {
             let contents = snapshot::wal_read(&bytes).map_err(PipelineError::Persistence)?;
             if !contents.clean {
-                file.set_len(contents.durable_len).map_err(|e| io(&e))?;
-                file.sync_data().map_err(|e| io(&e))?;
+                file.set_len(failpoints::WAL_TRUNCATE_TAIL, contents.durable_len)
+                    .map_err(|e| io(&e))?;
+                file.sync_all(failpoints::WAL_TRUNCATE_TAIL)
+                    .map_err(|e| io(&e))?;
             }
-        }
-        self.wal = Some(WalHandle { file, path });
+            contents.durable_len
+        };
+        self.wal = Some(WalHandle { file, path, len });
         Ok(())
     }
 
     /// Crash recovery on startup: restores the snapshot at `snapshot_path`
     /// (if given and present), replays every durable write-ahead-log record
     /// beyond it, truncates any torn WAL tail, and attaches the WAL for
-    /// future appends. A missing snapshot or WAL file is not an error — the
-    /// pipeline then simply starts empty (with a fresh WAL), which makes this
-    /// method the unconditional first call of a recovering daemon.
+    /// future appends. A missing *or empty* snapshot file and a missing WAL
+    /// are not errors — the pipeline then simply starts empty (with a fresh
+    /// WAL), so a first-boot daemon and a post-crash daemon share this one
+    /// unconditional startup call. (An empty snapshot file is what a crash
+    /// between creating and writing a non-atomic copy leaves behind; real
+    /// [`snapshot_to`](StreamingPipeline::snapshot_to) files are never
+    /// empty.)
     ///
     /// # Errors
     /// [`PipelineError::Persistence`] on corrupt snapshots, corrupt WAL
@@ -823,11 +1113,28 @@ impl StreamingPipeline {
         snapshot_path: Option<&std::path::Path>,
         wal_path: &std::path::Path,
     ) -> Result<RecoveryReport, PipelineError> {
+        let mut retries = 0_u64;
+        let result = self.recover_inner(snapshot_path, wal_path, &mut retries);
+        self.io_retries += retries;
+        result
+    }
+
+    fn recover_inner(
+        &mut self,
+        snapshot_path: Option<&std::path::Path>,
+        wal_path: &std::path::Path,
+        retries: &mut u64,
+    ) -> Result<RecoveryReport, PipelineError> {
         let io = |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
         self.state = None;
         self.wal = None;
+        let retry = self.retry;
         if let Some(path) = snapshot_path {
-            match std::fs::read(path) {
+            let read = retry.run(failpoints::RECOVER_READ_SNAPSHOT, retries, || {
+                self.storage.read(failpoints::RECOVER_READ_SNAPSHOT, path)
+            });
+            match read {
+                Ok(bytes) if bytes.is_empty() => {}
                 Ok(bytes) => {
                     self.state = decode_pipeline_state(&bytes, self.mapping_factor, &self.config)?;
                 }
@@ -836,7 +1143,9 @@ impl StreamingPipeline {
             }
         }
         let restored_granules = self.num_granules();
-        let wal_bytes = match std::fs::read(wal_path) {
+        let wal_bytes = match retry.run(failpoints::RECOVER_READ_WAL, retries, || {
+            self.storage.read(failpoints::RECOVER_READ_WAL, wal_path)
+        }) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(io(&e)),
@@ -874,6 +1183,7 @@ impl StreamingPipeline {
             restored_granules,
             replayed_records,
             wal_was_clean: contents.clean,
+            io_retries: *retries,
         })
     }
 
@@ -891,13 +1201,37 @@ impl StreamingPipeline {
         if let Some(wal) = &mut self.wal {
             let io =
                 |e: &std::io::Error| PipelineError::Persistence(stpm_core::Error::snapshot_io(e));
+            let header_len = snapshot::wal_header().len() as u64;
             wal.file
-                .set_len(snapshot::wal_header().len() as u64)
+                .set_len(failpoints::WAL_RESET, header_len)
                 .map_err(|e| io(&e))?;
-            wal.file.sync_data().map_err(|e| io(&e))?;
+            wal.file
+                .sync_all(failpoints::WAL_RESET)
+                .map_err(|e| io(&e))?;
+            wal.len = header_len;
         }
         Ok(())
     }
+}
+
+/// The directory whose fsync commits a namespace operation on `path` (an
+/// empty parent means the path is relative to the current directory).
+fn parent_dir(path: &std::path::Path) -> Option<&std::path::Path> {
+    path.parent().map(|parent| {
+        if parent.as_os_str().is_empty() {
+            std::path::Path::new(".")
+        } else {
+            parent
+        }
+    })
+}
+
+/// An invariant of the pipeline's own bookkeeping was violated (not an I/O
+/// failure and not corrupt data).
+fn internal_error(reason: &str) -> PipelineError {
+    PipelineError::Persistence(stpm_core::Error::Internal {
+        reason: reason.into(),
+    })
 }
 
 /// Encodes the symbolic database for the `DSYB` snapshot section: per series,
@@ -1069,7 +1403,11 @@ fn decode_pipeline_state(
             dseq.num_granules()
         )));
     }
-    Ok(Some(StreamState { dsyb, dseq, miner }))
+    Ok(Some(StreamState {
+        dsyb,
+        dseq,
+        miner: MinerSlot::Live(Box::new(miner)),
+    }))
 }
 
 /// Everything the legacy single-engine pipeline produced.

@@ -419,6 +419,7 @@ fn recovery_from_nothing_starts_empty_and_creates_the_wal() {
             restored_granules: 0,
             replayed_records: 0,
             wal_was_clean: true,
+            io_retries: 0,
         }
     );
     let series = sample_series(30);
@@ -557,6 +558,60 @@ fn config_mismatches_surface_as_typed_errors() {
             ..
         })
     ));
+}
+
+#[test]
+fn recovery_with_mismatched_config_is_typed_under_injected_faults() {
+    // The restore_with config check must hold even when the bytes arrive
+    // through a faulty storage backend: a transient read fault is retried
+    // away, and what surfaces is still the typed mismatch — not an I/O
+    // error, and never a panic.
+    let fs = FaultyFs::new();
+    let snap = std::path::Path::new("mismatch/state.snap");
+    let wal = std::path::Path::new("mismatch/state.wal");
+    let series = sample_series(18);
+    let mut writer = stream_builder().into_streaming();
+    writer.set_storage(fs.clone());
+    writer.attach_wal(wal).unwrap();
+    writer.append(&chunk(&series, 0, 18)).unwrap();
+    writer.snapshot_to(snap).unwrap();
+    drop(writer);
+    fs.crash(); // only fsync-committed state survives
+
+    fs.transient_nth(failpoints::RECOVER_READ_SNAPSHOT, 1, 1);
+    let mut mismatched = Pipeline::builder()
+        .symbolizer(ThresholdSymbolizer::binary(0.5, "0", "1"))
+        .mapping_factor(3)
+        .thresholds(StpmConfig {
+            max_period: Threshold::Absolute(3),
+            min_density: Threshold::Absolute(2),
+            dist_interval: (2, 40),
+            min_season: 1,
+            max_pattern_len: 3, // shapes absorbed state: mismatch
+            ..StpmConfig::default()
+        })
+        .into_streaming();
+    mismatched.set_storage(fs.clone());
+    mismatched.set_retry_policy(RetryPolicy::immediate(3));
+    let err = mismatched.recover(Some(snap), wal).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            PipelineError::Persistence(freqstpfts::core::Error::SnapshotConfigMismatch {
+                parameter: "maxPatternLen",
+                ..
+            })
+        ),
+        "{err:?}"
+    );
+    // The retry really happened before the typed error surfaced.
+    assert_eq!(mismatched.io_retries(), 1);
+
+    // A matching pipeline recovers the same bytes without complaint.
+    let mut matching = stream_builder().into_streaming();
+    matching.set_storage(fs.clone());
+    matching.recover(Some(snap), wal).unwrap();
+    assert_eq!(matching.num_granules(), 6);
 }
 
 #[test]
