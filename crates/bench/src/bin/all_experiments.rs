@@ -87,4 +87,6 @@ fn main() {
         &recovery::collect(DatasetProfile::RenewableEnergy, &s),
     )
     .print();
+    println!("### Service tier under memory pressure + transient faults ###");
+    service::table(&service::collect(&s)).print();
 }

@@ -1,0 +1,24 @@
+//! Service tier under memory pressure: a power-law fleet of tenants driven
+//! through the multi-tenant daemon with a budget far below the working set
+//! and transient I/O faults armed, measuring sustained appends/sec and
+//! append-latency percentiles while asserting under-budget residency, live
+//! eviction/rehydration/retry counters, and pattern-set identity against a
+//! direct pipeline. Writes `BENCH_service.json` (`--quick` runs a smoke
+//! grid and writes `BENCH_service_quick.json` instead, so it can never
+//! clobber the checked-in full-run baseline).
+use stpm_bench::experiments::{service, BenchScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, path) = if quick {
+        (BenchScale::quick(), "BENCH_service_quick.json")
+    } else {
+        (BenchScale::full(), "BENCH_service.json")
+    };
+
+    let points = service::collect(&scale);
+    service::table(&points).print();
+    let json = service::to_json(&points);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}

@@ -13,6 +13,7 @@ pub mod recovery;
 pub mod runtime_memory;
 pub mod scalability;
 pub mod scaling;
+pub mod service;
 pub mod streaming;
 pub mod threads;
 

@@ -1,0 +1,387 @@
+//! Service-tier throughput/latency experiment: a fleet of simulated
+//! tenants (power-law sizes, bursty arrival interleave from
+//! [`stpm_datagen::service_load()`]) is driven through a [`Service`] with a
+//! memory budget far below the fleet's working set, measuring sustained
+//! acknowledged appends/sec and append-latency percentiles.
+//!
+//! The run is *adversarial on purpose*: the storage backend is the
+//! in-memory [`FaultyFs`] with periodic transient I/O faults armed (so the
+//! retry path is exercised and `io_retries` is live), and the budget
+//! forces continuous cold-tenant eviction and rehydration. At the end the
+//! experiment asserts the robustness counters moved, that residency ended
+//! under budget, and that a sampled tenant's pattern set is identical to a
+//! direct single-tenant pipeline fed the same batches — so a surviving
+//! JSON file certifies the service tier degraded *gracefully* and mined
+//! *exactly* while being starved and faulted.
+
+use super::BenchScale;
+use crate::table::TextTable;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stpm_core::{failpoints, FaultyFs, MemoryBudget, RetryPolicy, StpmConfig, Threshold};
+use stpm_datagen::{service_load, ServiceLoad, TenantLoadSpec};
+use stpm_service::{Request, Response, Service, ServiceConfig, ServiceError};
+
+/// One measured fleet size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServicePoint {
+    /// Simulated tenants.
+    pub tenants: usize,
+    /// Batches in the arrival schedule.
+    pub total_appends: u64,
+    /// Appends acknowledged (every batch, once retries drained).
+    pub acked_appends: u64,
+    /// Typed `Overloaded` rejections absorbed by the closed-loop driver.
+    pub overloaded: u64,
+    /// Other typed errors retried by the driver (transient I/O).
+    pub retried_errors: u64,
+    /// Wall-clock time of the whole drive.
+    pub wall: Duration,
+    /// Median acknowledged-append latency (submit → ack).
+    pub p50: Duration,
+    /// 99th-percentile acknowledged-append latency.
+    pub p99: Duration,
+    /// Cold-tenant evictions performed by the budget enforcer.
+    pub evictions: u64,
+    /// Rehydrations of evicted tenants on touch.
+    pub rehydrations: u64,
+    /// Transient I/O retries absorbed across the fleet.
+    pub io_retries: u64,
+    /// Resident bytes at the end of the run.
+    pub resident_bytes: u64,
+    /// The configured memory budget.
+    pub budget_bytes: u64,
+    /// Whether the run ended within its budget (asserted).
+    pub under_budget: bool,
+    /// Whether the sampled tenant's patterns matched a direct pipeline
+    /// (asserted).
+    pub identical: bool,
+}
+
+impl ServicePoint {
+    /// Sustained acknowledged appends per second.
+    #[must_use]
+    pub fn appends_per_sec(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.acked_appends as f64 / wall
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Fleet sizes of the sweep.
+#[must_use]
+pub fn fleet_sizes(scale: &BenchScale) -> Vec<usize> {
+    if scale.quick_grid {
+        vec![50, 200]
+    } else {
+        vec![1000, 2500]
+    }
+}
+
+/// The workload of one fleet size: a long tail of small tenants under a
+/// few heavy ones, every batch granule-aligned.
+fn load_for(tenants: usize) -> ServiceLoad {
+    let mut spec = TenantLoadSpec::quick(tenants, 0x5e2_71ce);
+    spec.max_granules = 48;
+    spec.min_granules = 8;
+    spec.num_series = 2;
+    spec.batch_granules = 8;
+    service_load(&spec)
+}
+
+fn thresholds() -> StpmConfig {
+    StpmConfig {
+        max_period: Threshold::Absolute(3),
+        min_density: Threshold::Absolute(2),
+        dist_interval: (2, 40),
+        min_season: 1,
+        max_pattern_len: 2,
+        ..StpmConfig::default()
+    }
+}
+
+/// Service config for a fleet: a memory budget of roughly 2 KiB per tenant
+/// — far below the working set, so the enforcer must evict continuously.
+fn config_for_fleet(load: &ServiceLoad) -> ServiceConfig {
+    let mut config = ServiceConfig::new("bench-svc");
+    config.mapping_factor = load.tenants[0].dataset.mapping_factor;
+    config.thresholds = thresholds();
+    config.workers = 4;
+    config.tenant_queue_depth = 8;
+    config.global_queue_depth = 256;
+    config.memory_budget = Some(MemoryBudget::bytes((load.tenants.len() as u64) * 2048));
+    config.retry = RetryPolicy::immediate(4);
+    config
+}
+
+struct InFlight {
+    tenant: usize,
+    batch: usize,
+    sent: Instant,
+    rx: Receiver<Response>,
+    attempts: u32,
+}
+
+/// Measures one fleet size.
+///
+/// # Panics
+/// Panics when an append never acknowledges, the run ends over budget,
+/// the robustness counters stayed flat, or the sampled tenant's patterns
+/// diverge from a direct pipeline.
+#[allow(clippy::too_many_lines)]
+fn measure_point(tenants: usize) -> ServicePoint {
+    let load = load_for(tenants);
+    let config = config_for_fleet(&load);
+    let fs = FaultyFs::with_seed(0xBEEF);
+    // Arm periodic transient faults on the hot durable paths so the retry
+    // machinery (and its counters) are exercised by the measurement itself.
+    for i in 1..=16_u64 {
+        fs.transient_nth(failpoints::WAL_APPEND, i * 97, 1);
+        fs.transient_nth(failpoints::SNAPSHOT_WRITE, i * 61, 1);
+    }
+    let service = Service::start_with_storage(config.clone(), Arc::new(fs.clone()));
+
+    // Closed-loop driver: up to `window` requests in flight, at most one
+    // per tenant (per-tenant order must hold even under rejections).
+    let window = 64_usize;
+    let mut pending: VecDeque<InFlight> = VecDeque::new();
+    let mut busy: HashSet<usize> = HashSet::new();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(load.arrivals.len());
+    let mut overloaded = 0_u64;
+    let mut retried_errors = 0_u64;
+    let submit = |service: &Service, tenant: usize, batch: usize| -> InFlight {
+        let rx = service.submit(Request::Append {
+            tenant: load.tenants[tenant].name.clone(),
+            deadline_ms: 0,
+            batch: load.tenants[tenant].batches[batch].clone(),
+        });
+        InFlight {
+            tenant,
+            batch,
+            sent: Instant::now(),
+            rx,
+            attempts: 1,
+        }
+    };
+    let started = Instant::now();
+    let mut drain_one =
+        |pending: &mut VecDeque<InFlight>, busy: &mut HashSet<usize>, service: &Service| {
+            let mut flight = pending.pop_front().expect("drain with work in flight");
+            match flight.rx.recv().expect("the service answers every request") {
+                Response::Appended { .. } => {
+                    latencies.push(flight.sent.elapsed());
+                    busy.remove(&flight.tenant);
+                }
+                Response::Error(e) => {
+                    match e {
+                        ServiceError::Overloaded { .. } => overloaded += 1,
+                        _ => retried_errors += 1,
+                    }
+                    flight.attempts += 1;
+                    assert!(
+                        flight.attempts < 64,
+                        "tenant {} batch {}: append never acknowledged",
+                        flight.tenant,
+                        flight.batch
+                    );
+                    let mut retry = submit(service, flight.tenant, flight.batch);
+                    retry.attempts = flight.attempts;
+                    pending.push_back(retry);
+                }
+                other => panic!("unexpected append response: {other:?}"),
+            }
+        };
+    for &(tenant, batch) in &load.arrivals {
+        while busy.contains(&tenant) || pending.len() >= window {
+            drain_one(&mut pending, &mut busy, &service);
+        }
+        busy.insert(tenant);
+        pending.push_back(submit(&service, tenant, batch));
+    }
+    while !pending.is_empty() {
+        drain_one(&mut pending, &mut busy, &service);
+    }
+    let wall = started.elapsed();
+
+    // Exactness sample: the heaviest tenant (most batches, most eviction
+    // round trips) must match a direct single-tenant pipeline.
+    let sample = &load.tenants[0];
+    let service_patterns = match service.call(Request::Patterns {
+        tenant: sample.name.clone(),
+    }) {
+        Response::Patterns { patterns } => patterns,
+        other => panic!("patterns query failed: {other:?}"),
+    };
+    let mut direct = freqstpfts::Pipeline::builder()
+        .mapping_factor(config.mapping_factor)
+        .thresholds(config.thresholds.clone())
+        .into_streaming();
+    for batch in &sample.batches {
+        direct
+            .append_symbolic(batch)
+            .expect("the direct pipeline absorbs the same batches");
+    }
+    let direct_patterns: Vec<String> = direct
+        .checkpoint()
+        .expect("the direct pipeline mines")
+        .pattern_set()
+        .into_iter()
+        .collect();
+    assert_eq!(
+        service_patterns, direct_patterns,
+        "tenant {}: the service tier changed what gets mined",
+        sample.name
+    );
+
+    let stats = service.stats();
+    let budget_bytes = stats.budget_bytes;
+    let under_budget = stats.resident_bytes <= budget_bytes;
+    assert!(
+        under_budget,
+        "run ended over budget: {} resident vs {} budget",
+        stats.resident_bytes, budget_bytes
+    );
+    assert!(stats.evictions > 0, "the budget never forced an eviction");
+    assert!(stats.rehydrations > 0, "no cold tenant was ever rehydrated");
+    assert!(stats.io_retries > 0, "the armed transient faults never bit");
+    assert_eq!(
+        stats.acked_appends,
+        load.arrivals.len() as u64,
+        "every batch must eventually be acknowledged"
+    );
+    latencies.sort_unstable();
+    let percentile = |q: f64| -> Duration {
+        if latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let index = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[index]
+    };
+    let point = ServicePoint {
+        tenants,
+        total_appends: load.arrivals.len() as u64,
+        acked_appends: stats.acked_appends,
+        overloaded,
+        retried_errors,
+        wall,
+        p50: percentile(0.50),
+        p99: percentile(0.99),
+        evictions: stats.evictions,
+        rehydrations: stats.rehydrations,
+        io_retries: stats.io_retries,
+        resident_bytes: stats.resident_bytes,
+        budget_bytes,
+        under_budget,
+        identical: true,
+    };
+    service.kill();
+    point
+}
+
+/// Runs the fleet-size sweep.
+#[must_use]
+pub fn collect(scale: &BenchScale) -> Vec<ServicePoint> {
+    fleet_sizes(scale).into_iter().map(measure_point).collect()
+}
+
+/// Renders the sweep as a table.
+#[must_use]
+pub fn table(points: &[ServicePoint]) -> TextTable {
+    let mut table = TextTable::new(
+        "Service tier under memory pressure and transient faults (exact)",
+        &[
+            "tenants",
+            "appends",
+            "appends/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "evictions",
+            "rehydrations",
+            "io retries",
+            "resident/budget (KiB)",
+        ],
+    );
+    for point in points {
+        table.add_row(vec![
+            point.tenants.to_string(),
+            point.acked_appends.to_string(),
+            format!("{:.0}", point.appends_per_sec()),
+            format!("{:.3}", point.p50.as_secs_f64() * 1e3),
+            format!("{:.3}", point.p99.as_secs_f64() * 1e3),
+            point.evictions.to_string(),
+            point.rehydrations.to_string(),
+            point.io_retries.to_string(),
+            format!(
+                "{:.0}/{:.0}",
+                point.resident_bytes as f64 / 1024.0,
+                point.budget_bytes as f64 / 1024.0
+            ),
+        ]);
+    }
+    table
+}
+
+/// Serialises the sweep as a JSON document (hand-rolled: the workspace is
+/// dependency-free).
+#[must_use]
+pub fn to_json(points: &[ServicePoint]) -> String {
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"tenants\":{},\"total_appends\":{},\"acked_appends\":{},\
+                 \"overloaded\":{},\"retried_errors\":{},\"wall_secs\":{:.6},\
+                 \"appends_per_sec\":{:.1},\"p50_secs\":{:.6},\"p99_secs\":{:.6},\
+                 \"evictions\":{},\"rehydrations\":{},\"io_retries\":{},\
+                 \"resident_bytes\":{},\"budget_bytes\":{},\
+                 \"under_budget\":{},\"identical\":{}}}",
+                p.tenants,
+                p.total_appends,
+                p.acked_appends,
+                p.overloaded,
+                p.retried_errors,
+                p.wall.as_secs_f64(),
+                p.appends_per_sec(),
+                p.p50.as_secs_f64(),
+                p.p99.as_secs_f64(),
+                p.evictions,
+                p.rehydrations,
+                p.io_retries,
+                p.resident_bytes,
+                p.budget_bytes,
+                p.under_budget,
+                p.identical
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"service\",\"points\":[{}]}}\n",
+        rendered.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_stays_under_budget_and_mines_exactly() {
+        let points = collect(&BenchScale::quick());
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert!(point.identical, "service-tier mining diverged");
+            assert!(point.under_budget, "residency escaped the budget");
+            assert_eq!(point.acked_appends, point.total_appends);
+            assert!(point.evictions > 0);
+            assert!(point.rehydrations > 0);
+            assert!(point.io_retries > 0);
+            assert!(point.p99 >= point.p50);
+        }
+    }
+}

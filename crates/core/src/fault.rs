@@ -164,13 +164,17 @@ pub trait StorageBackend: fmt::Debug {
     ///
     /// # Errors
     /// Propagates the underlying (or injected) I/O error.
-    fn create(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    fn create(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile + Send>>;
 
     /// Open a file for reading and appending, creating it if absent.
     ///
     /// # Errors
     /// Propagates the underlying (or injected) I/O error.
-    fn open_append(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    fn open_append(
+        &self,
+        failpoint: Failpoint,
+        path: &Path,
+    ) -> io::Result<Box<dyn StorageFile + Send>>;
 
     /// Read an entire file into memory.
     ///
@@ -238,11 +242,19 @@ impl StorageFile for RealFile {
 }
 
 impl StorageBackend for RealFs {
-    fn create(&self, _failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+    fn create(
+        &self,
+        _failpoint: Failpoint,
+        path: &Path,
+    ) -> io::Result<Box<dyn StorageFile + Send>> {
         Ok(Box::new(RealFile(std::fs::File::create(path)?)))
     }
 
-    fn open_append(&self, _failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+    fn open_append(
+        &self,
+        _failpoint: Failpoint,
+        path: &Path,
+    ) -> io::Result<Box<dyn StorageFile + Send>> {
         let file = std::fs::OpenOptions::new()
             .read(true)
             .append(true)
@@ -265,6 +277,44 @@ impl StorageBackend for RealFs {
 
     fn sync_dir(&self, _failpoint: Failpoint, path: &Path) -> io::Result<()> {
         std::fs::File::open(path)?.sync_all()
+    }
+}
+
+/// Forwarding impl so one shared backend (e.g. a [`FaultyFs`] driving many
+/// tenants, or any backend handed out by a service) can be cloned cheaply
+/// into every consumer as `Arc<dyn StorageBackend + Send + Sync>` and still
+/// be passed wherever an owned `impl StorageBackend` is expected.
+impl StorageBackend for Arc<dyn StorageBackend + Send + Sync> {
+    fn create(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile + Send>> {
+        (**self).create(failpoint, path)
+    }
+
+    fn open_append(
+        &self,
+        failpoint: Failpoint,
+        path: &Path,
+    ) -> io::Result<Box<dyn StorageFile + Send>> {
+        (**self).open_append(failpoint, path)
+    }
+
+    fn read(&self, failpoint: Failpoint, path: &Path) -> io::Result<Vec<u8>> {
+        (**self).read(failpoint, path)
+    }
+
+    fn rename(&self, failpoint: Failpoint, from: &Path, to: &Path) -> io::Result<()> {
+        (**self).rename(failpoint, from, to)
+    }
+
+    fn remove_file(&self, failpoint: Failpoint, path: &Path) -> io::Result<()> {
+        (**self).remove_file(failpoint, path)
+    }
+
+    fn sync_dir(&self, failpoint: Failpoint, path: &Path) -> io::Result<()> {
+        (**self).sync_dir(failpoint, path)
+    }
+
+    fn failpoint(&self, failpoint: Failpoint) -> io::Result<()> {
+        (**self).failpoint(failpoint)
     }
 }
 
@@ -528,7 +578,7 @@ impl StorageFile for FaultyFile {
 }
 
 impl StorageBackend for FaultyFs {
-    fn create(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+    fn create(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile + Send>> {
         let inode = {
             let mut state = self.lock();
             if let Some(kind) = state.begin_op(failpoint) {
@@ -545,7 +595,11 @@ impl StorageBackend for FaultyFs {
         }))
     }
 
-    fn open_append(&self, failpoint: Failpoint, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+    fn open_append(
+        &self,
+        failpoint: Failpoint,
+        path: &Path,
+    ) -> io::Result<Box<dyn StorageFile + Send>> {
         let inode = {
             let mut state = self.lock();
             if let Some(kind) = state.begin_op(failpoint) {

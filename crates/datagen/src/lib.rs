@@ -35,7 +35,9 @@
 pub mod generator;
 pub mod profiles;
 pub mod rng;
+pub mod service_load;
 
 pub use generator::{generate, GeneratedDataset};
 pub use profiles::{DatasetProfile, DatasetSpec};
 pub use rng::SeededRng;
+pub use service_load::{service_load, ServiceLoad, TenantLoadSpec, TenantWorkload};

@@ -15,7 +15,8 @@
 //! * `durable-io` — inside functions marked `// lint: durable`, every
 //!   write must reach an `sync_all`/`sync_data` before the file is renamed
 //!   into place or truncated, and before a `checkpoint` acknowledges the
-//!   data as durable.
+//!   data as durable — or, in the service tier, before a `.send(…)` /
+//!   `.respond(…)` acknowledges it to a client.
 //!
 //! Any diagnostic can be suppressed with a justified
 //! `// lint:allow(rule): <why>` comment on the offending line or the line
@@ -44,8 +45,10 @@ const HOT_PATH_FILES: &[&str] = &[
 ];
 
 /// Base names of the wire-format modules: `no-panic-decode` and the
-/// wall-clock half of `determinism` apply here.
-const WIRE_FORMAT_FILES: &[&str] = &["snapshot.rs"];
+/// wall-clock half of `determinism` apply here. `protocol.rs` is the
+/// service tier's request/response codec — it decodes untrusted network
+/// bytes, so the same panic-free contract applies.
+const WIRE_FORMAT_FILES: &[&str] = &["snapshot.rs", "protocol.rs"];
 
 /// Base names of output-producing modules: anything iterated here can leak
 /// hash-map ordering into mining results, so `determinism` applies.
@@ -59,10 +62,11 @@ const OUTPUT_MODULE_FILES: &[&str] = &[
 ];
 
 /// Base names of the modules whose durable-write paths carry
-/// `// lint: durable` markers (today: the facade persistence layer in
-/// `src/lib.rs`). As with hot-path markers, a marker elsewhere is reported
-/// so the list stays deliberate.
-const DURABLE_FILES: &[&str] = &["lib.rs"];
+/// `// lint: durable` markers: the facade persistence layer in
+/// `src/lib.rs` and the service tier's tenant/flush paths
+/// (`crates/service/src/{tenant,service}.rs`). As with hot-path markers,
+/// a marker elsewhere is reported so the list stays deliberate.
+const DURABLE_FILES: &[&str] = &["lib.rs", "tenant.rs", "service.rs"];
 
 /// Function-name shapes that make a `snapshot.rs` function a *decode*
 /// function (it consumes untrusted bytes and must return typed errors).
@@ -555,8 +559,9 @@ impl<'a> Engine<'a> {
     /// `// lint: durable` function (closures and blocks inherit it, matching
     /// how retry closures wrap the actual I/O). A `write`/`write_all` marks
     /// the frame dirty; `sync_all`/`sync_data` commits it; while dirty, a
-    /// `rename` (publish), `set_len` (truncate) or `checkpoint`
-    /// (acknowledgment) is flagged. The walk is lexical, so branch-local
+    /// `rename` (publish), `set_len` (truncate), `checkpoint`
+    /// (acknowledgment) or `send`/`respond` (client acknowledgment in the
+    /// service tier) is flagged. The walk is lexical, so branch-local
     /// syncs satisfy later branches — the rule is a tripwire for reordered
     /// I/O, not a path-sensitive prover; suppress with a justification where
     /// control flow makes a lexically-dirty publish sound.
@@ -602,6 +607,18 @@ impl<'a> Engine<'a> {
                      never synced — a `lint: durable` function must `sync_all` the WAL \
                      before acknowledging the batch"
                         .into(),
+                );
+            }
+            "send" | "respond" if method && frame.dirty => {
+                let verb = tok.text.clone();
+                self.emit(
+                    tok,
+                    "durable-io",
+                    format!(
+                        "`.{verb}(…)` acknowledges an append to the client over a write \
+                         that was never synced — a `lint: durable` function must \
+                         `sync_all` before the acknowledgment leaves the process"
+                    ),
                 );
             }
             _ => {}

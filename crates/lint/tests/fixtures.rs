@@ -130,6 +130,27 @@ fn synced_publish_with_justified_suppression_passes() {
 }
 
 #[test]
+fn unsynced_client_acknowledgment_is_flagged() {
+    // Service tier: `.send`/`.respond` is the client-visible ack — firing
+    // it while a WAL write is lexically unsynced is the exact bug class
+    // the chaos tests hunt (acked-append loss on crash).
+    let source = include_str!("fixtures/fixture_durable_service_fail.rs");
+    let rules = rules_hit("crates/service/src/tenant.rs", source);
+    assert_eq!(rules, ["durable-io"]);
+    let diags = lint_source("crates/service/src/tenant.rs", source);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert!(diags[0].message.contains("send"), "{}", diags[0].message);
+    assert!(diags[1].message.contains("respond"), "{}", diags[1].message);
+}
+
+#[test]
+fn synced_or_delegated_client_acknowledgment_passes() {
+    let source = include_str!("fixtures/fixture_durable_service_pass.rs");
+    let diags = lint_source("crates/service/src/service.rs", source);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
 fn durable_marker_outside_registered_files_is_rejected() {
     // Same closed-list policy as hot-path markers: durability contracts are
     // declared per-module, not sprinkled ad hoc.

@@ -1,0 +1,25 @@
+// Fixture: durable-io, service tier — acknowledging a client (`.send`,
+// `.respond`) over a write that never reached sync_all must be flagged:
+// an acked append that only exists in the page cache is lost by a crash.
+
+use std::io::Write;
+
+// lint: durable
+pub fn ack_unsynced_append(
+    wal: &mut std::fs::File,
+    reply: &std::sync::mpsc::Sender<Response>,
+) -> std::io::Result<()> {
+    wal.write_all(b"record")?;
+    let _ = reply.send(Response::Appended);
+    Ok(())
+}
+
+// lint: durable
+pub fn respond_unsynced_append(
+    wal: &mut std::fs::File,
+    conn: &mut Connection,
+) -> std::io::Result<()> {
+    wal.write_all(b"record")?;
+    conn.respond(Response::Appended);
+    wal.sync_all()
+}

@@ -1,0 +1,26 @@
+// Fixture: durable-io, service tier — syncing the WAL before the client
+// acknowledgment leaves the process produces no diagnostics, and a `.send`
+// with no unsynced write in scope (the pipeline syncs internally) is fine.
+
+use std::io::Write;
+
+// lint: durable
+pub fn ack_synced_append(
+    wal: &mut std::fs::File,
+    reply: &std::sync::mpsc::Sender<Response>,
+) -> std::io::Result<()> {
+    wal.write_all(b"record")?;
+    wal.sync_all()?;
+    let _ = reply.send(Response::Appended);
+    Ok(())
+}
+
+// lint: durable
+pub fn ack_delegated_append(
+    tenant: &mut Tenant,
+    reply: &std::sync::mpsc::Sender<Response>,
+) -> Result<(), Error> {
+    let response = tenant.append_durably()?;
+    let _ = reply.send(response);
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! A minimal blocking client for the service wire protocol — used by the
+//! integration tests, the service benchmark's latency probe, and
+//! `examples/service_demo.rs`.
+
+use crate::protocol::{self, Request, Response};
+use crate::stats::ServiceStats;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use stpm_timeseries::SymbolicDatabase;
+
+/// One blocking connection to a service daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// Socket connect/clone errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    /// Transport errors, a closed connection, or an undecodable response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        protocol::write_frame(&mut self.writer, &protocol::encode_request(request))?;
+        self.writer.flush()?;
+        let Some(frame) = protocol::read_frame(&mut self.reader)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        };
+        protocol::decode_response(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Appends a symbolized batch for `tenant` (deadline 0 = the server's
+    /// default).
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn append(
+        &mut self,
+        tenant: &str,
+        deadline_ms: u32,
+        batch: SymbolicDatabase,
+    ) -> io::Result<Response> {
+        self.call(&Request::Append {
+            tenant: tenant.to_string(),
+            deadline_ms,
+            batch,
+        })
+    }
+
+    /// The tenant's current checkpoint summary.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn checkpoint(&mut self, tenant: &str) -> io::Result<Response> {
+        self.call(&Request::Checkpoint {
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// The tenant's current canonical pattern set.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn patterns(&mut self, tenant: &str) -> io::Result<Response> {
+        self.call(&Request::Patterns {
+            tenant: tenant.to_string(),
+        })
+    }
+
+    /// The daemon's observability snapshot.
+    ///
+    /// # Errors
+    /// As [`Client::call`], plus a non-stats response.
+    pub fn stats(&mut self) -> io::Result<ServiceStats> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a stats response, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Asks the daemon to begin a graceful shutdown.
+    ///
+    /// # Errors
+    /// As [`Client::call`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.call(&Request::Shutdown)
+    }
+}

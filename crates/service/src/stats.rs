@@ -1,0 +1,75 @@
+//! Observability snapshot of a running service: per-tenant counters
+//! (reusing the pipeline's [`CheckpointMeta`](stpm_core::CheckpointMeta) and
+//! [`RecoveryReport`](freqstpfts::RecoveryReport) fields) plus service-wide
+//! admission-control and degradation totals.
+//!
+//! Everything here is plain data: the service assembles a snapshot under its
+//! registry locks and the caller is free to keep it, diff it, or ship it over
+//! the wire (see [`crate::protocol`]). Tenants are reported in name order so
+//! two snapshots of the same state are byte-identical.
+
+/// Counters of one tenant, frozen at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Whether the tenant's pipeline is currently live in memory (`false`
+    /// while evicted to its snapshot file).
+    pub resident: bool,
+    /// Whether the tenant is quarantined (poisoned input or a panic).
+    pub quarantined: bool,
+    /// Granules absorbed into the tenant's miner so far.
+    pub granules_absorbed: u64,
+    /// Granules absorbed since the tenant's most recent snapshot.
+    pub pending_granules: u64,
+    /// Distinct patterns interned by the tenant's miner.
+    pub patterns_interned: u64,
+    /// Transient I/O retries absorbed by the tenant's persistence layer.
+    pub io_retries: u64,
+    /// Times this tenant was evicted to its snapshot file.
+    pub evictions: u64,
+    /// Times this tenant was rehydrated from durable state on touch
+    /// (including its first load after a daemon restart).
+    pub rehydrations: u64,
+    /// Approximate bytes of in-memory state (zero while evicted).
+    pub resident_bytes: u64,
+    /// Appends acknowledged for this tenant since the daemon started.
+    pub acked_appends: u64,
+    /// WAL records replayed by the tenant's most recent recovery.
+    pub replayed_records: u64,
+}
+
+/// Service-wide counters plus one [`TenantStats`] entry per known tenant.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Per-tenant counters, sorted by tenant name.
+    pub tenants: Vec<TenantStats>,
+    /// Approximate bytes of tenant state currently live in memory.
+    pub resident_bytes: u64,
+    /// The configured global memory budget (0 = unlimited).
+    pub budget_bytes: u64,
+    /// Appends acknowledged across all tenants.
+    pub acked_appends: u64,
+    /// Requests rejected with a typed `Overloaded` response (admission
+    /// control doing its job — these are *not* failures of the daemon).
+    pub overloaded_rejections: u64,
+    /// Requests cancelled because their deadline expired before a worker
+    /// picked them up.
+    pub deadline_rejections: u64,
+    /// Tenants currently quarantined.
+    pub quarantined_tenants: u64,
+    /// Cold-tenant evictions performed by the memory-budget enforcer.
+    pub evictions: u64,
+    /// Tenant rehydrations (evicted state loaded back on touch).
+    pub rehydrations: u64,
+    /// Transient I/O retries absorbed across all tenants.
+    pub io_retries: u64,
+}
+
+impl ServiceStats {
+    /// The stats entry of one tenant, if the tenant is known.
+    #[must_use]
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh `service --quick` run against the committed baseline.
+
+Usage:
+    check_service_regression.py BASELINE.json FRESH.json [--max-slowdown 1.25]
+
+Checks, in order of severity:
+
+1. **Exactness**: every fresh point must report `identical == true` — the
+   sampled tenant's pattern set, mined through the full service path
+   (admission, queueing, eviction/rehydration round trips, transient-fault
+   retries), matched a direct single-tenant pipeline. The experiment
+   panics on divergence, so this guards against the assertion being
+   edited away.
+2. **Zero loss**: `acked_appends == total_appends` at every fleet size —
+   the closed-loop driver retries until every batch is acknowledged, and
+   the service must get there.
+3. **Live robustness counters**: every point needs `evictions > 0`,
+   `rehydrations > 0` and `io_retries > 0` — the run is only a robustness
+   measurement while the budget enforcer and the retry path are actually
+   exercised; zeros mean the adversarial half of the bench came unwired.
+4. **Budget**: `under_budget == true` and `resident_bytes <=
+   budget_bytes` — residency must end inside the configured budget.
+5. **p99 latency**: the fresh p99 must not exceed
+   `max(baseline_p99 * max_slowdown, baseline_p99 + ABS_SLACK_SECS)` at
+   any fleet size. Quick-grid appends complete in fractions of a
+   millisecond where scheduler jitter dominates; the absolute slack means
+   only multi-x blowups trip this check, with checks 1-4 carrying the
+   strict signal.
+
+Exit status is non-zero on the first failed check.
+"""
+
+import argparse
+import json
+import sys
+
+# Noise floor added on top of the relative budget: quick-grid p99s sit in
+# the single-digit-millisecond range, where scheduler jitter alone exceeds
+# 25%.
+ABS_SLACK_SECS = 0.02
+
+
+def load_points(path):
+    """Returns {tenants: point_dict}."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return {point["tenants"]: point for point in doc["points"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-slowdown", type=float, default=1.25)
+    args = parser.parse_args()
+
+    baseline = load_points(args.baseline)
+    fresh = load_points(args.fresh)
+
+    if set(baseline) != set(fresh):
+        missing = sorted(set(baseline) - set(fresh))
+        extra = sorted(set(fresh) - set(baseline))
+        sys.exit(f"FAIL: fleet-size grids differ (missing={missing}, extra={extra})")
+
+    for tenants, point in sorted(fresh.items()):
+        if not point["identical"]:
+            sys.exit(
+                f"FAIL: {tenants} tenants: service-path mining diverged from the "
+                "direct pipeline"
+            )
+        if point["acked_appends"] != point["total_appends"]:
+            sys.exit(
+                f"FAIL: {tenants} tenants: {point['acked_appends']} acked of "
+                f"{point['total_appends']} appends — the service lost work"
+            )
+        for counter in ("evictions", "rehydrations", "io_retries"):
+            if point[counter] <= 0:
+                sys.exit(
+                    f"FAIL: {tenants} tenants: {counter} == 0 — the adversarial "
+                    "half of the bench is not being exercised"
+                )
+        if not point["under_budget"] or point["resident_bytes"] > point["budget_bytes"]:
+            sys.exit(
+                f"FAIL: {tenants} tenants: ended over budget "
+                f"({point['resident_bytes']} resident vs {point['budget_bytes']})"
+            )
+
+        base_p99 = baseline[tenants]["p99_secs"]
+        budget = max(base_p99 * args.max_slowdown, base_p99 + ABS_SLACK_SECS)
+        if point["p99_secs"] > budget:
+            sys.exit(
+                f"FAIL: {tenants} tenants: p99 {point['p99_secs']:.6f}s exceeds "
+                f"budget {budget:.6f}s (baseline {base_p99:.6f}s, "
+                f"max-slowdown {args.max_slowdown})"
+            )
+        print(
+            f"OK: {tenants:>5} tenants: {point['acked_appends']} acked, "
+            f"{point['evictions']} evictions, {point['rehydrations']} rehydrations, "
+            f"{point['io_retries']} retries, p99 {point['p99_secs'] * 1e3:.3f} ms "
+            f"(budget {budget * 1e3:.3f} ms)"
+        )
+
+    print("service regression gate: identical mining, zero loss, live counters")
+
+
+if __name__ == "__main__":
+    main()

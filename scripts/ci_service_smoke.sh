@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Service-tier gate: functional + chaos tests for the multi-tenant daemon,
+# a quick run of the service bench (which itself asserts pattern identity,
+# zero acked-append loss, under-budget residency, and live
+# eviction/rehydration/retry counters), and the regression gate against
+# the committed quick baseline.
+#
+# CI's service job executes this exact script, so a local
+# `scripts/ci_service_smoke.sh` reproduces the gate bit for bit. The bench
+# and chaos runs use the in-memory FaultyFs — no real files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== service functional tests (admission, deadlines, quarantine, drain) =="
+cargo test --release -q -p stpm-service --test service
+
+echo "== service chaos sweep (hard kills + faults at every failpoint) =="
+cargo test --release -q -p stpm-service --test service_chaos
+
+echo "== service bench smoke =="
+cargo run --release -p stpm-bench --bin service -- --quick
+python3 -m json.tool BENCH_service_quick.json > /dev/null
+points=$(grep -o '"tenants":' BENCH_service_quick.json | wc -l)
+echo "fleet-size points: $points"
+test "$points" -ge 2
+
+echo "== checked-in full-run baseline stays parseable =="
+python3 -m json.tool BENCH_service.json > /dev/null
+
+echo "== service regression gate =="
+python3 scripts/check_service_regression.py \
+  BENCH_service_quick_baseline.json BENCH_service_quick.json \
+  --max-slowdown 1.25
+
+echo "service gate: exact mining, zero loss, bounded memory under faults"

@@ -172,7 +172,7 @@ impl std::error::Error for PipelineError {}
 /// [`run`]: Pipeline::run
 /// [`run_symbolic`]: Pipeline::run_symbolic
 pub struct Pipeline {
-    symbolizer: Option<Box<dyn Symbolizer>>,
+    symbolizer: Option<Box<dyn Symbolizer + Send>>,
     mapping_factor: u64,
     config: StpmConfig,
     threads: Option<usize>,
@@ -215,7 +215,7 @@ impl Pipeline {
     /// Pipelines that start from an already-symbolized database
     /// ([`Pipeline::run_symbolic`]) do not need one.
     #[must_use]
-    pub fn symbolizer(mut self, symbolizer: impl Symbolizer + 'static) -> Self {
+    pub fn symbolizer(mut self, symbolizer: impl Symbolizer + Send + 'static) -> Self {
         self.symbolizer = Some(Box::new(symbolizer));
         self
     }
@@ -431,7 +431,7 @@ impl MinerSlot {
 /// symbolizer fitted once up front). Data-dependent symbolizers refitted per
 /// batch would re-encode history differently than a batch run.
 pub struct StreamingPipeline {
-    symbolizer: Option<Box<dyn Symbolizer>>,
+    symbolizer: Option<Box<dyn Symbolizer + Send>>,
     mapping_factor: u64,
     config: StpmConfig,
     state: Option<StreamState>,
@@ -439,7 +439,9 @@ pub struct StreamingPipeline {
     /// Every filesystem operation of the persistence path goes through this
     /// backend — [`RealFs`] in production, a fault-injecting
     /// [`FaultyFs`](stpm_core::FaultyFs) under test.
-    storage: Box<dyn StorageBackend>,
+    /// `Send + Sync` so a whole [`StreamingPipeline`] can move across the
+    /// worker threads of a multi-tenant service.
+    storage: Box<dyn StorageBackend + Send + Sync>,
     /// Applied to WAL appends, snapshot writes and recovery reads.
     retry: RetryPolicy,
     /// Optional cap on the live miner footprint; exceeding it spills the
@@ -459,7 +461,7 @@ pub struct StreamingPipeline {
 /// its own partial write, keeping every successfully acknowledged record
 /// reachable to `wal_read`'s longest-durable-prefix scan.
 struct WalHandle {
-    file: Box<dyn stpm_core::StorageFile>,
+    file: Box<dyn stpm_core::StorageFile + Send>,
     path: std::path::PathBuf,
     len: u64,
 }
@@ -820,12 +822,33 @@ impl StreamingPipeline {
         self.io_retries
     }
 
+    /// Approximate in-memory footprint of the pipeline's streaming state:
+    /// the miner's arena footprint (zero while spilled) plus the growing
+    /// symbolic and sequence databases. An estimate for admission-control
+    /// and eviction accounting, not an allocator-exact measurement.
+    #[must_use]
+    pub fn resident_bytes(&self) -> u64 {
+        let Some(state) = &self.state else {
+            return 0;
+        };
+        let miner = match &state.miner {
+            MinerSlot::Live(miner) => miner.footprint_bytes() as u64,
+            MinerSlot::Spilled(_) => 0,
+        };
+        let series = state.dsyb.num_series() as u64;
+        // 2 bytes per stored symbol (`SymbolId` is a u16) plus a nominal
+        // per-granule instance overhead for the sequence database.
+        let dsyb = state.dsyb.len() as u64 * series * 2;
+        let dseq = state.dseq.num_granules() * series * 24;
+        miner + dsyb + dseq
+    }
+
     /// Replaces the storage backend every subsequent persistence operation
     /// goes through. [`RealFs`] by default; tests inject a
     /// [`FaultyFs`](stpm_core::FaultyFs) here. Call before
     /// [`attach_wal`](StreamingPipeline::attach_wal) — an already attached
     /// WAL keeps the handle it was opened with.
-    pub fn set_storage(&mut self, storage: impl StorageBackend + 'static) {
+    pub fn set_storage(&mut self, storage: impl StorageBackend + Send + Sync + 'static) {
         self.storage = Box::new(storage);
     }
 
@@ -1469,6 +1492,14 @@ mod tests {
             min_season: 1,
             ..StpmConfig::default()
         }
+    }
+
+    #[test]
+    fn streaming_pipeline_is_send() {
+        // The multi-tenant service tier moves whole pipelines across worker
+        // threads; losing `Send` on any field would break it at a distance.
+        fn assert_send<T: Send>() {}
+        assert_send::<super::StreamingPipeline>();
     }
 
     #[test]
