@@ -3,14 +3,16 @@
 //! and small end-to-end runs of the three engines.
 //!
 //! The build container has no access to crates.io, so instead of criterion
-//! this is a `harness = false` benchmark with a small built-in timing loop
-//! (median of `SAMPLES` batches). Run with `cargo bench`.
+//! this is a `harness = false` benchmark built on the same timing helpers
+//! as the CI-gated kernel experiment (`experiments/kernels.rs`): min and
+//! median per-call time over `SAMPLES` batches, plus elements/sec where the
+//! workload has a natural element count. Run with `cargo bench`.
 
 use std::hint::black_box;
-use std::time::Instant;
 use stpm_approx::{normalized_mi, AStpmMiner};
 use stpm_baseline::{ApsGrowth, PsGrowth, TransactionDb};
 use stpm_bench::experiments::config_for;
+use stpm_bench::experiments::kernels::{format_ns, time_samples};
 use stpm_bench::params::scaled_real_spec;
 use stpm_core::season::{find_seasons, support_is_frequent};
 use stpm_core::{
@@ -22,31 +24,24 @@ use stpm_timeseries::{EventLabel, Interval, SeriesId, SymbolId};
 
 const SAMPLES: usize = 20;
 
-/// Times `f` over `SAMPLES` batches of `iters` iterations and prints the
-/// median per-iteration time.
-fn bench_function<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
-    // Warm-up.
-    for _ in 0..iters.min(3) {
-        black_box(f());
-    }
-    let mut per_iter_ns: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let start = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            start.elapsed().as_nanos() as f64 / f64::from(iters)
-        })
-        .collect();
-    per_iter_ns.sort_by(|a, b| a.total_cmp(b));
-    let median = per_iter_ns[per_iter_ns.len() / 2];
-    if median >= 1_000_000.0 {
-        println!("{name:<40} {:>12.3} ms/iter", median / 1_000_000.0);
-    } else if median >= 1_000.0 {
-        println!("{name:<40} {:>12.3} µs/iter", median / 1_000.0);
+/// Times `f` with the shared sampler and prints min/median per call; when
+/// the workload has a natural element count, throughput is printed too (the
+/// same statistic the kernel experiment gates in CI).
+fn bench_function<T>(name: &str, iters: u32, elements: usize, mut f: impl FnMut() -> T) {
+    let stats = time_samples(SAMPLES, iters, &mut f);
+    let throughput = if elements > 0 && stats.median_ns > 0.0 {
+        format!(
+            "{:>9.1} Melem/s",
+            elements as f64 * 1e9 / stats.median_ns / 1e6
+        )
     } else {
-        println!("{name:<40} {median:>12.1} ns/iter");
-    }
+        String::new()
+    };
+    println!(
+        "{name:<44} min {:>12}  median {:>12}  {throughput}",
+        format_ns(stats.min_ns),
+        format_ns(stats.median_ns)
+    );
 }
 
 fn bench_dataset() -> stpm_datagen::GeneratedDataset {
@@ -76,7 +71,7 @@ fn relation_kernel() {
             )
         })
         .collect();
-    bench_function("relation/classify_256_pairs", 1000, || {
+    bench_function("relation/classify_256_pairs", 1000, pairs.len(), || {
         let mut count = 0usize;
         for (a, b) in &pairs {
             if classify_relation(black_box(a), black_box(b), 0, 1).is_some() {
@@ -90,7 +85,7 @@ fn relation_kernel() {
 fn support_kernel() {
     let a: Vec<u64> = (0..4096).filter(|x| x % 2 == 0).collect();
     let b: Vec<u64> = (0..4096).filter(|x| x % 3 == 0).collect();
-    bench_function("support/intersect_4k", 1000, || {
+    bench_function("support/intersect_4k", 1000, a.len() + b.len(), || {
         support::intersect(black_box(&a), black_box(&b))
     });
     // Skewed sizes trigger the galloping advance; the reused scratch buffer
@@ -98,20 +93,25 @@ fn support_kernel() {
     let long: Vec<u64> = (0..262_144).map(|x| x * 2).collect();
     let short: Vec<u64> = (0..64).map(|x| x * 8_191).collect();
     let mut out = Vec::new();
-    bench_function("support/intersect_into_galloping_256k_vs_64", 1000, || {
-        support::intersect_into(&mut out, black_box(&short), black_box(&long));
-        out.len()
-    });
+    bench_function(
+        "support/intersect_into_galloping_256k_vs_64",
+        1000,
+        short.len() + long.len(),
+        || {
+            support::intersect_into(&mut out, black_box(&short), black_box(&long));
+            out.len()
+        },
+    );
 }
 
 fn season_kernel() {
     let support: Vec<u64> = (1..2000u64).filter(|x| x % 17 < 6).collect();
     let config = bench_config().resolve(2000).unwrap();
-    bench_function("season/find_seasons_2k", 1000, || {
+    bench_function("season/find_seasons_2k", 1000, support.len(), || {
         find_seasons(black_box(&support), &config)
     });
     // The allocation-free fast path the miner gates every candidate on.
-    bench_function("season/support_is_frequent_2k", 1000, || {
+    bench_function("season/support_is_frequent_2k", 1000, support.len(), || {
         support_is_frequent(black_box(&support), &config)
     });
 }
@@ -130,7 +130,7 @@ fn adjacency_kernel() {
         .collect();
     let refs: Vec<&[u64]> = rows.iter().map(Vec::as_slice).collect();
     let mut out = Vec::new();
-    bench_function("adjacency/and_3_rows_64w_iter_bits", 1000, || {
+    bench_function("adjacency/and_3_rows_64w_iter_bits", 1000, 3 * 64, || {
         support::intersect_rows_into(&mut out, black_box(&refs));
         support::iter_set_bits(&out, 1).sum::<usize>()
     });
@@ -150,7 +150,7 @@ fn verdict_kernel() {
             }
         }
     }
-    bench_function("verdict/lookup_pair_block_cell", 1000, || {
+    bench_function("verdict/lookup_pair_block_cell", 1000, 64, || {
         let mut acc = 0u64;
         for p in 0..64u32 {
             let pair = table.pair(label(p), label(p + 64)).unwrap();
@@ -163,22 +163,27 @@ fn verdict_kernel() {
     let pairs: Vec<(Interval, Interval)> = (0..64u64)
         .map(|i| (Interval::new(i, i + 4), Interval::new(i + 2, i + 6)))
         .collect();
-    bench_function("verdict/classify_64_pairs_baseline", 1000, || {
-        let mut count = 0usize;
-        for (a, b) in &pairs {
-            if classify_relation(black_box(a), black_box(b), 0, 1).is_some() {
-                count += 1;
+    bench_function(
+        "verdict/classify_64_pairs_baseline",
+        1000,
+        pairs.len(),
+        || {
+            let mut count = 0usize;
+            for (a, b) in &pairs {
+                if classify_relation(black_box(a), black_box(b), 0, 1).is_some() {
+                    count += 1;
+                }
             }
-        }
-        count
-    });
+            count
+        },
+    );
 }
 
 fn nmi_kernel() {
     let data = bench_dataset();
     let x = &data.dsyb.series()[0];
     let y = &data.dsyb.series()[1];
-    bench_function("approx/nmi_1200_instants", 500, || {
+    bench_function("approx/nmi_1200_instants", 500, 1200, || {
         normalized_mi(black_box(x), black_box(y))
     });
 }
@@ -187,7 +192,7 @@ fn pstree_kernel() {
     let data = bench_dataset();
     let dseq = data.dseq().unwrap();
     let transactions = TransactionDb::from_sequences(&dseq);
-    bench_function("baseline/psgrowth_small", 20, || {
+    bench_function("baseline/psgrowth_small", 20, transactions.len(), || {
         PsGrowth::new(6, 40, 2, transactions.len() as u64).mine(black_box(&transactions))
     });
 }
@@ -198,15 +203,15 @@ fn end_to_end() {
     let input = MiningInput::new(&data.dsyb, &dseq, data.mapping_factor);
     let config = config_for(DatasetProfile::Influenza, 0.006, 0.0075, 2);
 
-    bench_function("mine/estpm_small", 20, || {
+    bench_function("mine/estpm_small", 20, 0, || {
         StpmMiner.mine_with(black_box(&input), &config).unwrap()
     });
-    bench_function("mine/astpm_small", 20, || {
+    bench_function("mine/astpm_small", 20, 0, || {
         AStpmMiner::new()
             .mine_with(black_box(&input), &config)
             .unwrap()
     });
-    bench_function("mine/apsgrowth_small", 20, || {
+    bench_function("mine/apsgrowth_small", 20, 0, || {
         ApsGrowth.mine_with(black_box(&input), &config).unwrap()
     });
     // Guard that the scaled specs used by the experiment binaries stay valid.
@@ -214,7 +219,10 @@ fn end_to_end() {
 }
 
 fn main() {
-    println!("kernels (median of {SAMPLES} batches)");
+    println!(
+        "kernels (min/median of {SAMPLES} batches; dispatch: {})",
+        stpm_core::simd::kernels().name()
+    );
     relation_kernel();
     support_kernel();
     adjacency_kernel();

@@ -1,0 +1,25 @@
+//! Kernel-throughput experiment: the vectorizable `stpm_core::simd` kernels
+//! measured scalar vs every SIMD tier the host supports, with parity
+//! asserted before every timed loop. Prints the per-tier table and writes
+//! `BENCH_kernels.json` (`--quick` runs a smoke grid and writes
+//! `BENCH_kernels_quick.json` instead, so it can never clobber the
+//! checked-in full-run baseline). Diff the JSON against the baseline at the
+//! repository root with `scripts/check_kernels_regression.py`; the CI
+//! parity matrix compares `--quick` runs across `STPM_FORCE_SCALAR` legs
+//! with `scripts/check_kernels_parity.py`.
+use stpm_bench::experiments::kernels::{self, KernelScale};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (scale, path) = if quick {
+        (KernelScale::quick(), "BENCH_kernels_quick.json")
+    } else {
+        (KernelScale::full(), "BENCH_kernels.json")
+    };
+
+    let run = kernels::collect(&scale);
+    kernels::table(&run).print();
+    let json = kernels::to_json(&run);
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}

@@ -1,0 +1,657 @@
+//! Kernel-throughput experiment: the four vectorizable kernel families of
+//! `stpm_core::simd` measured tier by tier (scalar, then every SIMD tier
+//! the host CPU supports), at 10⁷–10⁸-element scale per measured call.
+//!
+//! Unlike the figure/table reproductions this family exists to track the
+//! *kernel constant factor* across revisions, and to prove two things on
+//! every run:
+//!
+//! * **parity** — every tier's output is byte-identical to the scalar
+//!   twin's on the measured inputs (asserted, not sampled), and a small
+//!   end-to-end mine records its pattern count so CI can diff counts
+//!   across dispatch legs (`STPM_FORCE_SCALAR=1` vs detected);
+//! * **throughput** — min/median per-call time and elements/sec per tier,
+//!   emitted as machine-readable JSON (`BENCH_kernels.json`) diffable
+//!   against the committed baseline by
+//!   `scripts/check_kernels_regression.py`.
+//!
+//! Tiers where a kernel keeps its scalar twin (e.g. `intersect` on SSE2)
+//! are measured and reported like any other — honest ≈1.0× ratios are
+//! part of the record, not hidden.
+
+use super::config_for;
+use crate::measure::measure;
+use crate::table::TextTable;
+use std::hint::black_box;
+use std::time::Instant;
+use stpm_core::simd::{self, Kernels};
+use stpm_core::StpmMiner;
+use stpm_datagen::{DatasetProfile, DatasetSpec};
+
+/// Minimum and median per-call time of one measured loop, in nanoseconds.
+/// The median is the headline number (robust against scheduler noise on
+/// shared runners); the minimum bounds the best case the hardware reached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingStats {
+    /// Fastest observed per-call time, in nanoseconds.
+    pub min_ns: f64,
+    /// Median observed per-call time, in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// Times `f` over `samples` batches of `iters` calls each and returns the
+/// minimum and median per-call time. Shared by this experiment and by
+/// `benches/kernels.rs`, so the micro-benchmarks and the CI-gated JSON
+/// report the same statistics.
+pub fn time_samples<T>(samples: usize, iters: u32, mut f: impl FnMut() -> T) -> TimingStats {
+    for _ in 0..iters.min(3) {
+        black_box(f());
+    }
+    let mut per_call_ns: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / f64::from(iters.max(1))
+        })
+        .collect();
+    per_call_ns.sort_by(f64::total_cmp);
+    TimingStats {
+        min_ns: per_call_ns[0],
+        median_ns: per_call_ns[per_call_ns.len() / 2],
+    }
+}
+
+/// Formats a per-call time with an auto-selected unit, for table output.
+#[must_use]
+pub fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// One tier's measurement of one kernel workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Tier name (`"scalar"`, `"sse2"`, `"avx2"`).
+    pub tier: &'static str,
+    /// Per-call timing statistics.
+    pub stats: TimingStats,
+    /// Elements processed per second, from the median per-call time.
+    pub elements_per_sec: f64,
+}
+
+impl KernelTiming {
+    fn new(tier: &'static str, elements: usize, stats: TimingStats) -> Self {
+        let elements_per_sec = if stats.median_ns > 0.0 {
+            elements as f64 * 1e9 / stats.median_ns
+        } else {
+            0.0
+        };
+        Self {
+            tier,
+            stats,
+            elements_per_sec,
+        }
+    }
+
+    /// Speedup of this tier over a scalar median (`>1` means faster).
+    #[must_use]
+    pub fn speedup_over(&self, scalar_median_ns: f64) -> f64 {
+        if self.stats.median_ns > 0.0 {
+            scalar_median_ns / self.stats.median_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One kernel workload: the input size, the scalar-reference output
+/// fingerprint (every tier is asserted byte-identical before timing), and
+/// one [`KernelTiming`] per supported tier, scalar first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPoint {
+    /// Kernel family name.
+    pub kernel: &'static str,
+    /// Elements processed per call (set elements, words, bytes, or support
+    /// entries, depending on the kernel).
+    pub elements: usize,
+    /// Output size (matches / surviving bits / run length) — compared
+    /// across dispatch legs by the CI parity matrix.
+    pub matches: u64,
+    /// Order-sensitive FNV-style fingerprint of the scalar output —
+    /// compared across dispatch legs by the CI parity matrix.
+    pub checksum: u64,
+    /// Per-tier timings, scalar first.
+    pub timings: Vec<KernelTiming>,
+}
+
+impl KernelPoint {
+    /// The scalar tier's median per-call time in nanoseconds.
+    #[must_use]
+    pub fn scalar_median_ns(&self) -> f64 {
+        self.timings[0].stats.median_ns
+    }
+
+    /// The best (fastest-median) tier of this point.
+    #[must_use]
+    pub fn best(&self) -> &KernelTiming {
+        self.timings
+            .iter()
+            .min_by(|a, b| a.stats.median_ns.total_cmp(&b.stats.median_ns))
+            .expect("every point has at least the scalar tier")
+    }
+}
+
+/// A full run of the kernel experiment on this host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelsRun {
+    /// Best tier the CPU supports (ignoring `STPM_FORCE_SCALAR`).
+    pub detected: &'static str,
+    /// Tier the process-wide dispatch actually chose.
+    pub chosen: &'static str,
+    /// Whether `STPM_FORCE_SCALAR` forced the scalar table.
+    pub force_scalar: bool,
+    /// Whether this was a quick (smoke-scale) run.
+    pub quick: bool,
+    /// One point per kernel family.
+    pub points: Vec<KernelPoint>,
+    /// Pattern count of a small end-to-end mine through the process-wide
+    /// dispatch — must be identical across CI dispatch legs.
+    pub patterns: usize,
+}
+
+/// Input sizes and sampling depth of one run. `full()` measures each call
+/// at 10⁷–10⁸ elements; `quick()` shrinks everything to smoke scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelScale {
+    /// Marks quick runs in the JSON so the regression gate can refuse to
+    /// compare a quick run against the full baseline.
+    pub quick: bool,
+    /// Timed batches per tier (min/median are taken over these).
+    pub samples: usize,
+    /// Length of *each* sorted input set of the intersection kernels.
+    pub set_len: usize,
+    /// Words per bitset row of the `and_words` kernel.
+    pub row_words: usize,
+    /// Bytes per verdict block of the `verdict_any` kernel.
+    pub block_bytes: usize,
+    /// Support entries of the `run_end` kernel.
+    pub support_len: usize,
+}
+
+impl KernelScale {
+    /// The CI-gated full scale: every kernel call processes 10⁷–10⁸
+    /// elements, so per-call noise is well under the gate's tolerance.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            quick: false,
+            samples: 9,
+            set_len: 5_000_000,
+            row_words: 4_194_304,
+            block_bytes: 33_554_432,
+            support_len: 10_000_000,
+        }
+    }
+
+    /// A seconds-scale smoke configuration used by tests and the CI parity
+    /// matrix (where only parity fields are compared, never timings).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            samples: 7,
+            set_len: 20_000,
+            row_words: 16_384,
+            block_bytes: 131_072,
+            support_len: 100_000,
+        }
+    }
+
+    /// Calls per timed batch: quick runs batch more calls to keep the
+    /// clock readings meaningful, full runs aggregate to ≥10⁷ elements.
+    fn iters_for(&self, elements: usize) -> u32 {
+        if self.quick {
+            8
+        } else {
+            u32::try_from(10_000_000usize.div_ceil(elements.max(1)).max(1)).unwrap_or(1)
+        }
+    }
+}
+
+fn fingerprint(acc: u64, value: u64) -> u64 {
+    (acc ^ value).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn checksum_u64(values: &[u64]) -> u64 {
+    values
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325, |h, &v| fingerprint(h, v))
+}
+
+/// The two sorted sets of the intersection workloads: pseudo-random
+/// membership draws from a shared increasing universe — the shape of real
+/// support lists (irregular gaps, ≈50% overlap, equal lengths → linear
+/// regime), where the scalar merge's branches are data-dependent. A
+/// regular-stride workload would hand the scalar loop perfect branch
+/// prediction and understate every merge kernel.
+fn intersection_sets(set_len: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut a = Vec::with_capacity(set_len);
+    let mut b = Vec::with_capacity(set_len);
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut t = 0u64;
+    while a.len() < set_len || b.len() < set_len {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        t += 1 + (state >> 61); // gap in 1..=8
+        if state & (1 << 20) != 0 && a.len() < set_len {
+            a.push(t);
+        }
+        if state & (1 << 40) != 0 && b.len() < set_len {
+            b.push(t);
+        }
+    }
+    (a, b)
+}
+
+fn point_intersect(tiers: &[&'static Kernels], scale: &KernelScale) -> KernelPoint {
+    let (a, b) = intersection_sets(scale.set_len);
+    let elements = a.len() + b.len();
+    let mut reference = Vec::new();
+    tiers[0].intersect(&a, &b, &mut reference);
+    let timings = tiers
+        .iter()
+        .map(|tier| {
+            let mut out = Vec::with_capacity(reference.len() + 8);
+            tier.intersect(&a, &b, &mut out);
+            assert_eq!(
+                out,
+                reference,
+                "tier {} diverges from scalar on intersect",
+                tier.name()
+            );
+            let stats = time_samples(scale.samples, scale.iters_for(elements), || {
+                out.clear();
+                tier.intersect(black_box(&a), black_box(&b), &mut out);
+                out.len()
+            });
+            KernelTiming::new(tier.name(), elements, stats)
+        })
+        .collect();
+    KernelPoint {
+        kernel: "intersect",
+        elements,
+        matches: reference.len() as u64,
+        checksum: checksum_u64(&reference),
+        timings,
+    }
+}
+
+fn point_intersect_positions(tiers: &[&'static Kernels], scale: &KernelScale) -> KernelPoint {
+    let (a, b) = intersection_sets(scale.set_len);
+    let elements = a.len() + b.len();
+    let (mut ref_vals, mut ref_pa, mut ref_pb) = (Vec::new(), Vec::new(), Vec::new());
+    tiers[0].intersect_positions(&a, &b, &mut ref_vals, &mut ref_pa, &mut ref_pb);
+    let checksum = ref_pa
+        .iter()
+        .chain(ref_pb.iter())
+        .fold(checksum_u64(&ref_vals), |h, &p| {
+            fingerprint(h, u64::from(p))
+        });
+    let timings = tiers
+        .iter()
+        .map(|tier| {
+            let (mut vals, mut pa, mut pb) = (Vec::new(), Vec::new(), Vec::new());
+            tier.intersect_positions(&a, &b, &mut vals, &mut pa, &mut pb);
+            assert_eq!(
+                (&vals, &pa, &pb),
+                (&ref_vals, &ref_pa, &ref_pb),
+                "tier {} diverges from scalar on intersect_positions",
+                tier.name()
+            );
+            let stats = time_samples(scale.samples, scale.iters_for(elements), || {
+                vals.clear();
+                pa.clear();
+                pb.clear();
+                tier.intersect_positions(black_box(&a), black_box(&b), &mut vals, &mut pa, &mut pb);
+                vals.len()
+            });
+            KernelTiming::new(tier.name(), elements, stats)
+        })
+        .collect();
+    KernelPoint {
+        kernel: "intersect_positions",
+        elements,
+        matches: ref_vals.len() as u64,
+        checksum,
+        timings,
+    }
+}
+
+fn point_and_words(tiers: &[&'static Kernels], scale: &KernelScale) -> KernelPoint {
+    let base: Vec<u64> = (0..scale.row_words as u64)
+        .map(|w| 0x9e37_79b9_7f4a_7c15u64.rotate_left((w % 64) as u32) | 1)
+        .collect();
+    let row: Vec<u64> = (0..scale.row_words as u64)
+        .map(|w| 0xc2b2_ae3d_27d4_eb4fu64.rotate_right((w % 64) as u32) | (1 << (w % 64)))
+        .collect();
+    let reference: Vec<u64> = base.iter().zip(&row).map(|(&x, &y)| x & y).collect();
+    let elements = scale.row_words;
+    let timings = tiers
+        .iter()
+        .map(|tier| {
+            let mut acc = base.clone();
+            tier.and_words(&mut acc, &row);
+            assert_eq!(
+                acc,
+                reference,
+                "tier {} diverges from scalar on and_words",
+                tier.name()
+            );
+            // AND is idempotent, so repeated applications time the pure
+            // kernel without a reset copy in the loop.
+            let stats = time_samples(scale.samples, scale.iters_for(elements), || {
+                tier.and_words(black_box(&mut acc), black_box(&row));
+                acc[0]
+            });
+            KernelTiming::new(tier.name(), elements, stats)
+        })
+        .collect();
+    KernelPoint {
+        kernel: "and_words",
+        elements,
+        matches: reference.iter().map(|w| u64::from(w.count_ones())).sum(),
+        checksum: checksum_u64(&reference),
+        timings,
+    }
+}
+
+fn point_verdict_any(tiers: &[&'static Kernels], scale: &KernelScale) -> KernelPoint {
+    // All-NONE block: the worst case (full scan, no early exit) — the shape
+    // the miner's granule veto hits on unrelated pairs.
+    let cold = vec![0u8; scale.block_bytes];
+    let mut hot = cold.clone();
+    *hot.last_mut().expect("block is non-empty") = 3;
+    let elements = cold.len();
+    let timings = tiers
+        .iter()
+        .map(|tier| {
+            assert!(
+                !tier.verdict_any(&cold) && tier.verdict_any(&hot),
+                "tier {} diverges from scalar on verdict_any",
+                tier.name()
+            );
+            let stats = time_samples(scale.samples, scale.iters_for(elements), || {
+                tier.verdict_any(black_box(&cold))
+            });
+            KernelTiming::new(tier.name(), elements, stats)
+        })
+        .collect();
+    KernelPoint {
+        kernel: "verdict_any",
+        elements,
+        matches: 0,
+        checksum: elements as u64,
+        timings,
+    }
+}
+
+fn point_run_end(tiers: &[&'static Kernels], scale: &KernelScale) -> KernelPoint {
+    const MAX_PERIOD: u64 = 8;
+    // One maximal dense run spanning the whole support (every gap ≤ the
+    // period), so a single call scans `support_len` entries.
+    let mut support = Vec::with_capacity(scale.support_len);
+    let mut t = 0u64;
+    for i in 0..scale.support_len as u64 {
+        t += 1 + (i % MAX_PERIOD);
+        support.push(t);
+    }
+    // A gapped variant checks parity at run boundaries, not just the
+    // full-span fast case.
+    let gapped: Vec<u64> = support
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| v + (i as u64 / 97) * (MAX_PERIOD * 3))
+        .collect();
+    let elements = support.len();
+    let reference_end = tiers[0].run_end(&support, 0, MAX_PERIOD);
+    let timings = tiers
+        .iter()
+        .map(|tier| {
+            assert_eq!(
+                tier.run_end(&support, 0, MAX_PERIOD),
+                reference_end,
+                "tier {} diverges from scalar on run_end",
+                tier.name()
+            );
+            for start in [0usize, 1, 95, 96, 97, 200] {
+                if start < gapped.len() {
+                    assert_eq!(
+                        tier.run_end(&gapped, start, MAX_PERIOD),
+                        tiers[0].run_end(&gapped, start, MAX_PERIOD),
+                        "tier {} diverges from scalar on gapped run_end",
+                        tier.name()
+                    );
+                }
+            }
+            let stats = time_samples(scale.samples, scale.iters_for(elements), || {
+                tier.run_end(black_box(&support), 0, MAX_PERIOD)
+            });
+            KernelTiming::new(tier.name(), elements, stats)
+        })
+        .collect();
+    KernelPoint {
+        kernel: "run_end",
+        elements,
+        matches: reference_end as u64,
+        checksum: reference_end as u64,
+        timings,
+    }
+}
+
+/// A small end-to-end mine through the process-wide dispatch: its pattern
+/// count is the cross-leg invariant of the CI parity matrix (scalar and
+/// vectorized legs must report the same count).
+fn end_to_end_patterns() -> usize {
+    let spec = DatasetSpec::real(DatasetProfile::Influenza)
+        .scaled_to(6, 160)
+        .with_seed(11);
+    let prepared = super::PreparedData::generate(&spec);
+    let config = config_for(DatasetProfile::Influenza, 0.006, 0.0075, 2).with_threads(1);
+    measure(&StpmMiner, &prepared.input(), &config).0.patterns
+}
+
+/// Runs the whole experiment: every kernel family, every tier the host CPU
+/// supports, parity asserted before every timed loop.
+///
+/// # Panics
+/// Panics if any tier's output diverges from the scalar twin's.
+#[must_use]
+pub fn collect(scale: &KernelScale) -> KernelsRun {
+    let tiers = simd::tiers();
+    let points = vec![
+        point_intersect(&tiers, scale),
+        point_intersect_positions(&tiers, scale),
+        point_and_words(&tiers, scale),
+        point_verdict_any(&tiers, scale),
+        point_run_end(&tiers, scale),
+    ];
+    KernelsRun {
+        detected: simd::detected().name(),
+        chosen: simd::kernels().name(),
+        force_scalar: simd::force_scalar_requested(),
+        quick: scale.quick,
+        points,
+        patterns: end_to_end_patterns(),
+    }
+}
+
+/// Renders the run as one table: a row per (kernel, tier).
+#[must_use]
+pub fn table(run: &KernelsRun) -> TextTable {
+    let mut table = TextTable::new(
+        &format!(
+            "Kernel throughput (detected: {}, dispatch: {}{})",
+            run.detected,
+            run.chosen,
+            if run.quick { ", quick" } else { "" }
+        ),
+        &[
+            "kernel",
+            "tier",
+            "elements",
+            "min/call",
+            "median/call",
+            "Melem/s",
+            "vs scalar",
+        ],
+    );
+    for point in &run.points {
+        let scalar_median = point.scalar_median_ns();
+        for timing in &point.timings {
+            table.add_row(vec![
+                point.kernel.to_string(),
+                timing.tier.to_string(),
+                point.elements.to_string(),
+                format_ns(timing.stats.min_ns),
+                format_ns(timing.stats.median_ns),
+                format!("{:.1}", timing.elements_per_sec / 1e6),
+                format!("{:.2}x", timing.speedup_over(scalar_median)),
+            ]);
+        }
+    }
+    table
+}
+
+/// Serialises a run as a JSON document (hand-rolled: the workspace is
+/// dependency-free). Shape:
+///
+/// ```json
+/// {"experiment":"kernels","detected":"avx2","chosen":"avx2",
+///  "force_scalar":false,"quick":false,"patterns":17,"kernels":[
+///    {"kernel":"intersect","elements":10000000,"matches":1666667,
+///     "checksum":123,"tiers":[
+///       {"tier":"scalar","min_ns":1.0,"median_ns":2.0,
+///        "elements_per_sec":3.0,"speedup_vs_scalar":1.0}]}]}
+/// ```
+#[must_use]
+pub fn to_json(run: &KernelsRun) -> String {
+    let points: Vec<String> = run
+        .points
+        .iter()
+        .map(|point| {
+            let scalar_median = point.scalar_median_ns();
+            let tiers: Vec<String> = point
+                .timings
+                .iter()
+                .map(|timing| {
+                    format!(
+                        "{{\"tier\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\
+                         \"elements_per_sec\":{:.1},\"speedup_vs_scalar\":{:.4}}}",
+                        timing.tier,
+                        timing.stats.min_ns,
+                        timing.stats.median_ns,
+                        timing.elements_per_sec,
+                        timing.speedup_over(scalar_median)
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"kernel\":\"{}\",\"elements\":{},\"matches\":{},\
+                 \"checksum\":{},\"tiers\":[{}]}}",
+                point.kernel,
+                point.elements,
+                point.matches,
+                point.checksum,
+                tiers.join(",")
+            )
+        })
+        .collect();
+    format!(
+        "{{\"experiment\":\"kernels\",\"detected\":\"{}\",\"chosen\":\"{}\",\
+         \"force_scalar\":{},\"quick\":{},\"patterns\":{},\"kernels\":[{}]}}\n",
+        run.detected,
+        run.chosen,
+        run.force_scalar,
+        run.quick,
+        run.patterns,
+        points.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_collect_measures_every_kernel_on_every_tier() {
+        let run = collect(&KernelScale::quick());
+        assert!(run.quick);
+        let kernels: Vec<&str> = run.points.iter().map(|p| p.kernel).collect();
+        assert_eq!(
+            kernels,
+            [
+                "intersect",
+                "intersect_positions",
+                "and_words",
+                "verdict_any",
+                "run_end"
+            ]
+        );
+        let tier_count = simd::tiers().len();
+        for point in &run.points {
+            assert_eq!(point.timings.len(), tier_count);
+            assert_eq!(point.timings[0].tier, "scalar");
+            for timing in &point.timings {
+                assert!(timing.stats.min_ns <= timing.stats.median_ns);
+                assert!(timing.elements_per_sec > 0.0);
+            }
+        }
+        assert!(run.patterns > 0, "the end-to-end mine must find patterns");
+        // The two intersection workloads share inputs, so their match
+        // counts agree.
+        assert_eq!(run.points[0].matches, run.points[1].matches);
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let run = collect(&KernelScale::quick());
+        let json = to_json(&run);
+        assert!(json.starts_with("{\"experiment\":\"kernels\""));
+        assert!(json.contains("\"detected\":"));
+        assert!(json.contains("\"force_scalar\":"));
+        assert!(json.contains("\"quick\":true"));
+        assert!(json.contains("\"checksum\":"));
+        assert!(json.contains("\"speedup_vs_scalar\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",]") && !json.contains(",}"));
+        assert!(!table(&run).is_empty());
+    }
+
+    #[test]
+    fn timing_helpers_are_sane() {
+        let stats = time_samples(5, 10, || std::hint::black_box(21u64) * 2);
+        assert!(stats.min_ns >= 0.0 && stats.min_ns <= stats.median_ns);
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert_eq!(format_ns(12_300.0), "12.300 µs");
+        assert_eq!(format_ns(12_300_000.0), "12.300 ms");
+        let timing = KernelTiming::new(
+            "scalar",
+            1_000,
+            TimingStats {
+                min_ns: 500.0,
+                median_ns: 1_000.0,
+            },
+        );
+        assert!((timing.elements_per_sec - 1e9).abs() < 1.0);
+        assert!((timing.speedup_over(2_000.0) - 2.0).abs() < 1e-9);
+    }
+}

@@ -548,6 +548,20 @@ impl<'a> PairVerdicts<'a> {
             .map_or(self.table.verdicts.len(), |&s| s as usize);
         Some(&self.table.verdicts[start..end])
     }
+
+    /// Whether the pair relates anywhere in `granule`'s block: `Some(true)`
+    /// when at least one cell holds a relation verdict, `Some(false)` when
+    /// the whole cross-product classified to no relation (so no candidate
+    /// binding through this pair can extend at the granule), `None` when
+    /// the granule was not processed for this pair. The scan runs through
+    /// the dispatched [`crate::simd`] byte-scan kernel (32 cells per
+    /// compare on AVX2).
+    #[must_use]
+    // lint: hot-path
+    pub fn block_has_relation(&self, granule: GranulePos) -> Option<bool> {
+        self.block(granule)
+            .map(|block| crate::simd::kernels().verdict_any(block))
+    }
 }
 
 /// The hierarchical lookup hash structure for k-event groups and patterns

@@ -169,11 +169,10 @@ fn walk_season_spans<F: FnMut(usize, usize)>(
         if early_exit_at.is_some_and(|target| best >= target) {
             return best;
         }
-        // Maximal near support set: the run [i, j).
-        let mut j = i + 1;
-        while j < support.len() && support[j] - support[j - 1] <= config.max_period {
-            j += 1;
-        }
+        // Maximal near support set: the run [i, j), found by the dispatched
+        // run-detection kernel (AVX2 compares four consecutive gaps at a
+        // time where detected; scalar twin otherwise).
+        let j = crate::simd::kernels().run_end(support, i, config.max_period);
         // distmin trimming: drop leading granules closer than distmin to the
         // end of the previously accepted season.
         let mut s = i;

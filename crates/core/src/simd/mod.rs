@@ -1,0 +1,367 @@
+//! Runtime-dispatched SIMD kernels for the four hottest inner loops of the
+//! miner: sorted-set intersection (values and positions), wide bitset-row
+//! ANDs, verdict-block byte scans, and season span-walk run detection.
+//!
+//! # Dispatch model
+//!
+//! Every kernel exists in (at least) two implementations: a **scalar twin**
+//! (private `scalar` submodule) — the reference semantics and
+//! the mandatory fallback on every platform — and, on `x86_64`, SSE2/AVX2
+//! fast paths in the private `x86` submodule. A [`Kernels`] value is a table
+//! of function pointers; [`kernels()`] picks one table **once per process**
+//! via `is_x86_feature_detected!` and caches the choice, so the hot loops pay
+//! a single indirect call and no per-call detection. Kernels that have no
+//! profitable vector form in a tier simply keep their scalar twin's pointer
+//! in that tier's table (e.g. the SSE2 tier routes `intersect` to scalar
+//! because 64-bit lane compares need AVX2); the galloping regime of the
+//! intersection routines never enters this module at all — `support.rs`
+//! dispatches only the linear-merge regime.
+//!
+//! Setting `STPM_FORCE_SCALAR=1` (or `true`) in the environment forces the
+//! scalar table. The variable is read **once** and cached — flipping it
+//! mid-process has no effect, which keeps every run of a process on a single
+//! code path (determinism of output does not depend on the path: all tiers
+//! are property-tested byte-identical, see `tests/property_based.rs`).
+//! Under Miri (`cfg(miri)`) detection always yields the scalar table so
+//! the interpreter exercises the portable twins.
+//!
+//! # Unsafe-scope contract
+//!
+//! This module (specifically the `x86` submodule) is the **only** place in
+//! the whole workspace where `unsafe` code is permitted:
+//!
+//! * every intrinsic path has a scalar twin with identical observable
+//!   behavior, and the parity is property-tested over adversarial inputs
+//!   (empty sets, lane-straddling lengths, galloping-skew ratios,
+//!   all-match/no-match rows) for every tier the host CPU supports;
+//! * no `unsafe` escapes the module: the public surface ([`Kernels`],
+//!   [`kernels()`], [`tiers()`], …) is entirely safe, and tables containing
+//!   vector paths are only constructible after `is_x86_feature_detected!`
+//!   has proven the features present;
+//! * the workspace lint `unsafe-scope` (see `crates/lint`) turns any
+//!   `unsafe` token outside `crates/core/src/simd/` into a lint error, and
+//!   the crate roots keep `deny(unsafe_code)` with a scoped allow here — the
+//!   pre-SIMD `forbid(unsafe_code)` guarantee stays machine-enforced
+//!   everywhere else.
+
+use std::sync::OnceLock;
+
+mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// Signature of the position-recording intersection kernel: values plus
+/// the matching element positions in both inputs, appended to three
+/// buffers.
+type IntersectPositionsFn = fn(&[u64], &[u64], &mut Vec<u64>, &mut Vec<u32>, &mut Vec<u32>);
+
+/// Dispatch table of the vectorizable kernels. Obtain one with
+/// [`kernels()`] (process-wide cached choice), [`scalar()`],
+/// [`detected()`], or [`tiers()`]; invoke kernels through the methods so
+/// the `cfg(test)` routing counters stay accurate.
+pub struct Kernels {
+    name: &'static str,
+    intersect: fn(&[u64], &[u64], &mut Vec<u64>),
+    intersect_positions: IntersectPositionsFn,
+    and_words: fn(&mut [u64], &[u64]),
+    verdict_any: fn(&[u8]) -> bool,
+    run_end: fn(&[u64], usize, u64) -> usize,
+}
+
+impl std::fmt::Debug for Kernels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernels").field("name", &self.name).finish()
+    }
+}
+
+impl Kernels {
+    /// Tier name: `"scalar"`, `"sse2"` or `"avx2"`.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Appends the intersection of two strictly increasing sorted sets to
+    /// `out` (linear-merge regime only; callers handle galloping skew).
+    #[inline]
+    pub fn intersect(&self, a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+        self.count_dispatch();
+        (self.intersect)(a, b, out);
+    }
+
+    /// Appends the intersection of two strictly increasing sorted sets plus
+    /// the matching element positions in `a` and `b` to the three buffers.
+    #[inline]
+    pub fn intersect_positions(
+        &self,
+        a: &[u64],
+        b: &[u64],
+        out: &mut Vec<u64>,
+        pos_a: &mut Vec<u32>,
+        pos_b: &mut Vec<u32>,
+    ) {
+        self.count_dispatch();
+        (self.intersect_positions)(a, b, out, pos_a, pos_b);
+    }
+
+    /// `acc[i] &= row[i]` over the common prefix of the two slices.
+    #[inline]
+    pub fn and_words(&self, acc: &mut [u64], row: &[u64]) {
+        self.count_dispatch();
+        (self.and_words)(acc, row);
+    }
+
+    /// Whether any byte of a verdict block is not
+    /// [`VERDICT_NONE`](crate::relation::VERDICT_NONE).
+    #[inline]
+    #[must_use]
+    pub fn verdict_any(&self, block: &[u8]) -> bool {
+        self.count_dispatch();
+        (self.verdict_any)(block)
+    }
+
+    /// First index `j > start` with `j == support.len()` or
+    /// `support[j] - support[j-1] > max_period`: the exclusive end of the
+    /// maximal dense run beginning at `start`. Requires
+    /// `start < support.len()` and a strictly increasing `support`.
+    #[inline]
+    #[must_use]
+    pub fn run_end(&self, support: &[u64], start: usize, max_period: u64) -> usize {
+        self.count_dispatch();
+        (self.run_end)(support, start, max_period)
+    }
+
+    #[cfg(test)]
+    fn count_dispatch(&self) {
+        use std::sync::atomic::Ordering;
+        if self.name == "scalar" {
+            counters::SCALAR_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            counters::VECTOR_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[cfg(not(test))]
+    #[inline(always)]
+    fn count_dispatch(&self) {}
+}
+
+/// Dispatch-routing counters, compiled only into the crate's own unit
+/// tests: `force_scalar_routes_every_dispatch_to_scalar` proves that the
+/// forced-scalar table never reaches a vector path.
+#[cfg(test)]
+pub(crate) mod counters {
+    use std::sync::atomic::AtomicU64;
+
+    pub(crate) static SCALAR_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static VECTOR_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+}
+
+static SCALAR: Kernels = Kernels {
+    name: "scalar",
+    intersect: scalar::intersect,
+    intersect_positions: scalar::intersect_positions,
+    and_words: scalar::and_words,
+    verdict_any: scalar::verdict_any,
+    run_end: scalar::run_end,
+};
+
+/// SSE2 is part of the `x86_64` baseline, so this tier is available on every
+/// x86-64 CPU. 64-bit lane equality/compare intrinsics only arrive with
+/// AVX2, so `intersect`/`intersect_positions`/`run_end` keep their scalar
+/// twins here — recorded honestly in the kernel bench rather than hidden.
+#[cfg(target_arch = "x86_64")]
+static SSE2: Kernels = Kernels {
+    name: "sse2",
+    intersect: scalar::intersect,
+    intersect_positions: scalar::intersect_positions,
+    and_words: x86::and_words_sse2,
+    verdict_any: x86::verdict_any_sse2,
+    run_end: scalar::run_end,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2: Kernels = Kernels {
+    name: "avx2",
+    intersect: x86::intersect_avx2,
+    intersect_positions: x86::intersect_positions_avx2,
+    and_words: x86::and_words_avx2,
+    verdict_any: x86::verdict_any_avx2,
+    run_end: x86::run_end_avx2,
+};
+
+/// The scalar reference table (always available, every platform).
+#[must_use]
+pub fn scalar() -> &'static Kernels {
+    &SCALAR
+}
+
+/// The best table the host CPU supports, ignoring `STPM_FORCE_SCALAR`.
+/// Under Miri this is always the scalar table.
+#[must_use]
+pub fn detected() -> &'static Kernels {
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return &AVX2;
+        }
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return &SSE2;
+        }
+    }
+    &SCALAR
+}
+
+/// Every table the host CPU can run, scalar first — the axis of the
+/// parity property tests and of the kernel benchmark's variant sweep.
+#[must_use]
+pub fn tiers() -> Vec<&'static Kernels> {
+    let mut tiers: Vec<&'static Kernels> = vec![&SCALAR];
+    #[cfg(all(target_arch = "x86_64", not(miri)))]
+    {
+        if std::arch::is_x86_feature_detected!("sse2") {
+            tiers.push(&SSE2);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            tiers.push(&AVX2);
+        }
+    }
+    tiers
+}
+
+/// Pure selection step: forced-scalar takes the scalar table, otherwise the
+/// detected-best table. Exposed (instead of only the env-reading
+/// [`kernels()`]) so tests can pin the routing without touching the
+/// process environment.
+#[must_use]
+pub fn select(force_scalar: bool) -> &'static Kernels {
+    if force_scalar {
+        &SCALAR
+    } else {
+        detected()
+    }
+}
+
+/// Whether `STPM_FORCE_SCALAR` requests the scalar table. Read once and
+/// cached for the life of the process.
+#[must_use]
+pub fn force_scalar_requested() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| parse_force_scalar(std::env::var("STPM_FORCE_SCALAR").ok().as_deref()))
+}
+
+/// Parses an `STPM_FORCE_SCALAR` value: `1` and `true` (any case) force the
+/// scalar table; everything else (including unset) keeps detection on.
+#[must_use]
+pub fn parse_force_scalar(raw: Option<&str>) -> bool {
+    match raw {
+        Some(v) => {
+            let v = v.trim();
+            v == "1" || v.eq_ignore_ascii_case("true")
+        }
+        None => false,
+    }
+}
+
+/// The process-wide kernel table: detected-best, unless
+/// `STPM_FORCE_SCALAR=1` was set at first use. Chosen once and cached.
+#[must_use]
+pub fn kernels() -> &'static Kernels {
+    static CHOSEN: OnceLock<&'static Kernels> = OnceLock::new();
+    CHOSEN.get_or_init(|| select(force_scalar_requested()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    fn exercise_every_kernel(table: &Kernels) {
+        let a = [1u64, 4, 9, 16, 25, 36, 49, 64, 81];
+        let b = [2u64, 4, 8, 16, 32, 64];
+        let mut out = Vec::new();
+        table.intersect(&a, &b, &mut out);
+        assert_eq!(out, [4, 16, 64]);
+        let (mut vals, mut pa, mut pb) = (Vec::new(), Vec::new(), Vec::new());
+        table.intersect_positions(&a, &b, &mut vals, &mut pa, &mut pb);
+        assert_eq!(vals, [4, 16, 64]);
+        assert_eq!(pa, [1, 3, 7]);
+        assert_eq!(pb, [1, 3, 5]);
+        let mut acc = [0b1111u64, u64::MAX, 0, 7];
+        table.and_words(&mut acc, &[0b1010, 1 << 63, u64::MAX, 5]);
+        assert_eq!(acc, [0b1010, 1 << 63, 0, 5]);
+        assert!(!table.verdict_any(&[0; 37]));
+        assert!(table.verdict_any(&[0, 0, 0, 3]));
+        assert_eq!(table.run_end(&[1, 2, 3, 10], 0, 1), 3);
+    }
+
+    #[test]
+    fn every_supported_tier_passes_the_smoke_inputs() {
+        for table in tiers() {
+            exercise_every_kernel(table);
+        }
+    }
+
+    #[test]
+    fn scalar_tier_is_always_first_and_always_present() {
+        let tiers = tiers();
+        assert_eq!(tiers[0].name(), "scalar");
+        assert!(tiers.iter().all(|t| !t.name().is_empty()));
+    }
+
+    #[test]
+    fn force_scalar_routes_every_dispatch_to_scalar() {
+        let table = select(true);
+        assert_eq!(table.name(), "scalar");
+        let scalar_before = counters::SCALAR_DISPATCHES.load(Ordering::Relaxed);
+        let vector_before = counters::VECTOR_DISPATCHES.load(Ordering::Relaxed);
+        exercise_every_kernel(table);
+        let scalar_calls = counters::SCALAR_DISPATCHES.load(Ordering::Relaxed) - scalar_before;
+        assert!(scalar_calls >= 6, "all six dispatches must count as scalar");
+        // Other tests may run concurrently and drive vector tiers, so the
+        // vector counter is only pinned when this test runs the forced
+        // table in isolation; what must always hold is that *this* table
+        // never produced a vector dispatch, which the name check plus the
+        // scalar counter delta establish. Keep a cheap sanity read so the
+        // counter is exercised either way.
+        let _ = vector_before;
+    }
+
+    #[test]
+    fn env_parser_accepts_only_explicit_truths() {
+        assert!(parse_force_scalar(Some("1")));
+        assert!(parse_force_scalar(Some("true")));
+        assert!(parse_force_scalar(Some("TRUE")));
+        assert!(parse_force_scalar(Some(" 1 ")));
+        assert!(!parse_force_scalar(Some("0")));
+        assert!(!parse_force_scalar(Some("")));
+        assert!(!parse_force_scalar(Some("yes")));
+        assert!(!parse_force_scalar(None));
+    }
+
+    #[test]
+    fn cached_choice_honors_the_environment_snapshot() {
+        // `kernels()` caches on first use, so all this test may assert
+        // portably is consistency: the cached table matches what `select`
+        // derives from the cached env snapshot. In the forced-scalar CI leg
+        // this pins the scalar route end to end.
+        assert_eq!(
+            kernels().name(),
+            select(force_scalar_requested()).name(),
+            "cached dispatch must match the cached environment snapshot"
+        );
+        if force_scalar_requested() {
+            assert_eq!(kernels().name(), "scalar");
+        }
+    }
+
+    #[test]
+    fn detected_tier_is_the_last_tier() {
+        let tiers = tiers();
+        assert_eq!(
+            tiers.last().map(|t| t.name()),
+            Some(detected().name()),
+            "detection must pick the strongest supported tier"
+        );
+    }
+}

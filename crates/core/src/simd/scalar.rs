@@ -1,0 +1,90 @@
+//! Scalar reference twins of every dispatched kernel.
+//!
+//! These are the mandatory fallbacks on every platform, the semantics the
+//! vector paths are property-tested against, and the implementations Miri
+//! interprets. They are deliberately written in the plainest possible form:
+//! any observable behavior difference between a function here and its
+//! vector twin in `x86.rs` is a bug, caught by `tests/property_based.rs`.
+
+use crate::relation::VERDICT_NONE;
+
+/// Linear-merge intersection of two strictly increasing sets, appended to
+/// `out`. The galloping regime never reaches this function — `support.rs`
+/// keeps it scalar above the skew ratio.
+// lint: hot-path
+pub(super) fn intersect(a: &[u64], b: &[u64], out: &mut Vec<u64>) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Linear-merge intersection that also records, per match, the element's
+/// position in `a` and in `b` (as `u32`, like the CSR side tables the miner
+/// indexes with them). Appends to all three buffers.
+///
+/// # Panics
+/// Panics when a matched position does not fit `u32`.
+// lint: hot-path
+pub(super) fn intersect_positions(
+    a: &[u64],
+    b: &[u64],
+    out: &mut Vec<u64>,
+    pos_a: &mut Vec<u32>,
+    pos_b: &mut Vec<u32>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                pos_a.push(u32::try_from(i).expect("support position fits u32"));
+                pos_b.push(u32::try_from(j).expect("support position fits u32"));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// `acc[i] &= row[i]` over the common prefix of the two slices.
+// lint: hot-path
+pub(super) fn and_words(acc: &mut [u64], row: &[u64]) {
+    for (acc_word, &row_word) in acc.iter_mut().zip(row.iter()) {
+        *acc_word &= row_word;
+    }
+}
+
+/// Whether any byte of a verdict block encodes a relation (is not
+/// [`VERDICT_NONE`]).
+// lint: hot-path
+pub(super) fn verdict_any(block: &[u8]) -> bool {
+    block.iter().any(|&verdict| verdict != VERDICT_NONE)
+}
+
+/// Exclusive end of the maximal dense run of `support` beginning at
+/// `start`: the first `j > start` with `j == support.len()` or a gap
+/// `support[j] - support[j-1]` above `max_period`. Requires
+/// `start < support.len()`; on the strictly increasing inputs the season
+/// walk feeds in, the wrapping subtraction is an ordinary subtraction (and
+/// on malformed input it still agrees bit-for-bit with the vector twins,
+/// which compute the same wrapped difference).
+// lint: hot-path
+pub(super) fn run_end(support: &[u64], start: usize, max_period: u64) -> usize {
+    debug_assert!(start < support.len(), "run start must be in bounds");
+    let mut j = start + 1;
+    while j < support.len() && support[j].wrapping_sub(support[j - 1]) <= max_period {
+        j += 1;
+    }
+    j
+}

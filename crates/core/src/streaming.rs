@@ -243,7 +243,6 @@ fn mine_granule(seq: &TemporalSequence, config: &ResolvedConfig) -> GranuleHarve
         for j in i + 1..n {
             let (rows, cols) = (&insts[i], &insts[j]);
             let mut block = Vec::new();
-            let mut any_relation = false;
             if record_verdicts {
                 block.reserve(rows.len() * cols.len());
             }
@@ -265,7 +264,6 @@ fn mine_granule(seq: &TemporalSequence, config: &ResolvedConfig) -> GranuleHarve
                     let Some(kind) = verdict else {
                         continue;
                     };
-                    any_relation = true;
                     let triple = if in_order {
                         RelationTriple::new(kind, 0, 1)
                     } else {
@@ -284,8 +282,11 @@ fn mine_granule(seq: &TemporalSequence, config: &ResolvedConfig) -> GranuleHarve
                 }
             }
             if record_verdicts {
+                // The granule-local adjacency bit is one wide byte scan of
+                // the finished block (dispatched kernel), replacing the
+                // per-cell flag accumulation.
+                related[i * n + j] = crate::simd::kernels().verdict_any(&block);
                 blocks[i * n + j] = block;
-                related[i * n + j] = any_relation;
             }
         }
     }

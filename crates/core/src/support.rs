@@ -38,48 +38,47 @@ fn gallop(haystack: &[GranulePos], lo: usize, target: GranulePos) -> usize {
     base + haystack[base..hi].partition_point(|&v| v < target)
 }
 
-/// The single intersection core both public variants monomorphize over:
+/// Whether the size skew between two sets puts the intersection in the
+/// galloping regime (walk the short side, exponential-probe the long one)
+/// rather than the linear-merge regime the SIMD kernels cover.
+#[inline]
+fn gallop_regime(a: &[GranulePos], b: &[GranulePos]) -> bool {
+    let (short, long) = if a.len() <= b.len() {
+        (a.len(), b.len())
+    } else {
+        (b.len(), a.len())
+    };
+    short * GALLOP_RATIO <= long
+}
+
+/// The galloping intersection core both public variants monomorphize over:
 /// reports every common value through `on_match(value, pos_in_a, pos_in_b)`.
-/// When one side is at least [`GALLOP_RATIO`] times longer, the shorter side
-/// is walked and the longer side is advanced by galloping; otherwise a
-/// linear merge runs.
+/// Only called in the [`gallop_regime`]; the balanced linear-merge regime
+/// goes through the [`crate::simd`] kernel dispatch instead, so this path
+/// stays scalar by design (galloping is branch-and-probe bound, with no
+/// profitable vector form).
 // lint: hot-path
 #[inline]
-fn intersect_with<F: FnMut(GranulePos, usize, usize)>(
+fn intersect_gallop<F: FnMut(GranulePos, usize, usize)>(
     a: &[GranulePos],
     b: &[GranulePos],
     mut on_match: F,
 ) {
     let a_short = a.len() <= b.len();
     let (short, long) = if a_short { (a, b) } else { (b, a) };
-    if short.len() * GALLOP_RATIO <= long.len() {
-        let mut j = 0usize;
-        for (i, &x) in short.iter().enumerate() {
-            j = gallop(long, j, x);
-            if j == long.len() {
-                break;
-            }
-            if long[j] == x {
-                if a_short {
-                    on_match(x, i, j);
-                } else {
-                    on_match(x, j, i);
-                }
-                j += 1;
-            }
+    let mut j = 0usize;
+    for (i, &x) in short.iter().enumerate() {
+        j = gallop(long, j, x);
+        if j == long.len() {
+            break;
         }
-        return;
-    }
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                on_match(a[i], i, j);
-                i += 1;
-                j += 1;
+        if long[j] == x {
+            if a_short {
+                on_match(x, i, j);
+            } else {
+                on_match(x, j, i);
             }
+            j += 1;
         }
     }
 }
@@ -97,11 +96,17 @@ pub fn intersect(a: &[GranulePos], b: &[GranulePos]) -> SupportSet {
 /// allocation-free form the miner threads its per-shard scratch buffers
 /// through. When one side is at least `GALLOP_RATIO` (32) times longer than
 /// the other, the shorter side is walked and the longer side is advanced by
-/// galloping; otherwise a linear merge runs.
+/// galloping; otherwise the linear merge runs through the process-wide
+/// [`crate::simd`] kernel dispatch (AVX2 4×4 block compare where detected,
+/// scalar twin otherwise — byte-identical output either way).
 // lint: hot-path
 pub fn intersect_into(out: &mut SupportSet, a: &[GranulePos], b: &[GranulePos]) {
     out.clear();
-    intersect_with(a, b, |x, _, _| out.push(x));
+    if gallop_regime(a, b) {
+        intersect_gallop(a, b, |x, _, _| out.push(x));
+    } else {
+        crate::simd::kernels().intersect(a, b, out);
+    }
 }
 
 /// Intersects two sorted support sets into `out` while also recording, for
@@ -110,7 +115,8 @@ pub fn intersect_into(out: &mut SupportSet, a: &[GranulePos], b: &[GranulePos]) 
 /// let the miner reach granule-aligned side data (instance slices in
 /// `HLH_1`, binding slices in `HLH_k`) with plain offset lookups instead of
 /// one binary search per matched granule. Galloping kicks in on skewed
-/// sizes exactly as in [`intersect_into`].
+/// sizes exactly as in [`intersect_into`]; the balanced regime dispatches
+/// to the [`crate::simd`] kernels.
 // lint: hot-path
 pub fn intersect_positions_into(
     a: &[GranulePos],
@@ -122,11 +128,15 @@ pub fn intersect_positions_into(
     out.clear();
     pos_a.clear();
     pos_b.clear();
-    intersect_with(a, b, |x, i, j| {
-        out.push(x);
-        pos_a.push(u32::try_from(i).expect("support position fits u32"));
-        pos_b.push(u32::try_from(j).expect("support position fits u32"));
-    });
+    if gallop_regime(a, b) {
+        intersect_gallop(a, b, |x, i, j| {
+            out.push(x);
+            pos_a.push(u32::try_from(i).expect("support position fits u32"));
+            pos_b.push(u32::try_from(j).expect("support position fits u32"));
+        });
+    } else {
+        crate::simd::kernels().intersect_positions(a, b, out, pos_a, pos_b);
+    }
 }
 
 /// Unions two sorted support sets (used when merging per-relation supports
@@ -189,11 +199,10 @@ pub fn intersect_rows_into(out: &mut Vec<u64>, rows: &[&[u64]]) {
         return;
     };
     out.extend_from_slice(first);
+    let kernels = crate::simd::kernels();
     for row in rest {
         debug_assert_eq!(row.len(), out.len(), "bitset rows must share a length");
-        for (acc, &word) in out.iter_mut().zip(row.iter()) {
-            *acc &= word;
-        }
+        kernels.and_words(out, row);
     }
 }
 

@@ -1,0 +1,17 @@
+// Fixture: `unsafe` outside `crates/core/src/simd/` must be flagged by the
+// `unsafe-scope` rule — once per `unsafe` token (the fn qualifier and the
+// block each count), and a justified suppression must silence exactly one.
+
+pub unsafe fn read_word(ptr: *const u64) -> u64 {
+    *ptr
+}
+
+pub fn copy_first(src: &[u64]) -> u64 {
+    // lint:allow(unsafe-scope): fixture demonstrating a silenced site
+    unsafe { core::ptr::read(src.as_ptr()) }
+}
+
+pub fn and_inline(acc: &mut u64, word: u64) {
+    let masked = unsafe { core::ptr::read(&word) };
+    *acc &= masked;
+}

@@ -1,0 +1,21 @@
+// Fixture: the same shapes of `unsafe` are sanctioned when the file lives
+// under `crates/core/src/simd/` — the one module where vectorized kernel
+// twins may use intrinsics (each with a property-tested scalar reference).
+
+pub(super) fn and_words_fixture(acc: &mut [u64], row: &[u64]) {
+    // SAFETY: fixture stand-in for a detection-gated intrinsic call.
+    unsafe { and_words_impl(acc, row) }
+}
+
+unsafe fn and_words_impl(acc: &mut [u64], row: &[u64]) {
+    let len = if acc.len() < row.len() {
+        acc.len()
+    } else {
+        row.len()
+    };
+    let mut i = 0usize;
+    while i < len {
+        acc[i] &= row[i];
+        i += 1;
+    }
+}

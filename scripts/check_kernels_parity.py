@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Assert that two `kernels --quick` runs produced identical outputs.
+
+Usage:
+    check_kernels_parity.py LEG_A.json LEG_B.json
+
+The CI kernel-parity matrix runs the kernel experiment once per dispatch
+leg (detected-best, `STPM_FORCE_SCALAR=1`, and `+avx2` codegen where the
+runner supports it) and feeds the JSONs through this script pairwise. The
+legs may differ in timings and in the chosen dispatch tier — that is the
+point — but every output-derived field must be identical:
+
+* the kernel set and per-kernel element counts (same workloads ran),
+* per-kernel match counts and output checksums (same results computed),
+* the end-to-end mine's pattern count (same patterns mined).
+
+Exit status is non-zero on the first difference.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return doc, {point["kernel"]: point for point in doc["kernels"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(f"usage: {sys.argv[0]} LEG_A.json LEG_B.json")
+    path_a, path_b = sys.argv[1], sys.argv[2]
+    doc_a, points_a = load(path_a)
+    doc_b, points_b = load(path_b)
+
+    print(
+        f"leg A ({path_a}): dispatch {doc_a['chosen']}"
+        f"{' (forced scalar)' if doc_a.get('force_scalar') else ''}"
+    )
+    print(
+        f"leg B ({path_b}): dispatch {doc_b['chosen']}"
+        f"{' (forced scalar)' if doc_b.get('force_scalar') else ''}"
+    )
+
+    if set(points_a) != set(points_b):
+        sys.exit(
+            f"FAIL: kernel sets differ ({sorted(points_a)} vs {sorted(points_b)})"
+        )
+
+    for name in sorted(points_a):
+        for field in ("elements", "matches", "checksum"):
+            if points_a[name][field] != points_b[name][field]:
+                sys.exit(
+                    f"FAIL: {name}.{field} differs across legs: "
+                    f"{points_a[name][field]} vs {points_b[name][field]} — "
+                    "the dispatch tiers do not compute identical outputs"
+                )
+        print(
+            f"{name}: matches={points_a[name]['matches']} "
+            f"checksum={points_a[name]['checksum']} — identical"
+        )
+
+    if doc_a["patterns"] != doc_b["patterns"]:
+        sys.exit(
+            f"FAIL: end-to-end pattern counts differ across legs: "
+            f"{doc_a['patterns']} vs {doc_b['patterns']}"
+        )
+    print(f"patterns: {doc_a['patterns']} — identical")
+    print("parity: legs agree on every output")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Compare a fresh `kernels --quick` run against the committed quick baseline.
+
+Usage:
+    check_kernels_regression.py BASELINE.json FRESH.json [--max-slowdown 1.25]
+
+Checks, in order of severity:
+
+1. **Parity fields** must be identical: the kernel set, per-kernel element
+   counts, match counts, output checksums, and the end-to-end pattern count.
+   The workloads are deterministic and machine-independent, so any
+   difference is a correctness regression in a kernel, not noise.
+2. **Dispatch health**: for every kernel, the detected-best tier must not be
+   slower than scalar beyond the noise floor (`--min-dispatch-ratio`,
+   default 0.80 on best-of-samples times). The dispatch table routes
+   kernels with no profitable vector form to their scalar twins, so a
+   genuine sub-1.0 ratio means a losing vector path got wired into the hot
+   loop. Be honest about the floor: quick-scale calls run in microseconds,
+   where scheduler jitter alone produces double-digit swings, so the floor
+   is 0.80 rather than 1.0 and only real pessimizations trip it.
+3. **Vector win**: when the host detected AVX2 (and the run was not forced
+   scalar), at least one kernel's best tier must beat scalar by
+   `--min-best-speedup` (default 1.25 at quick scale; the committed
+   full-scale baseline shows >1.5x). A pass of this check proves the SIMD
+   dispatch is actually engaged, not silently falling back.
+4. **Runtime**: the fresh sum of median per-call times must not exceed
+   `max(baseline_total * max_slowdown, baseline_total + ABS_SLACK_SECS)`.
+   As with the scaling gate, the noise floor dominates at quick scale and
+   only multi-x blowups trip this; checks 1-3 are the strict signals.
+
+Exit status is non-zero on the first failed check.
+"""
+
+import argparse
+import json
+import sys
+
+# Noise floor added on top of the relative runtime budget: quick kernel
+# calls run in microseconds, where scheduler jitter alone exceeds 25%.
+ABS_SLACK_SECS = 0.02
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    return doc, {point["kernel"]: point for point in doc["kernels"]}
+
+
+def tier_timing(point, name):
+    for tier in point["tiers"]:
+        if tier["tier"] == name:
+            return tier
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--max-slowdown", type=float, default=1.25)
+    parser.add_argument("--min-dispatch-ratio", type=float, default=0.80)
+    parser.add_argument("--min-best-speedup", type=float, default=1.25)
+    args = parser.parse_args()
+
+    base_doc, base_points = load(args.baseline)
+    fresh_doc, fresh_points = load(args.fresh)
+
+    if base_doc["quick"] != fresh_doc["quick"]:
+        sys.exit(
+            "FAIL: scale mismatch (baseline quick={}, fresh quick={}) — "
+            "quick runs are only comparable to quick baselines".format(
+                base_doc["quick"], fresh_doc["quick"]
+            )
+        )
+
+    if set(base_points) != set(fresh_points):
+        sys.exit(
+            f"FAIL: kernel sets differ (baseline {sorted(base_points)}, "
+            f"fresh {sorted(fresh_points)})"
+        )
+
+    for name, base_point in sorted(base_points.items()):
+        fresh_point = fresh_points[name]
+        for field in ("elements", "matches", "checksum"):
+            if base_point[field] != fresh_point[field]:
+                sys.exit(
+                    f"FAIL: {name}.{field} diverged: baseline "
+                    f"{base_point[field]} vs fresh {fresh_point[field]} — "
+                    "a kernel's output changed"
+                )
+
+    if base_doc["patterns"] != fresh_doc["patterns"]:
+        sys.exit(
+            f"FAIL: end-to-end pattern count diverged: baseline "
+            f"{base_doc['patterns']} vs fresh {fresh_doc['patterns']}"
+        )
+
+    detected = fresh_doc["detected"]
+    forced = fresh_doc.get("force_scalar", False)
+    if not forced:
+        for name, point in sorted(fresh_points.items()):
+            scalar = tier_timing(point, "scalar")
+            best_supported = tier_timing(point, detected)
+            if scalar is None or best_supported is None:
+                sys.exit(f"FAIL: {name} is missing the scalar or {detected} tier")
+            # Best-of-samples is the noise-robust statistic at this scale.
+            ratio = scalar["min_ns"] / max(best_supported["min_ns"], 1e-9)
+            verdict = "ok" if ratio >= args.min_dispatch_ratio else "FAIL"
+            print(f"dispatch {name}: {detected} vs scalar {ratio:.2f}x -> {verdict}")
+            if ratio < args.min_dispatch_ratio:
+                sys.exit(
+                    f"FAIL: {name} dispatches to {detected} but runs "
+                    f"{ratio:.2f}x of scalar (floor {args.min_dispatch_ratio}) — "
+                    "route the kernel's scalar twin in this tier instead"
+                )
+
+    if detected == "avx2" and not forced:
+        best = 0.0
+        best_kernel = "-"
+        for name, point in fresh_points.items():
+            scalar = tier_timing(point, "scalar")
+            for tier in point["tiers"]:
+                speedup = scalar["min_ns"] / max(tier["min_ns"], 1e-9)
+                if speedup > best:
+                    best, best_kernel = speedup, name
+        verdict = "ok" if best >= args.min_best_speedup else "FAIL"
+        print(f"best vector speedup: {best:.2f}x ({best_kernel}) -> {verdict}")
+        if best < args.min_best_speedup:
+            sys.exit(
+                f"FAIL: no kernel beats scalar by {args.min_best_speedup}x "
+                "on an AVX2 host — the SIMD paths are not engaged"
+            )
+
+    def total_secs(points):
+        return sum(
+            tier["median_ns"] for point in points.values() for tier in point["tiers"]
+        ) / 1e9
+
+    base_total = total_secs(base_points)
+    fresh_total = total_secs(fresh_points)
+    budget = max(base_total * args.max_slowdown, base_total + ABS_SLACK_SECS)
+    verdict = "ok" if fresh_total <= budget else "FAIL"
+    print(
+        f"runtime total: baseline {base_total:.4f}s, fresh {fresh_total:.4f}s, "
+        f"budget {budget:.4f}s -> {verdict}"
+    )
+    if fresh_total > budget:
+        sys.exit(
+            f"FAIL: quick kernel runtime regressed beyond "
+            f"{args.max_slowdown:.2f}x (+{ABS_SLACK_SECS}s slack)"
+        )
+    print(f"ok: {len(fresh_points)} kernels, outputs identical, dispatch healthy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Kernel-parity matrix: the core/property test suites and a quick kernel
+# run, executed once per dispatch leg, with every output-derived field
+# asserted identical across legs.
+#
+#   leg 1  detected-best dispatch (whatever the host CPU supports)
+#   leg 2  STPM_FORCE_SCALAR=1 (scalar twins only)
+#   leg 3  -Ctarget-feature=+avx2 codegen, when the host supports AVX2
+#          (best-effort: recompiles the workspace with vector codegen
+#          enabled everywhere, not just inside the simd module)
+#
+# CI's kernel-parity job executes this exact script, so a local
+# `scripts/ci_kernel_parity.sh` reproduces the CI gate bit for bit.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Test suites run in the dev profile (like CI's test job: the
+# strict-invariants call sites assert they are active under
+# debug_assertions); only the bench binary needs release codegen.
+echo "== leg 1: detected dispatch =="
+cargo test -q -p stpm-core --lib
+cargo test -q -p freqstpfts --test property_based
+cargo run --release -p stpm-bench --bin kernels -- --quick
+python3 -m json.tool BENCH_kernels_quick.json > /dev/null
+mv BENCH_kernels_quick.json target/BENCH_kernels_quick_detected.json
+
+echo "== leg 2: forced-scalar dispatch =="
+STPM_FORCE_SCALAR=1 cargo test -q -p stpm-core --lib
+STPM_FORCE_SCALAR=1 cargo test -q -p freqstpfts --test property_based
+STPM_FORCE_SCALAR=1 cargo run --release -p stpm-bench --bin kernels -- --quick
+python3 -m json.tool BENCH_kernels_quick.json > /dev/null
+mv BENCH_kernels_quick.json target/BENCH_kernels_quick_scalar.json
+
+echo "== parity: detected vs forced-scalar =="
+python3 scripts/check_kernels_parity.py \
+  target/BENCH_kernels_quick_detected.json \
+  target/BENCH_kernels_quick_scalar.json
+
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+  echo "== leg 3: +avx2 codegen =="
+  RUSTFLAGS="-Ctarget-feature=+avx2" cargo test -q -p stpm-core --lib
+  RUSTFLAGS="-Ctarget-feature=+avx2" \
+    cargo run --release -p stpm-bench --bin kernels -- --quick
+  python3 -m json.tool BENCH_kernels_quick.json > /dev/null
+  mv BENCH_kernels_quick.json target/BENCH_kernels_quick_avx2.json
+  echo "== parity: detected vs +avx2 codegen =="
+  python3 scripts/check_kernels_parity.py \
+    target/BENCH_kernels_quick_detected.json \
+    target/BENCH_kernels_quick_avx2.json
+else
+  echo "host has no AVX2 — skipping the +avx2 codegen leg"
+fi
+
+echo "== wire format untouched by the matrix =="
+git diff --exit-code snapshot_format.lock
+
+echo "kernel parity matrix: all legs agree"

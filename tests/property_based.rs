@@ -689,3 +689,205 @@ fn validators_reject_a_corrupted_tracker() {
         "tracker accepted a support it was never fed"
     );
 }
+
+// ---------------------------------------------------------------------------
+// SIMD kernel parity: every tier the host CPU supports (scalar, and on
+// x86_64 SSE2/AVX2 where detected) must be byte-identical to the scalar
+// reference on every kernel, over adversarial inputs — empty sets, single
+// elements, lane-straddling lengths, the galloping skew regime, and
+// all-match / no-match rows. These tests carry the `simd_` prefix so the CI
+// sanitizer smoke step can select exactly this suite.
+// ---------------------------------------------------------------------------
+
+use freqstpfts::core::simd;
+
+/// Strictly increasing set of exactly `len` elements with gap profile drawn
+/// from `rng`: dense (gap 1–2) half the time to force many vector-lane
+/// matches, sparse otherwise.
+fn increasing_set(rng: &mut SeededRng, len: usize) -> Vec<u64> {
+    let dense = rng.next_below(2) == 0;
+    let mut next = rng.next_below(16);
+    let mut set = Vec::with_capacity(len);
+    for _ in 0..len {
+        set.push(next);
+        let gap = if dense {
+            1 + rng.next_below(2)
+        } else {
+            1 + rng.next_below(50)
+        };
+        next += gap;
+    }
+    set
+}
+
+/// Lengths that straddle every vector-lane boundary the kernels use
+/// (2/4-wide u64 lanes, 16/32-wide byte lanes), plus empty and single.
+const LANE_STRADDLING_LENS: &[usize] = &[0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 64];
+
+#[test]
+fn simd_intersect_parity_across_tiers() {
+    let tiers = simd::tiers();
+    assert_eq!(tiers[0].name(), "scalar");
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        for &len_a in LANE_STRADDLING_LENS {
+            let len_b =
+                LANE_STRADDLING_LENS[rng.next_below(LANE_STRADDLING_LENS.len() as u64) as usize];
+            let a = increasing_set(&mut rng, len_a);
+            // Half the time, share a tail with `a` so matches actually occur.
+            let b = if rng.next_below(2) == 0 && !a.is_empty() {
+                let mut b: BTreeSet<u64> = increasing_set(&mut rng, len_b).into_iter().collect();
+                for _ in 0..len_b {
+                    b.insert(a[rng.next_below(a.len() as u64) as usize]);
+                }
+                b.into_iter().take(len_b).collect()
+            } else {
+                increasing_set(&mut rng, len_b)
+            };
+            let mut expect = Vec::new();
+            tiers[0].intersect(&a, &b, &mut expect);
+            let (mut evals, mut epa, mut epb) = (Vec::new(), Vec::new(), Vec::new());
+            tiers[0].intersect_positions(&a, &b, &mut evals, &mut epa, &mut epb);
+            assert_eq!(evals, expect, "seed {seed}: scalar variants disagree");
+            for tier in &tiers[1..] {
+                let mut got = Vec::new();
+                tier.intersect(&a, &b, &mut got);
+                assert_eq!(got, expect, "seed {seed} tier {}", tier.name());
+                let (mut vals, mut pa, mut pb) = (Vec::new(), Vec::new(), Vec::new());
+                tier.intersect_positions(&a, &b, &mut vals, &mut pa, &mut pb);
+                assert_eq!(vals, expect, "seed {seed} tier {}", tier.name());
+                assert_eq!(pa, epa, "seed {seed} tier {}", tier.name());
+                assert_eq!(pb, epb, "seed {seed} tier {}", tier.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_intersect_parity_in_the_galloping_skew_regime() {
+    // The public `intersect_into` keeps galloping scalar above the >= 32x
+    // skew ratio, but the kernels themselves must stay correct on skewed
+    // inputs too — CI runs this with and without STPM_FORCE_SCALAR=1.
+    let tiers = simd::tiers();
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let long_len = 1 + rng.next_below(400) as usize * 2;
+        let long = increasing_set(&mut rng, long_len);
+        let short_len = (long.len() / 32).min(4);
+        let short = skewed_partner(&mut rng, &long);
+        let short: Vec<u64> = short.into_iter().take(short_len.max(1)).collect();
+        let mut expect = Vec::new();
+        tiers[0].intersect(&short, &long, &mut expect);
+        for tier in &tiers[1..] {
+            for (x, y) in [(&short, &long), (&long, &short)] {
+                let mut got = Vec::new();
+                tier.intersect(x, y, &mut got);
+                assert_eq!(got, expect, "seed {seed} tier {}", tier.name());
+            }
+        }
+        // And the public entry point (whatever its regime choice) agrees
+        // with the scalar kernel.
+        let mut via_public = Vec::new();
+        intersect_into(&mut via_public, &short, &long);
+        assert_eq!(via_public, expect, "seed {seed}");
+    }
+}
+
+#[test]
+fn simd_and_words_parity_across_tiers() {
+    let tiers = simd::tiers();
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        for &len in LANE_STRADDLING_LENS {
+            let mode = rng.next_below(3);
+            let acc_init: Vec<u64> = (0..len)
+                .map(|_| match mode {
+                    0 => u64::MAX, // all-match rows
+                    1 => 0,        // no-match rows
+                    _ => rng.next_below(u64::MAX),
+                })
+                .collect();
+            let row: Vec<u64> = (0..len)
+                .map(|_| match mode {
+                    0 => u64::MAX,
+                    1 => rng.next_below(u64::MAX),
+                    _ => rng.next_below(u64::MAX),
+                })
+                .collect();
+            let mut expect = acc_init.clone();
+            tiers[0].and_words(&mut expect, &row);
+            for tier in &tiers[1..] {
+                let mut got = acc_init.clone();
+                tier.and_words(&mut got, &row);
+                assert_eq!(got, expect, "seed {seed} len {len} tier {}", tier.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_verdict_scan_parity_across_tiers() {
+    let tiers = simd::tiers();
+    for &len in LANE_STRADDLING_LENS {
+        let zeros = vec![0u8; len];
+        for tier in &tiers {
+            assert!(!tier.verdict_any(&zeros), "len {len} tier {}", tier.name());
+        }
+        // A single relation byte at every offset must be found by every
+        // tier, wherever it lands relative to the 16/32-byte chunks.
+        let mut block = zeros;
+        for hot in 0..len {
+            block[hot] = 3;
+            for tier in &tiers {
+                assert!(
+                    tier.verdict_any(&block),
+                    "len {len} hot {hot} tier {}",
+                    tier.name()
+                );
+            }
+            block[hot] = 0;
+        }
+    }
+}
+
+#[test]
+fn simd_run_end_parity_across_tiers() {
+    let tiers = simd::tiers();
+    for seed in 0..CASES {
+        let mut rng = SeededRng::seed_from_u64(seed);
+        let len = 1 + rng.next_below(80) as usize;
+        let support = increasing_set(&mut rng, len);
+        let max_period = 1 + rng.next_below(40);
+        for start in 0..support.len() {
+            let expect = tiers[0].run_end(&support, start, max_period);
+            assert!(expect > start && expect <= support.len(), "seed {seed}");
+            for tier in &tiers[1..] {
+                assert_eq!(
+                    tier.run_end(&support, start, max_period),
+                    expect,
+                    "seed {seed} start {start} tier {}",
+                    tier.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_force_scalar_selects_the_scalar_table() {
+    // The pure selection step must route to scalar when forced...
+    assert_eq!(simd::select(true).name(), "scalar");
+    // ...and the env-driven cached choice must agree with the cached env
+    // snapshot. In the STPM_FORCE_SCALAR=1 CI leg this pins the scalar
+    // route through the public entry point; in the default leg it pins
+    // detection.
+    assert_eq!(
+        simd::kernels().name(),
+        simd::select(simd::force_scalar_requested()).name()
+    );
+    if simd::force_scalar_requested() {
+        assert_eq!(simd::kernels().name(), "scalar");
+    } else {
+        assert_eq!(simd::kernels().name(), simd::detected().name());
+    }
+}
